@@ -1,0 +1,71 @@
+// ABL1: allocation-solver ablation (a design choice DESIGN.md calls out).
+//
+// The paper frames budget determination as "an allocation process" but does
+// not prescribe a solver. This bench compares the four implemented policies
+// on the running example and on an ethically-constrained variant, reporting
+// the budget each incident type receives, per-class headroom, and whether
+// Eq. 1 and the fairness cap hold.
+//
+// Expected shape: all solvers feasible; water filling dominates plain
+// proportional scaling in the non-binding types; the ethical cap reshapes
+// budgets without breaking feasibility.
+#include <iostream>
+
+#include "qrn/qrn.h"
+#include "report/csv.h"
+#include "report/table.h"
+
+namespace {
+
+void report_case(const char* title, const qrn::AllocationProblem& problem,
+                 qrn::report::CsvWriter& csv) {
+    using namespace qrn;
+    using namespace qrn::report;
+
+    std::cout << "--- " << title << " ---\n";
+    const std::vector<Frequency> demands(problem.types().size(),
+                                         Frequency::per_hour(1e-2));
+    const Allocation allocations[] = {
+        allocate_proportional(problem),
+        allocate_inverse_cost(problem),
+        allocate_water_filling(problem),
+        allocate_tightening(problem, demands),
+    };
+    Table table({"solver", "f_I1", "f_I2", "f_I3", "min headroom", "Eq. 1"});
+    for (const auto& a : allocations) {
+        table.add_row({a.solver, a.budgets[0].to_string(), a.budgets[1].to_string(),
+                       a.budgets[2].to_string(), percent(a.min_headroom()),
+                       satisfies_norm(problem, a.budgets) ? "holds" : "VIOLATED"});
+        csv.add_row({title, a.solver, scientific(a.budgets[0].per_hour_value(), 3),
+                     scientific(a.budgets[1].per_hour_value(), 3),
+                     scientific(a.budgets[2].per_hour_value(), 3),
+                     fixed(a.min_headroom(), 4)});
+    }
+    std::cout << table.render() << '\n';
+}
+
+}  // namespace
+
+int main() {
+    using namespace qrn;
+
+    std::cout << "ABL1: allocation-solver comparison\n\n";
+    const auto norm = RiskNorm::paper_example();
+    const auto types = IncidentTypeSet::paper_vru_example();
+    const InjuryRiskModel injury;
+    const auto matrix =
+        ContributionMatrix::from_injury_model(norm, types, injury, {0.6, 0.4});
+
+    report::CsvWriter csv({"case", "solver", "f_I1", "f_I2", "f_I3", "min_headroom"});
+    report_case("unconstrained", AllocationProblem(norm, types, matrix), csv);
+    report_case("ethical cap 50% per class",
+                AllocationProblem(norm, types, matrix, {},
+                                  EthicalConstraint{0.5}),
+                csv);
+    report_case("weighted 4:2:1 (urban shuttle demand profile)",
+                AllocationProblem(norm, types, matrix, {4.0, 2.0, 1.0}), csv);
+
+    csv.write_file("abl_allocators.csv");
+    std::cout << "series written to abl_allocators.csv\n";
+    return 0;
+}

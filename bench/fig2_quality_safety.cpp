@@ -1,0 +1,58 @@
+// FIG2: regenerates the content of paper Fig. 2 - "Safety and incident
+// quality - acceptable risk": one monotone frequency-vs-severity norm
+// spanning quality consequences (perceived safety, emergency manoeuvres,
+// material damage) and safety consequences (injury classes), with the
+// paper's example incidents attached to each class.
+//
+// Expected shape: quality classes sit at strictly higher acceptable
+// frequencies than every safety class; frequency monotone decreasing along
+// the severity axis.
+#include <iostream>
+
+#include "qrn/risk_norm.h"
+#include "report/csv.h"
+#include "report/series.h"
+#include "report/table.h"
+
+int main() {
+    using namespace qrn;
+    using namespace qrn::report;
+
+    std::cout << "FIG2: unified quality + safety acceptable-risk curve (regenerated)\n\n";
+    const auto norm = RiskNorm::paper_example();
+
+    Table table({"class", "name", "domain", "example incident", "acceptable frequency"});
+    std::vector<BarItem> bars;
+    CsvWriter csv({"class", "domain", "severity_rank", "acceptable_frequency_per_hour"});
+    for (std::size_t j = 0; j < norm.size(); ++j) {
+        const auto entry = norm.entry(j);
+        table.add_row({entry.consequence_class.id, entry.consequence_class.name,
+                       std::string(to_string(entry.consequence_class.domain)),
+                       entry.consequence_class.example, entry.limit.to_string()});
+        bars.push_back({entry.consequence_class.id, entry.limit.per_hour_value()});
+        csv.add_row({entry.consequence_class.id,
+                     std::string(to_string(entry.consequence_class.domain)),
+                     std::to_string(entry.consequence_class.rank),
+                     scientific(entry.limit.per_hour_value(), 3)});
+    }
+    std::cout << table.render() << '\n';
+    std::cout << "Acceptable frequency along the severity axis (log scale):\n"
+              << log_bar_chart(bars, 40) << '\n';
+
+    // Machine check of the figure's two claims.
+    bool monotone = true;
+    for (std::size_t j = 1; j < norm.size(); ++j) {
+        monotone = monotone && norm.limit(j) <= norm.limit(j - 1);
+    }
+    const auto min_quality_limit = norm.limit_by_id("vQ3");
+    const auto max_safety_limit = norm.limit_by_id("vS1");
+    const bool quality_left_of_safety = max_safety_limit < min_quality_limit;
+
+    csv.write_file("fig2_norm.csv");
+    std::cout << "series written to fig2_norm.csv\n\n";
+    std::cout << "Shape check vs paper: monotone decreasing = "
+              << (monotone ? "yes" : "NO") << "; quality classes above safety classes = "
+              << (quality_left_of_safety ? "yes" : "NO") << " -> "
+              << (monotone && quality_left_of_safety ? "PASS" : "FAIL") << '\n';
+    return monotone && quality_left_of_safety ? 0 : 1;
+}

@@ -1,0 +1,177 @@
+// Performance microbenchmarks (google-benchmark): the hot paths a fleet-
+// scale deployment of the toolkit would exercise - incident classification,
+// allocation solving, Eq. 1 verification, Monte-Carlo simulation and exact
+// interval estimation.
+#include <benchmark/benchmark.h>
+
+#include "qrn/qrn.h"
+#include "qrn/banding.h"
+#include "qrn/serialize.h"
+#include "quant/architecture.h"
+#include "sim/sim.h"
+#include "stats/sequential.h"
+#include "stats/rate_estimation.h"
+#include "stats/rng.h"
+
+namespace {
+
+using namespace qrn;
+
+Incident sample_incident(stats::Rng& rng) {
+    Incident i;
+    i.second = actor_type_from_index(
+        static_cast<std::size_t>(rng.uniform_int(1, kActorTypeCount - 1)));
+    if (rng.bernoulli(0.5)) {
+        i.mechanism = IncidentMechanism::NearMiss;
+        i.min_distance_m = rng.uniform(0.0, 5.0);
+    }
+    i.relative_speed_kmh = rng.uniform(0.0, 150.0);
+    return i;
+}
+
+void BM_ClassifyIncident(benchmark::State& state) {
+    const auto tree = ClassificationTree::paper_example();
+    stats::Rng rng(1);
+    std::vector<Incident> incidents;
+    for (int n = 0; n < 1024; ++n) incidents.push_back(sample_incident(rng));
+    std::size_t idx = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tree.classify(incidents[idx++ & 1023]));
+    }
+}
+BENCHMARK(BM_ClassifyIncident);
+
+void BM_TypeSetClassify(benchmark::State& state) {
+    const auto types = IncidentTypeSet::paper_vru_example();
+    stats::Rng rng(2);
+    std::vector<Incident> incidents;
+    for (int n = 0; n < 1024; ++n) incidents.push_back(sample_incident(rng));
+    std::size_t idx = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(types.classify(incidents[idx++ & 1023]));
+    }
+}
+BENCHMARK(BM_TypeSetClassify);
+
+void BM_AllocateWaterFilling(benchmark::State& state) {
+    const auto norm = RiskNorm::paper_example();
+    const auto types = IncidentTypeSet::paper_vru_example();
+    const InjuryRiskModel injury;
+    const auto matrix =
+        ContributionMatrix::from_injury_model(norm, types, injury, {0.6, 0.4});
+    const AllocationProblem problem(norm, types, matrix);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(allocate_water_filling(problem));
+    }
+}
+BENCHMARK(BM_AllocateWaterFilling);
+
+void BM_VerifyAgainstEvidence(benchmark::State& state) {
+    const auto norm = RiskNorm::paper_example();
+    const auto types = IncidentTypeSet::paper_vru_example();
+    const InjuryRiskModel injury;
+    const auto matrix =
+        ContributionMatrix::from_injury_model(norm, types, injury, {0.6, 0.4});
+    const AllocationProblem problem(norm, types, matrix);
+    const auto allocation = allocate_water_filling(problem);
+    const std::vector<TypeEvidence> evidence{{"I1", 3, ExposureHours(1e7)},
+                                             {"I2", 1, ExposureHours(1e7)},
+                                             {"I3", 0, ExposureHours(1e7)}};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            verify_against_evidence(problem, allocation, evidence, 0.95));
+    }
+}
+BENCHMARK(BM_VerifyAgainstEvidence);
+
+void BM_FleetSimulationPerHour(benchmark::State& state) {
+    sim::FleetConfig config;
+    config.seed = 3;
+    const sim::FleetSimulator fleet(config);
+    const auto hours = static_cast<double>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fleet.run(hours));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FleetSimulationPerHour)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_GarwoodUpperBound(benchmark::State& state) {
+    const stats::RateObservation obs{static_cast<std::uint64_t>(state.range(0)), 1e6};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stats::rate_upper_bound(obs, 0.95));
+    }
+}
+BENCHMARK(BM_GarwoodUpperBound)->Arg(0)->Arg(10)->Arg(1000);
+
+void BM_MeceCertification(benchmark::State& state) {
+    const auto tree = ClassificationTree::paper_example();
+    for (auto _ : state) {
+        stats::Rng rng(4);
+        benchmark::DoNotOptimize(tree.certify_mece(
+            static_cast<std::size_t>(state.range(0)),
+            [&](std::size_t) { return sample_incident(rng); }));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MeceCertification)->Arg(1000)->Arg(10000);
+
+void BM_GenerateCompleteTypes(benchmark::State& state) {
+    const InjuryRiskModel model;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(generate_complete_types(model));
+    }
+}
+BENCHMARK(BM_GenerateCompleteTypes);
+
+void BM_MinimalCutSets(benchmark::State& state) {
+    // A representative redundant architecture with k-of-n voting.
+    std::vector<std::unique_ptr<quant::ArchNode>> top;
+    top.push_back(quant::ArchNode::k_of_n("sensing", 2, 5, Frequency::per_hour(1e-4), 0.1));
+    top.push_back(quant::ArchNode::element("arbiter", Frequency::per_hour(1e-9)));
+    std::vector<std::unique_ptr<quant::ArchNode>> pair;
+    pair.push_back(quant::ArchNode::element("a", Frequency::per_hour(1e-4)));
+    pair.push_back(quant::ArchNode::element("b", Frequency::per_hour(1e-4)));
+    top.push_back(quant::ArchNode::all_of("planner pair", std::move(pair), 0.5));
+    const auto tree = quant::ArchNode::any_of("top", std::move(top));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(quant::minimal_cut_sets(*tree));
+    }
+}
+BENCHMARK(BM_MinimalCutSets);
+
+void BM_SprtObserve(benchmark::State& state) {
+    for (auto _ : state) {
+        stats::PoissonSprt sprt(1e-4, 1e-3, 0.05, 0.05);
+        for (int i = 0; i < 1000; ++i) sprt.observe(i % 97 == 0 ? 1 : 0, 1.0);
+        benchmark::DoNotOptimize(sprt.decision());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SprtObserve);
+
+void BM_JsonRoundTrip(benchmark::State& state) {
+    const InjuryRiskModel model;
+    const auto types = generate_complete_types(model);
+    const auto document = to_json(types).dump(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(incident_types_from_json(json::parse(document)));
+    }
+    state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(document.size()));
+}
+BENCHMARK(BM_JsonRoundTrip);
+
+void BM_CampaignRun(benchmark::State& state) {
+    sim::CampaignConfig config;
+    config.fleets = 4;
+    config.hours_per_fleet = 25.0;
+    config.base.seed = 11;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim::run_campaign(config));
+    }
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_CampaignRun);
+
+}  // namespace
+// main() is provided by benchmark::benchmark_main.

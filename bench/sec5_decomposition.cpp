@@ -1,0 +1,62 @@
+// SEC5A: quantitative decomposition vs ASIL decomposition (paper Sec. V).
+//
+// Redundant sensing/prediction channels whose individual violation rates
+// are only QM-grade combine - through proper frequency arithmetic with a
+// common exposure window - to meet vehicle-level budgets that ISO 26262's
+// qualitative decomposition schemes cannot express.
+//
+// Expected shape: combined rate falls by orders of magnitude per added
+// channel; the "ASIL rules applicable" column is almost entirely 'no'.
+#include <iostream>
+
+#include "quant/asil_compare.h"
+#include "report/csv.h"
+#include "report/table.h"
+
+int main() {
+    using namespace qrn;
+    using namespace qrn::quant;
+    using namespace qrn::report;
+
+    std::cout << "SEC5A: redundancy credit - quantitative vs ASIL rules\n\n";
+
+    const auto target = Frequency::per_hour(1e-8);  // ASIL-D-grade budget
+    Table table({"channel rate", "channel band", "architecture", "combined rate",
+                 "combined band", "meets 1e-8", "ASIL rules"});
+    CsvWriter csv({"channel_rate", "copies", "combined_rate", "meets_target",
+                   "asil_rules_applicable"});
+    std::size_t classically_expressible = 0, rows_total = 0;
+    bool monotone = true;
+    for (const double rate : {1e-3, 1e-4, 1e-5}) {
+        const auto channel = Frequency::per_hour(rate);
+        Frequency prev = Frequency::per_hour(1.0);
+        for (const auto& row :
+             compare_redundancy(channel, 0.1, {1, 2, 3, 4}, target)) {
+            table.add_row({row.channel_rate.to_string(),
+                           std::string(hara::to_string(row.channel_band)),
+                           row.architecture, row.combined_rate.to_string(),
+                           std::string(hara::to_string(row.combined_band)),
+                           row.combined_rate <= target ? "yes" : "no",
+                           row.asil_rules_applicable ? "expressible" : "no"});
+            csv.add_row({scientific(rate, 1), row.architecture,
+                         scientific(row.combined_rate.per_hour_value(), 3),
+                         row.combined_rate <= target ? "1" : "0",
+                         row.asil_rules_applicable ? "1" : "0"});
+            monotone = monotone && row.combined_rate <= prev;
+            prev = row.combined_rate;
+            classically_expressible += row.asil_rules_applicable ? 1 : 0;
+            ++rows_total;
+        }
+        table.add_separator();
+    }
+    std::cout << table.render() << '\n';
+
+    csv.write_file("sec5_decomposition.csv");
+    std::cout << "series written to sec5_decomposition.csv\n\n";
+    std::cout << "Shape check vs paper: combined rate monotone in copies = "
+              << (monotone ? "yes" : "NO") << "; QM-grade channels reach the budget "
+              << "while the classical rules express " << classically_expressible << "/"
+              << rows_total << " of these architectures -> "
+              << (monotone && classically_expressible == 0 ? "PASS" : "CHECK") << '\n';
+    return 0;
+}

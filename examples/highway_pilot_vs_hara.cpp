@@ -1,0 +1,74 @@
+// Highway pilot: the same feature analysed twice - classical ISO 26262
+// HARA vs the QRN tailoring - reproducing the Sec. II comparison.
+//
+// Run: ./highway_pilot_vs_hara
+#include <iostream>
+
+#include "hara/hara_study.h"
+#include "qrn/qrn.h"
+#include "report/table.h"
+
+int main() {
+    using namespace qrn;
+
+    std::cout << "=== Classical ISO 26262 HARA for a highway pilot ===\n\n";
+    const auto hazards = hara::derive_hazards(hara::ads_functions());
+    auto catalog = hara::SituationCatalog::ads_example();
+    std::cout << "HAZOP hazards: " << hazards.size() << " ("
+              << hara::ads_functions().size() << " functions x guidewords)\n";
+    std::cout << "Operational situations in the catalog: " << catalog.size() << '\n';
+    std::cout << "Hazardous events to assess: " << hazards.size() * catalog.size()
+              << '\n';
+
+    // Adding descriptive dimensions multiplies the catalog - the
+    // completeness problem of Sec. II-B(1).
+    catalog = catalog.with_dimension({"road works", {"no", "yes"}});
+    catalog = catalog.with_dimension({"surface", {"asphalt", "gravel", "cobble"}});
+    std::cout << "...after two more ODD dimensions: " << catalog.size()
+              << " situations (" << hazards.size() * catalog.size() << " events)\n\n";
+
+    const auto assessor = hara::ads_heuristic_assessor(catalog);
+    const auto result = hara::run_hara(hazards, catalog, assessor, 5000);
+    std::cout << "Sampled assessment of " << result.situations_assessed
+              << " events yielded " << result.events.size()
+              << " ASIL-rated hazardous events and " << result.goals.size()
+              << " safety goals, e.g.:\n";
+    for (std::size_t g = 0; g < std::min<std::size_t>(result.goals.size(), 3); ++g) {
+        std::cout << "  " << result.goals[g].id << ": " << result.goals[g].text << '\n';
+    }
+    std::cout << "\nNote what these goals rest on: per-situation exposure ratings that\n"
+                 "the ADS's own tactical policy will change, and a situation catalog\n"
+                 "whose completeness cannot be argued.\n\n";
+
+    std::cout << "=== QRN tailoring for the same feature ===\n\n";
+    const auto norm = RiskNorm::paper_example();
+    const auto types = IncidentTypeSet::paper_vru_example();
+    const InjuryRiskModel injury;
+    const auto matrix =
+        ContributionMatrix::from_injury_model(norm, types, injury, {0.6, 0.4});
+    const AllocationProblem problem(norm, types, matrix);
+    const auto goals = SafetyGoalSet::derive(problem, allocate_water_filling(problem));
+
+    std::cout << "Safety goals (complete by classification, independent of situations):\n";
+    for (const auto& goal : goals.all()) {
+        std::cout << "  " << goal.id << ": " << goal.text << '\n';
+    }
+
+    report::Table compare({"aspect", "ISO 26262 HARA", "QRN tailoring"});
+    compare.add_row({"analysis input", std::to_string(result.situations_assessed) +
+                                           " hazardous events (sampled)",
+                     "one risk norm + " + std::to_string(types.size()) + " incident types"});
+    compare.add_row({"goal integrity attribute", "qualitative ASIL", "frequency budget"});
+    compare.add_row({"physical characteristics in goals",
+                     "FTTI (e.g. " +
+                         std::to_string(static_cast<int>(
+                             hara::indicative_ftti_ms(result.goals[0].asil))) +
+                         " ms), braking capacities",
+                     "none - determined in the solution domain (Sec. IV)"});
+    compare.add_row({"completeness argument", "per-situation enumeration (open-ended)",
+                     "MECE classification (machine-checkable)"});
+    compare.add_row({"exposure handling", "fixed E rating per situation",
+                     "runtime adaptation inside the solution domain"});
+    std::cout << '\n' << compare.render();
+    return 0;
+}

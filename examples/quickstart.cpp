@@ -1,0 +1,75 @@
+// Quickstart: the QRN method in ~60 lines.
+//
+// Builds the paper's running example end to end:
+//   risk norm -> incident types -> contribution fractions -> budget
+//   allocation -> safety goals -> completeness argument.
+//
+// Run: ./quickstart
+#include <cstdio>
+#include <iostream>
+
+#include "qrn/qrn.h"
+#include "report/table.h"
+#include "stats/rng.h"
+
+int main() {
+    using namespace qrn;
+
+    // 1. The quantitative risk norm: what "sufficiently safe" means.
+    const auto norm = RiskNorm::paper_example();
+    std::cout << "Risk norm '" << norm.name() << "':\n";
+    report::Table norm_table({"class", "name", "domain", "acceptable frequency"});
+    for (std::size_t j = 0; j < norm.size(); ++j) {
+        const auto entry = norm.entry(j);
+        norm_table.add_row({entry.consequence_class.id, entry.consequence_class.name,
+                            std::string(to_string(entry.consequence_class.domain)),
+                            entry.limit.to_string()});
+    }
+    std::cout << norm_table.render() << '\n';
+
+    // 2. Incident types: Ego<->VRU within tolerance margins (Fig. 5).
+    const auto types = IncidentTypeSet::paper_vru_example();
+
+    // 3. Contribution fractions from the injury-risk model.
+    const InjuryRiskModel injury;
+    const auto matrix =
+        ContributionMatrix::from_injury_model(norm, types, injury, {0.6, 0.4});
+
+    // 4. Allocate frequency budgets so Eq. 1 holds for every class.
+    const AllocationProblem problem(norm, types, matrix, {}, EthicalConstraint{0.8});
+    const auto allocation = allocate_water_filling(problem);
+    std::cout << "Allocation (" << allocation.solver
+              << "), min headroom: " << report::percent(allocation.min_headroom())
+              << "\n\n";
+
+    // 5. One safety goal per incident type, in the paper's format.
+    const auto goals = SafetyGoalSet::derive(problem, allocation);
+    for (const auto& goal : goals.all()) {
+        std::cout << goal.id << ": " << goal.text << '\n';
+    }
+    std::cout << '\n';
+
+    // 6. Completeness: certify the MECE classification, measure which
+    //    leaves the goals actually constrain, and print the safety-case
+    //    argument (including the open obligations a real study must close).
+    const auto tree = ClassificationTree::paper_example();
+    const auto sample_incident = [](stats::Rng& rng) {
+        Incident incident;
+        incident.second = actor_type_from_index(
+            static_cast<std::size_t>(rng.uniform_int(1, kActorTypeCount - 1)));
+        if (rng.bernoulli(0.5)) {
+            incident.mechanism = IncidentMechanism::NearMiss;
+            incident.min_distance_m = rng.uniform(0.0, 5.0);
+        }
+        incident.relative_speed_kmh = rng.uniform(0.0, 150.0);
+        return incident;
+    };
+    stats::Rng rng(1);
+    const auto certificate = tree.certify_mece(
+        100000, [&](std::size_t) { return sample_incident(rng); });
+    stats::Rng rng2(1);
+    const auto coverage = check_type_coverage(
+        tree, types, 100000, [&](std::size_t) { return sample_incident(rng2); });
+    std::cout << goals.completeness_argument(tree, certificate, &coverage);
+    return certificate.certified() ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+#include "fsc/refinement.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qrn::fsc {
+
+namespace {
+
+void require_valid(const ChainTemplate& chain) {
+    if (chain.perception_channels == 0) {
+        throw std::invalid_argument("ChainTemplate: perception_channels >= 1");
+    }
+    if (!(chain.redundancy_window_hours > 0.0)) {
+        throw std::invalid_argument("ChainTemplate: redundancy window must be > 0");
+    }
+    for (const double share :
+         {chain.perception_share, chain.planning_share, chain.actuation_share}) {
+        if (!(share > 0.0) || share >= 1.0) {
+            throw std::invalid_argument("ChainTemplate: shares must be in (0, 1)");
+        }
+    }
+    if (chain.perception_share + chain.planning_share + chain.actuation_share >
+        1.0 + 1e-12) {
+        throw std::invalid_argument("ChainTemplate: shares must sum to at most 1");
+    }
+}
+
+}  // namespace
+
+Frequency channel_budget(Frequency goal_budget, const ChainTemplate& chain) {
+    require_valid(chain);
+    const double block_budget =
+        chain.perception_share * goal_budget.per_hour_value();
+    const std::size_t n = chain.perception_channels;
+    if (n == 1) return Frequency::per_hour(block_budget);
+    // All n channels must fail within the window: rate = n * lambda^n *
+    // tau^(n-1)  =>  lambda = (budget / (n tau^(n-1)))^(1/n).
+    const double tau = chain.redundancy_window_hours;
+    const double lambda = std::pow(
+        block_budget / (static_cast<double>(n) * std::pow(tau, static_cast<double>(n - 1))),
+        1.0 / static_cast<double>(n));
+    return Frequency::per_hour(lambda);
+}
+
+GoalRefinement refine_goal(const SafetyGoal& goal, const ChainTemplate& chain) {
+    require_valid(chain);
+    const Frequency budget = goal.max_frequency;
+    const Frequency per_channel = channel_budget(budget, chain);
+    const Frequency planning = budget * chain.planning_share;
+    const Frequency actuation = budget * chain.actuation_share;
+    const std::string interaction =
+        std::string(to_string(goal.counterparty)) + " interactions";
+
+    std::vector<FunctionalSafetyRequirement> requirements;
+    std::vector<std::unique_ptr<quant::ArchNode>> top;
+
+    if (chain.perception_channels == 1) {
+        requirements.push_back(
+            {goal.id + ".P1", goal.id, "perception channel 1",
+             "Do not overestimate the conflict-free space relevant to " + interaction +
+                 ".",
+             per_channel, quant::CauseCategory::PerformanceLimitation});
+        top.push_back(quant::ArchNode::element("perception channel 1", per_channel,
+                                               quant::CauseCategory::PerformanceLimitation));
+    } else {
+        for (std::size_t c = 1; c <= chain.perception_channels; ++c) {
+            requirements.push_back(
+                {goal.id + ".P" + std::to_string(c), goal.id,
+                 "perception channel " + std::to_string(c),
+                 "Do not overestimate the conflict-free space relevant to " +
+                     interaction + " (redundant channel).",
+                 per_channel, quant::CauseCategory::PerformanceLimitation});
+        }
+        top.push_back(quant::ArchNode::k_of_n(
+            "redundant perception", 1, chain.perception_channels, per_channel,
+            chain.redundancy_window_hours));
+    }
+    requirements.push_back({goal.id + ".PL", goal.id, "tactical planning",
+                            "Select margins and speeds such that " + interaction +
+                                " within the tolerance margin are avoided.",
+                            planning, quant::CauseCategory::SystematicDesign});
+    top.push_back(quant::ArchNode::element("tactical planning", planning,
+                                           quant::CauseCategory::SystematicDesign));
+    requirements.push_back({goal.id + ".AC", goal.id, "motion actuation",
+                            "Execute the planned trajectory within tolerance.",
+                            actuation, quant::CauseCategory::RandomHardware});
+    top.push_back(quant::ArchNode::element("motion actuation", actuation,
+                                           quant::CauseCategory::RandomHardware));
+
+    auto architecture =
+        quant::ArchNode::any_of("violation of " + goal.id, std::move(top));
+    return GoalRefinement(goal, std::move(requirements), std::move(architecture));
+}
+
+FunctionalSafetyConcept derive_fsc(const SafetyGoalSet& goals, const ChainTemplate& chain) {
+    std::vector<GoalRefinement> refinements;
+    refinements.reserve(goals.size());
+    for (const auto& goal : goals.all()) {
+        refinements.push_back(refine_goal(goal, chain));
+    }
+    return FunctionalSafetyConcept(goals, std::move(refinements));
+}
+
+}  // namespace qrn::fsc

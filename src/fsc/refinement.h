@@ -1,0 +1,53 @@
+// Standard refinement patterns: SG budget -> architecture + FSRs.
+//
+// The ADS processing chain the paper's Sec. V example implies - sensing and
+// prediction (possibly redundant), planning, actuation - is captured as a
+// template. Given a safety goal's frequency budget, the refiner apportions
+// it over the chain with quantitative rules: the actuation and planning
+// elements take fixed shares in series, and the sensing/prediction share is
+// met either by a single channel or by redundant channels whose individual
+// budgets are derived with the parallel split (which is how "QM-grade"
+// channels become acceptable, Sec. V).
+#pragma once
+
+#include <cstddef>
+
+#include "fsc/fsr.h"
+
+namespace qrn::fsc {
+
+/// Parameters of the standard chain refinement.
+struct ChainTemplate {
+    /// Number of redundant sensing+prediction channels (>= 1).
+    std::size_t perception_channels = 2;
+    /// Common exposure window for channel redundancy (hours, > 0).
+    double redundancy_window_hours = 0.1;
+    /// Share of the SG budget granted to the perception block (0, 1).
+    double perception_share = 0.45;
+    /// Share granted to tactical planning (0, 1).
+    double planning_share = 0.3;
+    /// Share granted to actuation (0, 1). The three shares must sum to <= 1;
+    /// the defaults leave a deliberate 5% margin under the SG budget.
+    double actuation_share = 0.2;
+};
+
+/// Builds the refinement of one safety goal using the chain template.
+///
+/// Produced requirements: one per perception channel ("do not overestimate
+/// the free space relevant to <interaction>"), one for planning, one for
+/// actuation. Throws if the template is inconsistent or the derived
+/// architecture cannot meet the SG budget.
+[[nodiscard]] GoalRefinement refine_goal(const SafetyGoal& goal,
+                                         const ChainTemplate& chain);
+
+/// Builds a full FSC by applying the same template to every goal.
+[[nodiscard]] FunctionalSafetyConcept derive_fsc(const SafetyGoalSet& goals,
+                                                 const ChainTemplate& chain);
+
+/// The per-channel violation budget implied by the template for a goal:
+/// single channel -> the whole perception share; n >= 2 redundant channels
+/// -> the symmetric parallel split of that share (orders of magnitude
+/// looser than the share itself).
+[[nodiscard]] Frequency channel_budget(Frequency goal_budget, const ChainTemplate& chain);
+
+}  // namespace qrn::fsc

@@ -1,0 +1,83 @@
+#include "fsc/tradeoff.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qrn::fsc {
+
+std::vector<DesignEvaluation> explore(const AllocationProblem& problem,
+                                      const Allocation& allocation,
+                                      const std::vector<DesignOption>& options,
+                                      double hours, std::uint64_t seed,
+                                      double confidence) {
+    if (options.empty()) throw std::invalid_argument("explore: no design options");
+    if (!(hours > 0.0)) throw std::invalid_argument("explore: hours must be > 0");
+
+    std::vector<DesignEvaluation> out;
+    out.reserve(options.size());
+    for (const auto& option : options) {
+        sim::FleetConfig config;
+        config.odd = option.odd;
+        config.policy = option.policy;
+        config.perception = option.perception;
+        config.seed = seed;
+        const auto log = sim::FleetSimulator(config).run(hours);
+        const auto evidence = log.evidence_for(problem.types());
+        const auto report =
+            verify_against_evidence(problem, allocation, evidence, confidence);
+
+        DesignEvaluation eval;
+        eval.name = option.name;
+        eval.incident_rate = log.incident_rate();
+        eval.goals_point_met = true;
+        Frequency tightest = allocation.budgets.front();
+        for (const auto& goal : report.goals) {
+            eval.goals_point_met =
+                eval.goals_point_met && goal.verdict != ClassVerdict::Violated;
+            eval.worst_goal_utilization =
+                std::max(eval.worst_goal_utilization,
+                         goal.point_rate.per_hour_value() /
+                             goal.budget.per_hour_value());
+            tightest = std::min(tightest, goal.budget);
+        }
+        eval.verification_hours =
+            exposure_to_demonstrate(tightest, confidence).hours();
+        out.push_back(std::move(eval));
+    }
+    return out;
+}
+
+std::vector<DesignOption> standard_options() {
+    std::vector<DesignOption> out;
+    sim::PerceptionModel nominal_sensing;
+    sim::PerceptionModel premium_sensing;
+    premium_sensing.nominal_range_m = 180.0;
+    premium_sensing.vru_range_factor = 0.8;
+    premium_sensing.animal_range_factor = 0.7;
+    premium_sensing.fog_factor = 0.6;
+    premium_sensing.night_factor = 0.85;
+    premium_sensing.range_sigma_log = 0.08;
+    premium_sensing.miss_probability = 1e-5;
+
+    sim::Odd full = sim::Odd::urban();
+    sim::Odd restricted = sim::Odd::urban();
+    restricted.allow_night = false;
+    restricted.max_vru_density = 2.0;
+    restricted.max_speed_limit_kmh = 40.0;
+
+    out.push_back({"performance style / nominal sensing / full ODD",
+                   sim::TacticalPolicy::performance(), nominal_sensing, full});
+    out.push_back({"nominal style / nominal sensing / full ODD",
+                   sim::TacticalPolicy::nominal(), nominal_sensing, full});
+    out.push_back({"cautious style / nominal sensing / full ODD",
+                   sim::TacticalPolicy::cautious(), nominal_sensing, full});
+    out.push_back({"nominal style / premium sensing / full ODD",
+                   sim::TacticalPolicy::nominal(), premium_sensing, full});
+    out.push_back({"nominal style / nominal sensing / restricted ODD",
+                   sim::TacticalPolicy::nominal(), nominal_sensing, restricted});
+    out.push_back({"cautious style / premium sensing / restricted ODD",
+                   sim::TacticalPolicy::cautious(), premium_sensing, restricted});
+    return out;
+}
+
+}  // namespace qrn::fsc

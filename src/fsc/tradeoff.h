@@ -1,0 +1,52 @@
+// The Sec. IV design-space trade-off explorer.
+//
+// "This way of working gives considerable freedom to define a safety
+// strategy using trade-offs between performance of sensors/actuators,
+// driving style (e.g. cautionary vs. performance) and verification effort
+// (e.g. adjusting critical ODD parameters to ease difficult verification
+// tasks)." The explorer enumerates design options across those three axes,
+// estimates for each the achieved incident rates (Monte-Carlo fleet run),
+// checks them against the allocated SG budgets, and reports the
+// verification exposure the statistical argument would still need.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qrn/allocation.h"
+#include "qrn/verification.h"
+#include "sim/fleet.h"
+
+namespace qrn::fsc {
+
+/// One candidate design point.
+struct DesignOption {
+    std::string name;
+    sim::TacticalPolicy policy;     ///< Driving style axis.
+    sim::PerceptionModel perception;///< Sensor performance axis.
+    sim::Odd odd;                   ///< ODD restriction axis.
+};
+
+/// Evaluation of one design point against the allocated goals.
+struct DesignEvaluation {
+    std::string name;
+    bool goals_point_met = false;   ///< All per-goal point rates within budgets.
+    double worst_goal_utilization = 0.0;  ///< max observed/budget over goals.
+    Frequency incident_rate;        ///< All logged incidents per hour.
+    double verification_hours = 0.0;///< Exposure needed to statistically
+                                    ///< demonstrate the tightest goal
+                                    ///< assuming zero further events.
+};
+
+/// Runs each option for `hours` simulated operational hours and evaluates
+/// the evidence against the allocation. Deterministic given `seed`.
+[[nodiscard]] std::vector<DesignEvaluation> explore(
+    const AllocationProblem& problem, const Allocation& allocation,
+    const std::vector<DesignOption>& options, double hours, std::uint64_t seed,
+    double confidence = 0.95);
+
+/// A standard option set spanning the three axes: cautious/nominal/
+/// performance styles, nominal vs premium sensing, full vs restricted ODD.
+[[nodiscard]] std::vector<DesignOption> standard_options();
+
+}  // namespace qrn::fsc

@@ -1,0 +1,110 @@
+#include "hara/hara_study.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hara/asil.h"
+
+namespace qrn::hara {
+
+HaraResult run_hara(const std::vector<Hazard>& hazards, const SituationCatalog& catalog,
+                    const SecAssessor& assessor, std::uint64_t max_situations) {
+    if (hazards.empty()) throw std::invalid_argument("run_hara: no hazards");
+    if (!assessor) throw std::invalid_argument("run_hara: assessor must be callable");
+
+    HaraResult result;
+    result.hazards = hazards;
+    const std::uint64_t situations = std::min<std::uint64_t>(catalog.size(), max_situations);
+
+    // Track the worst ASIL per hazard to emit goal-per-hazard afterwards.
+    std::vector<Asil> worst_asil(hazards.size(), Asil::QM);
+    std::vector<std::uint64_t> worst_situation(hazards.size(), 0);
+
+    for (std::size_t h = 0; h < hazards.size(); ++h) {
+        for (std::uint64_t s = 0; s < situations; ++s) {
+            const OperationalSituation situation = catalog.at(s);
+            Severity sev = Severity::S0;
+            Exposure exp = Exposure::E0;
+            Controllability con = Controllability::C0;
+            assessor(hazards[h], situation, sev, exp, con);
+            const Asil asil = determine_asil(sev, exp, con);
+            ++result.situations_assessed;
+            if (asil == Asil::QM) continue;
+            result.events.push_back(HazardousEvent{h, s, sev, exp, con, asil});
+            if (asil_less(worst_asil[h], asil)) {
+                worst_asil[h] = asil;
+                worst_situation[h] = s;
+            }
+        }
+    }
+
+    for (std::size_t h = 0; h < hazards.size(); ++h) {
+        if (worst_asil[h] == Asil::QM) continue;
+        ClassicSafetyGoal goal;
+        goal.id = "SG-H" + std::to_string(h + 1);
+        goal.text = "Avoid harm due to '" + hazards[h].describe() + "' (" +
+                    std::string(to_string(worst_asil[h])) + ")";
+        goal.asil = worst_asil[h];
+        goal.ftti_ms = indicative_ftti_ms(worst_asil[h]);
+        goal.hazard_index = h;
+        goal.worst_situation_index = worst_situation[h];
+        result.goals.push_back(std::move(goal));
+    }
+    return result;
+}
+
+double indicative_ftti_ms(Asil asil) noexcept {
+    switch (asil) {
+        case Asil::QM: return 0.0;
+        case Asil::A: return 1000.0;
+        case Asil::B: return 500.0;
+        case Asil::C: return 200.0;
+        case Asil::D: return 100.0;
+    }
+    return 0.0;
+}
+
+SecAssessor ads_heuristic_assessor(const SituationCatalog& catalog) {
+    // Resolve dimension indices once; the assessor then reads situation
+    // values by position. Falls back gracefully if a dimension is missing.
+    const auto find_dim = [&](std::string_view name) -> std::ptrdiff_t {
+        const auto& dims = catalog.dimensions();
+        for (std::size_t d = 0; d < dims.size(); ++d) {
+            if (dims[d].name == name) return static_cast<std::ptrdiff_t>(d);
+        }
+        return -1;
+    };
+    const auto speed_dim = find_dim("speed band");
+    const auto weather_dim = find_dim("weather");
+    const auto special_dim = find_dim("special actors");
+    const auto density_dim = find_dim("traffic density");
+
+    return [=](const Hazard& hazard, const OperationalSituation& situation, Severity& sev,
+               Exposure& exp, Controllability& con) {
+        const auto value = [&](std::ptrdiff_t dim) -> std::size_t {
+            return dim < 0 ? 0 : situation.value_indices[static_cast<std::size_t>(dim)];
+        };
+        // Severity: speed band 0..4 maps to S0..S3 (capped); VRU presence
+        // (special actors value 1) bumps severity by one class.
+        int s = static_cast<int>(std::min<std::size_t>(value(speed_dim), 3));
+        if (value(special_dim) == 1) s = std::min(s + 1, 3);
+        // Perception-related hazards are at least S1 whenever traffic exists.
+        if (hazard.function.name == "object perception" && value(density_dim) > 0) {
+            s = std::max(s, 1);
+        }
+        sev = static_cast<Severity>(s);
+
+        // Exposure: benign conditions are common (E4); each aggravating
+        // condition (bad weather, special actors) is rarer.
+        int e = 4;
+        if (value(weather_dim) >= 2) --e;   // snow or fog
+        if (value(special_dim) >= 2) --e;   // animal risk or roadworks
+        if (value(weather_dim) == 3 && value(special_dim) >= 2) --e;
+        exp = static_cast<Exposure>(std::max(e, 1));
+
+        // No driver to intervene: C3 across the board.
+        con = Controllability::C3;
+    };
+}
+
+}  // namespace qrn::hara

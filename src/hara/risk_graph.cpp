@@ -1,0 +1,81 @@
+#include "hara/risk_graph.h"
+
+namespace qrn::hara {
+
+std::string_view to_string(Severity s) noexcept {
+    switch (s) {
+        case Severity::S0: return "S0";
+        case Severity::S1: return "S1";
+        case Severity::S2: return "S2";
+        case Severity::S3: return "S3";
+    }
+    return "?";
+}
+
+std::string_view to_string(Exposure e) noexcept {
+    switch (e) {
+        case Exposure::E0: return "E0";
+        case Exposure::E1: return "E1";
+        case Exposure::E2: return "E2";
+        case Exposure::E3: return "E3";
+        case Exposure::E4: return "E4";
+    }
+    return "?";
+}
+
+std::string_view to_string(Controllability c) noexcept {
+    switch (c) {
+        case Controllability::C0: return "C0";
+        case Controllability::C1: return "C1";
+        case Controllability::C2: return "C2";
+        case Controllability::C3: return "C3";
+    }
+    return "?";
+}
+
+std::string_view to_string(Asil a) noexcept {
+    switch (a) {
+        case Asil::QM: return "QM";
+        case Asil::A: return "ASIL A";
+        case Asil::B: return "ASIL B";
+        case Asil::C: return "ASIL C";
+        case Asil::D: return "ASIL D";
+    }
+    return "?";
+}
+
+Asil determine_asil(Severity s, Exposure e, Controllability c) noexcept {
+    if (s == Severity::S0 || e == Exposure::E0 || c == Controllability::C0) {
+        return Asil::QM;
+    }
+    // ISO 26262-3:2018 Table 4 follows a diagonal pattern: each step in any
+    // of S, E, C raises the level by one, with ASIL A first reached at
+    // S+E+C = 7 (e.g. S3E1C3, S1E4C2) and ASIL D only at S3E4C3.
+    const int steps = static_cast<int>(s) + static_cast<int>(e) + static_cast<int>(c) - 6;
+    if (steps <= 0) return Asil::QM;
+    switch (steps) {
+        case 1: return Asil::A;
+        case 2: return Asil::B;
+        case 3: return Asil::C;
+        default: return Asil::D;  // steps == 4, only S3E4C3
+    }
+}
+
+double indicative_frequency_per_hour(Asil a) noexcept {
+    switch (a) {
+        case Asil::QM: return 1e-5;
+        case Asil::A: return 1e-6;
+        case Asil::B: return 1e-7;
+        case Asil::C: return 1e-7;
+        case Asil::D: return 1e-8;
+    }
+    return 1e-5;
+}
+
+double risk_reduction_decades(Exposure e, Controllability c) noexcept {
+    const int exposure_steps = 4 - static_cast<int>(e);  // E4 -> 0 decades
+    const int control_steps = 3 - static_cast<int>(c);   // C3 -> 0 decades
+    return static_cast<double>(exposure_steps + control_steps);
+}
+
+}  // namespace qrn::hara

@@ -1,0 +1,63 @@
+// The ISO 26262:2018 Part 3 risk graph: S x E x C -> ASIL.
+//
+// This is the baseline method the paper proposes to tailor away for ADS.
+// We implement it faithfully so the repository can (a) regenerate Fig. 1
+// (the acceptable-risk staircase with exposure/controllability reductions)
+// and (b) contrast the classical qualitative machinery with the QRN
+// approach in the Sec. II/V benches.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace qrn::hara {
+
+/// Severity of potential harm (ISO 26262-3, Table 1).
+enum class Severity : std::uint8_t {
+    S0,  ///< No injuries.
+    S1,  ///< Light and moderate injuries.
+    S2,  ///< Severe and life-threatening injuries (survival probable).
+    S3,  ///< Life-threatening injuries (survival uncertain), fatal injuries.
+};
+
+/// Probability of exposure to the operational situation (Table 2).
+enum class Exposure : std::uint8_t {
+    E0,  ///< Incredible.
+    E1,  ///< Very low probability.
+    E2,  ///< Low probability.
+    E3,  ///< Medium probability.
+    E4,  ///< High probability.
+};
+
+/// Controllability by the driver or other persons at risk (Table 3).
+enum class Controllability : std::uint8_t {
+    C0,  ///< Controllable in general.
+    C1,  ///< Simply controllable.
+    C2,  ///< Normally controllable.
+    C3,  ///< Difficult to control or uncontrollable.
+};
+
+/// Automotive safety integrity level, plus QM (no ASIL required).
+enum class Asil : std::uint8_t { QM, A, B, C, D };
+
+[[nodiscard]] std::string_view to_string(Severity s) noexcept;
+[[nodiscard]] std::string_view to_string(Exposure e) noexcept;
+[[nodiscard]] std::string_view to_string(Controllability c) noexcept;
+[[nodiscard]] std::string_view to_string(Asil a) noexcept;
+
+/// ISO 26262-3:2018 Table 4 ASIL determination. S0, E0 and C0 always yield
+/// QM (no ASIL is assigned outside the S1-S3 x E1-E4 x C1-C3 grid).
+[[nodiscard]] Asil determine_asil(Severity s, Exposure e, Controllability c) noexcept;
+
+/// Indicative maximum violation frequency associated with each ASIL,
+/// following the customary alignment with IEC 61508 PMHF bands used in
+/// background material for Fig. 1 (per operational hour):
+/// QM 1e-5, A 1e-6, B 1e-7, C 1e-7, D 1e-8.
+[[nodiscard]] double indicative_frequency_per_hour(Asil a) noexcept;
+
+/// Each step of exposure below E4 relaxes the acceptable hazardous-event
+/// frequency by one decade; likewise controllability below C3. Used to
+/// regenerate the Fig. 1 "risk reduction due to ..." ladder.
+[[nodiscard]] double risk_reduction_decades(Exposure e, Controllability c) noexcept;
+
+}  // namespace qrn::hara

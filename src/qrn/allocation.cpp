@@ -1,0 +1,323 @@
+#include "qrn/allocation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace qrn {
+
+namespace {
+
+constexpr double kTolerance = 1e-9;
+
+/// Largest uniform scale s such that budgets s*w satisfy every class limit
+/// and the ethical cap. Infinity when no constraint binds (all-zero matrix
+/// columns for every positive weight).
+double max_uniform_scale(const AllocationProblem& p, const std::vector<double>& weights,
+                         const std::vector<bool>* frozen,
+                         const std::vector<double>* base_budgets) {
+    const auto& norm = p.norm();
+    const auto& m = p.matrix();
+    const double cap = p.ethics().max_share;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < norm.size(); ++j) {
+        const double limit = norm.limit(j).per_hour_value();
+        double active_rate = 0.0;   // usage growth per unit of s
+        double frozen_usage = 0.0;  // usage already consumed by frozen types
+        for (std::size_t k = 0; k < m.type_count(); ++k) {
+            const double c = m.fraction(j, k);
+            if (c <= 0.0) continue;
+            if (frozen != nullptr && (*frozen)[k]) {
+                frozen_usage += c * (*base_budgets)[k];
+            } else {
+                active_rate += c * weights[k];
+            }
+        }
+        if (active_rate > 0.0) {
+            best = std::min(best, (limit - frozen_usage) / active_rate);
+        }
+        // Ethical cap per (class, type): c * s * w_k <= cap * limit.
+        if (cap < 1.0) {
+            for (std::size_t k = 0; k < m.type_count(); ++k) {
+                if (frozen != nullptr && (*frozen)[k]) continue;
+                const double c = m.fraction(j, k);
+                if (c <= 0.0 || weights[k] <= 0.0) continue;
+                best = std::min(best, cap * limit / (c * weights[k]));
+            }
+        }
+    }
+    return best;
+}
+
+Allocation finish(const AllocationProblem& p, std::vector<double> budgets,
+                  std::string solver) {
+    Allocation out;
+    out.solver = std::move(solver);
+    out.budgets.reserve(budgets.size());
+    for (double b : budgets) out.budgets.push_back(Frequency::per_hour(std::max(b, 0.0)));
+    out.usage = evaluate_usage(p, out.budgets);
+    return out;
+}
+
+/// Budget for types with no contribution to any class: they do not consume
+/// the norm, so their SG frequency must come from elsewhere. Default: the
+/// least strict class limit (they can be no more frequent than the most
+/// permissive consequence budget would ever allow).
+double fallback_budget(const AllocationProblem& p, std::optional<Frequency> requested) {
+    if (requested) return requested->per_hour_value();
+    double most_permissive = 0.0;
+    for (std::size_t j = 0; j < p.norm().size(); ++j) {
+        most_permissive = std::max(most_permissive, p.norm().limit(j).per_hour_value());
+    }
+    return most_permissive;
+}
+
+std::vector<double> uniform_weights(std::size_t n) { return std::vector<double>(n, 1.0); }
+
+}  // namespace
+
+AllocationProblem::AllocationProblem(RiskNorm norm, IncidentTypeSet types,
+                                     ContributionMatrix matrix,
+                                     std::vector<double> weights,
+                                     EthicalConstraint ethics)
+    : norm_(std::move(norm)),
+      types_(std::move(types)),
+      matrix_(std::move(matrix)),
+      weights_(std::move(weights)),
+      ethics_(ethics) {
+    if (matrix_.class_count() != norm_.size() || matrix_.type_count() != types_.size()) {
+        throw std::invalid_argument(
+            "AllocationProblem: matrix shape must be classes x types");
+    }
+    if (weights_.empty()) weights_ = uniform_weights(types_.size());
+    if (weights_.size() != types_.size()) {
+        throw std::invalid_argument("AllocationProblem: one weight per incident type");
+    }
+    for (double w : weights_) {
+        if (!std::isfinite(w) || w <= 0.0) {
+            throw std::invalid_argument("AllocationProblem: weights must be > 0");
+        }
+    }
+    if (ethics_.max_share <= 0.0 || ethics_.max_share > 1.0) {
+        throw std::invalid_argument("AllocationProblem: ethics max_share in (0, 1]");
+    }
+}
+
+double Allocation::min_headroom() const noexcept {
+    double best = 1.0;
+    for (const auto& u : usage) best = std::min(best, 1.0 - u.utilization);
+    return best;
+}
+
+std::vector<ClassUsage> evaluate_usage(const AllocationProblem& problem,
+                                       const std::vector<Frequency>& budgets) {
+    if (budgets.size() != problem.types().size()) {
+        throw std::invalid_argument("evaluate_usage: one budget per incident type");
+    }
+    std::vector<ClassUsage> out;
+    out.reserve(problem.norm().size());
+    for (std::size_t j = 0; j < problem.norm().size(); ++j) {
+        ClassUsage u;
+        u.class_id = problem.norm().classes().at(j).id;
+        u.limit = problem.norm().limit(j);
+        Frequency used;
+        for (std::size_t k = 0; k < budgets.size(); ++k) {
+            used += budgets[k] * problem.matrix().fraction(j, k);
+        }
+        u.used = used;
+        u.utilization = used.ratio(u.limit);
+        out.push_back(std::move(u));
+    }
+    return out;
+}
+
+bool satisfies_norm(const AllocationProblem& problem,
+                    const std::vector<Frequency>& budgets) {
+    for (const auto& u : evaluate_usage(problem, budgets)) {
+        if (u.utilization > 1.0 + kTolerance) return false;
+    }
+    const double cap = problem.ethics().max_share;
+    if (cap < 1.0) {
+        for (std::size_t j = 0; j < problem.norm().size(); ++j) {
+            const double limit = problem.norm().limit(j).per_hour_value();
+            for (std::size_t k = 0; k < budgets.size(); ++k) {
+                const double share =
+                    problem.matrix().fraction(j, k) * budgets[k].per_hour_value() / limit;
+                if (share > cap + kTolerance) return false;
+            }
+        }
+    }
+    return true;
+}
+
+Allocation allocate_proportional(const AllocationProblem& problem,
+                                 std::optional<Frequency> free_type_budget) {
+    const auto& w = problem.weights();
+    const double s = max_uniform_scale(problem, w, nullptr, nullptr);
+    const double fb = fallback_budget(problem, free_type_budget);
+    std::vector<double> budgets(w.size());
+    for (std::size_t k = 0; k < w.size(); ++k) {
+        const bool constrained = problem.matrix().column_sum(k) > 0.0;
+        budgets[k] = constrained ? s * w[k] : fb;
+    }
+    return finish(problem, std::move(budgets), "proportional");
+}
+
+Allocation allocate_inverse_cost(const AllocationProblem& problem,
+                                 std::optional<Frequency> free_type_budget) {
+    const auto& m = problem.matrix();
+    const auto& norm = problem.norm();
+    std::vector<double> weights(m.type_count(), 0.0);
+    for (std::size_t k = 0; k < m.type_count(); ++k) {
+        double cost = 0.0;
+        for (std::size_t j = 0; j < norm.size(); ++j) {
+            cost += m.fraction(j, k) / norm.limit(j).per_hour_value();
+        }
+        weights[k] = cost > 0.0 ? 1.0 / cost : 0.0;  // 0 marks a free type
+    }
+    // Free types must not poison the scale computation; give them weight 0
+    // in scaling and the fallback budget afterwards.
+    std::vector<double> scale_weights = weights;
+    for (auto& sw : scale_weights) {
+        if (sw == 0.0) sw = kTolerance;  // positive but negligible
+    }
+    const double s = max_uniform_scale(problem, scale_weights, nullptr, nullptr);
+    const double fb = fallback_budget(problem, free_type_budget);
+    std::vector<double> budgets(weights.size());
+    for (std::size_t k = 0; k < weights.size(); ++k) {
+        budgets[k] = weights[k] > 0.0 ? s * weights[k] : fb;
+    }
+    return finish(problem, std::move(budgets), "inverse-cost");
+}
+
+Allocation allocate_water_filling(const AllocationProblem& problem,
+                                  std::optional<Frequency> free_type_budget) {
+    const auto& m = problem.matrix();
+    const auto& norm = problem.norm();
+    const auto& w = problem.weights();
+    const std::size_t n = m.type_count();
+    std::vector<double> budgets(n, 0.0);
+    std::vector<bool> frozen(n, false);
+    const double fb = fallback_budget(problem, free_type_budget);
+
+    // Free types (no contributions) get the fallback immediately.
+    for (std::size_t k = 0; k < n; ++k) {
+        if (m.column_sum(k) == 0.0) {
+            budgets[k] = fb;
+            frozen[k] = true;
+        }
+    }
+
+    for (std::size_t round = 0; round < n; ++round) {
+        if (std::all_of(frozen.begin(), frozen.end(), [](bool f) { return f; })) break;
+        // Grow every unfrozen budget by s * w_k until a class saturates.
+        std::vector<double> growth(n, 0.0);
+        for (std::size_t k = 0; k < n; ++k) growth[k] = frozen[k] ? 0.0 : w[k];
+        // Largest additional uniform scale given current budgets.
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t binding_class = norm.size();
+        for (std::size_t j = 0; j < norm.size(); ++j) {
+            const double limit = norm.limit(j).per_hour_value();
+            double used = 0.0, rate = 0.0;
+            for (std::size_t k = 0; k < n; ++k) {
+                const double c = m.fraction(j, k);
+                used += c * budgets[k];
+                rate += c * growth[k];
+            }
+            if (rate <= 0.0) continue;
+            const double s = (limit - used) / rate;
+            if (s < best) {
+                best = s;
+                binding_class = j;
+            }
+        }
+        // Ethical cap can bind before any class saturates.
+        const double cap = problem.ethics().max_share;
+        std::size_t capped_type = n;
+        if (cap < 1.0) {
+            for (std::size_t j = 0; j < norm.size(); ++j) {
+                const double limit = norm.limit(j).per_hour_value();
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double c = m.fraction(j, k);
+                    if (c <= 0.0 || growth[k] <= 0.0) continue;
+                    const double s = (cap * limit - c * budgets[k]) / (c * growth[k]);
+                    if (s < best) {
+                        best = s;
+                        binding_class = norm.size();
+                        capped_type = k;
+                    }
+                }
+            }
+        }
+        if (!std::isfinite(best)) break;  // nothing binds (shouldn't happen)
+        best = std::max(best, 0.0);
+        for (std::size_t k = 0; k < n; ++k) budgets[k] += best * growth[k];
+        if (binding_class < norm.size()) {
+            // Freeze every type feeding the saturated class.
+            for (std::size_t k = 0; k < n; ++k) {
+                if (m.fraction(binding_class, k) > 0.0) frozen[k] = true;
+            }
+        } else if (capped_type < n) {
+            frozen[capped_type] = true;
+        } else {
+            break;
+        }
+    }
+    // Any type still unfrozen is unconstrained by the remaining slack only
+    // through classes that saturated; cap it at the fallback.
+    for (std::size_t k = 0; k < n; ++k) {
+        if (!frozen[k] && budgets[k] == 0.0) budgets[k] = fb;
+    }
+    return finish(problem, std::move(budgets), "water-filling");
+}
+
+Allocation allocate_tightening(const AllocationProblem& problem,
+                               const std::vector<Frequency>& demands) {
+    if (demands.size() != problem.types().size()) {
+        throw std::invalid_argument("allocate_tightening: one demand per type");
+    }
+    const auto& m = problem.matrix();
+    const auto& norm = problem.norm();
+    std::vector<double> budgets(demands.size());
+    for (std::size_t k = 0; k < demands.size(); ++k) {
+        budgets[k] = demands[k].per_hour_value();
+    }
+    const double cap = problem.ethics().max_share;
+
+    // First enforce the ethical cap directly (it is separable per entry).
+    if (cap < 1.0) {
+        for (std::size_t j = 0; j < norm.size(); ++j) {
+            const double limit = norm.limit(j).per_hour_value();
+            for (std::size_t k = 0; k < budgets.size(); ++k) {
+                const double c = m.fraction(j, k);
+                if (c <= 0.0) continue;
+                budgets[k] = std::min(budgets[k], cap * limit / c);
+            }
+        }
+    }
+    // Then iteratively scale down contributors of the worst-violated class.
+    for (int iter = 0; iter < 1000; ++iter) {
+        double worst_util = 1.0;
+        std::size_t worst_class = norm.size();
+        for (std::size_t j = 0; j < norm.size(); ++j) {
+            double used = 0.0;
+            for (std::size_t k = 0; k < budgets.size(); ++k) {
+                used += m.fraction(j, k) * budgets[k];
+            }
+            const double util = used / norm.limit(j).per_hour_value();
+            if (util > worst_util + kTolerance) {
+                worst_util = util;
+                worst_class = j;
+            }
+        }
+        if (worst_class == norm.size()) break;  // all classes satisfied
+        const double shrink = 1.0 / worst_util;
+        for (std::size_t k = 0; k < budgets.size(); ++k) {
+            if (m.fraction(worst_class, k) > 0.0) budgets[k] *= shrink;
+        }
+    }
+    return finish(problem, std::move(budgets), "tightening");
+}
+
+}  // namespace qrn

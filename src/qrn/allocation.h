@@ -1,0 +1,125 @@
+// Frequency-budget allocation: turning a risk norm into per-incident-type
+// budgets.
+//
+// Sec. III-B frames the determination of incident-type integrity attributes
+// as "an allocation process, where we must make sure that the budget we set
+// on each I must be such that the total allowed frequency is fulfilled for
+// all v" (Eq. 1). The same section adds an ethical constraint: it is not
+// acceptable to concentrate a whole consequence-class budget (e.g. all
+// fatalities) on one incident type just because it is hard to design for.
+//
+// This module provides the allocation problem, the feasibility check, and
+// four solvers representing different engineering policies:
+//  - Proportional: scale caller-given weights to the binding class limit.
+//  - InverseCost: weight each type by the inverse of its normalised budget
+//    cost, equalising how much of the norm each type consumes.
+//  - WaterFilling: grow all budgets uniformly, freezing types as the
+//    classes they feed saturate; maximises the minimum budget.
+//  - Tightening: start from demanded frequencies (what a candidate design
+//    achieves) and scale down contributors of violated classes - the
+//    paper's "the budgets of some of the contributing incidents must be
+//    reduced" iteration.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qrn/contribution.h"
+#include "qrn/frequency.h"
+#include "qrn/incident_type.h"
+#include "qrn/risk_norm.h"
+
+namespace qrn {
+
+/// Optional fairness cap: no incident type may account for more than
+/// `max_share` of any consequence-class budget it contributes to.
+struct EthicalConstraint {
+    double max_share = 1.0;  ///< In (0, 1]; 1 disables the cap.
+};
+
+/// The allocation problem: norm + types + contribution structure + policy
+/// inputs. Owns copies so an allocation remains valid independently of the
+/// objects it was built from.
+class AllocationProblem {
+public:
+    /// Requires matrix shape == (norm.size() x types.size()); weights, if
+    /// given, must be positive and one per type.
+    AllocationProblem(RiskNorm norm, IncidentTypeSet types, ContributionMatrix matrix,
+                      std::vector<double> weights = {},
+                      EthicalConstraint ethics = EthicalConstraint{});
+
+    [[nodiscard]] const RiskNorm& norm() const noexcept { return norm_; }
+    [[nodiscard]] const IncidentTypeSet& types() const noexcept { return types_; }
+    [[nodiscard]] const ContributionMatrix& matrix() const noexcept { return matrix_; }
+    [[nodiscard]] const std::vector<double>& weights() const noexcept { return weights_; }
+    [[nodiscard]] const EthicalConstraint& ethics() const noexcept { return ethics_; }
+
+private:
+    RiskNorm norm_;
+    IncidentTypeSet types_;
+    ContributionMatrix matrix_;
+    std::vector<double> weights_;
+    EthicalConstraint ethics_;
+};
+
+/// Per-consequence-class usage of an allocation.
+struct ClassUsage {
+    std::string class_id;
+    Frequency limit;       ///< f_v^(acceptable).
+    Frequency used;        ///< Sum of contributions at the allocated budgets.
+    double utilization = 0.0;  ///< used / limit.
+};
+
+/// The result of an allocation: one frequency budget per incident type.
+struct Allocation {
+    std::vector<Frequency> budgets;    ///< f_I per incident type (same order).
+    std::vector<ClassUsage> usage;     ///< Per consequence class.
+    std::string solver;                ///< Which policy produced it.
+
+    /// Smallest per-class relative headroom (1 - utilization); negative
+    /// means Eq. 1 is violated.
+    [[nodiscard]] double min_headroom() const noexcept;
+};
+
+/// Evaluates Eq. 1 for arbitrary budgets (not necessarily from a solver):
+/// returns per-class usage rows.
+[[nodiscard]] std::vector<ClassUsage> evaluate_usage(const AllocationProblem& problem,
+                                                     const std::vector<Frequency>& budgets);
+
+/// True iff all classes satisfy Eq. 1 (within floating tolerance) and, when
+/// an ethical cap is set, no (class, type) share exceeds it.
+[[nodiscard]] bool satisfies_norm(const AllocationProblem& problem,
+                                  const std::vector<Frequency>& budgets);
+
+/// Proportional allocator: budgets = s * w, with the largest s satisfying
+/// all class limits and the ethical cap. Throws if some type has zero
+/// contribution everywhere and unbounded budget would result; such types
+/// receive the largest finite budget implied by the ethical cap, or an
+/// explicit `free_type_budget` fallback.
+[[nodiscard]] Allocation allocate_proportional(
+    const AllocationProblem& problem,
+    std::optional<Frequency> free_type_budget = std::nullopt);
+
+/// Inverse-cost allocator: weight_k = 1 / sum_j (c[j][k] / limit_j), then
+/// proportional scaling. Types that are expensive for the norm get smaller
+/// budgets, equalising per-type consumption of the norm.
+[[nodiscard]] Allocation allocate_inverse_cost(
+    const AllocationProblem& problem,
+    std::optional<Frequency> free_type_budget = std::nullopt);
+
+/// Water-filling allocator: all budgets grow at the weight-proportional
+/// rate; when a class saturates, every type feeding it freezes; repeats
+/// until all types are frozen or free types hit the fallback cap.
+[[nodiscard]] Allocation allocate_water_filling(
+    const AllocationProblem& problem,
+    std::optional<Frequency> free_type_budget = std::nullopt);
+
+/// Tightening allocator: starts from `demands` (one per type) and, while
+/// any class is over budget or any ethical share is exceeded, scales down
+/// all types contributing to the worst-violated class by a common factor.
+/// Terminates because every step strictly reduces the violated usage.
+[[nodiscard]] Allocation allocate_tightening(const AllocationProblem& problem,
+                                             const std::vector<Frequency>& demands);
+
+}  // namespace qrn

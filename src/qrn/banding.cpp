@@ -1,0 +1,92 @@
+#include "qrn/banding.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace qrn {
+
+namespace {
+
+constexpr double kSearchCeilingKmh = 300.0;
+
+}  // namespace
+
+double severity_cut_point(const InjuryRiskModel& model, ActorType counterparty,
+                          InjuryGrade grade, double probability) {
+    if (!(probability > 0.0) || !(probability < 1.0)) {
+        throw std::invalid_argument("severity_cut_point: probability in (0, 1)");
+    }
+    if (model.exceedance(counterparty, grade, kSearchCeilingKmh) < probability) {
+        return kSearchCeilingKmh;
+    }
+    double lo = 0.0, hi = kSearchCeilingKmh;
+    for (int i = 0; i < 100; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (model.exceedance(counterparty, grade, mid) < probability) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+std::vector<double> severity_cut_points(const InjuryRiskModel& model,
+                                        ActorType counterparty, InjuryGrade grade,
+                                        const std::vector<double>& probabilities) {
+    std::vector<double> cuts;
+    cuts.reserve(probabilities.size());
+    double prev = 0.0;
+    for (const double p : probabilities) {
+        const double cut = severity_cut_point(model, counterparty, grade, p);
+        if (cut <= prev) {
+            throw std::invalid_argument(
+                "severity_cut_points: thresholds must produce strictly increasing "
+                "cut points");
+        }
+        cuts.push_back(cut);
+        prev = cut;
+    }
+    return cuts;
+}
+
+IncidentTypeSet generate_complete_types(const InjuryRiskModel& model,
+                                        const BandingConfig& config) {
+    if (config.thresholds.empty()) {
+        throw std::invalid_argument("generate_complete_types: at least one threshold");
+    }
+    std::vector<IncidentType> types;
+    for (std::size_t a = 0; a < kActorTypeCount; ++a) {
+        const ActorType counterparty = actor_type_from_index(a);
+        if (counterparty == ActorType::EgoVehicle) continue;
+        const std::string actor_name(to_string(counterparty));
+        const auto cuts =
+            severity_cut_points(model, counterparty, config.grade, config.thresholds);
+        double lower = 0.0;
+        for (std::size_t c = 0; c < cuts.size(); ++c) {
+            types.emplace_back("I-" + actor_name + "-C" + std::to_string(c + 1),
+                               counterparty, ToleranceMargin::impact_speed(lower, cuts[c]),
+                               "collision band derived from " +
+                                   std::to_string(static_cast<int>(
+                                       config.thresholds[c] * 100)) +
+                                   "% exceedance of the severity grade");
+            lower = cuts[c];
+        }
+        types.emplace_back("I-" + actor_name + "-C" + std::to_string(cuts.size() + 1),
+                           counterparty,
+                           ToleranceMargin::impact_speed(
+                               lower, std::numeric_limits<double>::infinity()),
+                           "open-ended top band (collective exhaustiveness)");
+        if (config.include_near_miss) {
+            types.emplace_back(
+                "I-" + actor_name + "-NM", counterparty,
+                ToleranceMargin::proximity(config.near_miss_distance_m,
+                                           config.near_miss_speed_kmh),
+                "near miss within the quality tolerance margin");
+        }
+    }
+    return IncidentTypeSet(std::move(types));
+}
+
+}  // namespace qrn

@@ -1,0 +1,56 @@
+// Automatic tolerance-margin banding from the injury-risk model.
+//
+// Sec. III-B motivates impact-speed bands by the severity profile: "having
+// two incident types for collision speeds below or above 10 km/h may be
+// appropriate if the likelihood of severe injuries rises quickly above this
+// limit". This module derives the band edges from the model instead of
+// hand-picking them: a cut point is the impact speed where the exceedance
+// probability of a chosen injury grade crosses a threshold. It also
+// generates a *complete* incident-type set: banded collision types for
+// every counterparty (the last band open-ended) plus a near-miss type, so
+// the derived safety goals cover the entire ego-involved incident space.
+#pragma once
+
+#include <vector>
+
+#include "qrn/incident_type.h"
+#include "qrn/injury_risk.h"
+
+namespace qrn {
+
+/// The impact speed (km/h) at which P(injury >= grade) first reaches
+/// `probability` for the given counterparty, found by bisection on the
+/// monotone exceedance curve. Requires probability in (0, 1). Returns the
+/// search ceiling (300 km/h) if the curve never reaches it.
+[[nodiscard]] double severity_cut_point(const InjuryRiskModel& model,
+                                        ActorType counterparty, InjuryGrade grade,
+                                        double probability);
+
+/// Cut points for several probabilities (strictly increasing thresholds
+/// produce strictly increasing cuts). Duplicates/non-monotone results are
+/// rejected with std::invalid_argument.
+[[nodiscard]] std::vector<double> severity_cut_points(
+    const InjuryRiskModel& model, ActorType counterparty, InjuryGrade grade,
+    const std::vector<double>& probabilities);
+
+/// Configuration for complete type-set generation.
+struct BandingConfig {
+    /// Exceedance thresholds defining the band edges (per counterparty),
+    /// applied to `grade`. Default: 10% and 60% severe-injury probability.
+    std::vector<double> thresholds = {0.10, 0.60};
+    InjuryGrade grade = InjuryGrade::Severe;
+    /// Near-miss margin attached per counterparty (paper I1 style).
+    double near_miss_distance_m = 1.0;
+    double near_miss_speed_kmh = 10.0;
+    /// Whether to emit a near-miss type per counterparty.
+    bool include_near_miss = true;
+};
+
+/// Generates banded collision types (ids "I-<Actor>-C<k>", last band
+/// unbounded) and optional near-miss types ("I-<Actor>-NM") for every
+/// non-ego counterparty. The result covers every ego-involved incident
+/// with positive impact speed: each such incident matches exactly one type.
+[[nodiscard]] IncidentTypeSet generate_complete_types(const InjuryRiskModel& model,
+                                                      const BandingConfig& config = {});
+
+}  // namespace qrn

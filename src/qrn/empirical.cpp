@@ -1,0 +1,133 @@
+#include "qrn/empirical.h"
+
+#include <stdexcept>
+
+#include "stats/proportion.h"
+
+namespace qrn {
+
+namespace {
+
+/// Quality/safety class indices of a norm in severity order.
+struct ClassIndex {
+    std::vector<std::size_t> quality;
+    std::vector<std::size_t> safety;
+
+    explicit ClassIndex(const RiskNorm& norm) {
+        for (std::size_t j = 0; j < norm.size(); ++j) {
+            (norm.classes().at(j).domain == ConsequenceDomain::Quality ? quality : safety)
+                .push_back(j);
+        }
+    }
+};
+
+}  // namespace
+
+std::optional<std::size_t> sample_consequence(const Incident& incident,
+                                              const RiskNorm& norm,
+                                              const InjuryRiskModel& model,
+                                              const std::vector<double>& near_miss_profile,
+                                              stats::Rng& rng) {
+    const ClassIndex index(norm);
+    if (incident.mechanism == IncidentMechanism::NearMiss) {
+        if (near_miss_profile.size() > index.quality.size()) {
+            throw std::invalid_argument(
+                "sample_consequence: near-miss profile longer than quality class list");
+        }
+        double u = rng.uniform();
+        for (std::size_t q = 0; q < near_miss_profile.size(); ++q) {
+            if (u < near_miss_profile[q]) return index.quality[q];
+            u -= near_miss_profile[q];
+        }
+        return std::nullopt;  // no consequence beyond the near miss itself
+    }
+    const ActorType counterparty =
+        incident.first == ActorType::EgoVehicle ? incident.second : incident.first;
+    const InjuryOutcome outcome =
+        model.outcome(counterparty, incident.relative_speed_kmh);
+    double u = rng.uniform();
+    for (std::size_t g = 0; g < kInjuryGradeCount; ++g) {
+        if (u >= outcome.probability[g]) {
+            u -= outcome.probability[g];
+            continue;
+        }
+        switch (static_cast<InjuryGrade>(g)) {
+            case InjuryGrade::None:
+                return std::nullopt;
+            case InjuryGrade::MaterialDamage:
+                return index.quality.empty() ? std::nullopt
+                                             : std::optional(index.quality.back());
+            case InjuryGrade::LightModerate:
+            case InjuryGrade::Severe:
+            case InjuryGrade::LifeThreatening: {
+                if (index.safety.empty()) return std::nullopt;
+                const std::size_t grade_offset =
+                    g - static_cast<std::size_t>(InjuryGrade::LightModerate);
+                const std::size_t j = std::min(grade_offset, index.safety.size() - 1);
+                return index.safety[j];
+            }
+        }
+    }
+    return std::nullopt;  // numeric tail; treat as no consequence
+}
+
+std::vector<LabelledIncident> label_incidents(std::span<const Incident> incidents,
+                                              const RiskNorm& norm,
+                                              const InjuryRiskModel& model,
+                                              const std::vector<double>& near_miss_profile,
+                                              stats::Rng& rng) {
+    std::vector<LabelledIncident> out;
+    out.reserve(incidents.size());
+    for (const auto& incident : incidents) {
+        out.push_back(LabelledIncident{
+            incident,
+            sample_consequence(incident, norm, model, near_miss_profile, rng)});
+    }
+    return out;
+}
+
+ContributionMatrix ContributionCounts::point_matrix() const {
+    return ContributionMatrix::from_counts(counts.size(), totals.size(), counts, totals);
+}
+
+std::vector<std::vector<double>> ContributionCounts::upper_bounds(
+    double confidence) const {
+    std::vector<std::vector<double>> out(counts.size(),
+                                         std::vector<double>(totals.size(), 1.0));
+    for (std::size_t j = 0; j < counts.size(); ++j) {
+        for (std::size_t k = 0; k < totals.size(); ++k) {
+            if (totals[k] == 0) continue;  // no evidence: stay at 1.0
+            // One-sided upper bound = two-sided CP with doubled alpha.
+            const double two_sided = 1.0 - 2.0 * (1.0 - confidence);
+            const auto ci = stats::clopper_pearson_interval(
+                counts[j][k], totals[k], two_sided > 0.0 ? two_sided : confidence);
+            out[j][k] = ci.upper;
+        }
+    }
+    return out;
+}
+
+ContributionCounts tally_contributions(std::span<const LabelledIncident> labelled,
+                                       const IncidentTypeSet& types,
+                                       std::size_t class_count) {
+    if (class_count == 0) {
+        throw std::invalid_argument("tally_contributions: class_count must be >= 1");
+    }
+    ContributionCounts out;
+    out.counts.assign(class_count, std::vector<std::uint64_t>(types.size(), 0));
+    out.totals.assign(types.size(), 0);
+    for (const auto& item : labelled) {
+        const auto type_index = types.classify(item.incident);
+        if (!type_index) continue;
+        ++out.totals[*type_index];
+        if (item.class_index) {
+            if (*item.class_index >= class_count) {
+                throw std::invalid_argument("tally_contributions: label out of range");
+            }
+            ++out.counts[*item.class_index][*type_index];
+        }
+    }
+    return out;
+}
+
+}  // namespace qrn

@@ -1,0 +1,80 @@
+#include "qrn/incident.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace qrn {
+
+std::string_view to_string(ActorType type) noexcept {
+    switch (type) {
+        case ActorType::EgoVehicle: return "Ego";
+        case ActorType::Car: return "Car";
+        case ActorType::Truck: return "Truck";
+        case ActorType::Vru: return "VRU";
+        case ActorType::Animal: return "Animal";
+        case ActorType::StaticObject: return "StaticObject";
+        case ActorType::OtherActor: return "Other";
+    }
+    return "unknown";
+}
+
+ActorType actor_type_from_index(std::size_t index) {
+    static constexpr std::array<ActorType, kActorTypeCount> kAll = {
+        ActorType::EgoVehicle, ActorType::Car,          ActorType::Truck,
+        ActorType::Vru,        ActorType::Animal,       ActorType::StaticObject,
+        ActorType::OtherActor,
+    };
+    if (index >= kAll.size()) {
+        throw std::out_of_range("actor_type_from_index: bad index");
+    }
+    return kAll[index];
+}
+
+std::string_view to_string(IncidentMechanism mechanism) noexcept {
+    switch (mechanism) {
+        case IncidentMechanism::Collision: return "collision";
+        case IncidentMechanism::NearMiss: return "near-miss";
+    }
+    return "unknown";
+}
+
+void validate(const Incident& incident) {
+    if (!std::isfinite(incident.relative_speed_kmh) || incident.relative_speed_kmh < 0.0) {
+        throw std::invalid_argument("Incident: relative_speed_kmh must be finite >= 0");
+    }
+    if (!std::isfinite(incident.min_distance_m) || incident.min_distance_m < 0.0) {
+        throw std::invalid_argument("Incident: min_distance_m must be finite >= 0");
+    }
+    if (incident.mechanism == IncidentMechanism::Collision &&
+        incident.min_distance_m != 0.0) {
+        throw std::invalid_argument("Incident: collision requires min_distance_m == 0");
+    }
+    if (incident.involves_ego() && incident.ego_causing_factor) {
+        throw std::invalid_argument(
+            "Incident: ego_causing_factor is only for induced incidents "
+            "(ego not a party)");
+    }
+    if (!incident.involves_ego() && !incident.ego_causing_factor) {
+        throw std::invalid_argument(
+            "Incident: incidents without ego involvement must be marked as "
+            "ego-induced to be in scope of the safety case");
+    }
+    if (!std::isfinite(incident.timestamp_hours) || incident.timestamp_hours < 0.0) {
+        throw std::invalid_argument("Incident: timestamp_hours must be finite >= 0");
+    }
+}
+
+std::string describe(const Incident& incident) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%s<->%s %s dv=%.1fkm/h dmin=%.2fm%s",
+                  std::string(to_string(incident.first)).c_str(),
+                  std::string(to_string(incident.second)).c_str(),
+                  std::string(to_string(incident.mechanism)).c_str(),
+                  incident.relative_speed_kmh, incident.min_distance_m,
+                  incident.ego_causing_factor ? " (induced)" : "");
+    return buf;
+}
+
+}  // namespace qrn

@@ -1,0 +1,131 @@
+#include "qrn/injury_risk.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qrn {
+
+namespace {
+
+double logistic(double x, double midpoint, double steepness) {
+    return 1.0 / (1.0 + std::exp(-steepness * (x - midpoint)));
+}
+
+/// Collisions at exactly zero speed are no contact at all; the model treats
+/// them as zero-risk regardless of curve parameters.
+constexpr double kZeroSpeedEpsilon = 1e-12;
+
+void require_valid(const FragilityCurve& curve) {
+    if (!(curve.light_midpoint_kmh < curve.severe_midpoint_kmh &&
+          curve.severe_midpoint_kmh < curve.fatal_midpoint_kmh)) {
+        throw std::invalid_argument(
+            "FragilityCurve: midpoints must satisfy light < severe < fatal");
+    }
+    if (!(curve.steepness > 0.0)) {
+        throw std::invalid_argument("FragilityCurve: steepness must be > 0");
+    }
+    if (curve.light_midpoint_kmh <= 0.0) {
+        throw std::invalid_argument("FragilityCurve: midpoints must be > 0");
+    }
+}
+
+}  // namespace
+
+InjuryRiskModel::InjuryRiskModel() {
+    // Illustrative fragility ordering: VRU ~ Animal << StaticObject/Other <
+    // Car < Truck-occupant-of-ego perspective. Midpoints chosen so that VRU
+    // severe-injury risk "rises quickly" above ~10 km/h (paper Sec. III-B).
+    const FragilityCurve vru{8.0, 25.0, 45.0, 0.15};
+    const FragilityCurve animal{15.0, 40.0, 70.0, 0.10};
+    const FragilityCurve car{25.0, 50.0, 75.0, 0.10};
+    const FragilityCurve truck{20.0, 45.0, 70.0, 0.10};
+    const FragilityCurve static_obj{30.0, 60.0, 90.0, 0.09};
+    const FragilityCurve other{25.0, 50.0, 80.0, 0.10};
+    curves_[static_cast<std::size_t>(ActorType::EgoVehicle)] = car;  // unused
+    curves_[static_cast<std::size_t>(ActorType::Car)] = car;
+    curves_[static_cast<std::size_t>(ActorType::Truck)] = truck;
+    curves_[static_cast<std::size_t>(ActorType::Vru)] = vru;
+    curves_[static_cast<std::size_t>(ActorType::Animal)] = animal;
+    curves_[static_cast<std::size_t>(ActorType::StaticObject)] = static_obj;
+    curves_[static_cast<std::size_t>(ActorType::OtherActor)] = other;
+}
+
+void InjuryRiskModel::set_curve(ActorType counterparty, const FragilityCurve& curve) {
+    require_valid(curve);
+    curves_[static_cast<std::size_t>(counterparty)] = curve;
+}
+
+const FragilityCurve& InjuryRiskModel::curve(ActorType counterparty) const {
+    return curves_[static_cast<std::size_t>(counterparty)];
+}
+
+double InjuryRiskModel::exceedance(ActorType counterparty, InjuryGrade grade,
+                                   double impact_speed_kmh) const {
+    if (!std::isfinite(impact_speed_kmh) || impact_speed_kmh < 0.0) {
+        throw std::invalid_argument("InjuryRiskModel: impact speed must be >= 0");
+    }
+    if (impact_speed_kmh < kZeroSpeedEpsilon) {
+        return grade == InjuryGrade::None ? 1.0 : 0.0;
+    }
+    const auto& c = curve(counterparty);
+    switch (grade) {
+        case InjuryGrade::None:
+            return 1.0;  // every collision is at least "no consequence"
+        case InjuryGrade::MaterialDamage:
+            // Any real contact produces at least material damage.
+            return 1.0;
+        case InjuryGrade::LightModerate:
+            return logistic(impact_speed_kmh, c.light_midpoint_kmh, c.steepness);
+        case InjuryGrade::Severe:
+            return logistic(impact_speed_kmh, c.severe_midpoint_kmh, c.steepness);
+        case InjuryGrade::LifeThreatening:
+            return logistic(impact_speed_kmh, c.fatal_midpoint_kmh, c.steepness);
+    }
+    throw std::logic_error("InjuryRiskModel: unknown grade");
+}
+
+InjuryOutcome InjuryRiskModel::outcome(ActorType counterparty,
+                                       double impact_speed_kmh) const {
+    // Exceedance curves are nested (logistic with ordered midpoints and a
+    // shared steepness), so differencing yields valid grade probabilities.
+    const double p_mat = exceedance(counterparty, InjuryGrade::MaterialDamage,
+                                    impact_speed_kmh);
+    const double p_light =
+        exceedance(counterparty, InjuryGrade::LightModerate, impact_speed_kmh);
+    const double p_severe = exceedance(counterparty, InjuryGrade::Severe,
+                                       impact_speed_kmh);
+    const double p_fatal =
+        exceedance(counterparty, InjuryGrade::LifeThreatening, impact_speed_kmh);
+    InjuryOutcome out;
+    out.probability[static_cast<std::size_t>(InjuryGrade::None)] = 1.0 - p_mat;
+    out.probability[static_cast<std::size_t>(InjuryGrade::MaterialDamage)] =
+        p_mat - p_light;
+    out.probability[static_cast<std::size_t>(InjuryGrade::LightModerate)] =
+        p_light - p_severe;
+    out.probability[static_cast<std::size_t>(InjuryGrade::Severe)] = p_severe - p_fatal;
+    out.probability[static_cast<std::size_t>(InjuryGrade::LifeThreatening)] = p_fatal;
+    return out;
+}
+
+InjuryOutcome InjuryRiskModel::band_average(ActorType counterparty, double lower_kmh,
+                                            double upper_kmh, std::size_t steps) const {
+    if (!(lower_kmh >= 0.0) || !(upper_kmh > lower_kmh)) {
+        throw std::invalid_argument("InjuryRiskModel::band_average: bad band");
+    }
+    if (steps == 0) throw std::invalid_argument("InjuryRiskModel::band_average: steps>=1");
+    InjuryOutcome acc;
+    const double width = upper_kmh - lower_kmh;
+    for (std::size_t i = 0; i < steps; ++i) {
+        // Midpoint rule over the band.
+        const double v =
+            lower_kmh + width * (static_cast<double>(i) + 0.5) / static_cast<double>(steps);
+        const InjuryOutcome o = outcome(counterparty, v);
+        for (std::size_t g = 0; g < kInjuryGradeCount; ++g) {
+            acc.probability[g] += o.probability[g];
+        }
+    }
+    for (auto& p : acc.probability) p /= static_cast<double>(steps);
+    return acc;
+}
+
+}  // namespace qrn

@@ -1,0 +1,89 @@
+// Synthetic injury-risk model: impact speed -> consequence-class fractions.
+//
+// The paper requires that each incident type's contribution to every
+// consequence class "must be well substantiated; however this is a topic
+// where much data and domain knowledge is available, e.g. from research and
+// national traffic analysis databases" (Sec. III-B). We do not have those
+// proprietary databases, so this module substitutes a parametric model with
+// the published *shape* of injury-risk curves: the probability of
+// exceeding a given injury severity grows logistically with impact speed,
+// with VRUs far more fragile than car occupants (risk "rises quickly" above
+// ~10 km/h for VRUs, the paper's own banding rationale). All numbers are
+// illustrative, exactly as the paper's footnote 3 prescribes.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "qrn/incident.h"
+
+namespace qrn {
+
+/// Outcome severity grades aligned with the paper's safety classes
+/// (vS1..vS3) plus the below-injury grades that map to quality classes.
+enum class InjuryGrade : std::uint8_t {
+    None,             ///< No consequence beyond the incident itself.
+    MaterialDamage,   ///< Bodywork damage only (quality class vQ3).
+    LightModerate,    ///< vS1.
+    Severe,           ///< vS2.
+    LifeThreatening,  ///< vS3.
+};
+
+inline constexpr std::size_t kInjuryGradeCount = 5;
+
+/// Probability distribution over injury grades for one collision.
+struct InjuryOutcome {
+    std::array<double, kInjuryGradeCount> probability{};  ///< Sums to 1.
+
+    [[nodiscard]] double at(InjuryGrade grade) const {
+        return probability[static_cast<std::size_t>(grade)];
+    }
+};
+
+/// Logistic curve parameters for one counterparty category.
+struct FragilityCurve {
+    /// Speed (km/h) at which P(injury >= light) = 0.5.
+    double light_midpoint_kmh = 30.0;
+    /// Speed at which P(injury >= severe) = 0.5.
+    double severe_midpoint_kmh = 55.0;
+    /// Speed at which P(injury >= life-threatening) = 0.5.
+    double fatal_midpoint_kmh = 80.0;
+    /// Logistic steepness (1/km/h); larger = sharper transition.
+    double steepness = 0.12;
+};
+
+/// Impact-speed -> injury-grade model per counterparty type.
+class InjuryRiskModel {
+public:
+    /// Default model: VRU and Animal midpoints far below Car/Truck ones;
+    /// StaticObject/Other between. See the class comment for provenance.
+    InjuryRiskModel();
+
+    /// Overrides the curve for one counterparty. Midpoints must be ordered
+    /// light < severe < fatal and steepness > 0 (checked).
+    void set_curve(ActorType counterparty, const FragilityCurve& curve);
+
+    [[nodiscard]] const FragilityCurve& curve(ActorType counterparty) const;
+
+    /// P(injury grade >= `grade`) for a collision with the given
+    /// counterparty at the given impact speed. Monotone in speed.
+    [[nodiscard]] double exceedance(ActorType counterparty, InjuryGrade grade,
+                                    double impact_speed_kmh) const;
+
+    /// Full outcome distribution for one collision.
+    [[nodiscard]] InjuryOutcome outcome(ActorType counterparty,
+                                        double impact_speed_kmh) const;
+
+    /// Expected outcome distribution for collisions uniformly distributed
+    /// over an impact-speed band (numerical average over `steps` points).
+    /// This is how contribution fractions for an impact-speed-band incident
+    /// type are derived.
+    [[nodiscard]] InjuryOutcome band_average(ActorType counterparty, double lower_kmh,
+                                             double upper_kmh,
+                                             std::size_t steps = 64) const;
+
+private:
+    std::array<FragilityCurve, kActorTypeCount> curves_{};
+};
+
+}  // namespace qrn

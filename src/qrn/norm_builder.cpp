@@ -1,0 +1,48 @@
+#include "qrn/norm_builder.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qrn {
+
+namespace {
+
+void require_valid(const NormCalibration& calibration) {
+    if (!(calibration.claimable_floor_per_hour > 0.0) ||
+        !(calibration.societal_ceiling_per_hour >
+          calibration.claimable_floor_per_hour)) {
+        throw std::invalid_argument(
+            "NormCalibration: requires 0 < claimable floor < societal ceiling "
+            "(otherwise society demands what engineering cannot demonstrate)");
+    }
+    if (calibration.target_fraction < 0.0 || calibration.target_fraction > 1.0) {
+        throw std::invalid_argument("NormCalibration: target_fraction in [0, 1]");
+    }
+    if (!(calibration.class_ratio > 1.0)) {
+        throw std::invalid_argument("NormCalibration: class_ratio must be > 1");
+    }
+}
+
+}  // namespace
+
+Frequency calibrated_worst_class_limit(const NormCalibration& calibration) {
+    require_valid(calibration);
+    const double log_floor = std::log(calibration.claimable_floor_per_hour);
+    const double log_ceiling = std::log(calibration.societal_ceiling_per_hour);
+    return Frequency::per_hour(std::exp(
+        log_floor + calibration.target_fraction * (log_ceiling - log_floor)));
+}
+
+RiskNorm calibrate_norm(const ConsequenceClassSet& classes,
+                        const NormCalibration& calibration, std::string name) {
+    require_valid(calibration);
+    const double worst = calibrated_worst_class_limit(calibration).per_hour_value();
+    std::vector<Frequency> limits(classes.size());
+    for (std::size_t j = 0; j < classes.size(); ++j) {
+        const auto steps = static_cast<double>(classes.size() - 1 - j);
+        limits[j] = Frequency::per_hour(worst * std::pow(calibration.class_ratio, steps));
+    }
+    return RiskNorm(classes, std::move(limits), std::move(name));
+}
+
+}  // namespace qrn

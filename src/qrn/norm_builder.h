@@ -1,0 +1,50 @@
+// Calibrating a risk norm between social acceptance and the state of the art.
+//
+// Sec. III-A leaves the absolute level of the norm open: "On the one hand
+// it will be a political upper limit of acceptance from the society and
+// customers; and on the other hand, it should not contradict the lower
+// claim limits understood as the state of the art in the industrial and
+// scientific community." This builder makes that bracketing executable:
+// the most severe class's limit is placed inside the admissible interval
+// [claimable floor, societal ceiling] (geometrically, by `target_fraction`)
+// and less severe classes receive limits relaxed by a constant per-class
+// ratio - yielding a valid, monotone RiskNorm by construction.
+#pragma once
+
+#include <string>
+
+#include "qrn/risk_norm.h"
+
+namespace qrn {
+
+/// The calibration inputs.
+struct NormCalibration {
+    /// Societal/political ceiling on the most severe class (per hour):
+    /// frequencies above this are unacceptable regardless of engineering.
+    double societal_ceiling_per_hour = 1e-7;
+    /// State-of-the-art floor (per hour): claims below this cannot credibly
+    /// be demonstrated today, so a norm must not demand them.
+    double claimable_floor_per_hour = 1e-9;
+    /// Position of the chosen limit inside [floor, ceiling] on a log scale:
+    /// 0 = at the floor (maximally ambitious), 1 = at the ceiling
+    /// (minimally acceptable). Default: geometric midpoint.
+    double target_fraction = 0.5;
+    /// Ratio between adjacent class limits (less severe = this much more
+    /// frequent). Must be > 1.
+    double class_ratio = 10.0;
+};
+
+/// The worst-class limit the calibration selects:
+/// floor^(1 - f) * ceiling^f (log-linear interpolation).
+[[nodiscard]] Frequency calibrated_worst_class_limit(const NormCalibration& calibration);
+
+/// Builds the full norm over `classes`: the highest-rank (most severe)
+/// class receives the calibrated limit; each class below it (towards
+/// quality) is `class_ratio` times more permissive. Throws when the
+/// calibration is inconsistent (floor >= ceiling, fraction outside [0,1],
+/// ratio <= 1).
+[[nodiscard]] RiskNorm calibrate_norm(const ConsequenceClassSet& classes,
+                                      const NormCalibration& calibration,
+                                      std::string name = "calibrated norm");
+
+}  // namespace qrn

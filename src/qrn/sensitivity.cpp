@@ -1,0 +1,73 @@
+#include "qrn/sensitivity.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace qrn {
+
+std::vector<FractionSensitivity> fraction_sensitivities(const AllocationProblem& problem,
+                                                        const Allocation& allocation) {
+    if (!satisfies_norm(problem, allocation.budgets)) {
+        throw std::invalid_argument(
+            "fraction_sensitivities: the allocation must satisfy the norm");
+    }
+    const auto usage = evaluate_usage(problem, allocation.budgets);
+    std::vector<FractionSensitivity> out;
+    out.reserve(problem.norm().size() * problem.types().size());
+    for (std::size_t j = 0; j < problem.norm().size(); ++j) {
+        const double limit = problem.norm().limit(j).per_hour_value();
+        const double headroom = limit - usage[j].used.per_hour_value();
+        for (std::size_t k = 0; k < problem.types().size(); ++k) {
+            FractionSensitivity s;
+            s.class_index = j;
+            s.type_index = k;
+            const double budget = allocation.budgets[k].per_hour_value();
+            s.utilization_gradient = budget / limit;
+            s.tolerable_error = budget > 0.0
+                                    ? std::max(headroom, 0.0) / budget
+                                    : std::numeric_limits<double>::infinity();
+            out.push_back(s);
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FractionSensitivity& a, const FractionSensitivity& b) {
+                  return a.utilization_gradient > b.utilization_gradient;
+              });
+    return out;
+}
+
+std::vector<FractionSensitivity> critical_fractions(const AllocationProblem& problem,
+                                                    const Allocation& allocation,
+                                                    std::size_t count) {
+    auto all = fraction_sensitivities(problem, allocation);
+    std::sort(all.begin(), all.end(),
+              [](const FractionSensitivity& a, const FractionSensitivity& b) {
+                  if (a.tolerable_error != b.tolerable_error) {
+                      return a.tolerable_error < b.tolerable_error;
+                  }
+                  return a.utilization_gradient > b.utilization_gradient;
+              });
+    if (all.size() > count) all.resize(count);
+    return all;
+}
+
+ContributionMatrix with_fraction(const ContributionMatrix& matrix,
+                                 std::size_t class_index, std::size_t type_index,
+                                 double value) {
+    if (class_index >= matrix.class_count() || type_index >= matrix.type_count()) {
+        throw std::out_of_range("with_fraction: bad cell");
+    }
+    std::vector<std::vector<double>> fractions(matrix.class_count(),
+                                               std::vector<double>(matrix.type_count()));
+    for (std::size_t j = 0; j < matrix.class_count(); ++j) {
+        for (std::size_t k = 0; k < matrix.type_count(); ++k) {
+            fractions[j][k] = matrix.fraction(j, k);
+        }
+    }
+    fractions[class_index][type_index] = value;
+    return ContributionMatrix(matrix.class_count(), matrix.type_count(),
+                              std::move(fractions));
+}
+
+}  // namespace qrn

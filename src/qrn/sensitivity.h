@@ -1,0 +1,47 @@
+// Sensitivity of the risk-norm argument to contribution-fraction errors.
+//
+// Eq. 1 rests on the contribution matrix, which the paper insists "must be
+// well substantiated". Substantiation is never exact, so the safety case
+// should know which fractions are load-bearing: how fast each class's
+// utilization moves with each fraction, and how much estimation error each
+// cell tolerates before the class budget is violated at the current
+// allocation. Cells with small tolerable error are where data quality
+// matters most - and where the conservative upper-bound fractions (see
+// empirical.h) should be used.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qrn/allocation.h"
+
+namespace qrn {
+
+/// Sensitivity of one (class, type) cell at a given allocation.
+struct FractionSensitivity {
+    std::size_t class_index = 0;
+    std::size_t type_index = 0;
+    /// d(utilization_j) / d(c[j][k]) = f_k / limit_j.
+    double utilization_gradient = 0.0;
+    /// Largest additive increase of c[j][k] that keeps class j within its
+    /// limit at the current budgets; +infinity when f_k is zero.
+    double tolerable_error = 0.0;
+};
+
+/// Computes sensitivities for every cell, given budgets that satisfy the
+/// norm (checked). Rows are ordered by descending utilization gradient.
+[[nodiscard]] std::vector<FractionSensitivity> fraction_sensitivities(
+    const AllocationProblem& problem, const Allocation& allocation);
+
+/// The most critical cells: the `count` rows with the smallest tolerable
+/// error (ties broken by gradient).
+[[nodiscard]] std::vector<FractionSensitivity> critical_fractions(
+    const AllocationProblem& problem, const Allocation& allocation, std::size_t count);
+
+/// Returns a copy of the problem's matrix with one cell replaced (used for
+/// what-if analyses). The new value must keep the matrix valid.
+[[nodiscard]] ContributionMatrix with_fraction(const ContributionMatrix& matrix,
+                                               std::size_t class_index,
+                                               std::size_t type_index, double value);
+
+}  // namespace qrn

@@ -1,0 +1,34 @@
+// JSON serialization of the core QRN artifacts.
+//
+// Round-trippable: risk norms and incident-type catalogs (the two artifacts
+// that are authored/reviewed by people). Export-only: allocations and
+// verification reports (derived artifacts that are regenerated from their
+// inputs; exporting them documents a safety-case snapshot).
+#pragma once
+
+#include "qrn/allocation.h"
+#include "qrn/incident_type.h"
+#include "qrn/json.h"
+#include "qrn/risk_norm.h"
+#include "qrn/verification.h"
+
+namespace qrn {
+
+/// RiskNorm <-> JSON.
+[[nodiscard]] json::Value to_json(const RiskNorm& norm);
+[[nodiscard]] RiskNorm risk_norm_from_json(const json::Value& value);
+
+/// IncidentTypeSet <-> JSON. Unbounded impact bands serialize their upper
+/// bound as null.
+[[nodiscard]] json::Value to_json(const IncidentTypeSet& types);
+[[nodiscard]] IncidentTypeSet incident_types_from_json(const json::Value& value);
+
+/// Allocation -> JSON snapshot (budgets, per-class usage, solver).
+/// `types` provides the ids matching the budget order.
+[[nodiscard]] json::Value to_json(const Allocation& allocation,
+                                  const IncidentTypeSet& types);
+
+/// VerificationReport -> JSON snapshot.
+[[nodiscard]] json::Value to_json(const VerificationReport& report);
+
+}  // namespace qrn

@@ -1,0 +1,88 @@
+#include "qrn/tolerance_margin.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace qrn {
+
+ToleranceMargin ToleranceMargin::impact_speed(double lower_kmh, double upper_kmh) {
+    if (!std::isfinite(lower_kmh) || lower_kmh < 0.0) {
+        throw std::invalid_argument("ToleranceMargin: impact lower bound must be >= 0");
+    }
+    if (std::isnan(upper_kmh) || upper_kmh <= lower_kmh) {
+        throw std::invalid_argument("ToleranceMargin: impact band requires lower < upper");
+    }
+    return ToleranceMargin(ImpactSpeedBand{lower_kmh, upper_kmh});
+}
+
+ToleranceMargin ToleranceMargin::proximity(double max_distance_m, double min_speed_kmh) {
+    if (!std::isfinite(max_distance_m) || max_distance_m <= 0.0) {
+        throw std::invalid_argument("ToleranceMargin: proximity distance must be > 0");
+    }
+    if (!std::isfinite(min_speed_kmh) || min_speed_kmh < 0.0) {
+        throw std::invalid_argument("ToleranceMargin: proximity speed must be >= 0");
+    }
+    return ToleranceMargin(ProximityBand{max_distance_m, min_speed_kmh});
+}
+
+IncidentMechanism ToleranceMargin::mechanism() const noexcept {
+    return std::holds_alternative<ImpactSpeedBand>(band_) ? IncidentMechanism::Collision
+                                                          : IncidentMechanism::NearMiss;
+}
+
+bool ToleranceMargin::matches(const Incident& incident) const noexcept {
+    if (incident.mechanism != mechanism()) return false;
+    if (const auto* impact = std::get_if<ImpactSpeedBand>(&band_)) {
+        return impact->contains(incident.relative_speed_kmh);
+    }
+    const auto& prox = std::get<ProximityBand>(band_);
+    return prox.contains(incident.min_distance_m, incident.relative_speed_kmh);
+}
+
+const ImpactSpeedBand& ToleranceMargin::impact_band() const {
+    return std::get<ImpactSpeedBand>(band_);
+}
+
+const ProximityBand& ToleranceMargin::proximity_band() const {
+    return std::get<ProximityBand>(band_);
+}
+
+std::string ToleranceMargin::to_string() const {
+    char buf[96];
+    if (const auto* impact = std::get_if<ImpactSpeedBand>(&band_)) {
+        if (std::isinf(impact->upper_kmh)) {
+            std::snprintf(buf, sizeof buf, "dv > %g km/h", impact->lower_kmh);
+        } else {
+            std::snprintf(buf, sizeof buf, "%g < dv <= %g km/h", impact->lower_kmh,
+                          impact->upper_kmh);
+        }
+        return buf;
+    }
+    const auto& prox = std::get<ProximityBand>(band_);
+    std::snprintf(buf, sizeof buf, "d < %g m & dv > %g km/h", prox.max_distance_m,
+                  prox.min_speed_kmh);
+    return buf;
+}
+
+bool ToleranceMargin::disjoint_with(const ToleranceMargin& other) const noexcept {
+    if (mechanism() != other.mechanism()) return true;
+    if (const auto* a = std::get_if<ImpactSpeedBand>(&band_)) {
+        const auto& b = std::get<ImpactSpeedBand>(other.band_);
+        // Half-open (lo, hi] bands are disjoint iff one ends before the
+        // other begins.
+        return a->upper_kmh <= b.lower_kmh || b.upper_kmh <= a->lower_kmh;
+    }
+    const auto& a = std::get<ProximityBand>(band_);
+    const auto& b = std::get<ProximityBand>(other.band_);
+    // Proximity bands are nested half-infinite boxes; they overlap unless
+    // their speed intervals or distance intervals cannot intersect, which
+    // for (0, max_d) x (min_v, inf) boxes never happens. Treat as
+    // overlapping (conservative) unless identical-mechanism disjointness is
+    // impossible to prove.
+    (void)a;
+    (void)b;
+    return false;
+}
+
+}  // namespace qrn

@@ -1,0 +1,68 @@
+#include "quant/asil_compare.h"
+
+namespace qrn::quant {
+
+hara::Asil asil_band_for_rate(Frequency rate) noexcept {
+    const double r = rate.per_hour_value();
+    if (r <= 1e-8) return hara::Asil::D;
+    if (r <= 1e-7) return hara::Asil::B;
+    if (r <= 1e-6) return hara::Asil::A;
+    return hara::Asil::QM;
+}
+
+std::vector<DecompositionComparison> compare_redundancy(
+    Frequency channel_rate, double tau_hours, const std::vector<std::size_t>& copies,
+    Frequency target) {
+    std::vector<DecompositionComparison> out;
+    out.reserve(copies.size());
+    for (const std::size_t n : copies) {
+        DecompositionComparison row;
+        row.channel_rate = channel_rate;
+        row.channel_band = asil_band_for_rate(channel_rate);
+        if (n == 1) {
+            row.architecture = "single channel";
+            row.combined_rate = channel_rate;
+        } else {
+            row.architecture = std::to_string(n) + "x redundant (1-of-" +
+                               std::to_string(n) + " sufficient)";
+            // Violation requires all n failed: k=1 healthy needed.
+            row.combined_rate = k_of_n_rate(1, n, channel_rate, tau_hours);
+        }
+        row.combined_band = asil_band_for_rate(row.combined_rate);
+        // ISO 26262-9 decomposition only defines two-way schemes between
+        // ASIL-rated requirements; it has no scheme that combines QM-rated
+        // channels into a higher integrity, so the classical rules are
+        // applicable only when each channel already carries an ASIL and
+        // n == 2 with a permitted pair for the target's band.
+        const hara::Asil target_band = asil_band_for_rate(target);
+        row.asil_rules_applicable =
+            n == 2 && row.channel_band != hara::Asil::QM &&
+            hara::is_permitted_decomposition(target_band, row.channel_band,
+                                             row.channel_band);
+        out.push_back(row);
+    }
+    return out;
+}
+
+std::vector<InheritanceComparison> compare_inheritance(
+    hara::Asil goal_asil, const std::vector<std::size_t>& element_counts) {
+    std::vector<InheritanceComparison> out;
+    out.reserve(element_counts.size());
+    const Frequency goal_budget =
+        Frequency::per_hour(hara::indicative_frequency_per_hour(goal_asil));
+    for (const std::size_t n : element_counts) {
+        InheritanceComparison row;
+        row.element_count = n;
+        row.claimed = hara::inherit(goal_asil);
+        row.element_rate =
+            Frequency::per_hour(hara::indicative_frequency_per_hour(row.claimed));
+        row.combined_rate = row.element_rate * static_cast<double>(n);
+        row.goal_budget = goal_budget;
+        row.overrun = row.combined_rate.ratio(goal_budget);
+        row.per_element_budget = equal_series_split(goal_budget, n);
+        out.push_back(row);
+    }
+    return out;
+}
+
+}  // namespace qrn::quant

@@ -1,0 +1,69 @@
+// Quantitative framework vs ASIL decomposition/inheritance (Sec. V).
+//
+// Two executable arguments from the paper:
+//
+// 1. Decomposition: redundant channels whose individual rates "in
+//    traditionally ISO 26262 only would be in the QM range" can reach a
+//    vehicle-level budget far below any single channel's rate. The
+//    qualitative rules cannot credit this; the quantitative rules can
+//    ("being able to take into account redundancy contributions of just a
+//    few orders of magnitudes").
+//
+// 2. Inheritance: a goal refined into N elements, each inheriting the
+//    goal's ASIL, still claims the goal's integrity even though the
+//    combined violation rate grows linearly in N - the implicit
+//    limited-complexity assumption an ADS violates.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hara/asil.h"
+#include "quant/architecture.h"
+
+namespace qrn::quant {
+
+/// Maps a violation frequency to the ASIL band whose indicative frequency
+/// it meets (see hara::indicative_frequency_per_hour): rate <= 1e-8 -> D,
+/// <= 1e-7 -> B (C shares the band; the stricter claim B is returned as the
+/// canonical label), <= 1e-6 -> A, else QM.
+[[nodiscard]] hara::Asil asil_band_for_rate(Frequency rate) noexcept;
+
+/// One row of the decomposition comparison (SEC5A bench).
+struct DecompositionComparison {
+    std::string architecture;    ///< Description, e.g. "2x redundant sensing".
+    Frequency channel_rate;      ///< Per-channel violation rate.
+    hara::Asil channel_band;     ///< ASIL band of one channel alone.
+    Frequency combined_rate;     ///< Quantitative rate of the redundant set.
+    hara::Asil combined_band;    ///< ASIL band the combination achieves.
+    bool asil_rules_applicable;  ///< Whether ISO 26262-9 has a decomposition
+                                 ///< scheme expressing this structure.
+};
+
+/// Evaluates 1-of-n redundancy (all channels must fail to violate) of
+/// identical channels at `channel_rate` with window `tau_hours`, for each n
+/// in `copies`. `target` is the vehicle-level budget the combination must
+/// meet; rows report whether the classical rules could have credited it.
+[[nodiscard]] std::vector<DecompositionComparison> compare_redundancy(
+    Frequency channel_rate, double tau_hours, const std::vector<std::size_t>& copies,
+    Frequency target);
+
+/// One row of the inheritance comparison (SEC5B bench).
+struct InheritanceComparison {
+    std::size_t element_count = 0;
+    hara::Asil claimed;             ///< ASIL each element inherits (= goal's).
+    Frequency element_rate;         ///< Indicative rate of the claimed ASIL.
+    Frequency combined_rate;        ///< N elements in series.
+    Frequency goal_budget;          ///< Indicative rate of the goal's ASIL.
+    double overrun = 0.0;           ///< combined / goal budget (1 = exactly met).
+    Frequency per_element_budget;   ///< Sound equal split of the goal budget.
+};
+
+/// For a goal at `goal_asil` refined into each count in `element_counts`,
+/// contrasts inheritance (every element at the goal's indicative rate) with
+/// the quantitative equal split.
+[[nodiscard]] std::vector<InheritanceComparison> compare_inheritance(
+    hara::Asil goal_asil, const std::vector<std::size_t>& element_counts);
+
+}  // namespace qrn::quant

@@ -1,0 +1,56 @@
+#include "report/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qrn::report {
+
+namespace {
+
+std::string escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"') out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    if (headers_.empty()) throw std::invalid_argument("CsvWriter: needs >= 1 column");
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size()) {
+        throw std::invalid_argument("CsvWriter::add_row: cell count != column count");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::render() const {
+    std::ostringstream os;
+    const auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << escape(cells[c]);
+            if (c + 1 < cells.size()) os << ',';
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("CsvWriter: cannot open " + path);
+    f << render();
+    if (!f) throw std::runtime_error("CsvWriter: write failed for " + path);
+}
+
+}  // namespace qrn::report

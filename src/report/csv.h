@@ -1,0 +1,32 @@
+// Minimal RFC-4180-ish CSV writer used by the benches to emit the data
+// series behind each regenerated figure alongside the human-readable table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qrn::report {
+
+/// Builds CSV text in memory; the caller decides where it goes.
+class CsvWriter {
+public:
+    /// Starts the document with a header row (at least one column).
+    explicit CsvWriter(std::vector<std::string> headers);
+
+    /// Appends a row; must match the header column count.
+    void add_row(std::vector<std::string> cells);
+
+    [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+    /// Renders the full document (header + rows), quoting where needed.
+    [[nodiscard]] std::string render() const;
+
+    /// Writes the rendered document to a file. Throws on I/O failure.
+    void write_file(const std::string& path) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qrn::report

@@ -1,0 +1,93 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace qrn::report {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::Left) {
+    if (headers_.empty()) throw std::invalid_argument("Table: needs at least one column");
+}
+
+void Table::set_align(std::size_t column, Align align) {
+    if (column >= aligns_.size()) throw std::out_of_range("Table::set_align: bad column");
+    aligns_[column] = align;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size()) {
+        throw std::invalid_argument("Table::add_row: cell count != column count");
+    }
+    rows_.push_back(Row{std::move(cells), false});
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string Table::render() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        if (row.is_separator) continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c) {
+            widths[c] = std::max(widths[c], row.cells[c].size());
+        }
+    }
+
+    const auto pad = [&](const std::string& s, std::size_t w, Align a) {
+        std::string out;
+        if (a == Align::Right) out.append(w - s.size(), ' ');
+        out += s;
+        if (a == Align::Left) out.append(w - s.size(), ' ');
+        return out;
+    };
+    const auto rule = [&] {
+        std::string out;
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            out += std::string(widths[c] + 2, '-');
+            out += c + 1 < widths.size() ? "+" : "";
+        }
+        return out + "\n";
+    };
+
+    std::ostringstream os;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << ' ' << pad(headers_[c], widths[c], aligns_[c]) << ' ';
+        if (c + 1 < headers_.size()) os << '|';
+    }
+    os << '\n' << rule();
+    for (const auto& row : rows_) {
+        if (row.is_separator) {
+            os << rule();
+            continue;
+        }
+        for (std::size_t c = 0; c < row.cells.size(); ++c) {
+            os << ' ' << pad(row.cells[c], widths[c], aligns_[c]) << ' ';
+            if (c + 1 < row.cells.size()) os << '|';
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string fixed(double value, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+    return buf;
+}
+
+std::string scientific(double value, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*e", precision, value);
+    return buf;
+}
+
+std::string percent(double fraction, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+}  // namespace qrn::report

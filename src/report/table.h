@@ -1,0 +1,58 @@
+// Plain-text table rendering for the bench binaries.
+//
+// Every figure/table reproduction prints its rows through this builder so
+// that the regenerated artifacts share one format and can be diffed between
+// runs. Columns auto-size; cells are strings formatted by the caller (see
+// format.h helpers for numbers and frequencies).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qrn::report {
+
+/// Column alignment within a rendered table.
+enum class Align { Left, Right };
+
+/// Incrementally built, auto-sized ASCII table.
+class Table {
+public:
+    /// Creates a table with the given column headers (at least one).
+    explicit Table(std::vector<std::string> headers);
+
+    /// Sets alignment for one column (default: Left).
+    void set_align(std::size_t column, Align align);
+
+    /// Appends a row; must have exactly as many cells as there are headers.
+    void add_row(std::vector<std::string> cells);
+
+    /// Inserts a horizontal separator line before the next row.
+    void add_separator();
+
+    [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+    /// Renders the table, including a header rule, to a string.
+    [[nodiscard]] std::string render() const;
+
+private:
+    struct Row {
+        std::vector<std::string> cells;  // empty => separator
+        bool is_separator = false;
+    };
+
+    std::vector<std::string> headers_;
+    std::vector<Align> aligns_;
+    std::vector<Row> rows_;
+};
+
+/// Formats a double with the given precision (fixed notation).
+[[nodiscard]] std::string fixed(double value, int precision);
+
+/// Formats a double in scientific notation (e.g. "1.0e-07").
+[[nodiscard]] std::string scientific(double value, int precision = 1);
+
+/// Formats a fraction as a percentage string (e.g. 0.7 -> "70.0%").
+[[nodiscard]] std::string percent(double fraction, int precision = 1);
+
+}  // namespace qrn::report

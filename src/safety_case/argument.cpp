@@ -1,0 +1,123 @@
+#include "safety_case/argument.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace qrn::safety_case {
+
+std::string_view to_string(NodeKind kind) noexcept {
+    switch (kind) {
+        case NodeKind::Claim: return "claim";
+        case NodeKind::Strategy: return "strategy";
+        case NodeKind::Evidence: return "evidence";
+    }
+    return "?";
+}
+
+ArgumentNode::ArgumentNode(std::string id, std::string text, NodeKind kind,
+                           EvidenceStatus status)
+    : id_(std::move(id)), text_(std::move(text)), kind_(kind), status_(status) {
+    if (id_.empty()) throw std::invalid_argument("ArgumentNode: id must be non-empty");
+    if (text_.empty()) throw std::invalid_argument("ArgumentNode: text must be non-empty");
+}
+
+std::unique_ptr<ArgumentNode> ArgumentNode::claim(std::string id, std::string text) {
+    return std::unique_ptr<ArgumentNode>(new ArgumentNode(
+        std::move(id), std::move(text), NodeKind::Claim, EvidenceStatus::Pending));
+}
+
+std::unique_ptr<ArgumentNode> ArgumentNode::strategy(std::string id, std::string text) {
+    return std::unique_ptr<ArgumentNode>(new ArgumentNode(
+        std::move(id), std::move(text), NodeKind::Strategy, EvidenceStatus::Pending));
+}
+
+std::unique_ptr<ArgumentNode> ArgumentNode::evidence(std::string id, std::string text,
+                                                     EvidenceStatus status) {
+    return std::unique_ptr<ArgumentNode>(
+        new ArgumentNode(std::move(id), std::move(text), NodeKind::Evidence, status));
+}
+
+ArgumentNode& ArgumentNode::add(std::unique_ptr<ArgumentNode> child) {
+    if (kind_ == NodeKind::Evidence) {
+        throw std::invalid_argument("ArgumentNode: evidence nodes are terminal");
+    }
+    if (!child) throw std::invalid_argument("ArgumentNode::add: child must be non-null");
+    children_.push_back(std::move(child));
+    return *children_.back();
+}
+
+bool ArgumentNode::solved() const {
+    if (kind_ == NodeKind::Evidence) return status_ == EvidenceStatus::Supported;
+    if (children_.empty()) return false;  // an undeveloped claim is open
+    for (const auto& child : children_) {
+        if (!child->solved()) return false;
+    }
+    return true;
+}
+
+void ArgumentNode::collect_open(std::vector<std::string>& out) const {
+    if (solved()) return;
+    if (kind_ == NodeKind::Evidence || children_.empty()) {
+        out.push_back(id_);
+        return;
+    }
+    for (const auto& child : children_) child->collect_open(out);
+}
+
+std::string ArgumentNode::render(int indent) const {
+    std::ostringstream os;
+    os << std::string(static_cast<std::size_t>(indent) * 2, ' ') << '['
+       << to_string(kind_) << ' ' << id_ << (solved() ? " +" : " OPEN") << "] " << text_
+       << '\n';
+    for (const auto& child : children_) os << child->render(indent + 1);
+    return os.str();
+}
+
+SafetyCase::SafetyCase(std::string title, std::unique_ptr<ArgumentNode> top_claim)
+    : title_(std::move(title)), top_(std::move(top_claim)) {
+    if (title_.empty()) throw std::invalid_argument("SafetyCase: title must be non-empty");
+    if (!top_) throw std::invalid_argument("SafetyCase: top claim must be non-null");
+    if (top_->kind() != NodeKind::Claim) {
+        throw std::invalid_argument("SafetyCase: the top node must be a claim");
+    }
+}
+
+std::vector<std::string> SafetyCase::open_items() const {
+    std::vector<std::string> out;
+    top_->collect_open(out);
+    return out;
+}
+
+namespace {
+
+void markdown_node(std::ostringstream& os, const ArgumentNode& node, int depth) {
+    os << std::string(static_cast<std::size_t>(depth) * 2, ' ') << "- ["
+       << (node.solved() ? 'x' : ' ') << "] **" << node.id() << "** ("
+       << to_string(node.kind()) << "): " << node.text() << '\n';
+    for (const auto& child : node.children()) markdown_node(os, *child, depth + 1);
+}
+
+}  // namespace
+
+std::string SafetyCase::render_markdown() const {
+    std::ostringstream os;
+    os << "# " << title_ << "\n\n"
+       << "Status: " << (holds() ? "**HOLDS**" : "**OPEN**") << "\n\n";
+    markdown_node(os, *top_, 0);
+    const auto open = open_items();
+    if (!open.empty()) {
+        os << "\nOpen items:\n";
+        for (const auto& id : open) os << "- " << id << '\n';
+    }
+    return os.str();
+}
+
+std::string SafetyCase::render() const {
+    std::ostringstream os;
+    os << "Safety case: " << title_ << (holds() ? "  [HOLDS]" : "  [OPEN]") << '\n'
+       << std::string(60, '=') << '\n'
+       << top_->render();
+    return os.str();
+}
+
+}  // namespace qrn::safety_case

@@ -1,0 +1,109 @@
+// Safety-case argument trees (goal-structuring-notation style).
+//
+// The paper repeatedly speaks of the "safety argument and body of evidence,
+// or safety case" whose top claim the risk norm defines ("the risk norm
+// defines what is regarded 'sufficiently safe' in the design-time safety
+// case top claim", Sec. III-A). This module provides the argument
+// structure: claims supported through strategies by subclaims, terminating
+// in evidence; plus solvedness propagation so a case can be queried for
+// open (unsupported) claims.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qrn::safety_case {
+
+/// Node kinds of the argument tree.
+enum class NodeKind : std::uint8_t {
+    Claim,     ///< A proposition to be supported (GSN goal).
+    Strategy,  ///< How the parent claim is decomposed (GSN strategy).
+    Evidence,  ///< A terminal solution (GSN solution).
+};
+
+[[nodiscard]] std::string_view to_string(NodeKind kind) noexcept;
+
+/// Whether an evidence item currently holds.
+enum class EvidenceStatus : std::uint8_t {
+    Supported,  ///< The referenced artifact demonstrates the claim.
+    Failed,     ///< The artifact exists but contradicts the claim.
+    Pending,    ///< Not yet produced.
+};
+
+/// One node of the argument.
+class ArgumentNode {
+public:
+    /// Creates a claim or strategy node (no status).
+    [[nodiscard]] static std::unique_ptr<ArgumentNode> claim(std::string id,
+                                                             std::string text);
+    [[nodiscard]] static std::unique_ptr<ArgumentNode> strategy(std::string id,
+                                                                std::string text);
+    /// Creates an evidence node with its status.
+    [[nodiscard]] static std::unique_ptr<ArgumentNode> evidence(std::string id,
+                                                                std::string text,
+                                                                EvidenceStatus status);
+
+    [[nodiscard]] const std::string& id() const noexcept { return id_; }
+    [[nodiscard]] const std::string& text() const noexcept { return text_; }
+    [[nodiscard]] NodeKind kind() const noexcept { return kind_; }
+    [[nodiscard]] EvidenceStatus status() const noexcept { return status_; }
+    [[nodiscard]] const std::vector<std::unique_ptr<ArgumentNode>>& children()
+        const noexcept {
+        return children_;
+    }
+
+    /// Adds a child (claims/strategies only; evidence is terminal) and
+    /// returns it for chained building.
+    ArgumentNode& add(std::unique_ptr<ArgumentNode> child);
+
+    /// A node is solved when: evidence -> status Supported; claim/strategy
+    /// -> it has children and all children are solved.
+    [[nodiscard]] bool solved() const;
+
+    /// Collects ids of unsolved nodes (open claims, failed/pending
+    /// evidence, childless claims).
+    void collect_open(std::vector<std::string>& out) const;
+
+    /// Indented rendering with per-node solvedness markers.
+    [[nodiscard]] std::string render(int indent = 0) const;
+
+private:
+    ArgumentNode(std::string id, std::string text, NodeKind kind, EvidenceStatus status);
+
+    std::string id_;
+    std::string text_;
+    NodeKind kind_;
+    EvidenceStatus status_ = EvidenceStatus::Pending;
+    std::vector<std::unique_ptr<ArgumentNode>> children_;
+};
+
+/// A complete safety case: a named argument tree with query helpers.
+class SafetyCase {
+public:
+    SafetyCase(std::string title, std::unique_ptr<ArgumentNode> top_claim);
+
+    [[nodiscard]] const std::string& title() const noexcept { return title_; }
+    [[nodiscard]] const ArgumentNode& top() const noexcept { return *top_; }
+
+    /// The case holds iff the top claim is solved.
+    [[nodiscard]] bool holds() const { return top_->solved(); }
+
+    /// Ids of all open (unsolved) nodes, depth-first.
+    [[nodiscard]] std::vector<std::string> open_items() const;
+
+    [[nodiscard]] std::string render() const;
+
+    /// GitHub-flavoured markdown rendering: nested task-list bullets with
+    /// solvedness checkboxes, suitable for committing next to the code or
+    /// pasting into review tooling.
+    [[nodiscard]] std::string render_markdown() const;
+
+private:
+    std::string title_;
+    std::unique_ptr<ArgumentNode> top_;
+};
+
+}  // namespace qrn::safety_case

@@ -1,0 +1,120 @@
+#include "safety_case/builder.h"
+
+#include <stdexcept>
+
+namespace qrn::safety_case {
+
+namespace {
+
+EvidenceStatus status_for(ClassVerdict verdict) {
+    switch (verdict) {
+        case ClassVerdict::Fulfilled: return EvidenceStatus::Supported;
+        case ClassVerdict::PointFulfilled: return EvidenceStatus::Pending;
+        case ClassVerdict::Violated: return EvidenceStatus::Failed;
+    }
+    return EvidenceStatus::Pending;
+}
+
+}  // namespace
+
+SafetyCase build_case(const CaseInputs& inputs) {
+    if (inputs.problem == nullptr || inputs.allocation == nullptr ||
+        inputs.goals == nullptr || inputs.mece_certificate == nullptr ||
+        inputs.verification == nullptr) {
+        throw std::invalid_argument("build_case: all required inputs must be provided");
+    }
+    const auto& problem = *inputs.problem;
+    const auto& verification = *inputs.verification;
+    if (verification.classes.size() != problem.norm().size() ||
+        verification.goals.size() != inputs.goals->size()) {
+        throw std::invalid_argument("build_case: verification report shape mismatch");
+    }
+
+    auto top = ArgumentNode::claim(
+        "G1", "The ADS is sufficiently safe: inside the declared ODD, the "
+              "quantitative risk norm '" + problem.norm().name() + "' is met.");
+
+    // ---- Branch 1: per-consequence-class fulfilment (Eq. 1 on evidence).
+    auto& by_class = top->add(ArgumentNode::strategy(
+        "S1", "Argue over every consequence class of the risk norm."));
+    for (const auto& c : verification.classes) {
+        auto& claim = by_class.add(ArgumentNode::claim(
+            "G-" + c.class_id, "Consequences in class " + c.class_id +
+                                   " occur below " + c.limit.to_string() + "."));
+        claim.add(ArgumentNode::evidence(
+            "E-" + c.class_id,
+            "Fleet evidence at " +
+                std::to_string(static_cast<int>(verification.confidence * 100)) +
+                "% confidence: point usage " + c.point_usage.to_string() +
+                ", upper-bounded usage " + c.upper_usage.to_string() + " vs limit " +
+                c.limit.to_string() + " (" + std::string(to_string(c.verdict)) + ").",
+            status_for(c.verdict)));
+    }
+
+    // ---- Branch 2: completeness of the safety goals.
+    auto& completeness = top->add(ArgumentNode::strategy(
+        "S2", "Argue completeness: every theoretically possible incident is "
+              "covered by the classification, and the allocated budgets "
+              "satisfy Eq. 1."));
+    completeness.add(ArgumentNode::evidence(
+        "E-MECE",
+        "MECE certificate over " + std::to_string(inputs.mece_certificate->samples) +
+            " sampled incidents: " +
+            std::to_string(inputs.mece_certificate->violations.size()) +
+            " gaps/overlaps.",
+        inputs.mece_certificate->certified() ? EvidenceStatus::Supported
+                                             : EvidenceStatus::Failed));
+    completeness.add(ArgumentNode::evidence(
+        "E-ALLOC",
+        "Allocated budgets satisfy Eq. 1 for every consequence class "
+        "(solver: " + inputs.allocation->solver + ").",
+        satisfies_norm(problem, inputs.allocation->budgets) ? EvidenceStatus::Supported
+                                                            : EvidenceStatus::Failed));
+
+    // ---- Branch 3: per-goal implementation.
+    auto& per_goal = top->add(ArgumentNode::strategy(
+        "S3", "Argue each safety goal is respected by the implementation."));
+    for (const auto& g : verification.goals) {
+        const auto& goal = inputs.goals->by_incident_type(g.incident_type_id);
+        auto& claim = per_goal.add(
+            ArgumentNode::claim("G-" + goal.id, goal.text));
+        claim.add(ArgumentNode::evidence(
+            "E-" + goal.id + "-fleet",
+            "Observed rate " + g.point_rate.to_string() + " (upper bound " +
+                g.upper_rate.to_string() + ") vs budget " + g.budget.to_string() +
+                " (" + std::string(to_string(g.verdict)) + ").",
+            status_for(g.verdict)));
+        if (inputs.fsc != nullptr) {
+            const auto& refinement = inputs.fsc->by_goal(goal.id);
+            claim.add(ArgumentNode::evidence(
+                "E-" + goal.id + "-fsc",
+                "FSC closure: combined violation frequency " +
+                    refinement.combined_rate().to_string() + " within the budget (" +
+                    std::to_string(refinement.requirements().size()) +
+                    " requirements).",
+                EvidenceStatus::Supported));
+        }
+    }
+
+    // Sec. V: "having a quantitative framework still allows qualitative
+    // evidence, so for example all the ASIL-oriented criteria defined in
+    // ISO 26262 to argue freedom from systematic faults would still be
+    // applicable." Represented as a qualitative process-argument leaf on
+    // the completeness branch when an FSC accompanies the case.
+    if (inputs.fsc != nullptr) {
+        completeness.add(ArgumentNode::evidence(
+            "E-PROCESS",
+            "Qualitative process argument: systematic-fault freedom of the "
+            "elements carrying the " +
+                std::to_string(inputs.fsc->all_requirements().size()) +
+                " functional safety requirements is argued by ISO 26262-style "
+                "process criteria (design reviews, coding standards, "
+                "verification rigour) alongside the quantitative budgets.",
+            EvidenceStatus::Supported));
+    }
+
+    return SafetyCase("QRN safety case for '" + problem.norm().name() + "'",
+                      std::move(top));
+}
+
+}  // namespace qrn::safety_case

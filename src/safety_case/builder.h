@@ -1,0 +1,45 @@
+// Assembles the QRN safety case from the toolkit's artifacts.
+//
+// Structure (mirroring the paper's argumentation):
+//   Top claim: the ADS is sufficiently safe, i.e. the QRN is met in-ODD.
+//     Strategy: argue over the risk norm's consequence classes.
+//       Claim per class: its acceptable frequency is not exceeded.
+//         Evidence: Eq. 1 verification verdict for that class.
+//     Strategy: argue completeness of the safety goals.
+//       Evidence: MECE certificate of the incident classification.
+//       Evidence: allocation soundness (Eq. 1 at the budgets).
+//     Strategy: argue each safety goal is implemented.
+//       Claim per SG: the implementation meets its budget.
+//         Evidence: fleet evidence verdict for the goal.
+//         Evidence: FSC closure for the goal (when an FSC is supplied).
+#pragma once
+
+#include <optional>
+
+#include "fsc/fsr.h"
+#include "qrn/classification.h"
+#include "qrn/safety_goal.h"
+#include "qrn/verification.h"
+#include "safety_case/argument.h"
+
+namespace qrn::safety_case {
+
+/// Inputs to the case builder. Pointers refer to caller-owned artifacts and
+/// must outlive the call (the builder copies what it needs into the tree).
+struct CaseInputs {
+    const AllocationProblem* problem = nullptr;        ///< Required.
+    const Allocation* allocation = nullptr;            ///< Required.
+    const SafetyGoalSet* goals = nullptr;              ///< Required.
+    const MeceReport* mece_certificate = nullptr;      ///< Required.
+    const VerificationReport* verification = nullptr;  ///< Required.
+    const fsc::FunctionalSafetyConcept* fsc = nullptr; ///< Optional.
+};
+
+/// Builds the full QRN safety case. Evidence statuses come from the
+/// artifacts: e.g. a class whose verification verdict is Violated yields
+/// Failed evidence, PointFulfilled yields Pending ("more exposure needed"),
+/// Fulfilled yields Supported. Throws if a required input is missing or
+/// the inputs are mutually inconsistent (sizes/ids).
+[[nodiscard]] SafetyCase build_case(const CaseInputs& inputs);
+
+}  // namespace qrn::safety_case

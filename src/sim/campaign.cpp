@@ -1,0 +1,64 @@
+#include "sim/campaign.h"
+
+#include <stdexcept>
+
+namespace qrn::sim {
+
+std::vector<TypeEvidence> CampaignResult::pooled_evidence(
+    const IncidentTypeSet& types) const {
+    std::vector<TypeEvidence> out;
+    out.reserve(types.size());
+    for (std::size_t k = 0; k < types.size(); ++k) {
+        TypeEvidence e;
+        e.incident_type_id = types.at(k).id();
+        e.exposure = total_exposure;
+        for (const auto& log : logs) {
+            e.events += log.count_matching(types.at(k));
+        }
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+Frequency CampaignResult::pooled_incident_rate() const {
+    double events = 0.0;
+    for (const auto& log : logs) events += static_cast<double>(log.incidents.size());
+    return Frequency::of_count(events, total_exposure);
+}
+
+stats::RunningSummary CampaignResult::per_fleet_rate_summary() const {
+    stats::RunningSummary summary;
+    for (const auto& log : logs) {
+        summary.add(log.incident_rate().per_hour_value());
+    }
+    return summary;
+}
+
+stats::HeterogeneityResult CampaignResult::heterogeneity() const {
+    std::vector<stats::RateObservation> observations;
+    observations.reserve(logs.size());
+    for (const auto& log : logs) {
+        observations.push_back({log.incidents.size(), log.exposure.hours()});
+    }
+    return stats::rate_heterogeneity_test(observations);
+}
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+    if (config.fleets == 0) {
+        throw std::invalid_argument("run_campaign: fleets must be >= 1");
+    }
+    if (!(config.hours_per_fleet > 0.0)) {
+        throw std::invalid_argument("run_campaign: hours_per_fleet must be > 0");
+    }
+    CampaignResult result;
+    result.logs.reserve(config.fleets);
+    for (std::size_t i = 0; i < config.fleets; ++i) {
+        FleetConfig fleet = config.base;
+        fleet.seed = config.base.seed + i;
+        result.logs.push_back(FleetSimulator(fleet).run(config.hours_per_fleet));
+        result.total_exposure += result.logs.back().exposure;
+    }
+    return result;
+}
+
+}  // namespace qrn::sim

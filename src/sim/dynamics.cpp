@@ -1,0 +1,185 @@
+#include "sim/dynamics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace qrn::sim {
+
+namespace {
+
+constexpr double kLaneWidthM = 3.5;
+constexpr double kActorWidthM = 0.5;
+
+void require_valid(double speed_kmh, double distance_m, const BrakeResponse& response) {
+    if (!std::isfinite(speed_kmh) || speed_kmh < 0.0) {
+        throw std::invalid_argument("dynamics: speed must be finite >= 0");
+    }
+    if (!std::isfinite(distance_m) || distance_m < 0.0) {
+        throw std::invalid_argument("dynamics: distance must be finite >= 0");
+    }
+    if (!std::isfinite(response.reaction_time_s) || response.reaction_time_s < 0.0) {
+        throw std::invalid_argument("dynamics: reaction time must be finite >= 0");
+    }
+    if (!std::isfinite(response.deceleration_ms2) || response.deceleration_ms2 <= 0.0) {
+        throw std::invalid_argument("dynamics: deceleration must be > 0");
+    }
+}
+
+/// Ego speed (m/s) at time t.
+double ego_speed(double v_ms, double t, const BrakeResponse& r) {
+    if (t <= r.reaction_time_s) return v_ms;
+    return std::max(0.0, v_ms - r.deceleration_ms2 * (t - r.reaction_time_s));
+}
+
+/// First time ego reaches distance d, or +infinity if it stops short.
+double time_to_reach(double v_ms, double d, const BrakeResponse& r) {
+    if (d <= 0.0) return 0.0;
+    if (v_ms <= 0.0) return std::numeric_limits<double>::infinity();
+    const double tr = r.reaction_time_s;
+    const double a = r.deceleration_ms2;
+    if (d <= v_ms * tr) return d / v_ms;
+    const double total = v_ms * tr + v_ms * v_ms / (2.0 * a);
+    if (d > total) return std::numeric_limits<double>::infinity();
+    // Solve v*tb - a/2 tb^2 = d - v*tr for the smaller root.
+    const double rem = d - v_ms * tr;
+    const double disc = v_ms * v_ms - 2.0 * a * rem;
+    const double tb = (v_ms - std::sqrt(std::max(disc, 0.0))) / a;
+    return tr + tb;
+}
+
+/// Ego speed within the final metre before its stopping point: the speed it
+/// carried when the remaining gap to the closest approach was 1 m. Used as
+/// the "closing speed" of a braking-to-stop near pass.
+double speed_in_last_metre(double min_gap_m, const BrakeResponse& r) {
+    if (min_gap_m >= 1.0) return 0.0;
+    return ms_to_kmh(std::sqrt(2.0 * r.deceleration_ms2 * (1.0 - min_gap_m)));
+}
+
+}  // namespace
+
+double stopping_distance_m(double speed_kmh, const BrakeResponse& response) {
+    require_valid(speed_kmh, 0.0, response);
+    const double v = kmh_to_ms(speed_kmh);
+    return v * response.reaction_time_s + v * v / (2.0 * response.deceleration_ms2);
+}
+
+double friction_limited_decel_ms2(double friction) noexcept {
+    return std::max(friction, 0.0) * 9.81;
+}
+
+EncounterOutcome resolve_stationary(double speed_kmh, double distance_m,
+                                    const BrakeResponse& response) {
+    require_valid(speed_kmh, distance_m, response);
+    EncounterOutcome out;
+    const double v = kmh_to_ms(speed_kmh);
+    const double t_hit = time_to_reach(v, distance_m, response);
+    if (std::isfinite(t_hit)) {
+        out.collision = true;
+        out.impact_speed_kmh = ms_to_kmh(ego_speed(v, t_hit, response));
+        // Fully stopped exactly at the obstacle counts as a zero-speed
+        // touch; treat speeds below 1e-9 as a miss with zero gap.
+        if (out.impact_speed_kmh < 1e-9) {
+            out.collision = false;
+            out.impact_speed_kmh = 0.0;
+            out.min_gap_m = 0.0;
+            out.closing_speed_kmh = speed_in_last_metre(0.0, response);
+        }
+        return out;
+    }
+    const double travelled =
+        v * response.reaction_time_s + v * v / (2.0 * response.deceleration_ms2);
+    out.min_gap_m = distance_m - travelled;
+    out.closing_speed_kmh = speed_in_last_metre(out.min_gap_m, response);
+    return out;
+}
+
+EncounterOutcome resolve_crossing(double speed_kmh, double distance_m,
+                                  double crossing_speed_kmh,
+                                  const BrakeResponse& response) {
+    require_valid(speed_kmh, distance_m, response);
+    if (!std::isfinite(crossing_speed_kmh) || crossing_speed_kmh <= 0.0) {
+        throw std::invalid_argument("resolve_crossing: crossing speed must be > 0");
+    }
+    EncounterOutcome out;
+    const double v = kmh_to_ms(speed_kmh);
+    const double vc = kmh_to_ms(crossing_speed_kmh);
+    const double t_clear = (kLaneWidthM + kActorWidthM) / vc;
+    const double t_reach = time_to_reach(v, distance_m, response);
+
+    if (t_reach <= t_clear) {
+        // Ego arrives at the conflict point while the actor occupies the lane.
+        const double impact = ego_speed(v, t_reach, response);
+        if (impact > 1e-9) {
+            out.collision = true;
+            out.impact_speed_kmh = ms_to_kmh(impact);
+            return out;
+        }
+        // Rolled to a stop exactly at the conflict point.
+        out.min_gap_m = 0.0;
+        out.closing_speed_kmh = speed_in_last_metre(0.0, response);
+        return out;
+    }
+    if (std::isfinite(t_reach)) {
+        // Actor cleared the lane before ego arrived: the margin is how far
+        // beyond the lane the actor has moved when ego crosses.
+        out.min_gap_m = vc * (t_reach - t_clear);
+        out.closing_speed_kmh = ms_to_kmh(ego_speed(v, t_reach, response));
+        return out;
+    }
+    // Ego stopped short of the conflict point.
+    const double travelled =
+        v * response.reaction_time_s + v * v / (2.0 * response.deceleration_ms2);
+    out.min_gap_m = distance_m - travelled;
+    out.closing_speed_kmh = speed_in_last_metre(out.min_gap_m, response);
+    return out;
+}
+
+EncounterOutcome resolve_lead_braking(double speed_kmh, double gap_m,
+                                      double lead_decel_ms2,
+                                      const BrakeResponse& response) {
+    require_valid(speed_kmh, gap_m, response);
+    if (!std::isfinite(lead_decel_ms2) || lead_decel_ms2 <= 0.0) {
+        throw std::invalid_argument("resolve_lead_braking: lead deceleration must be > 0");
+    }
+    EncounterOutcome out;
+    const double v0 = kmh_to_ms(speed_kmh);
+    constexpr double dt = 1e-3;
+
+    double xe = 0.0, ve = v0;       // ego
+    double xl = gap_m, vl = v0;     // lead (front-to-rear gap)
+    double min_gap = gap_m;
+    double closing_at_min = 0.0;
+    double t = 0.0;
+    const double t_max = 120.0;
+    while (t < t_max) {
+        // Lead brakes from t = 0.
+        vl = std::max(0.0, vl - lead_decel_ms2 * dt);
+        xl += vl * dt;
+        // Ego brakes after its reaction time.
+        if (t >= response.reaction_time_s) {
+            ve = std::max(0.0, ve - response.deceleration_ms2 * dt);
+        }
+        xe += ve * dt;
+        t += dt;
+        const double gap = xl - xe;
+        if (gap <= 0.0) {
+            out.collision = true;
+            out.impact_speed_kmh = ms_to_kmh(std::max(0.0, ve - vl));
+            return out;
+        }
+        if (gap < min_gap) {
+            min_gap = gap;
+            closing_at_min = std::max(0.0, ve - vl);
+        }
+        if (ve <= 0.0 && vl <= 0.0) break;  // both stopped
+        // Once ego is no faster than the lead the gap can only grow again.
+        if (ve <= vl && t > response.reaction_time_s) break;
+    }
+    out.min_gap_m = min_gap;
+    out.closing_speed_kmh = ms_to_kmh(closing_at_min);
+    return out;
+}
+
+}  // namespace qrn::sim

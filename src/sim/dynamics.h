@@ -1,0 +1,64 @@
+// Longitudinal kinematics: resolving encounters into outcomes.
+//
+// The simulator reduces every encounter to a longitudinal conflict: ego
+// approaches a conflict point (a crossing VRU/animal, a stationary
+// obstacle, a braking lead vehicle) and responds with reaction latency
+// followed by constant deceleration. Outcomes are either a collision with
+// an impact speed or a miss with a minimum separation - exactly the
+// tolerance-margin measurements the QRN incident types are defined over.
+//
+// Closed-form solutions are used for single-obstacle cases and a verified
+// fixed-step integrator for the two-vehicle (lead braking / cut-in) cases.
+#pragma once
+
+namespace qrn::sim {
+
+/// Converts km/h to m/s.
+[[nodiscard]] constexpr double kmh_to_ms(double kmh) noexcept { return kmh / 3.6; }
+/// Converts m/s to km/h.
+[[nodiscard]] constexpr double ms_to_kmh(double ms) noexcept { return ms * 3.6; }
+
+/// Outcome of one resolved encounter.
+struct EncounterOutcome {
+    bool collision = false;
+    double impact_speed_kmh = 0.0;  ///< Relative speed at contact (0 if miss).
+    double min_gap_m = 0.0;         ///< Minimum separation achieved (0 if collision).
+    double closing_speed_kmh = 0.0; ///< Relative speed at the minimum-gap moment,
+                                    ///< or at conflict-zone passage for crossings.
+};
+
+/// Ego's braking response profile for one encounter.
+struct BrakeResponse {
+    double reaction_time_s = 0.5;   ///< Detection-to-deceleration latency.
+    double deceleration_ms2 = 6.0;  ///< Constant braking deceleration (> 0).
+};
+
+/// Stationary obstacle at `distance_m` ahead, ego at `speed_kmh`.
+/// Requires distance >= 0, speed >= 0, and a valid response.
+[[nodiscard]] EncounterOutcome resolve_stationary(double speed_kmh, double distance_m,
+                                                  const BrakeResponse& response);
+
+/// Crossing actor (VRU/animal): enters ego's 3.5 m-wide lane at the conflict
+/// point `distance_m` ahead at time 0, crossing at `crossing_speed_kmh`.
+/// Ego is at `speed_kmh`. Collision when ego reaches the conflict point
+/// while the actor occupies the lane and ego still moves; otherwise a miss
+/// whose margin is the separation when the paths are closest in time.
+[[nodiscard]] EncounterOutcome resolve_crossing(double speed_kmh, double distance_m,
+                                                double crossing_speed_kmh,
+                                                const BrakeResponse& response);
+
+/// Lead vehicle braking: ego follows at `gap_m` with both initially at
+/// `speed_kmh`; at time 0 the lead starts braking at `lead_decel_ms2` to a
+/// stop; ego responds per `response`. Fixed-step integration (1 ms).
+[[nodiscard]] EncounterOutcome resolve_lead_braking(double speed_kmh, double gap_m,
+                                                    double lead_decel_ms2,
+                                                    const BrakeResponse& response);
+
+/// Stopping distance (m) including reaction: v*tr + v^2 / (2a).
+[[nodiscard]] double stopping_distance_m(double speed_kmh, const BrakeResponse& response);
+
+/// Maximum deceleration available at the given tyre-road friction
+/// (mu * g, g = 9.81 m/s^2).
+[[nodiscard]] double friction_limited_decel_ms2(double friction) noexcept;
+
+}  // namespace qrn::sim

@@ -1,0 +1,300 @@
+#include "sim/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace qrn::sim {
+
+Frequency IncidentLog::incident_rate() const {
+    return Frequency::of_count(static_cast<double>(incidents.size()), exposure);
+}
+
+std::vector<TypeEvidence> IncidentLog::evidence_for(const IncidentTypeSet& types) const {
+    std::vector<TypeEvidence> out;
+    out.reserve(types.size());
+    for (std::size_t k = 0; k < types.size(); ++k) {
+        TypeEvidence e;
+        e.incident_type_id = types.at(k).id();
+        e.events = count_matching(types.at(k));
+        e.exposure = exposure;
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+std::uint64_t IncidentLog::count_matching(const IncidentType& type) const {
+    std::uint64_t n = 0;
+    for (const auto& incident : incidents) {
+        if (type.matches(incident)) ++n;
+    }
+    return n;
+}
+
+std::uint64_t IncidentLog::induced_count() const {
+    std::uint64_t n = 0;
+    for (const auto& incident : incidents) {
+        if (incident.ego_causing_factor) ++n;
+    }
+    return n;
+}
+
+FleetSimulator::FleetSimulator(FleetConfig config) : config_(std::move(config)) {
+    config_.policy.validate();
+}
+
+IncidentLog FleetSimulator::run(double hours) const {
+    if (!(hours > 0.0) || !std::isfinite(hours)) {
+        throw std::invalid_argument("FleetSimulator::run: hours must be > 0");
+    }
+    stats::Rng rng(config_.seed);
+    const ScenarioSampler sampler(config_.rates);
+    EnvironmentProcess environment(config_.odd, config_.environment_persistence);
+
+    IncidentLog log;
+    log.exposure = ExposureHours(hours);
+
+    const auto whole_hours = static_cast<std::uint64_t>(hours);
+    const double remainder = hours - static_cast<double>(whole_hours);
+
+    double clock_hours = 0.0;
+    for (std::uint64_t h = 0; h <= whole_hours; ++h) {
+        const double stretch = h < whole_hours ? 1.0 : remainder;
+        if (stretch <= 0.0) break;
+        Environment env = environment.next(rng);
+
+        // ODD exit: conditions may leave the declared domain mid-stretch.
+        // Detected -> minimal risk manoeuvre (the stretch ends early, with a
+        // small chance of a low-speed rear-end during the stop). Missed ->
+        // the vehicle keeps operating outside its ODD in degraded
+        // conditions for the remainder of the stretch.
+        if (rng.bernoulli(config_.odd_exit.exit_probability)) {
+            ++log.odd_exits;
+            if (rng.bernoulli(config_.odd_exit.detection_probability)) {
+                ++log.mrm_executions;
+                if (rng.bernoulli(config_.odd_exit.mrm_incident_probability)) {
+                    Incident mrm_rear_end;
+                    mrm_rear_end.first = ActorType::EgoVehicle;
+                    mrm_rear_end.second = ActorType::Car;
+                    mrm_rear_end.mechanism = IncidentMechanism::Collision;
+                    mrm_rear_end.relative_speed_kmh = rng.uniform(2.0, 15.0);
+                    mrm_rear_end.timestamp_hours = clock_hours + rng.uniform() * stretch;
+                    validate(mrm_rear_end);
+                    log.incidents.push_back(mrm_rear_end);
+                }
+                // The vehicle is parked for the rest of the stretch; exposure
+                // still counts (the feature was engaged when the stretch began).
+                clock_hours += stretch;
+                continue;
+            }
+            ++log.unmonitored_exits;
+            // Out-of-ODD conditions: the weather the ODD excluded, with the
+            // matching friction and perception degradation.
+            env.weather = config_.odd.allow_snow ? Weather::Fog : Weather::Snow;
+            env.friction = std::min(env.friction, 0.3);
+        }
+        double cruise_kmh = config_.policy.cruise_speed_kmh(env, config_.odd);
+
+        // Fault injection: this stretch may run with degraded brakes. The
+        // physical cap always applies; only an aware policy adapts to it.
+        const bool degraded =
+            rng.bernoulli(config_.faults.brake_degradation_probability);
+        const double decel_cap =
+            degraded ? config_.faults.degraded_decel_cap_ms2
+                     : std::numeric_limits<double>::infinity();
+        const bool adapt = degraded && config_.faults.policy_aware;
+        double gap_stretch = 1.0;
+        if (degraded) ++log.degraded_hours;
+        if (adapt) {
+            // Aware adaptation (Sec. II-B(3)): preserve the *healthy*
+            // emergency stopping envelope. Reduce speed until the degraded
+            // capability stops within the distance the healthy capability
+            // would have needed from the nominal cruise speed, and stretch
+            // following gaps by the lost braking authority.
+            const double healthy_max = config_.policy.emergency_decel_fraction *
+                                       friction_limited_decel_ms2(env.friction);
+            if (decel_cap < healthy_max) {
+                const double v0 = kmh_to_ms(cruise_kmh);
+                const double healthy_stop =
+                    v0 * config_.policy.effective_latency_s() +
+                    v0 * v0 / (2.0 * healthy_max);
+                cruise_kmh = std::min(
+                    cruise_kmh,
+                    config_.policy.speed_for_stop_within(healthy_stop, decel_cap));
+                gap_stretch = healthy_max / decel_cap;
+            }
+        }
+
+        for (std::size_t kind_index = 0; kind_index < kEncounterKindCount; ++kind_index) {
+            const EncounterKind kind = encounter_kind_from_index(kind_index);
+            const std::uint64_t count = sampler.sample_count(kind, env, stretch, rng);
+            for (std::uint64_t i = 0; i < count; ++i) {
+                const Encounter encounter = sampler.sample(kind, env, rng);
+                ++log.encounters;
+
+                const ActorType actor = counterparty_of(kind);
+                const double detect_m =
+                    config_.perception.sample_detection_distance_m(actor, env, rng);
+
+                EncounterOutcome outcome;
+                bool emergency = false;
+                switch (kind) {
+                    case EncounterKind::VruCrossing:
+                    case EncounterKind::AnimalCrossing:
+                    case EncounterKind::CrossingVehicle: {
+                        // The conflict is actionable only once detected; the
+                        // proactive layer has already slowed toward the
+                        // sight-speed rule for the prevailing visibility and
+                        // the density-dependent occlusion risk.
+                        const double seen_at =
+                            std::min(encounter.conflict_distance_m, detect_m);
+                        const double assumed_sight =
+                            std::min(detect_m, assumed_occlusion_sight_m(env));
+                        const double speed =
+                            config_.policy.approach_speed_kmh(cruise_kmh, assumed_sight);
+                        BrakeResponse response =
+                            config_.policy.braking_for(speed, seen_at, env.friction);
+                        // Physics, not policy: degraded brakes cap what the
+                        // vehicle can actually do.
+                        response.deceleration_ms2 =
+                            std::min(response.deceleration_ms2, decel_cap);
+                        emergency = config_.policy.is_emergency(response);
+                        outcome = resolve_crossing(speed, seen_at,
+                                                   encounter.crossing_speed_kmh, response);
+                        // A collision course does not always end in contact:
+                        // the crossing actor can evade (stop, retreat, leap)
+                        // when the closing speed leaves it a chance, and ego
+                        // can often steer around a single crossing actor.
+                        if (outcome.collision) {
+                            const double agility =
+                                kind == EncounterKind::VruCrossing       ? 0.85
+                                : kind == EncounterKind::CrossingVehicle ? 0.6
+                                                                         : 0.5;
+                            const double p_evade =
+                                agility * std::exp(-outcome.impact_speed_kmh / 40.0);
+                            const double p_swerve =
+                                0.5 * std::exp(-outcome.impact_speed_kmh / 60.0);
+                            const double p_avoid =
+                                1.0 - (1.0 - p_evade) * (1.0 - p_swerve);
+                            if (rng.bernoulli(p_avoid)) {
+                                EncounterOutcome avoided;
+                                avoided.min_gap_m = rng.uniform(0.2, 1.0);
+                                avoided.closing_speed_kmh = outcome.impact_speed_kmh;
+                                outcome = avoided;
+                            }
+                        }
+                        break;
+                    }
+                    case EncounterKind::OncomingDrift: {
+                        // The conflict point approaches at roughly combined
+                        // speed: ego only covers about half the sighting
+                        // distance before the meeting point, and a contact
+                        // is (near) head-on, doubling the impact delta-v.
+                        const double seen_at =
+                            std::min(encounter.conflict_distance_m, detect_m) * 0.5;
+                        BrakeResponse response = config_.policy.braking_for(
+                            cruise_kmh, seen_at, env.friction);
+                        response.deceleration_ms2 =
+                            std::min(response.deceleration_ms2, decel_cap);
+                        emergency = config_.policy.is_emergency(response);
+                        outcome = resolve_crossing(cruise_kmh, seen_at,
+                                                   encounter.crossing_speed_kmh, response);
+                        if (outcome.collision) {
+                            // The drifting driver usually corrects in time.
+                            const double p_correct =
+                                0.9 * std::exp(-outcome.impact_speed_kmh / 80.0);
+                            if (rng.bernoulli(p_correct)) {
+                                EncounterOutcome corrected;
+                                corrected.min_gap_m = rng.uniform(0.2, 1.2);
+                                corrected.closing_speed_kmh =
+                                    2.0 * outcome.impact_speed_kmh;
+                                outcome = corrected;
+                            } else {
+                                outcome.impact_speed_kmh *= 2.0;  // head-on
+                            }
+                        }
+                        break;
+                    }
+                    case EncounterKind::StationaryObstacle: {
+                        const double seen_at =
+                            std::min(encounter.conflict_distance_m, detect_m);
+                        const double speed =
+                            config_.policy.approach_speed_kmh(cruise_kmh, detect_m);
+                        BrakeResponse response =
+                            config_.policy.braking_for(speed, seen_at, env.friction);
+                        response.deceleration_ms2 =
+                            std::min(response.deceleration_ms2, decel_cap);
+                        emergency = config_.policy.is_emergency(response);
+                        outcome = resolve_stationary(speed, seen_at, response);
+                        break;
+                    }
+                    case EncounterKind::LeadVehicleBraking: {
+                        const double gap =
+                            config_.policy.following_gap_m(cruise_kmh) * gap_stretch;
+                        BrakeResponse response = config_.policy.braking_for_lead(
+                            cruise_kmh, gap, encounter.lead_decel_ms2, env.friction);
+                        response.deceleration_ms2 =
+                            std::min(response.deceleration_ms2, decel_cap);
+                        emergency = config_.policy.is_emergency(response);
+                        outcome = resolve_lead_braking(cruise_kmh, gap,
+                                                       encounter.lead_decel_ms2, response);
+                        break;
+                    }
+                    case EncounterKind::CutIn: {
+                        // After the cut-in the intruder brakes mildly; ego
+                        // must manage from the reduced gap.
+                        BrakeResponse response = config_.policy.braking_for_lead(
+                            cruise_kmh, encounter.cut_in_gap_m, encounter.lead_decel_ms2,
+                            env.friction);
+                        response.deceleration_ms2 =
+                            std::min(response.deceleration_ms2, decel_cap);
+                        emergency = config_.policy.is_emergency(response);
+                        outcome = resolve_lead_braking(cruise_kmh, encounter.cut_in_gap_m,
+                                                       encounter.lead_decel_ms2, response);
+                        break;
+                    }
+                }
+                const double timestamp = clock_hours + rng.uniform() * stretch;
+                if (auto incident =
+                        detect_incident(encounter, outcome, timestamp, config_.detector)) {
+                    log.incidents.push_back(*incident);
+                }
+
+                if (!emergency) continue;
+                ++log.emergency_brakings;
+                // Secondary conflicts: ego's hard braking endangers traffic
+                // behind it (Fig. 4 lower half: ego as a causing factor).
+                if (!rng.bernoulli(config_.secondary.follower_presence)) continue;
+                if (rng.bernoulli(config_.secondary.rear_end_probability)) {
+                    // Follower rear-ends ego: an ego-involved Car collision
+                    // at a modest closing speed.
+                    Incident rear_end;
+                    rear_end.first = ActorType::EgoVehicle;
+                    rear_end.second = ActorType::Car;
+                    rear_end.mechanism = IncidentMechanism::Collision;
+                    rear_end.relative_speed_kmh = rng.uniform(2.0, 25.0);
+                    rear_end.timestamp_hours = timestamp;
+                    validate(rear_end);
+                    log.incidents.push_back(rear_end);
+                } else if (rng.bernoulli(config_.secondary.induced_probability)) {
+                    // Follower swerves and hits a third party: an induced
+                    // incident where ego is only the causing factor.
+                    Incident induced;
+                    induced.first = ActorType::Car;
+                    induced.second = rng.bernoulli(0.15) ? ActorType::Vru : ActorType::Car;
+                    induced.mechanism = IncidentMechanism::Collision;
+                    induced.relative_speed_kmh = rng.uniform(5.0, 50.0);
+                    induced.ego_causing_factor = true;
+                    induced.timestamp_hours = timestamp;
+                    validate(induced);
+                    log.incidents.push_back(induced);
+                }
+            }
+        }
+        clock_hours += stretch;
+    }
+    return log;
+}
+
+}  // namespace qrn::sim

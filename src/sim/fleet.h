@@ -1,0 +1,141 @@
+// Fleet simulation: Monte-Carlo operation of the ADS over many hours.
+//
+// Operation is simulated as a sequence of one-hour stretches, each with a
+// freshly sampled in-ODD environment, a policy-chosen cruise speed, and
+// Poisson-arriving encounters of each kind. Every encounter is resolved
+// through perception -> tactical braking -> kinematics, and incidents are
+// logged. The log converts directly to the per-incident-type evidence that
+// qrn::verify_against_evidence consumes - closing the loop from risk norm
+// to fleet data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qrn/frequency.h"
+#include "qrn/incident.h"
+#include "qrn/incident_type.h"
+#include "qrn/verification.h"
+#include "sim/ego_policy.h"
+#include "sim/incident_detector.h"
+#include "sim/odd.h"
+#include "sim/perception.h"
+#include "sim/scenario.h"
+#include "stats/rng.h"
+
+namespace qrn::sim {
+
+/// Fault injection: the paper's Sec. II-B(3) brake-degradation example.
+///
+/// "A vehicle-internal fault leading to a reduced braking capacity of only
+/// 4 m/s^2 ... We could say that as long as the tactical decisions know
+/// about the current actual braking capability, it should be possible to
+/// safely adjust the driving style accordingly." When a degradation is
+/// active, the physically available deceleration is capped; an *aware*
+/// policy additionally adapts its speed and following gaps to the reduced
+/// capability, an unaware one drives as if healthy.
+struct FaultInjection {
+    /// Probability that any given operational stretch runs with degraded
+    /// brakes (0 disables the fault).
+    double brake_degradation_probability = 0.0;
+    /// Maximum deceleration physically available while degraded (m/s^2).
+    double degraded_decel_cap_ms2 = 4.0;
+    /// Whether the tactical layer knows the current braking capability.
+    bool policy_aware = true;
+};
+
+/// Secondary-conflict model: consequences of ego's own manoeuvres on the
+/// surrounding traffic. Paper Fig. 4 (lower half) includes incidents where
+/// ego is "a causing factor in an incident involving other road users";
+/// Sec. III-B notes these induced incidents "may be more difficult to
+/// clearly define". Here they arise mechanically: every emergency braking
+/// by ego forces followers to react; a follower may rear-end ego (an
+/// ego-involved Car collision) or, swerving, collide with a third party
+/// (an induced incident).
+struct SecondaryConflicts {
+    /// Probability that an emergency braking has a close follower.
+    double follower_presence = 0.3;
+    /// Given a follower, probability it fails to stop and rear-ends ego.
+    double rear_end_probability = 0.02;
+    /// Given a follower that avoided ego by swerving, probability it hits a
+    /// third party instead (the induced incident).
+    double induced_probability = 0.01;
+};
+
+/// ODD-exit and minimal-risk-manoeuvre model.
+//
+/// Sec. IV lists "ODD monitoring" and "minimal risk manoeuvre" among the
+/// ADS functions the FSC must cover. Conditions can leave the declared ODD
+/// mid-operation (weather turning to snow, fog rolling in). A monitored
+/// exit triggers the MRM - a controlled stop that carries its own small
+/// secondary risk; a missed exit leaves the vehicle operating outside its
+/// ODD with degraded friction and perception for the rest of the stretch.
+struct OddExitModel {
+    /// Probability per operational stretch that conditions leave the ODD.
+    double exit_probability = 0.0;
+    /// Probability the ODD monitor detects the exit (triggers the MRM).
+    double detection_probability = 0.95;
+    /// Probability the MRM itself produces a low-speed rear-end incident.
+    double mrm_incident_probability = 0.005;
+};
+
+/// Everything that defines one fleet configuration.
+struct FleetConfig {
+    Odd odd = Odd::urban();
+    TacticalPolicy policy = TacticalPolicy::nominal();
+    PerceptionModel perception;
+    EncounterRates rates;
+    DetectorConfig detector;
+    FaultInjection faults;
+    SecondaryConflicts secondary;
+    OddExitModel odd_exit;
+    /// Per-stretch probability that the weather/lighting regime persists
+    /// (see EnvironmentProcess); 0 redraws conditions independently.
+    double environment_persistence = 0.85;
+    std::uint64_t seed = 42;
+};
+
+/// Result of a fleet run.
+struct IncidentLog {
+    std::vector<Incident> incidents;
+    ExposureHours exposure;
+    std::uint64_t encounters = 0;          ///< Total conflicts resolved.
+    std::uint64_t emergency_brakings = 0;  ///< Encounters needing more than
+                                           ///< the comfort deceleration.
+    std::uint64_t degraded_hours = 0;      ///< Stretches run with degraded brakes.
+    std::uint64_t odd_exits = 0;           ///< Stretches whose conditions left the ODD.
+    std::uint64_t mrm_executions = 0;      ///< Detected exits ending in an MRM.
+    std::uint64_t unmonitored_exits = 0;   ///< Exits the monitor missed.
+
+    /// Rate of logged incidents (all kinds together).
+    [[nodiscard]] Frequency incident_rate() const;
+
+    /// Observed events per incident type, ready for Eq. 1 verification.
+    /// Incidents matching no type are ignored (they are outside the margin
+    /// space the goals constrain; the MECE argument lives at the
+    /// classification level, not the recording thresholds).
+    [[nodiscard]] std::vector<TypeEvidence> evidence_for(
+        const IncidentTypeSet& types) const;
+
+    /// Count of incidents matching one incident type.
+    [[nodiscard]] std::uint64_t count_matching(const IncidentType& type) const;
+
+    /// Count of induced incidents (ego a causing factor, not a party).
+    [[nodiscard]] std::uint64_t induced_count() const;
+};
+
+/// Monte-Carlo fleet simulator. Deterministic for a given config (seed).
+class FleetSimulator {
+public:
+    explicit FleetSimulator(FleetConfig config);
+
+    [[nodiscard]] const FleetConfig& config() const noexcept { return config_; }
+
+    /// Simulates `hours` of in-ODD operation and returns the incident log.
+    [[nodiscard]] IncidentLog run(double hours) const;
+
+private:
+    FleetConfig config_;
+};
+
+}  // namespace qrn::sim

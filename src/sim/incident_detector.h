@@ -1,0 +1,30 @@
+// Incident detection: mapping encounter outcomes to QRN incident records.
+//
+// The fleet recorder logs every collision, and every near pass whose
+// measurements could possibly matter to any quality incident type
+// (recording thresholds are deliberately wider than the incident-type
+// margins so the evidence stream never truncates the margin space).
+#pragma once
+
+#include <optional>
+
+#include "qrn/incident.h"
+#include "sim/dynamics.h"
+#include "sim/scenario.h"
+
+namespace qrn::sim {
+
+/// Physical recording thresholds of the fleet logger.
+struct DetectorConfig {
+    double near_miss_max_distance_m = 3.0;   ///< Record passes closer than this.
+    double near_miss_min_speed_kmh = 5.0;    ///< ... with at least this closing speed.
+};
+
+/// Converts one resolved encounter to an incident record, if the outcome
+/// crosses any recording threshold. `timestamp_hours` stamps the record.
+[[nodiscard]] std::optional<Incident> detect_incident(const Encounter& encounter,
+                                                      const EncounterOutcome& outcome,
+                                                      double timestamp_hours,
+                                                      const DetectorConfig& config = {});
+
+}  // namespace qrn::sim

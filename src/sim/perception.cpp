@@ -1,0 +1,43 @@
+#include "sim/perception.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qrn::sim {
+
+double PerceptionModel::mean_range_m(ActorType actor, const Environment& env) const {
+    double range = nominal_range_m;
+    switch (actor) {
+        case ActorType::Vru: range *= vru_range_factor; break;
+        case ActorType::Animal: range *= animal_range_factor; break;
+        default: break;
+    }
+    switch (env.weather) {
+        case Weather::Clear: break;
+        case Weather::Rain: range *= rain_factor; break;
+        case Weather::Snow: range *= snow_factor; break;
+        case Weather::Fog: range *= fog_factor; break;
+    }
+    switch (env.lighting) {
+        case Lighting::Day: break;
+        case Lighting::Dusk: range *= dusk_factor; break;
+        case Lighting::Night: range *= night_factor; break;
+    }
+    return range;
+}
+
+double PerceptionModel::sample_detection_distance_m(ActorType actor,
+                                                    const Environment& env,
+                                                    stats::Rng& rng) const {
+    const double mean = mean_range_m(actor, env);
+    // Lognormal noise around the mean with median = mean.
+    double range = mean * rng.lognormal(0.0, range_sigma_log);
+    if (rng.bernoulli(blackout_probability)) {
+        range *= 0.05;  // injected sensing fault
+    } else if (rng.bernoulli(miss_probability)) {
+        range *= 0.10;  // gross perception miss
+    }
+    return std::max(range, 1.0);
+}
+
+}  // namespace qrn::sim

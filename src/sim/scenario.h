@@ -1,0 +1,121 @@
+// Scenario sampling: the encounter stream an operating ADS experiences.
+//
+// Encounters are conflict seeds (a VRU stepping out, a lead vehicle
+// braking, debris on the road, wildlife, a cut-in). Their arrival
+// intensities depend on the environment - and, through the tactical
+// policy's speed choices, the *outcomes* depend on the design, which is
+// exactly the exposure-is-a-design-choice point of Sec. II-B. Arrivals are
+// Poisson per encounter kind; parameters are sampled per encounter.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "qrn/incident.h"
+#include "sim/odd.h"
+#include "stats/rng.h"
+
+namespace qrn::sim {
+
+/// Conflict archetypes the simulator generates.
+enum class EncounterKind : std::uint8_t {
+    VruCrossing,         ///< Pedestrian/cyclist enters the lane.
+    LeadVehicleBraking,  ///< Followed vehicle brakes hard.
+    StationaryObstacle,  ///< Debris / stopped vehicle in lane.
+    AnimalCrossing,      ///< Wildlife enters the lane.
+    CutIn,               ///< Vehicle merges closely in front.
+    CrossingVehicle,     ///< Vehicle crosses at an intersection.
+    OncomingDrift,       ///< Oncoming vehicle drifts over the centre line.
+};
+
+inline constexpr std::size_t kEncounterKindCount = 7;
+
+[[nodiscard]] std::string_view to_string(EncounterKind kind) noexcept;
+[[nodiscard]] EncounterKind encounter_kind_from_index(std::size_t index);
+
+/// The counterparty actor type of an encounter kind.
+[[nodiscard]] ActorType counterparty_of(EncounterKind kind) noexcept;
+
+/// One sampled encounter, before perception and policy are applied.
+struct Encounter {
+    EncounterKind kind = EncounterKind::VruCrossing;
+    /// Distance from ego to the conflict point when the conflict begins
+    /// (i.e. when it becomes observable), metres.
+    double conflict_distance_m = 50.0;
+    /// Crossing speed for VRU/animal encounters (km/h).
+    double crossing_speed_kmh = 5.0;
+    /// Lead deceleration for braking/cut-in encounters (m/s^2).
+    double lead_decel_ms2 = 6.0;
+    /// Gap for cut-in encounters (m); for lead braking the policy gap is used.
+    double cut_in_gap_m = 10.0;
+};
+
+/// Base arrival rates (per operational hour) per encounter kind at unit
+/// densities; scaled by the environment at sampling time.
+struct EncounterRates {
+    double vru_crossing = 2.0;       ///< Scaled by env.vru_density.
+    double lead_braking = 4.0;       ///< Scaled by env.traffic_density.
+    double stationary_obstacle = 0.5;
+    double animal_crossing = 0.2;    ///< Scaled by env.animal_density.
+    double cut_in = 1.5;             ///< Scaled by env.traffic_density.
+    double crossing_vehicle = 0.8;   ///< Scaled by env.traffic_density.
+    double oncoming_drift = 0.1;     ///< Scaled by env.traffic_density.
+
+    /// Effective rate of one kind in an environment.
+    [[nodiscard]] double rate_of(EncounterKind kind, const Environment& env) const;
+};
+
+/// Samples encounter parameters. Deterministic given the RNG.
+class ScenarioSampler {
+public:
+    explicit ScenarioSampler(EncounterRates rates) : rates_(rates) {}
+
+    [[nodiscard]] const EncounterRates& rates() const noexcept { return rates_; }
+
+    /// Number of encounters of `kind` in `hours` of operation in `env`.
+    [[nodiscard]] std::uint64_t sample_count(EncounterKind kind, const Environment& env,
+                                             double hours, stats::Rng& rng) const;
+
+    /// Parameters of one encounter of `kind` in `env`.
+    [[nodiscard]] Encounter sample(EncounterKind kind, const Environment& env,
+                                   stats::Rng& rng) const;
+
+private:
+    EncounterRates rates_;
+};
+
+/// Samples the environment for one operational stretch inside an ODD
+/// (conditions outside the ODD are never operated in: the ADS hands over /
+/// does not engage there, so in-ODD sampling is the correct exposure model).
+[[nodiscard]] Environment sample_environment(const Odd& odd, stats::Rng& rng);
+
+/// The distance (m) at which the proactive layer assumes a crossing actor
+/// can emerge from occlusion: dense VRU environments (parked cars, urban
+/// canyons) imply closer surprise appearances. Used by the tactical layer
+/// as the sight distance for the defensive sight-speed rule.
+[[nodiscard]] double assumed_occlusion_sight_m(const Environment& env) noexcept;
+
+/// A persistent environment process: consecutive operating stretches are
+/// correlated (weather fronts last hours, a vehicle stays in one district
+/// for a while) instead of independently redrawn. Weather and lighting
+/// persist with the configured probability; the remaining fields are
+/// refreshed around the persisted regime. Always yields in-ODD conditions.
+class EnvironmentProcess {
+public:
+    /// `persistence` is the per-stretch probability that the current
+    /// weather/lighting regime continues; in [0, 1).
+    EnvironmentProcess(Odd odd, double persistence = 0.85);
+
+    /// The next stretch's environment (advances the process).
+    [[nodiscard]] Environment next(stats::Rng& rng);
+
+    [[nodiscard]] const Environment& current() const noexcept { return current_; }
+
+private:
+    Odd odd_;
+    double persistence_;
+    bool started_ = false;
+    Environment current_;
+};
+
+}  // namespace qrn::sim

@@ -1,0 +1,11 @@
+// Umbrella header for the ADS Monte-Carlo simulator.
+#pragma once
+
+#include "sim/dynamics.h"          // IWYU pragma: export
+#include "sim/ego_policy.h"        // IWYU pragma: export
+#include "sim/campaign.h"          // IWYU pragma: export
+#include "sim/fleet.h"             // IWYU pragma: export
+#include "sim/incident_detector.h" // IWYU pragma: export
+#include "sim/odd.h"               // IWYU pragma: export
+#include "sim/perception.h"        // IWYU pragma: export
+#include "sim/scenario.h"          // IWYU pragma: export

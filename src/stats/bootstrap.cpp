@@ -1,0 +1,48 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qrn::stats {
+
+BootstrapResult percentile_bootstrap(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t replicates, double confidence, Rng& rng) {
+    if (sample.empty()) throw std::invalid_argument("bootstrap: empty sample");
+    if (replicates < 100) throw std::invalid_argument("bootstrap: replicates >= 100");
+    if (confidence <= 0.0 || confidence >= 1.0) {
+        throw std::invalid_argument("bootstrap: confidence in (0, 1)");
+    }
+
+    BootstrapResult out;
+    out.point = statistic(sample);
+    out.confidence = confidence;
+
+    std::vector<double> resample(sample.size());
+    std::vector<double> stats;
+    stats.reserve(replicates);
+    const auto n = static_cast<std::int64_t>(sample.size());
+    for (std::size_t r = 0; r < replicates; ++r) {
+        for (auto& x : resample) {
+            x = sample[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+        }
+        stats.push_back(statistic(resample));
+    }
+    std::sort(stats.begin(), stats.end());
+
+    const double alpha = 1.0 - confidence;
+    const auto index_at = [&](double q) {
+        const double pos = q * static_cast<double>(stats.size() - 1);
+        const auto i = static_cast<std::size_t>(pos);
+        const double frac = pos - static_cast<double>(i);
+        if (i + 1 >= stats.size()) return stats.back();
+        return stats[i] * (1.0 - frac) + stats[i + 1] * frac;
+    };
+    out.lower = index_at(alpha / 2.0);
+    out.upper = index_at(1.0 - alpha / 2.0);
+    return out;
+}
+
+}  // namespace qrn::stats

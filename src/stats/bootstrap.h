@@ -1,0 +1,33 @@
+// Nonparametric percentile bootstrap.
+//
+// Used when a QRN quantity of interest is a nonlinear functional of
+// observed incident data (e.g. a contribution fraction conditioned on a
+// speed band) for which no closed-form interval exists.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace qrn::stats {
+
+/// Result of a percentile bootstrap.
+struct BootstrapResult {
+    double point = 0.0;   ///< Statistic on the original sample.
+    double lower = 0.0;   ///< Percentile lower bound.
+    double upper = 0.0;   ///< Percentile upper bound.
+    double confidence = 0.0;
+};
+
+/// Percentile bootstrap of `statistic` over `sample`.
+///
+/// Requires a non-empty sample, replicates >= 100, confidence in (0, 1).
+/// Deterministic given the RNG state.
+[[nodiscard]] BootstrapResult percentile_bootstrap(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t replicates, double confidence, Rng& rng);
+
+}  // namespace qrn::stats

@@ -1,0 +1,101 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/special_functions.h"
+
+namespace qrn::stats {
+
+double poisson_pmf(std::uint64_t k, double mean) {
+    if (mean < 0.0) throw std::invalid_argument("poisson_pmf: mean must be >= 0");
+    if (mean == 0.0) return k == 0 ? 1.0 : 0.0;
+    const double dk = static_cast<double>(k);
+    return std::exp(dk * std::log(mean) - mean - std::lgamma(dk + 1.0));
+}
+
+double poisson_cdf(std::uint64_t k, double mean) {
+    if (mean < 0.0) throw std::invalid_argument("poisson_cdf: mean must be >= 0");
+    if (mean == 0.0) return 1.0;
+    // P(X <= k) = Q(k + 1, mean).
+    return regularized_gamma_q(static_cast<double>(k) + 1.0, mean);
+}
+
+std::uint64_t poisson_quantile(double p, double mean) {
+    if (p < 0.0 || p > 1.0) throw std::invalid_argument("poisson_quantile: p in [0,1]");
+    if (mean < 0.0) throw std::invalid_argument("poisson_quantile: mean must be >= 0");
+    std::uint64_t k = 0;
+    // Jump close with a normal approximation, then walk to the exact answer.
+    if (mean > 50.0) {
+        const double guess = mean + normal_quantile(std::min(std::max(p, 1e-12), 1.0 - 1e-12)) *
+                                        std::sqrt(mean);
+        k = guess > 0.0 ? static_cast<std::uint64_t>(guess) : 0;
+        while (k > 0 && poisson_cdf(k - 1, mean) >= p) --k;
+    }
+    while (poisson_cdf(k, mean) < p) ++k;
+    return k;
+}
+
+double normal_pdf(double x, double mean, double sigma) {
+    if (sigma <= 0.0) throw std::invalid_argument("normal_pdf: sigma must be > 0");
+    const double z = (x - mean) / sigma;
+    return std::exp(-0.5 * z * z) / (sigma * std::sqrt(2.0 * 3.141592653589793));
+}
+
+double normal_cdf_at(double x, double mean, double sigma) {
+    if (sigma <= 0.0) throw std::invalid_argument("normal_cdf_at: sigma must be > 0");
+    return normal_cdf((x - mean) / sigma);
+}
+
+double normal_quantile_at(double p, double mean, double sigma) {
+    if (sigma <= 0.0) throw std::invalid_argument("normal_quantile_at: sigma must be > 0");
+    return mean + sigma * normal_quantile(p);
+}
+
+double exponential_pdf(double x, double lambda) {
+    if (lambda <= 0.0) throw std::invalid_argument("exponential_pdf: lambda must be > 0");
+    return x < 0.0 ? 0.0 : lambda * std::exp(-lambda * x);
+}
+
+double exponential_cdf(double x, double lambda) {
+    if (lambda <= 0.0) throw std::invalid_argument("exponential_cdf: lambda must be > 0");
+    return x < 0.0 ? 0.0 : -std::expm1(-lambda * x);
+}
+
+double binomial_pmf(std::uint64_t k, std::uint64_t n, double p) {
+    if (p < 0.0 || p > 1.0) throw std::invalid_argument("binomial_pmf: p in [0,1]");
+    if (k > n) return 0.0;
+    if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+    if (p == 1.0) return k == n ? 1.0 : 0.0;
+    const double dn = static_cast<double>(n);
+    const double dk = static_cast<double>(k);
+    const double ln_choose =
+        std::lgamma(dn + 1.0) - std::lgamma(dk + 1.0) - std::lgamma(dn - dk + 1.0);
+    return std::exp(ln_choose + dk * std::log(p) + (dn - dk) * std::log1p(-p));
+}
+
+double binomial_cdf(std::uint64_t k, std::uint64_t n, double p) {
+    if (p < 0.0 || p > 1.0) throw std::invalid_argument("binomial_cdf: p in [0,1]");
+    if (k >= n) return 1.0;
+    if (p == 0.0) return 1.0;
+    if (p == 1.0) return 0.0;
+    // P(X <= k) = I_{1-p}(n - k, k + 1).
+    return regularized_beta(static_cast<double>(n - k), static_cast<double>(k) + 1.0,
+                            1.0 - p);
+}
+
+double lognormal_pdf(double x, double mu_log, double sigma_log) {
+    if (sigma_log <= 0.0) throw std::invalid_argument("lognormal_pdf: sigma must be > 0");
+    if (x <= 0.0) return 0.0;
+    const double z = (std::log(x) - mu_log) / sigma_log;
+    return std::exp(-0.5 * z * z) /
+           (x * sigma_log * std::sqrt(2.0 * 3.141592653589793));
+}
+
+double lognormal_cdf(double x, double mu_log, double sigma_log) {
+    if (sigma_log <= 0.0) throw std::invalid_argument("lognormal_cdf: sigma must be > 0");
+    if (x <= 0.0) return 0.0;
+    return normal_cdf((std::log(x) - mu_log) / sigma_log);
+}
+
+}  // namespace qrn::stats

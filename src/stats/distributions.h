@@ -1,0 +1,46 @@
+// Probability distributions used across the toolkit: PDFs/PMFs, CDFs and
+// quantiles for the families that appear in incident modelling (Poisson
+// arrivals of encounters, lognormal severity modifiers, normal measurement
+// noise, exponential inter-arrival times, binomial consequence splits).
+#pragma once
+
+#include <cstdint>
+
+namespace qrn::stats {
+
+// ---------------------------------------------------------------- Poisson
+
+/// P(X = k) for X ~ Poisson(mean). Requires mean >= 0.
+[[nodiscard]] double poisson_pmf(std::uint64_t k, double mean);
+
+/// P(X <= k) for X ~ Poisson(mean).
+[[nodiscard]] double poisson_cdf(std::uint64_t k, double mean);
+
+/// Smallest k with P(X <= k) >= p.
+[[nodiscard]] std::uint64_t poisson_quantile(double p, double mean);
+
+// ----------------------------------------------------------------- Normal
+
+[[nodiscard]] double normal_pdf(double x, double mean, double sigma);
+[[nodiscard]] double normal_cdf_at(double x, double mean, double sigma);
+[[nodiscard]] double normal_quantile_at(double p, double mean, double sigma);
+
+// ------------------------------------------------------------ Exponential
+
+[[nodiscard]] double exponential_pdf(double x, double lambda);
+[[nodiscard]] double exponential_cdf(double x, double lambda);
+
+// --------------------------------------------------------------- Binomial
+
+/// P(X = k) for X ~ Binomial(n, p).
+[[nodiscard]] double binomial_pmf(std::uint64_t k, std::uint64_t n, double p);
+
+/// P(X <= k) for X ~ Binomial(n, p); exact via the regularized beta.
+[[nodiscard]] double binomial_cdf(std::uint64_t k, std::uint64_t n, double p);
+
+// -------------------------------------------------------------- Lognormal
+
+[[nodiscard]] double lognormal_pdf(double x, double mu_log, double sigma_log);
+[[nodiscard]] double lognormal_cdf(double x, double mu_log, double sigma_log);
+
+}  // namespace qrn::stats

@@ -1,0 +1,94 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qrn::stats {
+
+void RunningSummary::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        if (x < min_) min_ = x;
+        if (x > max_) max_ = x;
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningSummary::variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningSummary::stddev() const noexcept { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+    if (!(lo < hi)) throw std::invalid_argument("Histogram: requires lo < hi");
+    if (bins == 0) throw std::invalid_argument("Histogram: requires bins >= 1");
+}
+
+void Histogram::add(double x) noexcept {
+    summary_.add(x);
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto bin = static_cast<std::size_t>((x - lo_) / width_);
+    if (bin >= counts_.size()) bin = counts_.size() - 1;  // guard fp rounding
+    ++counts_[bin];
+}
+
+std::uint64_t Histogram::count(std::size_t bin) const {
+    if (bin >= counts_.size()) throw std::out_of_range("Histogram::count: bad bin");
+    return counts_[bin];
+}
+
+double Histogram::bin_lower(std::size_t bin) const {
+    if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_lower: bad bin");
+    return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_upper(std::size_t bin) const {
+    if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_upper: bad bin");
+    return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+double Histogram::cumulative_fraction(std::size_t bin) const {
+    if (bin >= counts_.size()) {
+        throw std::out_of_range("Histogram::cumulative_fraction: bad bin");
+    }
+    const std::uint64_t in_range = total_ - underflow_ - overflow_;
+    if (in_range == 0) return 0.0;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i <= bin; ++i) acc += counts_[i];
+    return static_cast<double>(acc) / static_cast<double>(in_range);
+}
+
+double Histogram::quantile(double p) const {
+    if (p < 0.0 || p > 1.0) throw std::invalid_argument("Histogram::quantile: p in [0,1]");
+    const std::uint64_t in_range = total_ - underflow_ - overflow_;
+    if (in_range == 0) throw std::logic_error("Histogram::quantile: no in-range samples");
+    const double target = p * static_cast<double>(in_range);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double next = acc + static_cast<double>(counts_[i]);
+        if (next >= target) {
+            const double inside =
+                counts_[i] == 0 ? 0.0 : (target - acc) / static_cast<double>(counts_[i]);
+            return bin_lower(i) + inside * width_;
+        }
+        acc = next;
+    }
+    return hi_;
+}
+
+}  // namespace qrn::stats

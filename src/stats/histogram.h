@@ -1,0 +1,74 @@
+// Fixed-bin histogram and streaming summary statistics.
+//
+// Used by the simulator to characterise impact-speed and minimum-distance
+// distributions, and by the benches to print the distribution series behind
+// the paper's conceptual figures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qrn::stats {
+
+/// Streaming mean/variance/extremes via Welford's algorithm.
+class RunningSummary {
+public:
+    void add(double x) noexcept;
+
+    [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+    /// Unbiased sample variance; 0 for fewer than two samples.
+    [[nodiscard]] double variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+    [[nodiscard]] double min() const noexcept { return min_; }
+    [[nodiscard]] double max() const noexcept { return max_; }
+
+private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Equal-width histogram over [lo, hi) with under/overflow tracking.
+class Histogram {
+public:
+    /// Requires lo < hi and bins >= 1.
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x) noexcept;
+
+    [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+    [[nodiscard]] std::uint64_t count(std::size_t bin) const;
+    [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+    [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+    [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+    /// Inclusive lower edge of a bin.
+    [[nodiscard]] double bin_lower(std::size_t bin) const;
+    /// Exclusive upper edge of a bin.
+    [[nodiscard]] double bin_upper(std::size_t bin) const;
+
+    /// Fraction of in-range samples at or below the given bin.
+    [[nodiscard]] double cumulative_fraction(std::size_t bin) const;
+
+    /// Approximate quantile by linear interpolation within bins.
+    /// Requires p in [0, 1] and at least one in-range sample.
+    [[nodiscard]] double quantile(double p) const;
+
+    [[nodiscard]] const RunningSummary& summary() const noexcept { return summary_; }
+
+private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+    RunningSummary summary_;
+};
+
+}  // namespace qrn::stats

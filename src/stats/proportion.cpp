@@ -1,0 +1,79 @@
+#include "stats/proportion.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/special_functions.h"
+
+namespace qrn::stats {
+
+namespace {
+
+void require_valid(std::uint64_t successes, std::uint64_t trials, double confidence) {
+    if (trials == 0) throw std::invalid_argument("proportion: trials must be > 0");
+    if (successes > trials) {
+        throw std::invalid_argument("proportion: successes must be <= trials");
+    }
+    if (confidence <= 0.0 || confidence >= 1.0) {
+        throw std::invalid_argument("proportion: confidence must be in (0, 1)");
+    }
+}
+
+}  // namespace
+
+ProportionInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                                   double confidence) {
+    require_valid(successes, trials, confidence);
+    const double n = static_cast<double>(trials);
+    const double p_hat = static_cast<double>(successes) / n;
+    const double z = normal_quantile(0.5 + confidence / 2.0);
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double center = (p_hat + z2 / (2.0 * n)) / denom;
+    const double half =
+        z * std::sqrt(p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n)) / denom;
+    ProportionInterval out;
+    out.point = p_hat;
+    out.confidence = confidence;
+    out.lower = std::max(0.0, center - half);
+    out.upper = std::min(1.0, center + half);
+    return out;
+}
+
+ProportionInterval clopper_pearson_interval(std::uint64_t successes,
+                                            std::uint64_t trials, double confidence) {
+    require_valid(successes, trials, confidence);
+    const double alpha = 1.0 - confidence;
+    const double k = static_cast<double>(successes);
+    const double n = static_cast<double>(trials);
+    ProportionInterval out;
+    out.point = k / n;
+    out.confidence = confidence;
+    out.lower = successes == 0
+                    ? 0.0
+                    : inverse_regularized_beta(k, n - k + 1.0, alpha / 2.0);
+    out.upper = successes == trials
+                    ? 1.0
+                    : inverse_regularized_beta(k + 1.0, n - k, 1.0 - alpha / 2.0);
+    return out;
+}
+
+ProportionInterval jeffreys_interval(std::uint64_t successes, std::uint64_t trials,
+                                     double confidence) {
+    require_valid(successes, trials, confidence);
+    const double alpha = 1.0 - confidence;
+    const double k = static_cast<double>(successes);
+    const double n = static_cast<double>(trials);
+    ProportionInterval out;
+    out.point = k / n;
+    out.confidence = confidence;
+    out.lower = successes == 0
+                    ? 0.0
+                    : inverse_regularized_beta(k + 0.5, n - k + 0.5, alpha / 2.0);
+    out.upper = successes == trials
+                    ? 1.0
+                    : inverse_regularized_beta(k + 0.5, n - k + 0.5, 1.0 - alpha / 2.0);
+    return out;
+}
+
+}  // namespace qrn::stats

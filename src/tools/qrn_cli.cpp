@@ -1,0 +1,331 @@
+// qrn - command-line front end for the QRN toolkit.
+//
+// Subcommands (all JSON flows use the formats of qrn/serialize.h):
+//   norm-example                     print the paper's example risk norm
+//   types-example                    print the paper's I1/I2/I3 catalog
+//   types-generate [--thresholds a,b] generate a complete banded catalog
+//   allocate --norm F --types F [--solver NAME] [--ethics X]
+//                                    allocate budgets and print the
+//                                    allocation snapshot + safety goals
+//   verify --norm F --types F --evidence F [--confidence C]
+//                                    run Eq. 1 against observed evidence
+//   simulate --hours H [--policy P] [--seed N] [--odd urban|highway]
+//                                    run the fleet simulator and print the
+//                                    evidence document for the paper types
+//   campaign --fleets N --hours H [--policy P] [--seed N] [--odd ...]
+//                                    run N independently seeded fleets and
+//                                    print the pooled evidence document
+//   pipeline [--hours H] [--markdown]
+//                                    full demo: allocate, simulate, verify,
+//                                    print the safety case (text or
+//                                    markdown task list)
+//
+// Evidence document format:
+//   {"kind":"qrn.evidence","exposure_hours":H,
+//    "events":[{"incident_type":"I1","events":N}, ...]}
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "qrn/banding.h"
+#include "qrn/qrn.h"
+#include "qrn/serialize.h"
+#include "safety_case/builder.h"
+#include "sim/sim.h"
+#include "stats/rng.h"
+
+namespace {
+
+using namespace qrn;
+
+/// Minimal argv cursor with --flag value parsing.
+class Args {
+public:
+    Args(int argc, char** argv) : args_(argv + 1, argv + argc) {}
+
+    [[nodiscard]] std::string command() const {
+        return args_.empty() ? "" : args_.front();
+    }
+
+    [[nodiscard]] std::optional<std::string> option(const std::string& flag) const {
+        for (std::size_t i = 1; i + 1 < args_.size() + 1; ++i) {
+            if (args_[i - 1] == flag && i < args_.size()) return args_[i];
+        }
+        return std::nullopt;
+    }
+
+    /// True when the boolean flag is present anywhere on the command line.
+    [[nodiscard]] bool has(const std::string& flag) const {
+        for (const auto& arg : args_) {
+            if (arg == flag) return true;
+        }
+        return false;
+    }
+
+    [[nodiscard]] std::string require(const std::string& flag) const {
+        const auto value = option(flag);
+        if (!value) throw std::runtime_error("missing required option " + flag);
+        return *value;
+    }
+
+private:
+    std::vector<std::string> args_;
+};
+
+std::string read_file(const std::string& path) {
+    std::ifstream f(path);
+    if (!f) throw std::runtime_error("cannot open " + path);
+    std::stringstream buffer;
+    buffer << f.rdbuf();
+    return buffer.str();
+}
+
+RiskNorm load_norm(const Args& args) {
+    return risk_norm_from_json(json::parse(read_file(args.require("--norm"))));
+}
+
+IncidentTypeSet load_types(const Args& args) {
+    return incident_types_from_json(json::parse(read_file(args.require("--types"))));
+}
+
+Allocation run_solver(const AllocationProblem& problem, const std::string& solver) {
+    if (solver == "proportional") return allocate_proportional(problem);
+    if (solver == "inverse-cost") return allocate_inverse_cost(problem);
+    if (solver == "water-filling") return allocate_water_filling(problem);
+    throw std::runtime_error("unknown solver '" + solver +
+                             "' (use proportional, inverse-cost or water-filling)");
+}
+
+sim::TacticalPolicy policy_by_name(const std::string& name) {
+    if (name == "cautious") return sim::TacticalPolicy::cautious();
+    if (name == "nominal") return sim::TacticalPolicy::nominal();
+    if (name == "performance") return sim::TacticalPolicy::performance();
+    throw std::runtime_error("unknown policy '" + name + "'");
+}
+
+sim::Odd odd_by_name(const std::string& name) {
+    if (name == "urban") return sim::Odd::urban();
+    if (name == "highway") return sim::Odd::highway();
+    throw std::runtime_error("unknown ODD '" + name + "'");
+}
+
+json::Value evidence_to_json(const std::vector<TypeEvidence>& evidence) {
+    json::Array events;
+    double hours = 0.0;
+    for (const auto& e : evidence) {
+        hours = e.exposure.hours();
+        events.push_back(json::Value(json::Object{
+            {"incident_type", e.incident_type_id},
+            {"events", static_cast<double>(e.events)},
+        }));
+    }
+    return json::Value(json::Object{
+        {"kind", "qrn.evidence"},
+        {"exposure_hours", hours},
+        {"events", std::move(events)},
+    });
+}
+
+std::vector<TypeEvidence> evidence_from_json(const json::Value& doc) {
+    if (!doc.contains("kind") || doc.at("kind").as_string() != "qrn.evidence") {
+        throw std::runtime_error("not a qrn.evidence document");
+    }
+    const double hours = doc.at("exposure_hours").as_number();
+    std::vector<TypeEvidence> out;
+    for (const auto& entry : doc.at("events").as_array()) {
+        TypeEvidence e;
+        e.incident_type_id = entry.at("incident_type").as_string();
+        e.events = static_cast<std::uint64_t>(entry.at("events").as_number());
+        e.exposure = ExposureHours(hours);
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+int cmd_norm_example() {
+    std::cout << to_json(RiskNorm::paper_example()).dump(2) << '\n';
+    return 0;
+}
+
+int cmd_types_example() {
+    std::cout << to_json(IncidentTypeSet::paper_vru_example()).dump(2) << '\n';
+    return 0;
+}
+
+int cmd_types_generate(const Args& args) {
+    BandingConfig config;
+    if (const auto list = args.option("--thresholds")) {
+        config.thresholds.clear();
+        std::stringstream ss(*list);
+        std::string token;
+        while (std::getline(ss, token, ',')) {
+            config.thresholds.push_back(std::stod(token));
+        }
+    }
+    const InjuryRiskModel model;
+    std::cout << to_json(generate_complete_types(model, config)).dump(2) << '\n';
+    return 0;
+}
+
+int cmd_allocate(const Args& args) {
+    const auto norm = load_norm(args);
+    const auto types = load_types(args);
+    const InjuryRiskModel model;
+    const auto matrix =
+        ContributionMatrix::from_injury_model(norm, types, model, {0.6, 0.4});
+    EthicalConstraint ethics;
+    if (const auto cap = args.option("--ethics")) ethics.max_share = std::stod(*cap);
+    const AllocationProblem problem(norm, types, matrix, {}, ethics);
+    const auto allocation =
+        run_solver(problem, args.option("--solver").value_or("water-filling"));
+    std::cout << to_json(allocation, types).dump(2) << '\n';
+    const auto goals = SafetyGoalSet::derive(problem, allocation);
+    std::cerr << "\nSafety goals:\n";
+    for (const auto& goal : goals.all()) {
+        std::cerr << "  " << goal.id << ": " << goal.text << '\n';
+    }
+    return 0;
+}
+
+int cmd_verify(const Args& args) {
+    const auto norm = load_norm(args);
+    const auto types = load_types(args);
+    const InjuryRiskModel model;
+    const auto matrix =
+        ContributionMatrix::from_injury_model(norm, types, model, {0.6, 0.4});
+    const AllocationProblem problem(norm, types, matrix);
+    const auto allocation = allocate_water_filling(problem);
+    const auto evidence =
+        evidence_from_json(json::parse(read_file(args.require("--evidence"))));
+    const double confidence =
+        std::stod(args.option("--confidence").value_or("0.95"));
+    const auto report = verify_against_evidence(problem, allocation, evidence, confidence);
+    std::cout << to_json(report).dump(2) << '\n';
+    return report.norm_fulfilled() ? 0 : 2;
+}
+
+int cmd_simulate(const Args& args) {
+    sim::FleetConfig config;
+    config.policy = policy_by_name(args.option("--policy").value_or("nominal"));
+    config.odd = odd_by_name(args.option("--odd").value_or("urban"));
+    if (const auto seed = args.option("--seed")) {
+        config.seed = std::stoull(*seed);
+    }
+    const double hours = std::stod(args.require("--hours"));
+    const auto log = sim::FleetSimulator(config).run(hours);
+    std::cerr << "encounters: " << log.encounters
+              << ", incidents: " << log.incidents.size()
+              << ", emergency brakings: " << log.emergency_brakings
+              << ", induced: " << log.induced_count() << '\n';
+    const auto types = IncidentTypeSet::paper_vru_example();
+    std::cout << evidence_to_json(log.evidence_for(types)).dump(2) << '\n';
+    return 0;
+}
+
+int cmd_campaign(const Args& args) {
+    sim::CampaignConfig config;
+    config.base.policy = policy_by_name(args.option("--policy").value_or("nominal"));
+    config.base.odd = odd_by_name(args.option("--odd").value_or("urban"));
+    if (const auto seed = args.option("--seed")) {
+        config.base.seed = std::stoull(*seed);
+    }
+    config.fleets = std::stoull(args.require("--fleets"));
+    config.hours_per_fleet = std::stod(args.require("--hours"));
+    const auto result = sim::run_campaign(config);
+    const auto summary = result.per_fleet_rate_summary();
+    std::cerr << "fleets: " << result.logs.size()
+              << ", total exposure: " << result.total_exposure.hours() << " h"
+              << ", pooled incident rate: " << result.pooled_incident_rate().to_string()
+              << ", per-fleet rate mean/stddev: " << summary.mean() << " / "
+              << summary.stddev() << '\n';
+    if (result.logs.size() >= 2) {
+        const auto homogeneity = result.heterogeneity();
+        std::cerr << "fleet homogeneity: chi2 " << homogeneity.chi_squared << " on "
+                  << homogeneity.degrees_of_freedom << " dof (p = "
+                  << homogeneity.p_value << ")\n";
+    }
+    const auto types = IncidentTypeSet::paper_vru_example();
+    std::cout << evidence_to_json(result.pooled_evidence(types)).dump(2) << '\n';
+    return 0;
+}
+
+int cmd_pipeline(const Args& args) {
+    const double hours = std::stod(args.option("--hours").value_or("20000"));
+    RiskNorm norm(ConsequenceClassSet::paper_example(),
+                  {
+                      Frequency::per_hour(5e-1), Frequency::per_hour(2e-1),
+                      Frequency::per_hour(5e-2), Frequency::per_hour(1e-2),
+                      Frequency::per_hour(5e-3), Frequency::per_hour(3e-3),
+                  },
+                  "cli pipeline norm");
+    const auto types = IncidentTypeSet::paper_vru_example();
+    const InjuryRiskModel model;
+    const auto matrix =
+        ContributionMatrix::from_injury_model(norm, types, model, {0.6, 0.4});
+    const AllocationProblem problem(norm, types, matrix);
+    const auto allocation = allocate_water_filling(problem);
+    const auto goals = SafetyGoalSet::derive(problem, allocation);
+
+    sim::FleetConfig config;
+    config.policy = sim::TacticalPolicy::cautious();
+    config.seed = 2024;
+    const auto log = sim::FleetSimulator(config).run(hours);
+    const auto verification = verify_against_evidence(
+        problem, allocation, log.evidence_for(types), 0.95);
+
+    const auto tree = ClassificationTree::paper_example();
+    stats::Rng rng(1);
+    const auto mece = tree.certify_mece(20000, [&](std::size_t) {
+        Incident incident;
+        incident.second = actor_type_from_index(
+            static_cast<std::size_t>(rng.uniform_int(1, kActorTypeCount - 1)));
+        if (rng.bernoulli(0.5)) {
+            incident.mechanism = IncidentMechanism::NearMiss;
+            incident.min_distance_m = rng.uniform(0.0, 5.0);
+        }
+        incident.relative_speed_kmh = rng.uniform(0.0, 150.0);
+        return incident;
+    });
+
+    safety_case::CaseInputs inputs;
+    inputs.problem = &problem;
+    inputs.allocation = &allocation;
+    inputs.goals = &goals;
+    inputs.mece_certificate = &mece;
+    inputs.verification = &verification;
+    const auto sc = safety_case::build_case(inputs);
+    std::cout << (args.has("--markdown") ? sc.render_markdown() : sc.render());
+    return sc.holds() ? 0 : 2;
+}
+
+int usage() {
+    std::cerr << "usage: qrn <command> [options]\n"
+              << "commands: norm-example | types-example | types-generate |\n"
+              << "          allocate | verify | simulate | campaign | pipeline\n"
+              << "see the file header of src/tools/qrn_cli.cpp for options\n";
+    return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Args args(argc, argv);
+    try {
+        const std::string command = args.command();
+        if (command == "norm-example") return cmd_norm_example();
+        if (command == "types-example") return cmd_types_example();
+        if (command == "types-generate") return cmd_types_generate(args);
+        if (command == "allocate") return cmd_allocate(args);
+        if (command == "verify") return cmd_verify(args);
+        if (command == "simulate") return cmd_simulate(args);
+        if (command == "campaign") return cmd_campaign(args);
+        if (command == "pipeline") return cmd_pipeline(args);
+        return usage();
+    } catch (const std::exception& error) {
+        std::cerr << "qrn: " << error.what() << '\n';
+        return 1;
+    }
+}

@@ -1,0 +1,165 @@
+// End-to-end tests of the qrn CLI binary: each subcommand runs, emits the
+// documented JSON, and the allocate->verify file flow closes.
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "qrn/json.h"
+
+namespace {
+
+#ifndef QRN_CLI_PATH
+#error "QRN_CLI_PATH must be defined by the build"
+#endif
+
+struct CommandResult {
+    int exit_code = -1;
+    std::string output;  // stdout only
+};
+
+CommandResult run_cli(const std::string& arguments) {
+    const std::string command =
+        std::string(QRN_CLI_PATH) + " " + arguments + " 2>/dev/null";
+    FILE* pipe = popen(command.c_str(), "r");
+    if (pipe == nullptr) throw std::runtime_error("popen failed");
+    CommandResult result;
+    std::array<char, 4096> buffer{};
+    std::size_t n = 0;
+    while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+        result.output.append(buffer.data(), n);
+    }
+    const int status = pclose(pipe);
+    result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return result;
+}
+
+std::string temp_path(const std::string& name) {
+    return ::testing::TempDir() + "qrn_cli_" + name;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+    std::ofstream f(path);
+    ASSERT_TRUE(f.is_open());
+    f << content;
+}
+
+TEST(Cli, NoCommandShowsUsage) {
+    EXPECT_EQ(run_cli("").exit_code, 64);
+    EXPECT_EQ(run_cli("bogus-command").exit_code, 64);
+}
+
+TEST(Cli, NormExampleEmitsValidDocument) {
+    const auto result = run_cli("norm-example");
+    ASSERT_EQ(result.exit_code, 0);
+    const auto doc = qrn::json::parse(result.output);
+    EXPECT_EQ(doc.at("kind").as_string(), "qrn.risk_norm");
+    EXPECT_EQ(doc.at("classes").as_array().size(), 6u);
+}
+
+TEST(Cli, TypesExampleEmitsValidDocument) {
+    const auto result = run_cli("types-example");
+    ASSERT_EQ(result.exit_code, 0);
+    const auto doc = qrn::json::parse(result.output);
+    EXPECT_EQ(doc.at("kind").as_string(), "qrn.incident_types");
+    EXPECT_EQ(doc.at("types").as_array().size(), 3u);
+}
+
+TEST(Cli, TypesGenerateRespectsThresholds) {
+    const auto result = run_cli("types-generate --thresholds 0.5");
+    ASSERT_EQ(result.exit_code, 0);
+    const auto doc = qrn::json::parse(result.output);
+    // 6 counterparties x (2 bands + near miss).
+    EXPECT_EQ(doc.at("types").as_array().size(), 18u);
+}
+
+TEST(Cli, AllocateVerifyFileFlow) {
+    const std::string norm_path = temp_path("norm.json");
+    const std::string types_path = temp_path("types.json");
+    const std::string evidence_path = temp_path("evidence.json");
+
+    write_file(norm_path, run_cli("norm-example").output);
+    write_file(types_path, run_cli("types-example").output);
+
+    const auto allocation = run_cli("allocate --norm " + norm_path + " --types " +
+                                    types_path + " --solver proportional");
+    ASSERT_EQ(allocation.exit_code, 0);
+    const auto alloc_doc = qrn::json::parse(allocation.output);
+    EXPECT_EQ(alloc_doc.at("solver").as_string(), "proportional");
+    EXPECT_EQ(alloc_doc.at("budgets").as_array().size(), 3u);
+
+    // Clean evidence over a huge exposure must verify.
+    write_file(evidence_path, R"({"kind":"qrn.evidence","exposure_hours":1e12,
+      "events":[{"incident_type":"I1","events":0},
+                {"incident_type":"I2","events":0},
+                {"incident_type":"I3","events":0}]})");
+    const auto verify = run_cli("verify --norm " + norm_path + " --types " +
+                                types_path + " --evidence " + evidence_path);
+    EXPECT_EQ(verify.exit_code, 0);
+    const auto verify_doc = qrn::json::parse(verify.output);
+    EXPECT_TRUE(verify_doc.at("norm_fulfilled").as_bool());
+
+    // Catastrophic evidence must fail with the documented exit code 2.
+    write_file(evidence_path, R"({"kind":"qrn.evidence","exposure_hours":10,
+      "events":[{"incident_type":"I1","events":1000},
+                {"incident_type":"I2","events":1000},
+                {"incident_type":"I3","events":1000}]})");
+    const auto failing = run_cli("verify --norm " + norm_path + " --types " +
+                                 types_path + " --evidence " + evidence_path);
+    EXPECT_EQ(failing.exit_code, 2);
+
+    std::remove(norm_path.c_str());
+    std::remove(types_path.c_str());
+    std::remove(evidence_path.c_str());
+}
+
+TEST(Cli, SimulateEmitsEvidence) {
+    const auto result = run_cli("simulate --hours 50 --policy cautious --seed 7");
+    ASSERT_EQ(result.exit_code, 0);
+    const auto doc = qrn::json::parse(result.output);
+    EXPECT_EQ(doc.at("kind").as_string(), "qrn.evidence");
+    EXPECT_DOUBLE_EQ(doc.at("exposure_hours").as_number(), 50.0);
+    EXPECT_EQ(doc.at("events").as_array().size(), 3u);
+}
+
+TEST(Cli, SimulateIsDeterministicPerSeed) {
+    const auto a = run_cli("simulate --hours 30 --seed 5");
+    const auto b = run_cli("simulate --hours 30 --seed 5");
+    EXPECT_EQ(a.output, b.output);
+}
+
+TEST(Cli, MissingFilesAndOptionsFailCleanly) {
+    EXPECT_EQ(run_cli("allocate --norm /no/such.json --types /no/such.json").exit_code,
+              1);
+    EXPECT_EQ(run_cli("allocate").exit_code, 1);
+    EXPECT_EQ(run_cli("simulate").exit_code, 1);  // --hours missing
+    EXPECT_EQ(run_cli("simulate --hours 10 --policy bogus").exit_code, 1);
+}
+
+TEST(Cli, CampaignPoolsEvidence) {
+    const auto result = run_cli("campaign --fleets 3 --hours 20 --seed 4");
+    ASSERT_EQ(result.exit_code, 0);
+    const auto doc = qrn::json::parse(result.output);
+    EXPECT_EQ(doc.at("kind").as_string(), "qrn.evidence");
+    EXPECT_DOUBLE_EQ(doc.at("exposure_hours").as_number(), 60.0);
+    EXPECT_EQ(run_cli("campaign --fleets 3").exit_code, 1);  // --hours missing
+}
+
+TEST(Cli, PipelineRunsEndToEnd) {
+    const auto result = run_cli("pipeline --hours 2000");
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+    EXPECT_NE(result.output.find("Safety case"), std::string::npos);
+    EXPECT_NE(result.output.find("SG-I2"), std::string::npos);
+}
+
+TEST(Cli, PipelineMarkdownVariant) {
+    const auto result = run_cli("pipeline --hours 2000 --markdown");
+    EXPECT_EQ(result.exit_code, 0);
+    EXPECT_NE(result.output.find("# QRN safety case"), std::string::npos);
+    EXPECT_NE(result.output.find("- [x]"), std::string::npos);
+}
+
+}  // namespace

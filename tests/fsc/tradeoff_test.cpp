@@ -1,0 +1,92 @@
+// Design-space exploration (Sec. IV trade-offs).
+#include "fsc/tradeoff.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace qrn::fsc {
+namespace {
+
+struct Fixture {
+    AllocationProblem problem;
+    Allocation allocation;
+
+    static Fixture make() {
+        RiskNorm norm(ConsequenceClassSet::paper_example(),
+                      {
+                          Frequency::per_hour(1.0), Frequency::per_hour(5e-1),
+                          Frequency::per_hour(2e-1), Frequency::per_hour(1e-1),
+                          Frequency::per_hour(5e-2), Frequency::per_hour(2e-2),
+                      },
+                      "tradeoff-test norm");
+        auto types = IncidentTypeSet::paper_vru_example();
+        const InjuryRiskModel injury;
+        auto matrix =
+            ContributionMatrix::from_injury_model(norm, types, injury, {0.6, 0.4});
+        AllocationProblem problem(std::move(norm), std::move(types), std::move(matrix));
+        auto allocation = allocate_water_filling(problem);
+        return Fixture{std::move(problem), std::move(allocation)};
+    }
+};
+
+TEST(Explore, EvaluatesEveryOption) {
+    const auto fx = Fixture::make();
+    const auto options = standard_options();
+    const auto evals = explore(fx.problem, fx.allocation, options, 400.0, 77);
+    ASSERT_EQ(evals.size(), options.size());
+    for (std::size_t i = 0; i < evals.size(); ++i) {
+        EXPECT_EQ(evals[i].name, options[i].name);
+        EXPECT_GT(evals[i].worst_goal_utilization, 0.0);
+        EXPECT_GT(evals[i].verification_hours, 0.0);
+    }
+}
+
+TEST(Explore, CautiousStyleDominatesPerformanceOnRisk) {
+    const auto fx = Fixture::make();
+    std::vector<DesignOption> options = {
+        {"performance", sim::TacticalPolicy::performance(), sim::PerceptionModel{},
+         sim::Odd::urban()},
+        {"cautious", sim::TacticalPolicy::cautious(), sim::PerceptionModel{},
+         sim::Odd::urban()},
+    };
+    const auto evals = explore(fx.problem, fx.allocation, options, 1500.0, 99);
+    EXPECT_LT(evals[1].incident_rate, evals[0].incident_rate);
+    EXPECT_LE(evals[1].worst_goal_utilization, evals[0].worst_goal_utilization);
+}
+
+TEST(Explore, RestrictedOddReducesRisk) {
+    const auto fx = Fixture::make();
+    sim::Odd restricted = sim::Odd::urban();
+    restricted.max_vru_density = 1.0;
+    restricted.max_speed_limit_kmh = 40.0;
+    std::vector<DesignOption> options = {
+        {"full", sim::TacticalPolicy::nominal(), sim::PerceptionModel{}, sim::Odd::urban()},
+        {"restricted", sim::TacticalPolicy::nominal(), sim::PerceptionModel{}, restricted},
+    };
+    const auto evals = explore(fx.problem, fx.allocation, options, 1500.0, 99);
+    EXPECT_LT(evals[1].incident_rate, evals[0].incident_rate);
+}
+
+TEST(Explore, VerificationHoursTrackTightestBudget) {
+    const auto fx = Fixture::make();
+    const auto evals = explore(fx.problem, fx.allocation,
+                               {standard_options().front()}, 200.0, 5);
+    Frequency tightest = fx.allocation.budgets.front();
+    for (const auto b : fx.allocation.budgets) tightest = std::min(tightest, b);
+    EXPECT_NEAR(evals[0].verification_hours,
+                exposure_to_demonstrate(tightest, 0.95).hours(),
+                1e-6 * evals[0].verification_hours);
+}
+
+TEST(Explore, InputValidation) {
+    const auto fx = Fixture::make();
+    EXPECT_THROW(explore(fx.problem, fx.allocation, {}, 100.0, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        explore(fx.problem, fx.allocation, {standard_options().front()}, 0.0, 1),
+        std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qrn::fsc

@@ -1,0 +1,117 @@
+// The baseline HARA pipeline: event generation, worst-case goal emission,
+// and the assessor heuristics.
+#include "hara/hara_study.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace qrn::hara {
+namespace {
+
+SituationCatalog tiny_catalog() {
+    return SituationCatalog({
+        {"speed band", {"0-30", "30-50", "50-80", "80-110"}},
+        {"special actors", {"none", "VRU nearby"}},
+    });
+}
+
+TEST(RunHara, CountsAllCombinations) {
+    const auto hazards = derive_hazards({{"braking", ""}});
+    const auto catalog = tiny_catalog();
+    const SecAssessor fixed = [](const Hazard&, const OperationalSituation&, Severity& s,
+                                 Exposure& e, Controllability& c) {
+        s = Severity::S1;
+        e = Exposure::E2;
+        c = Controllability::C1;
+    };
+    const auto result = run_hara(hazards, catalog, fixed);
+    EXPECT_EQ(result.situations_assessed, hazards.size() * catalog.size());
+    // S1E2C1 = QM: no events, no goals.
+    EXPECT_TRUE(result.events.empty());
+    EXPECT_TRUE(result.goals.empty());
+}
+
+TEST(RunHara, EmitsGoalPerHazardAtWorstAsil) {
+    const std::vector<Hazard> hazards = {{{"braking", ""}, Guideword::No},
+                                         {{"steering", ""}, Guideword::More}};
+    const auto catalog = tiny_catalog();
+    // Severity tracks the speed-band index; braking hazards are harder to
+    // control.
+    const SecAssessor assessor = [](const Hazard& h, const OperationalSituation& sit,
+                                    Severity& s, Exposure& e, Controllability& c) {
+        s = static_cast<Severity>(std::min<std::size_t>(sit.value_indices[0], 3));
+        e = Exposure::E4;
+        c = h.function.name == "braking" ? Controllability::C3 : Controllability::C2;
+    };
+    const auto result = run_hara(hazards, catalog, assessor);
+    ASSERT_EQ(result.goals.size(), 2u);
+    EXPECT_EQ(result.goals[0].asil, Asil::D);  // braking: S3 E4 C3
+    EXPECT_EQ(result.goals[1].asil, Asil::C);  // steering: S3 E4 C2
+    // Classical goals carry an FTTI, tighter for higher integrity - the
+    // Sec. IV contrast with frequency-only QRN goals.
+    EXPECT_DOUBLE_EQ(result.goals[0].ftti_ms, 100.0);
+    EXPECT_DOUBLE_EQ(result.goals[1].ftti_ms, 200.0);
+    EXPECT_LT(result.goals[0].ftti_ms, result.goals[1].ftti_ms);
+    EXPECT_EQ(result.goals[0].id, "SG-H1");
+    EXPECT_NE(result.goals[0].text.find("no braking"), std::string::npos);
+    // Events: only ASIL > QM combinations are retained.
+    for (const auto& ev : result.events) {
+        EXPECT_NE(ev.asil, Asil::QM);
+    }
+}
+
+TEST(RunHara, MaxSituationsCapsSweep) {
+    const auto hazards = derive_hazards({{"braking", ""}});
+    const auto catalog = SituationCatalog::ads_example();
+    const SecAssessor fixed = [](const Hazard&, const OperationalSituation&, Severity& s,
+                                 Exposure& e, Controllability& c) {
+        s = Severity::S3;
+        e = Exposure::E4;
+        c = Controllability::C3;
+    };
+    const auto result = run_hara(hazards, catalog, fixed, 100);
+    EXPECT_EQ(result.situations_assessed, hazards.size() * 100u);
+}
+
+TEST(RunHara, InputValidation) {
+    const auto catalog = tiny_catalog();
+    const SecAssessor fixed = [](const Hazard&, const OperationalSituation&, Severity&,
+                                 Exposure&, Controllability&) {};
+    EXPECT_THROW(run_hara({}, catalog, fixed), std::invalid_argument);
+    EXPECT_THROW(run_hara(derive_hazards({{"f", ""}}), catalog, SecAssessor{}),
+                 std::invalid_argument);
+}
+
+TEST(AdsHeuristicAssessor, ControllabilityAlwaysC3) {
+    const auto catalog = SituationCatalog::ads_example();
+    const auto assessor = ads_heuristic_assessor(catalog);
+    const Hazard h{{"longitudinal braking", ""}, Guideword::No};
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        Severity s{};
+        Exposure e{};
+        Controllability c{};
+        assessor(h, catalog.at(i * 37 % catalog.size()), s, e, c);
+        EXPECT_EQ(c, Controllability::C3);
+    }
+}
+
+TEST(AdsHeuristicAssessor, VruPresenceRaisesSeverity) {
+    const auto catalog = SituationCatalog::ads_example();
+    const auto assessor = ads_heuristic_assessor(catalog);
+    const Hazard h{{"longitudinal braking", ""}, Guideword::No};
+    // Find two situations identical except for the special-actors value.
+    OperationalSituation base = catalog.at(0);
+    OperationalSituation with_vru = base;
+    with_vru.value_indices.back() = 1;  // "VRU nearby"
+    Severity s0{}, s1{};
+    Exposure e{};
+    Controllability c{};
+    assessor(h, base, s0, e, c);
+    assessor(h, with_vru, s1, e, c);
+    EXPECT_GE(static_cast<int>(s1), static_cast<int>(s0));
+}
+
+}  // namespace
+}  // namespace qrn::hara

@@ -1,0 +1,93 @@
+// The ISO 26262-3 risk graph: full-table verification against the standard.
+#include "hara/risk_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace qrn::hara {
+namespace {
+
+TEST(RiskGraph, S0E0C0AlwaysQm) {
+    EXPECT_EQ(determine_asil(Severity::S0, Exposure::E4, Controllability::C3), Asil::QM);
+    EXPECT_EQ(determine_asil(Severity::S3, Exposure::E0, Controllability::C3), Asil::QM);
+    EXPECT_EQ(determine_asil(Severity::S3, Exposure::E4, Controllability::C0), Asil::QM);
+}
+
+TEST(RiskGraph, FullTableMatchesIso26262Table4) {
+    // ISO 26262-3:2018 Table 4, S1..S3 x E1..E4 x C1..C3, row-major C1,C2,C3.
+    struct Row {
+        Severity s;
+        Exposure e;
+        Asil c1, c2, c3;
+    };
+    const Row rows[] = {
+        {Severity::S1, Exposure::E1, Asil::QM, Asil::QM, Asil::QM},
+        {Severity::S1, Exposure::E2, Asil::QM, Asil::QM, Asil::QM},
+        {Severity::S1, Exposure::E3, Asil::QM, Asil::QM, Asil::A},
+        {Severity::S1, Exposure::E4, Asil::QM, Asil::A, Asil::B},
+        {Severity::S2, Exposure::E1, Asil::QM, Asil::QM, Asil::QM},
+        {Severity::S2, Exposure::E2, Asil::QM, Asil::QM, Asil::A},
+        {Severity::S2, Exposure::E3, Asil::QM, Asil::A, Asil::B},
+        {Severity::S2, Exposure::E4, Asil::A, Asil::B, Asil::C},
+        {Severity::S3, Exposure::E1, Asil::QM, Asil::QM, Asil::A},
+        {Severity::S3, Exposure::E2, Asil::QM, Asil::A, Asil::B},
+        {Severity::S3, Exposure::E3, Asil::A, Asil::B, Asil::C},
+        {Severity::S3, Exposure::E4, Asil::B, Asil::C, Asil::D},
+    };
+    for (const auto& r : rows) {
+        EXPECT_EQ(determine_asil(r.s, r.e, Controllability::C1), r.c1)
+            << to_string(r.s) << to_string(r.e) << "C1";
+        EXPECT_EQ(determine_asil(r.s, r.e, Controllability::C2), r.c2)
+            << to_string(r.s) << to_string(r.e) << "C2";
+        EXPECT_EQ(determine_asil(r.s, r.e, Controllability::C3), r.c3)
+            << to_string(r.s) << to_string(r.e) << "C3";
+    }
+}
+
+TEST(RiskGraph, OnlyS3E4C3ReachesD) {
+    int d_count = 0;
+    for (int s = 0; s <= 3; ++s) {
+        for (int e = 0; e <= 4; ++e) {
+            for (int c = 0; c <= 3; ++c) {
+                if (determine_asil(static_cast<Severity>(s), static_cast<Exposure>(e),
+                                   static_cast<Controllability>(c)) == Asil::D) {
+                    ++d_count;
+                    EXPECT_EQ(s, 3);
+                    EXPECT_EQ(e, 4);
+                    EXPECT_EQ(c, 3);
+                }
+            }
+        }
+    }
+    EXPECT_EQ(d_count, 1);
+}
+
+TEST(RiskGraph, IndicativeFrequenciesDecreaseWithAsil) {
+    EXPECT_GT(indicative_frequency_per_hour(Asil::QM),
+              indicative_frequency_per_hour(Asil::A));
+    EXPECT_GT(indicative_frequency_per_hour(Asil::A),
+              indicative_frequency_per_hour(Asil::B));
+    EXPECT_EQ(indicative_frequency_per_hour(Asil::B),
+              indicative_frequency_per_hour(Asil::C));
+    EXPECT_GT(indicative_frequency_per_hour(Asil::C),
+              indicative_frequency_per_hour(Asil::D));
+    EXPECT_DOUBLE_EQ(indicative_frequency_per_hour(Asil::D), 1e-8);
+}
+
+TEST(RiskGraph, RiskReductionDecades) {
+    // Fig. 1 ladder: E4/C3 = no reduction; each step adds one decade.
+    EXPECT_DOUBLE_EQ(risk_reduction_decades(Exposure::E4, Controllability::C3), 0.0);
+    EXPECT_DOUBLE_EQ(risk_reduction_decades(Exposure::E3, Controllability::C3), 1.0);
+    EXPECT_DOUBLE_EQ(risk_reduction_decades(Exposure::E4, Controllability::C2), 1.0);
+    EXPECT_DOUBLE_EQ(risk_reduction_decades(Exposure::E1, Controllability::C1), 5.0);
+}
+
+TEST(RiskGraph, Naming) {
+    EXPECT_EQ(to_string(Severity::S2), "S2");
+    EXPECT_EQ(to_string(Exposure::E3), "E3");
+    EXPECT_EQ(to_string(Controllability::C1), "C1");
+    EXPECT_EQ(to_string(Asil::QM), "QM");
+    EXPECT_EQ(to_string(Asil::D), "ASIL D");
+}
+
+}  // namespace
+}  // namespace qrn::hara

@@ -1,0 +1,127 @@
+// The full loop the paper implies but cannot run: allocate budgets, operate
+// a simulated fleet, verify Eq. 1 from the incident log, and react to the
+// verdicts the way the FSC iteration of Sec. IV would.
+#include <gtest/gtest.h>
+
+#include "qrn/qrn.h"
+#include "sim/fleet.h"
+
+namespace qrn {
+namespace {
+
+struct Setup {
+    AllocationProblem problem;
+    Allocation allocation;
+
+    static Setup make(double norm_scale) {
+        // A deliberately generous norm (scaled up) lets the nominal-policy
+        // simulated fleet pass; scaling down makes it fail. The structure
+        // (classes, types, contributions) is the paper's running example.
+        auto classes = ConsequenceClassSet::paper_example();
+        RiskNorm norm(classes,
+                      {
+                          Frequency::per_hour(1e-1 * norm_scale),
+                          Frequency::per_hour(5e-2 * norm_scale),
+                          Frequency::per_hour(2e-2 * norm_scale),
+                          Frequency::per_hour(1e-2 * norm_scale),
+                          Frequency::per_hour(5e-3 * norm_scale),
+                          Frequency::per_hour(2e-3 * norm_scale),
+                      },
+                      "fleet-test norm");
+        auto types = IncidentTypeSet::paper_vru_example();
+        const InjuryRiskModel injury;
+        auto matrix =
+            ContributionMatrix::from_injury_model(norm, types, injury, {0.6, 0.4});
+        AllocationProblem problem(std::move(norm), std::move(types), std::move(matrix));
+        auto allocation = allocate_water_filling(problem);
+        return Setup{std::move(problem), std::move(allocation)};
+    }
+};
+
+sim::IncidentLog run_fleet(sim::TacticalPolicy policy, double hours,
+                           std::uint64_t seed = 101) {
+    sim::FleetConfig config;
+    config.odd = sim::Odd::urban();
+    config.policy = policy;
+    config.seed = seed;
+    return sim::FleetSimulator(config).run(hours);
+}
+
+TEST(FleetVerification, GenerousNormIsFulfilledWithConfidence) {
+    const auto setup = Setup::make(10.0);
+    const auto log = run_fleet(sim::TacticalPolicy::cautious(), 20000.0);
+    const auto evidence = log.evidence_for(setup.problem.types());
+    const auto report =
+        verify_against_evidence(setup.problem, setup.allocation, evidence, 0.95);
+    EXPECT_TRUE(report.norm_point_fulfilled());
+    EXPECT_TRUE(report.norm_fulfilled())
+        << "upper-bound usage should clear a 10x-relaxed norm";
+}
+
+TEST(FleetVerification, TightNormIsViolatedByAggressivePolicy) {
+    const auto setup = Setup::make(1e-3);
+    const auto log = run_fleet(sim::TacticalPolicy::performance(), 20000.0);
+    const auto evidence = log.evidence_for(setup.problem.types());
+    const auto report =
+        verify_against_evidence(setup.problem, setup.allocation, evidence, 0.95);
+    EXPECT_FALSE(report.norm_fulfilled());
+}
+
+TEST(FleetVerification, MoreExposureTurnsPointOnlyIntoFulfilled) {
+    // With little exposure the upper bounds are loose (PointFulfilled at
+    // best); with much more exposure the same true rates verify fully.
+    const auto setup = Setup::make(10.0);
+    const auto small = run_fleet(sim::TacticalPolicy::cautious(), 500.0, 7);
+    const auto large = run_fleet(sim::TacticalPolicy::cautious(), 50000.0, 7);
+    const auto small_report = verify_against_evidence(
+        setup.problem, setup.allocation, small.evidence_for(setup.problem.types()), 0.95);
+    const auto large_report = verify_against_evidence(
+        setup.problem, setup.allocation, large.evidence_for(setup.problem.types()), 0.95);
+    // Weak evidence can only be as good as strong evidence, never better.
+    int small_fulfilled = 0, large_fulfilled = 0;
+    for (const auto& c : small_report.classes) {
+        small_fulfilled += c.verdict == ClassVerdict::Fulfilled;
+    }
+    for (const auto& c : large_report.classes) {
+        large_fulfilled += c.verdict == ClassVerdict::Fulfilled;
+    }
+    EXPECT_GE(large_fulfilled, small_fulfilled);
+    EXPECT_TRUE(large_report.norm_fulfilled());
+}
+
+TEST(FleetVerification, TighteningIterationRestoresFeasibility) {
+    // FSC iteration: measure what the fleet does, feed the measured rates
+    // as demands into the tightening allocator, and obtain goals that are
+    // feasible for the *norm* (the implementation must then improve to
+    // meet them - here we just verify the budget arithmetic closes).
+    const auto setup = Setup::make(1.0);
+    const auto log = run_fleet(sim::TacticalPolicy::performance(), 10000.0);
+    const auto evidence = log.evidence_for(setup.problem.types());
+    std::vector<Frequency> demands;
+    for (const auto& e : evidence) {
+        demands.push_back(Frequency::of_count(
+            static_cast<double>(e.events) + 1.0, e.exposure));  // +1: avoid zero demand
+    }
+    const auto tightened = allocate_tightening(setup.problem, demands);
+    EXPECT_TRUE(satisfies_norm(setup.problem, tightened.budgets));
+    // Tightened budgets never exceed the demands they started from.
+    for (std::size_t k = 0; k < demands.size(); ++k) {
+        EXPECT_LE(tightened.budgets[k].per_hour_value(),
+                  demands[k].per_hour_value() + 1e-15);
+    }
+}
+
+TEST(FleetVerification, GoalsAndClassesAgreeOnCleanPass) {
+    const auto setup = Setup::make(10.0);
+    const auto log = run_fleet(sim::TacticalPolicy::cautious(), 20000.0, 31);
+    const auto report = verify_against_evidence(
+        setup.problem, setup.allocation, log.evidence_for(setup.problem.types()), 0.95);
+    if (report.goals_fulfilled()) {
+        // Per-goal fulfilment implies per-class fulfilment (Eq. 1 is linear
+        // in the budgets, which satisfy the norm by construction).
+        EXPECT_TRUE(report.norm_fulfilled());
+    }
+}
+
+}  // namespace
+}  // namespace qrn

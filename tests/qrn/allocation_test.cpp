@@ -1,0 +1,256 @@
+// The allocation engine: every solver must satisfy Eq. 1 on every problem,
+// plus solver-specific behaviour (proportionality, water-filling gains,
+// tightening convergence, ethical caps). Includes a randomised property
+// sweep over generated problems.
+#include "qrn/allocation.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace qrn {
+namespace {
+
+AllocationProblem paper_problem(EthicalConstraint ethics = {},
+                                std::vector<double> weights = {}) {
+    auto norm = RiskNorm::paper_example();
+    auto types = IncidentTypeSet::paper_vru_example();
+    const InjuryRiskModel model;
+    auto matrix = ContributionMatrix::from_injury_model(norm, types, model, {0.6, 0.4});
+    return AllocationProblem(std::move(norm), std::move(types), std::move(matrix),
+                             std::move(weights), ethics);
+}
+
+TEST(AllocationProblem, ValidationRejectsMismatches) {
+    auto norm = RiskNorm::paper_example();
+    auto types = IncidentTypeSet::paper_vru_example();
+    // Wrong matrix shape.
+    EXPECT_THROW(AllocationProblem(norm, types, ContributionMatrix(2, 2, {{0.1, 0.1}, {0.1, 0.1}})),
+                 std::invalid_argument);
+    const InjuryRiskModel model;
+    auto matrix = ContributionMatrix::from_injury_model(norm, types, model, {0.6, 0.4});
+    // Wrong weight count.
+    EXPECT_THROW(AllocationProblem(norm, types, matrix, {1.0}), std::invalid_argument);
+    // Non-positive weight.
+    EXPECT_THROW(AllocationProblem(norm, types, matrix, {1.0, 0.0, 1.0}),
+                 std::invalid_argument);
+    // Bad ethics cap.
+    EXPECT_THROW(AllocationProblem(norm, types, matrix, {}, EthicalConstraint{0.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(AllocationProblem(norm, types, matrix, {}, EthicalConstraint{1.5}),
+                 std::invalid_argument);
+}
+
+TEST(Proportional, SatisfiesNormAndSaturatesOneClass) {
+    const auto p = paper_problem();
+    const auto a = allocate_proportional(p);
+    EXPECT_TRUE(satisfies_norm(p, a.budgets));
+    // The binding class must be (nearly) fully used, otherwise the scale
+    // could grow - optimality of the uniform scaling.
+    double max_util = 0.0;
+    for (const auto& u : a.usage) max_util = std::max(max_util, u.utilization);
+    EXPECT_NEAR(max_util, 1.0, 1e-9);
+    EXPECT_EQ(a.solver, "proportional");
+}
+
+TEST(Proportional, BudgetsFollowWeights) {
+    const auto p = paper_problem({}, {1.0, 2.0, 1.0});
+    const auto a = allocate_proportional(p);
+    EXPECT_NEAR(a.budgets[1].per_hour_value() / a.budgets[0].per_hour_value(), 2.0,
+                1e-9);
+}
+
+TEST(InverseCost, EqualisesNormConsumption) {
+    const auto p = paper_problem();
+    const auto a = allocate_inverse_cost(p);
+    EXPECT_TRUE(satisfies_norm(p, a.budgets));
+    // Each type's normalised cost sum_j c[j][k]/limit_j * f_k should be
+    // (nearly) equal across types.
+    std::vector<double> costs;
+    for (std::size_t k = 0; k < p.types().size(); ++k) {
+        double cost = 0.0;
+        for (std::size_t j = 0; j < p.norm().size(); ++j) {
+            cost += p.matrix().fraction(j, k) / p.norm().limit(j).per_hour_value();
+        }
+        costs.push_back(cost * a.budgets[k].per_hour_value());
+    }
+    for (std::size_t k = 1; k < costs.size(); ++k) {
+        EXPECT_NEAR(costs[k], costs[0], 1e-6 * costs[0]);
+    }
+}
+
+TEST(WaterFilling, SatisfiesNormAndDominatesProportionalMinimum) {
+    const auto p = paper_problem();
+    const auto wf = allocate_water_filling(p);
+    const auto pr = allocate_proportional(p);
+    EXPECT_TRUE(satisfies_norm(p, wf.budgets));
+    // Water filling only ever grows budgets beyond the first binding point,
+    // so every budget is >= the proportional one (same weights).
+    for (std::size_t k = 0; k < wf.budgets.size(); ++k) {
+        EXPECT_GE(wf.budgets[k].per_hour_value(),
+                  pr.budgets[k].per_hour_value() * (1.0 - 1e-9));
+    }
+}
+
+TEST(WaterFilling, UnfrozenTypesKeepGrowingAfterFirstSaturation) {
+    // Two types, two classes; type 0 feeds class 0 only (tight), type 1
+    // feeds class 1 only (loose): water filling must give type 1 much more
+    // than the common scale at type 0's saturation.
+    const ConsequenceClassSet classes({
+        {"vA", "tight", ConsequenceDomain::Safety, 1, ""},
+        {"vB", "loose", ConsequenceDomain::Safety, 2, ""},
+    });
+    RiskNorm norm(classes, {Frequency::per_hour(1e-6), Frequency::per_hour(1e-6)});
+    IncidentTypeSet types({
+        IncidentType("T0", ActorType::Vru, ToleranceMargin::impact_speed(0.0, 10.0)),
+        IncidentType("T1", ActorType::Car, ToleranceMargin::impact_speed(0.0, 10.0)),
+    });
+    ContributionMatrix matrix(2, 2, {{1.0, 0.0}, {0.0, 0.1}});
+    const AllocationProblem p(norm, types, matrix);
+    const auto a = allocate_water_filling(p);
+    EXPECT_TRUE(satisfies_norm(p, a.budgets));
+    EXPECT_NEAR(a.budgets[0].per_hour_value(), 1e-6, 1e-12);
+    EXPECT_NEAR(a.budgets[1].per_hour_value(), 1e-5, 1e-11);
+}
+
+TEST(Tightening, ReducesInfeasibleDemandsToFeasibility) {
+    const auto p = paper_problem();
+    // Demands far above anything the norm permits.
+    const std::vector<Frequency> demands(3, Frequency::per_hour(1.0));
+    const auto a = allocate_tightening(p, demands);
+    EXPECT_TRUE(satisfies_norm(p, a.budgets));
+    EXPECT_EQ(a.solver, "tightening");
+}
+
+TEST(Tightening, FeasibleDemandsPassThroughUnchanged) {
+    const auto p = paper_problem();
+    const auto base = allocate_proportional(p);
+    // Half the feasible budgets: already satisfying, must not shrink.
+    std::vector<Frequency> demands;
+    for (const auto b : base.budgets) demands.push_back(b * 0.5);
+    const auto a = allocate_tightening(p, demands);
+    for (std::size_t k = 0; k < demands.size(); ++k) {
+        EXPECT_NEAR(a.budgets[k].per_hour_value(), demands[k].per_hour_value(), 1e-15);
+    }
+}
+
+TEST(Tightening, RejectsWrongDemandCount) {
+    const auto p = paper_problem();
+    EXPECT_THROW(allocate_tightening(p, {Frequency::per_hour(1.0)}),
+                 std::invalid_argument);
+}
+
+TEST(Ethics, CapLimitsPerTypeShare) {
+    const auto cap = 0.4;
+    const auto p = paper_problem(EthicalConstraint{cap});
+    for (const auto& a : {allocate_proportional(p), allocate_inverse_cost(p),
+                          allocate_water_filling(p),
+                          allocate_tightening(p, std::vector<Frequency>(
+                                                     3, Frequency::per_hour(1.0)))}) {
+        EXPECT_TRUE(satisfies_norm(p, a.budgets)) << a.solver;
+        for (std::size_t j = 0; j < p.norm().size(); ++j) {
+            for (std::size_t k = 0; k < 3; ++k) {
+                const double share = p.matrix().fraction(j, k) *
+                                     a.budgets[k].per_hour_value() /
+                                     p.norm().limit(j).per_hour_value();
+                EXPECT_LE(share, cap + 1e-9) << a.solver << " j=" << j << " k=" << k;
+            }
+        }
+    }
+}
+
+TEST(EvaluateUsage, MatchesHandComputation) {
+    const ConsequenceClassSet classes({{"v", "x", ConsequenceDomain::Safety, 1, ""}});
+    RiskNorm norm(classes, {Frequency::per_hour(1e-6)});
+    IncidentTypeSet types({
+        IncidentType("T", ActorType::Vru, ToleranceMargin::impact_speed(0.0, 10.0)),
+    });
+    ContributionMatrix matrix(1, 1, {{0.5}});
+    const AllocationProblem p(norm, types, matrix);
+    const auto usage = evaluate_usage(p, {Frequency::per_hour(1e-6)});
+    ASSERT_EQ(usage.size(), 1u);
+    EXPECT_NEAR(usage[0].used.per_hour_value(), 5e-7, 1e-18);
+    EXPECT_NEAR(usage[0].utilization, 0.5, 1e-9);
+    EXPECT_THROW(evaluate_usage(p, {}), std::invalid_argument);
+}
+
+TEST(Allocation, MinHeadroomReflectsWorstClass) {
+    const auto p = paper_problem();
+    const auto a = allocate_proportional(p);
+    EXPECT_NEAR(a.min_headroom(), 0.0, 1e-9);  // one class saturated
+}
+
+/// Property sweep: random problems, every solver, Eq. 1 must always hold.
+class SolverProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverProperty, AllSolversSatisfyRandomProblems) {
+    stats::Rng rng(GetParam());
+    // Random norm with 2-5 classes.
+    const auto n_classes = static_cast<std::size_t>(rng.uniform_int(2, 5));
+    std::vector<ConsequenceClass> classes;
+    std::vector<Frequency> limits;
+    double limit = 1e-3;
+    for (std::size_t j = 0; j < n_classes; ++j) {
+        classes.push_back({"v" + std::to_string(j), "c", ConsequenceDomain::Safety,
+                           static_cast<int>(j + 1), ""});
+        limits.push_back(Frequency::per_hour(limit));
+        limit /= rng.uniform(2.0, 20.0);
+    }
+    RiskNorm norm(ConsequenceClassSet(classes), limits);
+    // Random types (2-6) on distinct counterparties/bands.
+    const auto n_types = static_cast<std::size_t>(rng.uniform_int(2, 6));
+    std::vector<IncidentType> type_list;
+    for (std::size_t k = 0; k < n_types; ++k) {
+        type_list.emplace_back(
+            "T" + std::to_string(k),
+            actor_type_from_index(1 + k % (kActorTypeCount - 1)),
+            ToleranceMargin::impact_speed(10.0 * static_cast<double>(k / (kActorTypeCount - 1)),
+                                          10.0 * static_cast<double>(k / (kActorTypeCount - 1)) + 9.0));
+    }
+    IncidentTypeSet types(type_list);
+    // Random contribution matrix with column sums <= 1.
+    std::vector<std::vector<double>> fractions(n_classes, std::vector<double>(n_types));
+    for (std::size_t k = 0; k < n_types; ++k) {
+        double remaining = 1.0;
+        for (std::size_t j = 0; j < n_classes; ++j) {
+            const double f = rng.bernoulli(0.3) ? 0.0 : rng.uniform(0.0, remaining);
+            fractions[j][k] = f;
+            remaining -= f;
+        }
+    }
+    // Ensure every class has at least one contributor so scaling binds.
+    for (std::size_t j = 0; j < n_classes; ++j) {
+        bool any = false;
+        for (std::size_t k = 0; k < n_types; ++k) any = any || fractions[j][k] > 0.0;
+        if (!any) fractions[j][0] = 0.05;
+    }
+    // The top-up above can push column 0 past a total of 1; renormalise any
+    // such column (the generator must only emit valid matrices).
+    for (std::size_t k = 0; k < n_types; ++k) {
+        double sum = 0.0;
+        for (std::size_t j = 0; j < n_classes; ++j) sum += fractions[j][k];
+        if (sum > 1.0) {
+            for (std::size_t j = 0; j < n_classes; ++j) fractions[j][k] /= sum;
+        }
+    }
+    AllocationProblem p(norm, types, ContributionMatrix(n_classes, n_types, fractions),
+                        {}, EthicalConstraint{rng.bernoulli(0.5) ? 0.6 : 1.0});
+
+    const auto a1 = allocate_proportional(p);
+    const auto a2 = allocate_inverse_cost(p);
+    const auto a3 = allocate_water_filling(p);
+    std::vector<Frequency> demands(n_types, Frequency::per_hour(rng.uniform(1e-6, 1.0)));
+    const auto a4 = allocate_tightening(p, demands);
+    EXPECT_TRUE(satisfies_norm(p, a1.budgets)) << "proportional seed " << GetParam();
+    EXPECT_TRUE(satisfies_norm(p, a2.budgets)) << "inverse-cost seed " << GetParam();
+    EXPECT_TRUE(satisfies_norm(p, a3.budgets)) << "water-filling seed " << GetParam();
+    EXPECT_TRUE(satisfies_norm(p, a4.budgets)) << "tightening seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomProblems, SolverProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace qrn

@@ -1,0 +1,124 @@
+// Automatic banding: cut-point derivation (including the paper's ~10 km/h
+// VRU limit emerging from the model) and completeness of generated types.
+#include "qrn/banding.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "qrn/allocation.h"
+#include "qrn/safety_goal.h"
+#include "stats/rng.h"
+
+namespace qrn {
+namespace {
+
+TEST(SeverityCutPoint, InvertsTheExceedanceCurve) {
+    const InjuryRiskModel model;
+    for (const double p : {0.05, 0.25, 0.5, 0.9}) {
+        const double cut =
+            severity_cut_point(model, ActorType::Vru, InjuryGrade::Severe, p);
+        EXPECT_NEAR(model.exceedance(ActorType::Vru, InjuryGrade::Severe, cut), p, 1e-9)
+            << "p=" << p;
+    }
+}
+
+TEST(SeverityCutPoint, PaperTenKmhLimitEmergesForVru) {
+    // The default model encodes "severe-injury likelihood rises quickly
+    // above ~10 km/h for VRUs": a 10% severe-injury threshold lands near
+    // the paper's hand-picked 10 km/h band edge.
+    const InjuryRiskModel model;
+    const double cut =
+        severity_cut_point(model, ActorType::Vru, InjuryGrade::Severe, 0.10);
+    EXPECT_GT(cut, 7.0);
+    EXPECT_LT(cut, 13.0);
+}
+
+TEST(SeverityCutPoint, MoreRobustCounterpartiesCutHigher) {
+    const InjuryRiskModel model;
+    const double vru = severity_cut_point(model, ActorType::Vru, InjuryGrade::Severe, 0.5);
+    const double car = severity_cut_point(model, ActorType::Car, InjuryGrade::Severe, 0.5);
+    EXPECT_LT(vru, car);
+}
+
+TEST(SeverityCutPoint, SaturatesAtSearchCeiling) {
+    InjuryRiskModel model;
+    model.set_curve(ActorType::Car, {280.0, 290.0, 295.0, 0.5});
+    const double cut =
+        severity_cut_point(model, ActorType::Car, InjuryGrade::LifeThreatening, 0.9999);
+    EXPECT_DOUBLE_EQ(cut, 300.0);
+}
+
+TEST(SeverityCutPoint, Domain) {
+    const InjuryRiskModel model;
+    EXPECT_THROW(severity_cut_point(model, ActorType::Vru, InjuryGrade::Severe, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(severity_cut_point(model, ActorType::Vru, InjuryGrade::Severe, 1.0),
+                 std::invalid_argument);
+}
+
+TEST(SeverityCutPoints, StrictlyIncreasing) {
+    const InjuryRiskModel model;
+    const auto cuts = severity_cut_points(model, ActorType::Vru, InjuryGrade::Severe,
+                                          {0.1, 0.5, 0.9});
+    ASSERT_EQ(cuts.size(), 3u);
+    EXPECT_LT(cuts[0], cuts[1]);
+    EXPECT_LT(cuts[1], cuts[2]);
+    EXPECT_THROW(severity_cut_points(model, ActorType::Vru, InjuryGrade::Severe,
+                                     {0.5, 0.1}),
+                 std::invalid_argument);
+}
+
+TEST(GenerateCompleteTypes, CoversEveryCounterpartyWithBandsAndNearMiss) {
+    const InjuryRiskModel model;
+    const auto types = generate_complete_types(model);
+    // 6 counterparties x (3 collision bands + 1 near miss).
+    EXPECT_EQ(types.size(), 6u * 4u);
+    EXPECT_TRUE(types.index_of("I-VRU-C1").has_value());
+    EXPECT_TRUE(types.index_of("I-Car-C3").has_value());
+    EXPECT_TRUE(types.index_of("I-Animal-NM").has_value());
+}
+
+TEST(GenerateCompleteTypes, EveryCollisionMatchesExactlyOneType) {
+    const InjuryRiskModel model;
+    const auto types = generate_complete_types(model);
+    stats::Rng rng(17);
+    for (int n = 0; n < 20000; ++n) {
+        Incident incident;
+        incident.second = actor_type_from_index(
+            static_cast<std::size_t>(rng.uniform_int(1, kActorTypeCount - 1)));
+        incident.relative_speed_kmh = rng.uniform(1e-6, 250.0);
+        EXPECT_EQ(types.match_count(incident), 1u) << describe(incident);
+    }
+}
+
+TEST(GenerateCompleteTypes, NearMissOptionalAndThresholdCountRespected) {
+    const InjuryRiskModel model;
+    BandingConfig config;
+    config.include_near_miss = false;
+    config.thresholds = {0.5};
+    const auto types = generate_complete_types(model, config);
+    EXPECT_EQ(types.size(), 6u * 2u);  // 2 collision bands, no near miss
+    BandingConfig bad;
+    bad.thresholds = {};
+    EXPECT_THROW(generate_complete_types(model, bad), std::invalid_argument);
+}
+
+TEST(GenerateCompleteTypes, ComposesWithAllocationPipeline) {
+    // The generated set must flow through the full pipeline: contribution
+    // derivation, allocation, goal derivation.
+    const InjuryRiskModel model;
+    const auto types = generate_complete_types(model);
+    const auto norm = RiskNorm::paper_example();
+    const auto matrix =
+        ContributionMatrix::from_injury_model(norm, types, model, {0.6, 0.4});
+    const AllocationProblem problem(norm, types, matrix);
+    const auto allocation = allocate_water_filling(problem);
+    EXPECT_TRUE(satisfies_norm(problem, allocation.budgets));
+    const auto goals = SafetyGoalSet::derive(problem, allocation);
+    EXPECT_EQ(goals.size(), types.size());
+}
+
+}  // namespace
+}  // namespace qrn

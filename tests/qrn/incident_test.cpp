@@ -1,0 +1,97 @@
+// Incident records: invariants enforced by validate() and helpers.
+#include "qrn/incident.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace qrn {
+namespace {
+
+Incident ego_collision(ActorType other, double dv) {
+    Incident i;
+    i.first = ActorType::EgoVehicle;
+    i.second = other;
+    i.mechanism = IncidentMechanism::Collision;
+    i.relative_speed_kmh = dv;
+    return i;
+}
+
+TEST(Incident, ValidCollisionPasses) {
+    EXPECT_NO_THROW(validate(ego_collision(ActorType::Vru, 15.0)));
+}
+
+TEST(Incident, ValidNearMissPasses) {
+    Incident i;
+    i.second = ActorType::Vru;
+    i.mechanism = IncidentMechanism::NearMiss;
+    i.relative_speed_kmh = 12.0;
+    i.min_distance_m = 0.8;
+    EXPECT_NO_THROW(validate(i));
+}
+
+TEST(Incident, RejectsNegativeMeasurements) {
+    auto i = ego_collision(ActorType::Car, -1.0);
+    EXPECT_THROW(validate(i), std::invalid_argument);
+    i = ego_collision(ActorType::Car, 10.0);
+    i.mechanism = IncidentMechanism::NearMiss;
+    i.min_distance_m = -0.1;
+    EXPECT_THROW(validate(i), std::invalid_argument);
+}
+
+TEST(Incident, CollisionRequiresZeroDistance) {
+    auto i = ego_collision(ActorType::Car, 10.0);
+    i.min_distance_m = 0.5;
+    EXPECT_THROW(validate(i), std::invalid_argument);
+}
+
+TEST(Incident, InducedFlagConsistency) {
+    // Ego-involved incidents must not be flagged as induced.
+    auto i = ego_collision(ActorType::Car, 10.0);
+    i.ego_causing_factor = true;
+    EXPECT_THROW(validate(i), std::invalid_argument);
+    // Non-ego incidents must be flagged induced to be in scope.
+    Incident j;
+    j.first = ActorType::Car;
+    j.second = ActorType::Truck;
+    j.relative_speed_kmh = 30.0;
+    EXPECT_THROW(validate(j), std::invalid_argument);
+    j.ego_causing_factor = true;
+    EXPECT_NO_THROW(validate(j));
+}
+
+TEST(Incident, InvolvesEgoDetection) {
+    EXPECT_TRUE(ego_collision(ActorType::Car, 1.0).involves_ego());
+    Incident j;
+    j.first = ActorType::Car;
+    j.second = ActorType::EgoVehicle;
+    EXPECT_TRUE(j.involves_ego());
+    j.second = ActorType::Vru;
+    EXPECT_FALSE(j.involves_ego());
+}
+
+TEST(Incident, RejectsNegativeTimestamp) {
+    auto i = ego_collision(ActorType::Car, 5.0);
+    i.timestamp_hours = -1.0;
+    EXPECT_THROW(validate(i), std::invalid_argument);
+}
+
+TEST(ActorType, NamesAndIndexing) {
+    EXPECT_EQ(to_string(ActorType::Vru), "VRU");
+    EXPECT_EQ(to_string(ActorType::EgoVehicle), "Ego");
+    for (std::size_t i = 0; i < kActorTypeCount; ++i) {
+        EXPECT_NO_THROW(actor_type_from_index(i));
+    }
+    EXPECT_THROW(actor_type_from_index(kActorTypeCount), std::out_of_range);
+    EXPECT_EQ(actor_type_from_index(0), ActorType::EgoVehicle);
+}
+
+TEST(Incident, DescribeMentionsPartiesAndMechanism) {
+    const auto text = describe(ego_collision(ActorType::Vru, 12.5));
+    EXPECT_NE(text.find("Ego"), std::string::npos);
+    EXPECT_NE(text.find("VRU"), std::string::npos);
+    EXPECT_NE(text.find("collision"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qrn

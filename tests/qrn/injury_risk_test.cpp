@@ -1,0 +1,118 @@
+// Injury-risk model: normalisation, monotonicity, fragility ordering and
+// the paper's VRU banding rationale.
+#include "qrn/injury_risk.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace qrn {
+namespace {
+
+TEST(InjuryRiskModel, OutcomeDistributionNormalised) {
+    const InjuryRiskModel model;
+    for (double v : {0.0, 5.0, 20.0, 60.0, 150.0}) {
+        const auto o = model.outcome(ActorType::Vru, v);
+        double sum = 0.0;
+        for (double p : o.probability) {
+            EXPECT_GE(p, -1e-12);
+            sum += p;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-12) << "v=" << v;
+    }
+}
+
+TEST(InjuryRiskModel, ZeroSpeedIsHarmless) {
+    const InjuryRiskModel model;
+    const auto o = model.outcome(ActorType::Vru, 0.0);
+    EXPECT_DOUBLE_EQ(o.at(InjuryGrade::None), 1.0);
+    EXPECT_DOUBLE_EQ(o.at(InjuryGrade::LifeThreatening), 0.0);
+}
+
+TEST(InjuryRiskModel, ExceedanceMonotoneInSpeed) {
+    const InjuryRiskModel model;
+    for (const auto grade : {InjuryGrade::LightModerate, InjuryGrade::Severe,
+                             InjuryGrade::LifeThreatening}) {
+        double prev = -1.0;
+        for (double v = 1.0; v <= 120.0; v += 2.0) {
+            const double p = model.exceedance(ActorType::Vru, grade, v);
+            EXPECT_GE(p, prev) << "grade " << static_cast<int>(grade) << " v=" << v;
+            prev = p;
+        }
+    }
+}
+
+TEST(InjuryRiskModel, ExceedanceNestedAcrossGrades) {
+    const InjuryRiskModel model;
+    for (double v : {5.0, 25.0, 60.0}) {
+        const double light = model.exceedance(ActorType::Car, InjuryGrade::LightModerate, v);
+        const double severe = model.exceedance(ActorType::Car, InjuryGrade::Severe, v);
+        const double fatal =
+            model.exceedance(ActorType::Car, InjuryGrade::LifeThreatening, v);
+        EXPECT_GE(light, severe);
+        EXPECT_GE(severe, fatal);
+    }
+}
+
+TEST(InjuryRiskModel, VruMoreFragileThanCar) {
+    const InjuryRiskModel model;
+    for (double v : {10.0, 30.0, 50.0}) {
+        EXPECT_GT(model.exceedance(ActorType::Vru, InjuryGrade::Severe, v),
+                  model.exceedance(ActorType::Car, InjuryGrade::Severe, v))
+            << "v=" << v;
+    }
+}
+
+TEST(InjuryRiskModel, VruSevereRiskRisesQuicklyAboveTenKmh) {
+    // The paper's banding rationale for I2/I3: "having two incident types
+    // for collision speeds below or above 10 km/h may be appropriate if the
+    // likelihood of severe injuries rises quickly above this limit".
+    const InjuryRiskModel model;
+    const double below = model.exceedance(ActorType::Vru, InjuryGrade::Severe, 8.0);
+    const double above = model.exceedance(ActorType::Vru, InjuryGrade::Severe, 30.0);
+    EXPECT_LT(below, 0.1);
+    EXPECT_GT(above, 0.5);
+}
+
+TEST(InjuryRiskModel, BandAverageBetweenEndpoints) {
+    const InjuryRiskModel model;
+    const auto avg = model.band_average(ActorType::Vru, 10.0, 70.0);
+    const auto lo = model.outcome(ActorType::Vru, 10.0);
+    const auto hi = model.outcome(ActorType::Vru, 70.0);
+    // Fatality share grows with speed, so the band average must lie between
+    // the endpoint values.
+    EXPECT_GE(avg.at(InjuryGrade::LifeThreatening), lo.at(InjuryGrade::LifeThreatening));
+    EXPECT_LE(avg.at(InjuryGrade::LifeThreatening), hi.at(InjuryGrade::LifeThreatening));
+    double sum = std::accumulate(avg.probability.begin(), avg.probability.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(InjuryRiskModel, SetCurveOverrides) {
+    InjuryRiskModel model;
+    FragilityCurve tough{60.0, 90.0, 120.0, 0.1};
+    model.set_curve(ActorType::Vru, tough);
+    EXPECT_DOUBLE_EQ(model.curve(ActorType::Vru).light_midpoint_kmh, 60.0);
+    EXPECT_LT(model.exceedance(ActorType::Vru, InjuryGrade::Severe, 30.0), 0.01);
+}
+
+TEST(InjuryRiskModel, CurveValidation) {
+    InjuryRiskModel model;
+    EXPECT_THROW(model.set_curve(ActorType::Vru, {50.0, 40.0, 80.0, 0.1}),
+                 std::invalid_argument);
+    EXPECT_THROW(model.set_curve(ActorType::Vru, {10.0, 20.0, 30.0, 0.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(model.set_curve(ActorType::Vru, {-5.0, 20.0, 30.0, 0.1}),
+                 std::invalid_argument);
+}
+
+TEST(InjuryRiskModel, InputDomain) {
+    const InjuryRiskModel model;
+    EXPECT_THROW(model.exceedance(ActorType::Vru, InjuryGrade::Severe, -1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(model.band_average(ActorType::Vru, 10.0, 10.0), std::invalid_argument);
+    EXPECT_THROW(model.band_average(ActorType::Vru, 10.0, 20.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qrn

@@ -1,0 +1,82 @@
+// Norm calibration between the societal ceiling and the claimable floor.
+#include "qrn/norm_builder.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "qrn/allocation.h"
+
+namespace qrn {
+namespace {
+
+TEST(CalibratedLimit, GeometricMidpointByDefault) {
+    NormCalibration c;
+    c.claimable_floor_per_hour = 1e-9;
+    c.societal_ceiling_per_hour = 1e-7;
+    const auto limit = calibrated_worst_class_limit(c);
+    EXPECT_NEAR(limit.per_hour_value(), 1e-8, 1e-12);
+}
+
+TEST(CalibratedLimit, EndpointsAtFractionExtremes) {
+    NormCalibration c;
+    c.claimable_floor_per_hour = 1e-9;
+    c.societal_ceiling_per_hour = 1e-7;
+    c.target_fraction = 0.0;
+    EXPECT_NEAR(calibrated_worst_class_limit(c).per_hour_value(), 1e-9, 1e-15);
+    c.target_fraction = 1.0;
+    EXPECT_NEAR(calibrated_worst_class_limit(c).per_hour_value(), 1e-7, 1e-13);
+}
+
+TEST(CalibratedLimit, Validation) {
+    NormCalibration c;
+    c.claimable_floor_per_hour = 1e-7;
+    c.societal_ceiling_per_hour = 1e-9;  // inverted: society asks the impossible
+    EXPECT_THROW(calibrated_worst_class_limit(c), std::invalid_argument);
+    c = NormCalibration{};
+    c.target_fraction = 1.5;
+    EXPECT_THROW(calibrated_worst_class_limit(c), std::invalid_argument);
+    c = NormCalibration{};
+    c.class_ratio = 1.0;
+    EXPECT_THROW(calibrate_norm(ConsequenceClassSet::paper_example(), c),
+                 std::invalid_argument);
+}
+
+TEST(CalibrateNorm, ProducesValidMonotoneNorm) {
+    NormCalibration c;
+    const auto norm = calibrate_norm(ConsequenceClassSet::paper_example(), c, "demo");
+    EXPECT_EQ(norm.name(), "demo");
+    EXPECT_EQ(norm.size(), 6u);
+    // Worst class gets the calibrated value; each step up is 10x looser.
+    EXPECT_NEAR(norm.limit(5).per_hour_value(), 1e-8, 1e-12);
+    EXPECT_NEAR(norm.limit(4).per_hour_value(), 1e-7, 1e-11);
+    EXPECT_NEAR(norm.limit(0).per_hour_value(), 1e-3, 1e-7);
+}
+
+TEST(CalibrateNorm, CustomRatioAndSingleClass) {
+    NormCalibration c;
+    c.class_ratio = 100.0;
+    const ConsequenceClassSet one({{"v", "only", ConsequenceDomain::Safety, 1, ""}});
+    const auto norm = calibrate_norm(one, c);
+    EXPECT_NEAR(norm.limit(0).per_hour_value(), 1e-8, 1e-12);
+    const auto wide = calibrate_norm(ConsequenceClassSet::paper_example(), c);
+    EXPECT_NEAR(wide.limit(4).per_hour_value() / wide.limit(5).per_hour_value(), 100.0,
+                1e-6);
+}
+
+TEST(CalibrateNorm, FeedsStraightIntoAllocation) {
+    NormCalibration c;
+    c.societal_ceiling_per_hour = 1e-6;
+    c.claimable_floor_per_hour = 1e-8;
+    const auto norm = calibrate_norm(ConsequenceClassSet::paper_example(), c);
+    const auto types = IncidentTypeSet::paper_vru_example();
+    const InjuryRiskModel injury;
+    const auto matrix =
+        ContributionMatrix::from_injury_model(norm, types, injury, {0.6, 0.4});
+    const AllocationProblem problem(norm, types, matrix);
+    EXPECT_TRUE(satisfies_norm(problem, allocate_water_filling(problem).budgets));
+}
+
+}  // namespace
+}  // namespace qrn

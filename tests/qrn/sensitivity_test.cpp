@@ -1,0 +1,115 @@
+// Sensitivity analysis: gradients, tolerable errors and what-if edits.
+#include "qrn/sensitivity.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace qrn {
+namespace {
+
+struct Fixture {
+    AllocationProblem problem;
+    Allocation allocation;
+
+    static Fixture make() {
+        // One class with limit 1e-6; two types with fractions 0.5 and 0.25.
+        const ConsequenceClassSet classes(
+            {{"v", "x", ConsequenceDomain::Safety, 1, ""}});
+        RiskNorm norm(classes, {Frequency::per_hour(1e-6)});
+        IncidentTypeSet types({
+            IncidentType("A", ActorType::Vru, ToleranceMargin::impact_speed(0.0, 10.0)),
+            IncidentType("B", ActorType::Car, ToleranceMargin::impact_speed(0.0, 10.0)),
+        });
+        ContributionMatrix matrix(1, 2, {{0.5, 0.25}});
+        AllocationProblem problem(std::move(norm), std::move(types), std::move(matrix));
+        Allocation allocation;
+        allocation.budgets = {Frequency::per_hour(1e-6), Frequency::per_hour(4e-7)};
+        allocation.usage = evaluate_usage(problem, allocation.budgets);
+        // used = 0.5e-6 + 1e-7 = 6e-7; headroom 4e-7.
+        return Fixture{std::move(problem), std::move(allocation)};
+    }
+};
+
+TEST(FractionSensitivities, GradientsAndToleranceMatchHandComputation) {
+    const auto fx = Fixture::make();
+    const auto rows = fraction_sensitivities(fx.problem, fx.allocation);
+    ASSERT_EQ(rows.size(), 2u);
+    // Sorted by gradient: type A (budget 1e-6 / limit 1e-6 = 1.0) first.
+    EXPECT_EQ(rows[0].type_index, 0u);
+    EXPECT_NEAR(rows[0].utilization_gradient, 1.0, 1e-12);
+    EXPECT_NEAR(rows[1].utilization_gradient, 0.4, 1e-12);
+    // Tolerable error = headroom / budget: 4e-7/1e-6 = 0.4 and 4e-7/4e-7 = 1.
+    EXPECT_NEAR(rows[0].tolerable_error, 0.4, 1e-9);
+    EXPECT_NEAR(rows[1].tolerable_error, 1.0, 1e-9);
+}
+
+TEST(FractionSensitivities, ToleranceIsExactBoundary) {
+    const auto fx = Fixture::make();
+    const auto rows = fraction_sensitivities(fx.problem, fx.allocation);
+    const auto& cell = rows[0];  // class 0, type A
+    // Raising the fraction by slightly less than the tolerable error keeps
+    // the norm satisfied; slightly more breaks it.
+    const double base = fx.problem.matrix().fraction(cell.class_index, cell.type_index);
+    const auto almost = with_fraction(fx.problem.matrix(), cell.class_index,
+                                      cell.type_index, base + cell.tolerable_error * 0.99);
+    const auto beyond = with_fraction(fx.problem.matrix(), cell.class_index,
+                                      cell.type_index, base + cell.tolerable_error * 1.01);
+    const AllocationProblem p_ok(fx.problem.norm(), fx.problem.types(), almost);
+    const AllocationProblem p_bad(fx.problem.norm(), fx.problem.types(), beyond);
+    EXPECT_TRUE(satisfies_norm(p_ok, fx.allocation.budgets));
+    EXPECT_FALSE(satisfies_norm(p_bad, fx.allocation.budgets));
+}
+
+TEST(FractionSensitivities, RejectsInfeasibleAllocation) {
+    auto fx = Fixture::make();
+    fx.allocation.budgets = {Frequency::per_hour(1.0), Frequency::per_hour(1.0)};
+    EXPECT_THROW(fraction_sensitivities(fx.problem, fx.allocation),
+                 std::invalid_argument);
+}
+
+TEST(FractionSensitivities, ZeroBudgetCellIsInfinitelyTolerant) {
+    auto fx = Fixture::make();
+    fx.allocation.budgets = {Frequency::per_hour(1e-6), Frequency::per_hour(0.0)};
+    fx.allocation.usage = evaluate_usage(fx.problem, fx.allocation.budgets);
+    const auto rows = fraction_sensitivities(fx.problem, fx.allocation);
+    bool found = false;
+    for (const auto& r : rows) {
+        if (r.type_index == 1) {
+            EXPECT_TRUE(std::isinf(r.tolerable_error));
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(CriticalFractions, ReturnsTightestCellsFirst) {
+    const auto norm = RiskNorm::paper_example();
+    const auto types = IncidentTypeSet::paper_vru_example();
+    const InjuryRiskModel model;
+    const auto matrix =
+        ContributionMatrix::from_injury_model(norm, types, model, {0.6, 0.4});
+    const AllocationProblem problem(norm, types, matrix);
+    const auto allocation = allocate_water_filling(problem);
+    const auto critical = critical_fractions(problem, allocation, 3);
+    ASSERT_EQ(critical.size(), 3u);
+    EXPECT_LE(critical[0].tolerable_error, critical[1].tolerable_error);
+    EXPECT_LE(critical[1].tolerable_error, critical[2].tolerable_error);
+    // Water filling saturates at least one class: its cells tolerate ~0
+    // additional fraction error at the binding budgets.
+    EXPECT_LT(critical[0].tolerable_error, 0.05);
+}
+
+TEST(WithFraction, EditsOneCellAndValidates) {
+    const ContributionMatrix matrix(2, 2, {{0.5, 0.1}, {0.2, 0.3}});
+    const auto edited = with_fraction(matrix, 0, 1, 0.6);
+    EXPECT_DOUBLE_EQ(edited.fraction(0, 1), 0.6);
+    EXPECT_DOUBLE_EQ(edited.fraction(0, 0), 0.5);
+    EXPECT_THROW(with_fraction(matrix, 2, 0, 0.1), std::out_of_range);
+    // Violating the column-sum invariant must be rejected.
+    EXPECT_THROW(with_fraction(matrix, 0, 1, 0.8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qrn

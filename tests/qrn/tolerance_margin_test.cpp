@@ -1,0 +1,121 @@
+// Tolerance margins: band semantics, matching, disjointness, rendering.
+#include "qrn/tolerance_margin.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace qrn {
+namespace {
+
+Incident collision(double dv) {
+    Incident i;
+    i.second = ActorType::Vru;
+    i.mechanism = IncidentMechanism::Collision;
+    i.relative_speed_kmh = dv;
+    return i;
+}
+
+Incident near_miss(double d, double v) {
+    Incident i;
+    i.second = ActorType::Vru;
+    i.mechanism = IncidentMechanism::NearMiss;
+    i.min_distance_m = d;
+    i.relative_speed_kmh = v;
+    return i;
+}
+
+TEST(ImpactSpeedBand, HalfOpenSemantics) {
+    const auto m = ToleranceMargin::impact_speed(10.0, 70.0);
+    EXPECT_FALSE(m.matches(collision(10.0)));  // lower bound exclusive
+    EXPECT_TRUE(m.matches(collision(10.0001)));
+    EXPECT_TRUE(m.matches(collision(70.0)));   // upper bound inclusive
+    EXPECT_FALSE(m.matches(collision(70.0001)));
+}
+
+TEST(ImpactSpeedBand, AdjacentBandsPartition) {
+    const auto low = ToleranceMargin::impact_speed(0.0, 10.0);
+    const auto high = ToleranceMargin::impact_speed(10.0, 70.0);
+    for (double dv : {0.5, 5.0, 10.0, 10.1, 35.0, 70.0}) {
+        const int matches = low.matches(collision(dv)) + high.matches(collision(dv));
+        EXPECT_EQ(matches, 1) << "dv=" << dv;
+    }
+    EXPECT_TRUE(low.disjoint_with(high));
+    EXPECT_TRUE(high.disjoint_with(low));
+}
+
+TEST(ImpactSpeedBand, UnboundedUpper) {
+    const auto m =
+        ToleranceMargin::impact_speed(70.0, std::numeric_limits<double>::infinity());
+    EXPECT_TRUE(m.matches(collision(200.0)));
+    EXPECT_FALSE(m.matches(collision(70.0)));
+    EXPECT_EQ(m.to_string(), "dv > 70 km/h");
+}
+
+TEST(ImpactSpeedBand, DoesNotMatchNearMiss) {
+    const auto m = ToleranceMargin::impact_speed(0.0, 10.0);
+    EXPECT_FALSE(m.matches(near_miss(0.5, 5.0)));
+}
+
+TEST(ProximityBand, PaperI1Semantics) {
+    // "Ego approaches the VRU with > 10 km/h when closer than 1 m".
+    const auto m = ToleranceMargin::proximity(1.0, 10.0);
+    EXPECT_TRUE(m.matches(near_miss(0.9, 10.5)));
+    EXPECT_FALSE(m.matches(near_miss(1.0, 10.5)));  // distance bound exclusive
+    EXPECT_FALSE(m.matches(near_miss(0.9, 10.0)));  // speed bound exclusive
+    EXPECT_FALSE(m.matches(collision(5.0)));        // wrong mechanism
+}
+
+TEST(ToleranceMargin, MechanismKind) {
+    EXPECT_EQ(ToleranceMargin::impact_speed(0.0, 10.0).mechanism(),
+              IncidentMechanism::Collision);
+    EXPECT_EQ(ToleranceMargin::proximity(1.0, 10.0).mechanism(),
+              IncidentMechanism::NearMiss);
+}
+
+TEST(ToleranceMargin, DifferentMechanismsAreDisjoint) {
+    const auto a = ToleranceMargin::impact_speed(0.0, 10.0);
+    const auto b = ToleranceMargin::proximity(1.0, 10.0);
+    EXPECT_TRUE(a.disjoint_with(b));
+    EXPECT_TRUE(b.disjoint_with(a));
+}
+
+TEST(ToleranceMargin, OverlappingImpactBandsNotDisjoint) {
+    const auto a = ToleranceMargin::impact_speed(0.0, 20.0);
+    const auto b = ToleranceMargin::impact_speed(10.0, 70.0);
+    EXPECT_FALSE(a.disjoint_with(b));
+}
+
+TEST(ToleranceMargin, ProximityBandsConservativelyOverlap) {
+    const auto a = ToleranceMargin::proximity(1.0, 10.0);
+    const auto b = ToleranceMargin::proximity(2.0, 5.0);
+    EXPECT_FALSE(a.disjoint_with(b));
+}
+
+TEST(ToleranceMargin, ConstructionDomain) {
+    EXPECT_THROW(ToleranceMargin::impact_speed(-1.0, 10.0), std::invalid_argument);
+    EXPECT_THROW(ToleranceMargin::impact_speed(10.0, 10.0), std::invalid_argument);
+    EXPECT_THROW(ToleranceMargin::impact_speed(10.0, 5.0), std::invalid_argument);
+    EXPECT_THROW(ToleranceMargin::proximity(0.0, 10.0), std::invalid_argument);
+    EXPECT_THROW(ToleranceMargin::proximity(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(ToleranceMargin, Rendering) {
+    EXPECT_EQ(ToleranceMargin::impact_speed(0.0, 10.0).to_string(),
+              "0 < dv <= 10 km/h");
+    EXPECT_EQ(ToleranceMargin::proximity(1.0, 10.0).to_string(),
+              "d < 1 m & dv > 10 km/h");
+}
+
+TEST(ToleranceMargin, BandAccessors) {
+    const auto impact = ToleranceMargin::impact_speed(5.0, 15.0);
+    EXPECT_DOUBLE_EQ(impact.impact_band().lower_kmh, 5.0);
+    EXPECT_THROW(impact.proximity_band(), std::bad_variant_access);
+    const auto prox = ToleranceMargin::proximity(2.0, 8.0);
+    EXPECT_DOUBLE_EQ(prox.proximity_band().max_distance_m, 2.0);
+    EXPECT_THROW(prox.impact_band(), std::bad_variant_access);
+}
+
+}  // namespace
+}  // namespace qrn

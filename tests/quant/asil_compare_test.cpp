@@ -1,0 +1,69 @@
+// Quantitative-vs-ASIL comparisons of Sec. V.
+#include "quant/asil_compare.h"
+
+#include <gtest/gtest.h>
+
+namespace qrn::quant {
+namespace {
+
+TEST(AsilBand, MapsRatesToBands) {
+    EXPECT_EQ(asil_band_for_rate(Frequency::per_hour(1e-9)), hara::Asil::D);
+    EXPECT_EQ(asil_band_for_rate(Frequency::per_hour(1e-8)), hara::Asil::D);
+    EXPECT_EQ(asil_band_for_rate(Frequency::per_hour(5e-8)), hara::Asil::B);
+    EXPECT_EQ(asil_band_for_rate(Frequency::per_hour(5e-7)), hara::Asil::A);
+    EXPECT_EQ(asil_band_for_rate(Frequency::per_hour(1e-4)), hara::Asil::QM);
+}
+
+TEST(CompareRedundancy, QmChannelsReachHighIntegrity) {
+    // Channels at 1e-4 /h (QM band) with a short common window.
+    const auto rows = compare_redundancy(Frequency::per_hour(1e-4), 0.1, {1, 2, 3},
+                                         Frequency::per_hour(1e-8));
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].channel_band, hara::Asil::QM);
+    EXPECT_EQ(rows[0].combined_band, hara::Asil::QM);
+    // Two channels: 2 * 1e-4 * 1e-4 * 0.1 = 2e-9 -> ASIL D band.
+    EXPECT_NEAR(rows[1].combined_rate.per_hour_value(), 2e-9, 1e-15);
+    EXPECT_EQ(rows[1].combined_band, hara::Asil::D);
+    // The classical decomposition rules cannot express QM+QM -> D.
+    EXPECT_FALSE(rows[1].asil_rules_applicable);
+    // Three channels: deeper still.
+    EXPECT_LT(rows[2].combined_rate, rows[1].combined_rate);
+}
+
+TEST(CompareRedundancy, CombinedRateMonotoneInCopies) {
+    const auto rows = compare_redundancy(Frequency::per_hour(1e-3), 1.0, {1, 2, 3, 4},
+                                         Frequency::per_hour(1e-8));
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        EXPECT_LT(rows[i].combined_rate, rows[i - 1].combined_rate);
+    }
+}
+
+TEST(CompareRedundancy, AsilRulesApplicableForPermittedPairs) {
+    // Two ASIL B channels (1e-7) targeting ASIL D: B+B is a permitted
+    // decomposition of D, so the classical rules apply.
+    const auto rows = compare_redundancy(Frequency::per_hour(1e-7), 1.0, {2},
+                                         Frequency::per_hour(1e-8));
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_TRUE(rows[0].asil_rules_applicable);
+}
+
+TEST(CompareInheritance, OverrunGrowsLinearly) {
+    const auto rows = compare_inheritance(hara::Asil::A, {1, 10, 100, 1000});
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_NEAR(rows[0].overrun, 1.0, 1e-9);
+    EXPECT_NEAR(rows[1].overrun, 10.0, 1e-9);
+    EXPECT_NEAR(rows[3].overrun, 1000.0, 1e-6);
+    // Inheritance claims ASIL A on every element regardless.
+    for (const auto& r : rows) EXPECT_EQ(r.claimed, hara::Asil::A);
+}
+
+TEST(CompareInheritance, QuantitativeSplitStaysWithinBudget) {
+    const auto rows = compare_inheritance(hara::Asil::A, {1000});
+    const auto& r = rows[0];
+    EXPECT_NEAR((r.per_element_budget * 1000.0).per_hour_value(),
+                r.goal_budget.per_hour_value(), 1e-15);
+    EXPECT_LT(r.per_element_budget, r.element_rate);
+}
+
+}  // namespace
+}  // namespace qrn::quant

@@ -1,0 +1,55 @@
+// CSV writer: quoting rules and file output.
+#include "report/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace qrn::report {
+namespace {
+
+TEST(Csv, RendersHeaderAndRows) {
+    CsvWriter w({"a", "b"});
+    w.add_row({"1", "2"});
+    w.add_row({"3", "4"});
+    EXPECT_EQ(w.render(), "a,b\n1,2\n3,4\n");
+    EXPECT_EQ(w.row_count(), 2u);
+}
+
+TEST(Csv, QuotesCellsWithSpecialCharacters) {
+    CsvWriter w({"text"});
+    w.add_row({"has,comma"});
+    w.add_row({"has\"quote"});
+    w.add_row({"has\nnewline"});
+    EXPECT_EQ(w.render(),
+              "text\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(Csv, Validation) {
+    EXPECT_THROW(CsvWriter({}), std::invalid_argument);
+    CsvWriter w({"a"});
+    EXPECT_THROW(w.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(Csv, WritesFile) {
+    CsvWriter w({"k", "v"});
+    w.add_row({"x", "1"});
+    const std::string path = ::testing::TempDir() + "qrn_csv_test.csv";
+    w.write_file(path);
+    std::ifstream f(path);
+    std::stringstream buf;
+    buf << f.rdbuf();
+    EXPECT_EQ(buf.str(), "k,v\nx,1\n");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, WriteFileFailsOnBadPath) {
+    CsvWriter w({"a"});
+    EXPECT_THROW(w.write_file("/nonexistent-dir-zzz/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qrn::report

@@ -1,0 +1,73 @@
+// Table rendering and numeric formatting helpers.
+#include "report/table.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace qrn::report {
+namespace {
+
+TEST(Table, RendersHeaderRuleAndRows) {
+    Table t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "22"});
+    const auto text = t.render();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("---"), std::string::npos);
+    EXPECT_NE(text.find('|'), std::string::npos);
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, ColumnsAutoSizeToWidestCell) {
+    Table t({"c"});
+    t.add_row({"wide-cell-content"});
+    const auto text = t.render();
+    // Header line must be padded at least to the cell width.
+    const auto first_line = text.substr(0, text.find('\n'));
+    EXPECT_GE(first_line.size(), std::string("wide-cell-content").size());
+}
+
+TEST(Table, RightAlignment) {
+    Table t({"n"});
+    t.set_align(0, Align::Right);
+    t.add_row({"7"});
+    t.add_row({"1234"});
+    const auto text = t.render();
+    // The short value must be indented to the right edge.
+    EXPECT_NE(text.find("    7"), std::string::npos);
+}
+
+TEST(Table, SeparatorInsertsRule) {
+    Table t({"x"});
+    t.add_row({"a"});
+    t.add_separator();
+    t.add_row({"b"});
+    const auto text = t.render();
+    // Two rules: one under the header, one mid-table.
+    std::size_t rules = 0, pos = 0;
+    while ((pos = text.find("---", pos)) != std::string::npos) {
+        ++rules;
+        pos = text.find('\n', pos);
+    }
+    EXPECT_EQ(rules, 2u);
+}
+
+TEST(Table, Validation) {
+    EXPECT_THROW(Table({}), std::invalid_argument);
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+    EXPECT_THROW(t.set_align(2, Align::Left), std::out_of_range);
+}
+
+TEST(Format, FixedScientificPercent) {
+    EXPECT_EQ(fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fixed(-1.0, 0), "-1");
+    EXPECT_EQ(scientific(1e-7, 1), "1.0e-07");
+    EXPECT_EQ(percent(0.7, 1), "70.0%");
+    EXPECT_EQ(percent(0.333, 0), "33%");
+}
+
+}  // namespace
+}  // namespace qrn::report

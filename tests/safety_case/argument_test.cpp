@@ -1,0 +1,118 @@
+// Argument-tree mechanics: solvedness propagation, open-item collection.
+#include "safety_case/argument.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace qrn::safety_case {
+namespace {
+
+TEST(ArgumentNode, EvidenceSolvedOnlyWhenSupported) {
+    EXPECT_TRUE(ArgumentNode::evidence("E1", "x", EvidenceStatus::Supported)->solved());
+    EXPECT_FALSE(ArgumentNode::evidence("E2", "x", EvidenceStatus::Failed)->solved());
+    EXPECT_FALSE(ArgumentNode::evidence("E3", "x", EvidenceStatus::Pending)->solved());
+}
+
+TEST(ArgumentNode, UndevelopedClaimIsOpen) {
+    EXPECT_FALSE(ArgumentNode::claim("G1", "top")->solved());
+}
+
+TEST(ArgumentNode, SolvednessPropagatesUp) {
+    auto top = ArgumentNode::claim("G1", "top");
+    auto& strategy = top->add(ArgumentNode::strategy("S1", "split"));
+    strategy.add(ArgumentNode::evidence("E1", "a", EvidenceStatus::Supported));
+    auto& pending =
+        strategy.add(ArgumentNode::evidence("E2", "b", EvidenceStatus::Pending));
+    (void)pending;
+    EXPECT_FALSE(top->solved());
+}
+
+TEST(ArgumentNode, FullySupportedTreeSolves) {
+    auto top = ArgumentNode::claim("G1", "top");
+    auto& s = top->add(ArgumentNode::strategy("S1", "split"));
+    s.add(ArgumentNode::evidence("E1", "a", EvidenceStatus::Supported));
+    s.add(ArgumentNode::evidence("E2", "b", EvidenceStatus::Supported));
+    EXPECT_TRUE(top->solved());
+}
+
+TEST(ArgumentNode, EvidenceIsTerminal) {
+    auto e = ArgumentNode::evidence("E1", "a", EvidenceStatus::Supported);
+    EXPECT_THROW(e->add(ArgumentNode::claim("G", "x")), std::invalid_argument);
+}
+
+TEST(ArgumentNode, CollectOpenFindsExactDefects) {
+    auto top = ArgumentNode::claim("G1", "top");
+    auto& s = top->add(ArgumentNode::strategy("S1", "split"));
+    s.add(ArgumentNode::evidence("E-ok", "a", EvidenceStatus::Supported));
+    s.add(ArgumentNode::evidence("E-bad", "b", EvidenceStatus::Failed));
+    s.add(ArgumentNode::claim("G-undeveloped", "c"));
+    std::vector<std::string> open;
+    top->collect_open(open);
+    ASSERT_EQ(open.size(), 2u);
+    EXPECT_EQ(open[0], "E-bad");
+    EXPECT_EQ(open[1], "G-undeveloped");
+}
+
+TEST(ArgumentNode, ConstructionValidation) {
+    EXPECT_THROW(ArgumentNode::claim("", "x"), std::invalid_argument);
+    EXPECT_THROW(ArgumentNode::claim("G", ""), std::invalid_argument);
+    auto top = ArgumentNode::claim("G", "x");
+    EXPECT_THROW(top->add(nullptr), std::invalid_argument);
+}
+
+TEST(SafetyCase, HoldsAndRenders) {
+    auto top = ArgumentNode::claim("G1", "the system is safe");
+    top->add(ArgumentNode::evidence("E1", "proof", EvidenceStatus::Supported));
+    const SafetyCase sc("demo", std::move(top));
+    EXPECT_TRUE(sc.holds());
+    EXPECT_TRUE(sc.open_items().empty());
+    const auto text = sc.render();
+    EXPECT_NE(text.find("demo"), std::string::npos);
+    EXPECT_NE(text.find("[HOLDS]"), std::string::npos);
+    EXPECT_NE(text.find("the system is safe"), std::string::npos);
+}
+
+TEST(SafetyCase, OpenCaseListsItems) {
+    auto top = ArgumentNode::claim("G1", "safe");
+    top->add(ArgumentNode::evidence("E1", "tbd", EvidenceStatus::Pending));
+    const SafetyCase sc("demo", std::move(top));
+    EXPECT_FALSE(sc.holds());
+    ASSERT_EQ(sc.open_items().size(), 1u);
+    EXPECT_EQ(sc.open_items()[0], "E1");
+    EXPECT_NE(sc.render().find("[OPEN]"), std::string::npos);
+}
+
+TEST(SafetyCase, MarkdownRendering) {
+    auto top = ArgumentNode::claim("G1", "safe");
+    auto& s = top->add(ArgumentNode::strategy("S1", "by evidence"));
+    s.add(ArgumentNode::evidence("E1", "proof", EvidenceStatus::Supported));
+    s.add(ArgumentNode::evidence("E2", "tbd", EvidenceStatus::Pending));
+    const SafetyCase sc("md demo", std::move(top));
+    const auto md = sc.render_markdown();
+    EXPECT_NE(md.find("# md demo"), std::string::npos);
+    EXPECT_NE(md.find("Status: **OPEN**"), std::string::npos);
+    EXPECT_NE(md.find("- [ ] **G1** (claim): safe"), std::string::npos);
+    EXPECT_NE(md.find("  - [ ] **S1** (strategy)"), std::string::npos);
+    EXPECT_NE(md.find("    - [x] **E1** (evidence): proof"), std::string::npos);
+    EXPECT_NE(md.find("Open items:\n- E2"), std::string::npos);
+}
+
+TEST(SafetyCase, MarkdownOmitsOpenListWhenHolding) {
+    auto top = ArgumentNode::claim("G1", "safe");
+    top->add(ArgumentNode::evidence("E1", "proof", EvidenceStatus::Supported));
+    const SafetyCase sc("ok", std::move(top));
+    const auto md = sc.render_markdown();
+    EXPECT_NE(md.find("Status: **HOLDS**"), std::string::npos);
+    EXPECT_EQ(md.find("Open items"), std::string::npos);
+}
+
+TEST(SafetyCase, TopMustBeClaim) {
+    EXPECT_THROW(SafetyCase("x", ArgumentNode::strategy("S", "s")),
+                 std::invalid_argument);
+    EXPECT_THROW(SafetyCase("x", nullptr), std::invalid_argument);
+    EXPECT_THROW(SafetyCase("", ArgumentNode::claim("G", "g")), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qrn::safety_case

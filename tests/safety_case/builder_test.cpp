@@ -1,0 +1,128 @@
+// The case builder: assembling the QRN safety case from real artifacts and
+// reflecting their verdicts in the argument.
+#include "safety_case/builder.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "fsc/refinement.h"
+#include "stats/rng.h"
+
+namespace qrn::safety_case {
+namespace {
+
+struct Artifacts {
+    AllocationProblem problem;
+    Allocation allocation;
+    SafetyGoalSet goals;
+    MeceReport mece;
+    VerificationReport verification;
+
+    static Artifacts make(std::uint64_t events_per_type, double exposure_hours) {
+        auto norm = RiskNorm::paper_example();
+        auto types = IncidentTypeSet::paper_vru_example();
+        const InjuryRiskModel injury;
+        auto matrix =
+            ContributionMatrix::from_injury_model(norm, types, injury, {0.6, 0.4});
+        AllocationProblem problem(std::move(norm), std::move(types), std::move(matrix));
+        auto allocation = allocate_water_filling(problem);
+        auto goals = SafetyGoalSet::derive(problem, allocation);
+
+        const auto tree = ClassificationTree::paper_example();
+        stats::Rng rng(11);
+        auto mece = tree.certify_mece(1000, [&](std::size_t) {
+            Incident i;
+            i.second = ActorType::Vru;
+            i.relative_speed_kmh = rng.uniform(0.0, 60.0);
+            return i;
+        });
+
+        std::vector<TypeEvidence> evidence;
+        for (const auto& t : problem.types().all()) {
+            evidence.push_back({t.id(), events_per_type, ExposureHours(exposure_hours)});
+        }
+        auto verification =
+            verify_against_evidence(problem, allocation, evidence, 0.95);
+        return Artifacts{std::move(problem), std::move(allocation), std::move(goals),
+                         std::move(mece), std::move(verification)};
+    }
+
+    [[nodiscard]] CaseInputs inputs() const {
+        CaseInputs in;
+        in.problem = &problem;
+        in.allocation = &allocation;
+        in.goals = &goals;
+        in.mece_certificate = &mece;
+        in.verification = &verification;
+        return in;
+    }
+};
+
+TEST(BuildCase, CleanEvidenceYieldsHoldingCase) {
+    // Zero events over enormous exposure: every bound clears every budget.
+    const auto artifacts = Artifacts::make(0, 1e12);
+    const auto sc = build_case(artifacts.inputs());
+    EXPECT_TRUE(sc.holds()) << sc.render();
+    EXPECT_TRUE(sc.open_items().empty());
+}
+
+TEST(BuildCase, ViolationsSurfaceAsOpenItems) {
+    // Massive event counts: everything violates.
+    const auto artifacts = Artifacts::make(1000000, 10.0);
+    const auto sc = build_case(artifacts.inputs());
+    EXPECT_FALSE(sc.holds());
+    EXPECT_FALSE(sc.open_items().empty());
+    const auto text = sc.render();
+    EXPECT_NE(text.find("OPEN"), std::string::npos);
+}
+
+TEST(BuildCase, InconclusiveEvidenceIsPendingNotFailed) {
+    // Zero events over short exposure: point estimates fine, bounds loose.
+    const auto artifacts = Artifacts::make(0, 10.0);
+    const auto sc = build_case(artifacts.inputs());
+    EXPECT_FALSE(sc.holds());
+    // The render must distinguish POINT-ONLY rows.
+    EXPECT_NE(sc.render().find("POINT-ONLY"), std::string::npos);
+}
+
+TEST(BuildCase, IncludesFscEvidenceWhenSupplied) {
+    const auto artifacts = Artifacts::make(0, 1e12);
+    const auto fsc = fsc::derive_fsc(artifacts.goals, fsc::ChainTemplate{});
+    auto inputs = artifacts.inputs();
+    inputs.fsc = &fsc;
+    const auto sc = build_case(inputs);
+    EXPECT_TRUE(sc.holds());
+    EXPECT_NE(sc.render().find("FSC closure"), std::string::npos);
+    // The qualitative process argument of Sec. V rides along with the FSC.
+    EXPECT_NE(sc.render().find("E-PROCESS"), std::string::npos);
+    // Without an FSC, no process-argument leaf is asserted.
+    const auto bare = build_case(artifacts.inputs());
+    EXPECT_EQ(bare.render().find("E-PROCESS"), std::string::npos);
+}
+
+TEST(BuildCase, StructureMentionsAllClassesAndGoals) {
+    const auto artifacts = Artifacts::make(0, 1e12);
+    const auto sc = build_case(artifacts.inputs());
+    const auto text = sc.render();
+    for (const auto& c : artifacts.problem.norm().classes().all()) {
+        EXPECT_NE(text.find("G-" + c.id), std::string::npos) << c.id;
+    }
+    for (const auto& g : artifacts.goals.all()) {
+        EXPECT_NE(text.find(g.id), std::string::npos) << g.id;
+    }
+    EXPECT_NE(text.find("E-MECE"), std::string::npos);
+    EXPECT_NE(text.find("E-ALLOC"), std::string::npos);
+}
+
+TEST(BuildCase, RejectsMissingInputs) {
+    const auto artifacts = Artifacts::make(0, 1e12);
+    CaseInputs inputs = artifacts.inputs();
+    inputs.verification = nullptr;
+    EXPECT_THROW(build_case(inputs), std::invalid_argument);
+    CaseInputs empty;
+    EXPECT_THROW(build_case(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qrn::safety_case

@@ -1,0 +1,155 @@
+// Kinematics: closed-form stopping physics, crossing geometry, and the
+// two-vehicle integrator checked against analytic limits.
+#include "sim/dynamics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace qrn::sim {
+namespace {
+
+constexpr BrakeResponse kBrake{0.5, 6.0};
+
+TEST(UnitConversion, RoundTrip) {
+    EXPECT_DOUBLE_EQ(kmh_to_ms(36.0), 10.0);
+    EXPECT_DOUBLE_EQ(ms_to_kmh(10.0), 36.0);
+    EXPECT_NEAR(ms_to_kmh(kmh_to_ms(73.2)), 73.2, 1e-12);
+}
+
+TEST(StoppingDistance, ClosedForm) {
+    // 50 km/h = 13.888 m/s: 13.888*0.5 + 13.888^2/12 = 23.02 m.
+    const double v = kmh_to_ms(50.0);
+    EXPECT_NEAR(stopping_distance_m(50.0, kBrake), v * 0.5 + v * v / 12.0, 1e-9);
+    EXPECT_DOUBLE_EQ(stopping_distance_m(0.0, kBrake), 0.0);
+}
+
+TEST(FrictionLimit, MuTimesG) {
+    EXPECT_NEAR(friction_limited_decel_ms2(1.0), 9.81, 1e-12);
+    EXPECT_NEAR(friction_limited_decel_ms2(0.3), 2.943, 1e-12);
+    EXPECT_DOUBLE_EQ(friction_limited_decel_ms2(-1.0), 0.0);
+}
+
+TEST(Stationary, StopsShortWhenDistanceSuffices) {
+    const double d = stopping_distance_m(50.0, kBrake) + 5.0;
+    const auto out = resolve_stationary(50.0, d, kBrake);
+    EXPECT_FALSE(out.collision);
+    EXPECT_NEAR(out.min_gap_m, 5.0, 1e-9);
+    EXPECT_DOUBLE_EQ(out.closing_speed_kmh, 0.0);  // stopped > 1 m away
+}
+
+TEST(Stationary, CollidesAtFullSpeedInsideReactionDistance) {
+    // 50 km/h, obstacle 5 m ahead, reaction travel = 6.94 m > 5 m.
+    const auto out = resolve_stationary(50.0, 5.0, kBrake);
+    EXPECT_TRUE(out.collision);
+    EXPECT_NEAR(out.impact_speed_kmh, 50.0, 1e-9);
+}
+
+TEST(Stationary, PartialBrakingReducesImpactSpeed) {
+    const double d = stopping_distance_m(50.0, kBrake) - 5.0;
+    const auto out = resolve_stationary(50.0, d, kBrake);
+    EXPECT_TRUE(out.collision);
+    EXPECT_GT(out.impact_speed_kmh, 0.0);
+    EXPECT_LT(out.impact_speed_kmh, 50.0);
+    // Analytic check: v_impact = sqrt(2 a * 5 m).
+    EXPECT_NEAR(kmh_to_ms(out.impact_speed_kmh),
+                std::sqrt(2.0 * kBrake.deceleration_ms2 * 5.0), 1e-6);
+}
+
+TEST(Stationary, ImpactSpeedMonotoneInInitialSpeed) {
+    double prev = -1.0;
+    for (double v = 20.0; v <= 90.0; v += 5.0) {
+        const auto out = resolve_stationary(v, 25.0, kBrake);
+        const double impact = out.collision ? out.impact_speed_kmh : 0.0;
+        EXPECT_GE(impact, prev - 1e-9) << "v=" << v;
+        prev = impact;
+    }
+}
+
+TEST(Stationary, CloseStopReportsClosingSpeedWithinLastMetre) {
+    const double d = stopping_distance_m(50.0, kBrake) + 0.5;
+    const auto out = resolve_stationary(50.0, d, kBrake);
+    EXPECT_FALSE(out.collision);
+    EXPECT_NEAR(out.min_gap_m, 0.5, 1e-9);
+    // Speed 0.5 m before the stop point: sqrt(2*6*0.5) m/s ~ 8.8 km/h.
+    EXPECT_NEAR(out.closing_speed_kmh, ms_to_kmh(std::sqrt(2.0 * 6.0 * 0.5)), 1e-6);
+}
+
+TEST(Crossing, CollisionWhenActorOccupiesLane) {
+    // Slow crossing close ahead at speed: ego cannot stop in time.
+    const auto out = resolve_crossing(50.0, 10.0, 5.0, kBrake);
+    EXPECT_TRUE(out.collision);
+    EXPECT_GT(out.impact_speed_kmh, 0.0);
+}
+
+TEST(Crossing, MissWhenActorClearsInTime) {
+    // Fast crossing far away: the actor has left the lane before ego arrives.
+    const auto out = resolve_crossing(30.0, 70.0, 14.0, BrakeResponse{0.3, 3.0});
+    EXPECT_FALSE(out.collision);
+    EXPECT_GT(out.min_gap_m, 0.0);
+}
+
+TEST(Crossing, StopShortIsMiss) {
+    const double d = stopping_distance_m(40.0, kBrake) + 2.0;
+    const auto out = resolve_crossing(40.0, d, 1.0, kBrake);  // very slow actor
+    EXPECT_FALSE(out.collision);
+    EXPECT_NEAR(out.min_gap_m, 2.0, 1e-9);
+}
+
+TEST(Crossing, EarlierDetectionNeverWorsensOutcome) {
+    // Fix a conflict; sweep the distance at which braking starts.
+    double prev_impact = 1e9;
+    for (double d = 5.0; d <= 60.0; d += 5.0) {
+        const auto out = resolve_crossing(50.0, d, 3.0, kBrake);
+        const double impact = out.collision ? out.impact_speed_kmh : 0.0;
+        EXPECT_LE(impact, prev_impact + 1e-9) << "d=" << d;
+        prev_impact = impact;
+    }
+}
+
+TEST(Crossing, InputDomain) {
+    EXPECT_THROW(resolve_crossing(50.0, 10.0, 0.0, kBrake), std::invalid_argument);
+    EXPECT_THROW(resolve_crossing(-1.0, 10.0, 5.0, kBrake), std::invalid_argument);
+}
+
+TEST(LeadBraking, SafeGapAvoidsCollision) {
+    // 2 s gap at 90 km/h = 50 m; lead brakes at 4, ego responds 0.5 s / 6.
+    const auto out = resolve_lead_braking(90.0, 50.0, 4.0, kBrake);
+    EXPECT_FALSE(out.collision);
+    EXPECT_GT(out.min_gap_m, 0.0);
+    EXPECT_LT(out.min_gap_m, 50.0);  // the gap did close during the event
+}
+
+TEST(LeadBraking, ShortGapCollides) {
+    const auto out = resolve_lead_braking(90.0, 5.0, 8.0, BrakeResponse{0.8, 5.0});
+    EXPECT_TRUE(out.collision);
+    EXPECT_GT(out.impact_speed_kmh, 0.0);
+}
+
+TEST(LeadBraking, AnalyticLimitEqualDecelerations) {
+    // Same deceleration and zero reaction time: the gap never closes.
+    const auto out = resolve_lead_braking(72.0, 20.0, 6.0, BrakeResponse{0.0, 6.0});
+    EXPECT_FALSE(out.collision);
+    EXPECT_NEAR(out.min_gap_m, 20.0, 0.1);
+}
+
+TEST(LeadBraking, MinGapShrinksWithReactionTime) {
+    double prev_gap = 1e9;
+    for (double tr : {0.0, 0.3, 0.6, 0.9, 1.2}) {
+        const auto out = resolve_lead_braking(72.0, 30.0, 6.0, BrakeResponse{tr, 6.0});
+        const double gap = out.collision ? 0.0 : out.min_gap_m;
+        EXPECT_LE(gap, prev_gap + 1e-9) << "tr=" << tr;
+        prev_gap = gap;
+    }
+}
+
+TEST(LeadBraking, InputDomain) {
+    EXPECT_THROW(resolve_lead_braking(50.0, 10.0, 0.0, kBrake), std::invalid_argument);
+    EXPECT_THROW(resolve_lead_braking(50.0, -1.0, 4.0, kBrake), std::invalid_argument);
+    EXPECT_THROW(resolve_lead_braking(50.0, 10.0, 4.0, BrakeResponse{0.5, 0.0}),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qrn::sim

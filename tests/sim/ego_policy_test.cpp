@@ -1,0 +1,195 @@
+// Tactical policy: speed adaptation, braking selection, preset ordering.
+#include "sim/ego_policy.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace qrn::sim {
+namespace {
+
+Environment urban_env(double vru_density = 1.0) {
+    Environment env;
+    env.speed_limit_kmh = 50.0;
+    env.vru_density = vru_density;
+    env.friction = 0.9;
+    return env;
+}
+
+TEST(TacticalPolicy, PresetsValidate) {
+    EXPECT_NO_THROW(TacticalPolicy::cautious().validate());
+    EXPECT_NO_THROW(TacticalPolicy::nominal().validate());
+    EXPECT_NO_THROW(TacticalPolicy::performance().validate());
+}
+
+TEST(TacticalPolicy, ValidationCatchesBadParameters) {
+    TacticalPolicy p;
+    p.speed_factor = 0.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = {};
+    p.speed_factor = 1.5;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = {};
+    p.vru_speed_adaptation = 1.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = {};
+    p.following_time_gap_s = 0.0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = {};
+    p.emergency_decel_fraction = 1.2;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+    p = {};
+    p.response_latency_s = -0.1;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(CruiseSpeed, RespectsSpeedLimitAndOdd) {
+    const auto policy = TacticalPolicy::nominal();
+    const auto odd = Odd::urban();
+    auto env = urban_env();
+    EXPECT_DOUBLE_EQ(policy.cruise_speed_kmh(env, odd), 50.0);
+    env.speed_limit_kmh = 80.0;  // above the ODD cap
+    EXPECT_DOUBLE_EQ(policy.cruise_speed_kmh(env, odd), 50.0);
+    env.speed_limit_kmh = 30.0;
+    EXPECT_DOUBLE_EQ(policy.cruise_speed_kmh(env, odd), 30.0);
+}
+
+TEST(CruiseSpeed, VruDensitySlowsProactivePolicy) {
+    const auto policy = TacticalPolicy::cautious();
+    const auto odd = Odd::urban();
+    const double quiet = policy.cruise_speed_kmh(urban_env(0.5), odd);
+    const double busy = policy.cruise_speed_kmh(urban_env(4.0), odd);
+    EXPECT_LT(busy, quiet);
+    // But never below the 30% floor.
+    EXPECT_GE(policy.cruise_speed_kmh(urban_env(1000.0), odd), 50.0 * 0.85 * 0.3 - 1e-9);
+}
+
+TEST(CruiseSpeed, AdaptationDisabledMeansNoSlowdown) {
+    TacticalPolicy p = TacticalPolicy::nominal();
+    p.vru_speed_adaptation = 0.0;
+    const auto odd = Odd::urban();
+    EXPECT_DOUBLE_EQ(p.cruise_speed_kmh(urban_env(4.0), odd),
+                     p.cruise_speed_kmh(urban_env(0.5), odd));
+}
+
+TEST(CruiseSpeed, PresetOrdering) {
+    const auto odd = Odd::urban();
+    const auto env = urban_env(3.0);
+    EXPECT_LT(TacticalPolicy::cautious().cruise_speed_kmh(env, odd),
+              TacticalPolicy::nominal().cruise_speed_kmh(env, odd));
+    EXPECT_LE(TacticalPolicy::nominal().cruise_speed_kmh(env, odd),
+              TacticalPolicy::performance().cruise_speed_kmh(env, odd));
+}
+
+TEST(BrakingFor, FarSightUsesComfortBraking) {
+    const auto policy = TacticalPolicy::nominal();
+    const auto r = policy.braking_for(50.0, 500.0, 0.9);
+    EXPECT_DOUBLE_EQ(r.deceleration_ms2, policy.comfort_decel_ms2);
+    EXPECT_DOUBLE_EQ(r.reaction_time_s, policy.effective_latency_s());
+}
+
+TEST(EffectiveLatency, ShrinksWithAnticipation) {
+    TacticalPolicy p = TacticalPolicy::nominal();
+    p.anticipation_horizon_s = 0.0;
+    EXPECT_DOUBLE_EQ(p.effective_latency_s(), p.response_latency_s);
+    double prev = p.effective_latency_s();
+    for (double h : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+        p.anticipation_horizon_s = h;
+        EXPECT_LT(p.effective_latency_s(), prev);
+        prev = p.effective_latency_s();
+    }
+    // The anticipation credit saturates at 30% of the nominal latency.
+    EXPECT_GT(p.effective_latency_s(), 0.3 * p.response_latency_s);
+}
+
+TEST(SightSpeed, MonotoneInDistanceAndStoppable) {
+    const auto policy = TacticalPolicy::nominal();
+    double prev = -1.0;
+    for (double d : {5.0, 15.0, 30.0, 60.0, 120.0}) {
+        const double v = policy.sight_speed_kmh(d);
+        EXPECT_GT(v, prev);
+        prev = v;
+        // Defining property: from the sight speed, a comfort stop fits
+        // within the sight distance.
+        const BrakeResponse comfort{policy.effective_latency_s(),
+                                    policy.comfort_decel_ms2};
+        EXPECT_LE(stopping_distance_m(v, comfort), d + 1e-6) << "d=" << d;
+    }
+    EXPECT_DOUBLE_EQ(policy.sight_speed_kmh(0.0), 0.0);
+    EXPECT_THROW(policy.sight_speed_kmh(-1.0), std::invalid_argument);
+}
+
+TEST(ApproachSpeed, BlendsTowardSightSpeed) {
+    TacticalPolicy reactive = TacticalPolicy::nominal();
+    reactive.anticipation_horizon_s = 0.0;
+    TacticalPolicy proactive = TacticalPolicy::nominal();
+    proactive.anticipation_horizon_s = 12.0;
+    const double sight_d = 15.0;
+    // Fully reactive: no slow-down at all.
+    EXPECT_DOUBLE_EQ(reactive.approach_speed_kmh(50.0, sight_d), 50.0);
+    // Proactive: pulled most of the way to the sight speed.
+    const double v = proactive.approach_speed_kmh(50.0, sight_d);
+    EXPECT_LT(v, 50.0);
+    EXPECT_GT(v, proactive.sight_speed_kmh(sight_d) - 1e-9);
+    // Below the sight speed, cruise passes through unchanged.
+    EXPECT_DOUBLE_EQ(proactive.approach_speed_kmh(10.0, 100.0), 10.0);
+}
+
+TEST(BrakingForLead, CreditsLeadStoppingDistance) {
+    const auto policy = TacticalPolicy::nominal();
+    // 2 s gap at 50 km/h with a moderate lead braking: comfort suffices
+    // because the lead consumes its own stopping distance.
+    const double gap = policy.following_gap_m(50.0);
+    const auto easy = policy.braking_for_lead(50.0, gap, 5.0, 0.9);
+    EXPECT_DOUBLE_EQ(easy.deceleration_ms2, policy.comfort_decel_ms2);
+    // A tiny cut-in gap with hard lead braking needs an emergency response.
+    const auto hard = policy.braking_for_lead(50.0, 3.0, 8.0, 0.9);
+    EXPECT_TRUE(policy.is_emergency(hard));
+    EXPECT_THROW(policy.braking_for_lead(50.0, 10.0, 0.0, 0.9), std::invalid_argument);
+}
+
+TEST(IsEmergency, ThresholdsOnComfort) {
+    const auto policy = TacticalPolicy::nominal();
+    EXPECT_FALSE(policy.is_emergency({0.3, policy.comfort_decel_ms2}));
+    EXPECT_TRUE(policy.is_emergency({0.3, policy.comfort_decel_ms2 + 0.5}));
+}
+
+TEST(BrakingFor, CloseConflictTriggersEmergencyBraking) {
+    const auto policy = TacticalPolicy::nominal();
+    const auto r = policy.braking_for(50.0, 10.0, 0.9);
+    EXPECT_NEAR(r.deceleration_ms2, 0.9 * friction_limited_decel_ms2(0.9), 1e-9);
+}
+
+TEST(BrakingFor, FrictionCapsEmergencyDeceleration) {
+    const auto policy = TacticalPolicy::nominal();
+    const auto dry = policy.braking_for(50.0, 5.0, 0.9);
+    const auto ice = policy.braking_for(50.0, 5.0, 0.2);
+    EXPECT_LT(ice.deceleration_ms2, dry.deceleration_ms2);
+    EXPECT_NEAR(ice.deceleration_ms2, 0.9 * friction_limited_decel_ms2(0.2), 1e-9);
+}
+
+TEST(BrakingFor, MidRangeScalesRequiredDeceleration) {
+    // Seen at a distance where comfort braking is insufficient: the policy
+    // ramps deceleration to what is required (with its 15% margin).
+    TacticalPolicy p = TacticalPolicy::nominal();
+    const double v = kmh_to_ms(50.0);
+    const double d = v * p.effective_latency_s() + v * v / (2.0 * 4.5);  // needs 4.5
+    const auto r = p.braking_for(50.0, d, 0.9);
+    EXPECT_GT(r.deceleration_ms2, p.comfort_decel_ms2);
+    EXPECT_NEAR(r.deceleration_ms2, 4.5 * 1.15, 0.01);
+    EXPECT_LE(r.deceleration_ms2, 0.9 * friction_limited_decel_ms2(0.9) + 1e-9);
+}
+
+TEST(FollowingGap, ScalesWithSpeedAndFloors) {
+    const auto policy = TacticalPolicy::nominal();  // 2 s gap
+    EXPECT_NEAR(policy.following_gap_m(72.0), 40.0, 1e-9);
+    EXPECT_DOUBLE_EQ(policy.following_gap_m(0.0), 2.0);  // floor
+}
+
+TEST(FollowingGap, CautiousKeepsLongerGaps) {
+    EXPECT_GT(TacticalPolicy::cautious().following_gap_m(72.0),
+              TacticalPolicy::performance().following_gap_m(72.0));
+}
+
+}  // namespace
+}  // namespace qrn::sim

@@ -1,0 +1,89 @@
+// Incident detector: mapping outcomes to incident records.
+#include "sim/incident_detector.h"
+
+#include <gtest/gtest.h>
+
+namespace qrn::sim {
+namespace {
+
+Encounter vru_encounter() {
+    Encounter e;
+    e.kind = EncounterKind::VruCrossing;
+    return e;
+}
+
+TEST(DetectIncident, CollisionAlwaysRecorded) {
+    EncounterOutcome out;
+    out.collision = true;
+    out.impact_speed_kmh = 23.5;
+    const auto incident = detect_incident(vru_encounter(), out, 12.0);
+    ASSERT_TRUE(incident.has_value());
+    EXPECT_EQ(incident->mechanism, IncidentMechanism::Collision);
+    EXPECT_EQ(incident->second, ActorType::Vru);
+    EXPECT_DOUBLE_EQ(incident->relative_speed_kmh, 23.5);
+    EXPECT_DOUBLE_EQ(incident->min_distance_m, 0.0);
+    EXPECT_DOUBLE_EQ(incident->timestamp_hours, 12.0);
+    EXPECT_TRUE(incident->involves_ego());
+}
+
+TEST(DetectIncident, NearMissWithinThresholdsRecorded) {
+    EncounterOutcome out;
+    out.min_gap_m = 1.2;
+    out.closing_speed_kmh = 18.0;
+    const auto incident = detect_incident(vru_encounter(), out, 1.0);
+    ASSERT_TRUE(incident.has_value());
+    EXPECT_EQ(incident->mechanism, IncidentMechanism::NearMiss);
+    EXPECT_DOUBLE_EQ(incident->min_distance_m, 1.2);
+}
+
+TEST(DetectIncident, WideMissNotRecorded) {
+    EncounterOutcome out;
+    out.min_gap_m = 10.0;
+    out.closing_speed_kmh = 50.0;
+    EXPECT_FALSE(detect_incident(vru_encounter(), out, 1.0).has_value());
+}
+
+TEST(DetectIncident, SlowCloseApproachNotRecorded) {
+    EncounterOutcome out;
+    out.min_gap_m = 0.5;
+    out.closing_speed_kmh = 2.0;  // below the speed threshold
+    EXPECT_FALSE(detect_incident(vru_encounter(), out, 1.0).has_value());
+}
+
+TEST(DetectIncident, ThresholdsAreConfigurable) {
+    EncounterOutcome out;
+    out.min_gap_m = 2.5;
+    out.closing_speed_kmh = 4.0;
+    DetectorConfig wide;
+    wide.near_miss_max_distance_m = 5.0;
+    wide.near_miss_min_speed_kmh = 1.0;
+    EXPECT_TRUE(detect_incident(vru_encounter(), out, 1.0, wide).has_value());
+    DetectorConfig narrow;
+    narrow.near_miss_max_distance_m = 1.0;
+    EXPECT_FALSE(detect_incident(vru_encounter(), out, 1.0, narrow).has_value());
+}
+
+TEST(DetectIncident, CounterpartyFollowsEncounterKind) {
+    EncounterOutcome out;
+    out.collision = true;
+    out.impact_speed_kmh = 10.0;
+    Encounter e;
+    e.kind = EncounterKind::AnimalCrossing;
+    EXPECT_EQ(detect_incident(e, out, 0.0)->second, ActorType::Animal);
+    e.kind = EncounterKind::StationaryObstacle;
+    EXPECT_EQ(detect_incident(e, out, 0.0)->second, ActorType::StaticObject);
+    e.kind = EncounterKind::CutIn;
+    EXPECT_EQ(detect_incident(e, out, 0.0)->second, ActorType::Car);
+}
+
+TEST(DetectIncident, ProducedRecordsAreValid) {
+    EncounterOutcome out;
+    out.collision = true;
+    out.impact_speed_kmh = 42.0;
+    const auto incident = detect_incident(vru_encounter(), out, 3.0);
+    ASSERT_TRUE(incident.has_value());
+    EXPECT_NO_THROW(validate(*incident));
+}
+
+}  // namespace
+}  // namespace qrn::sim

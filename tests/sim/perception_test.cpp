@@ -1,0 +1,82 @@
+// Perception model: degradation ordering and sampling behaviour.
+#include "sim/perception.h"
+
+#include <gtest/gtest.h>
+
+namespace qrn::sim {
+namespace {
+
+Environment with_weather(Weather w, Lighting l = Lighting::Day) {
+    Environment env;
+    env.weather = w;
+    env.lighting = l;
+    return env;
+}
+
+TEST(PerceptionModel, WeatherDegradesRange) {
+    const PerceptionModel model;
+    const double clear = model.mean_range_m(ActorType::Car, with_weather(Weather::Clear));
+    const double rain = model.mean_range_m(ActorType::Car, with_weather(Weather::Rain));
+    const double snow = model.mean_range_m(ActorType::Car, with_weather(Weather::Snow));
+    const double fog = model.mean_range_m(ActorType::Car, with_weather(Weather::Fog));
+    EXPECT_GT(clear, rain);
+    EXPECT_GT(rain, snow);
+    EXPECT_GT(snow, fog);
+}
+
+TEST(PerceptionModel, NightDegradesRange) {
+    const PerceptionModel model;
+    EXPECT_GT(model.mean_range_m(ActorType::Car, with_weather(Weather::Clear)),
+              model.mean_range_m(ActorType::Car,
+                                 with_weather(Weather::Clear, Lighting::Night)));
+}
+
+TEST(PerceptionModel, VruAndAnimalSeenLaterThanCars) {
+    const PerceptionModel model;
+    const auto env = with_weather(Weather::Clear);
+    EXPECT_LT(model.mean_range_m(ActorType::Vru, env),
+              model.mean_range_m(ActorType::Car, env));
+    EXPECT_LT(model.mean_range_m(ActorType::Animal, env),
+              model.mean_range_m(ActorType::Vru, env));
+}
+
+TEST(PerceptionModel, SamplesCentreOnMeanRange) {
+    const PerceptionModel model;
+    const auto env = with_weather(Weather::Clear);
+    stats::Rng rng(5);
+    const double mean = model.mean_range_m(ActorType::Car, env);
+    int below = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        below += model.sample_detection_distance_m(ActorType::Car, env, rng) < mean;
+    }
+    // Lognormal with median = mean: ~half below (plus rare gross misses).
+    EXPECT_NEAR(below / static_cast<double>(n), 0.5, 0.02);
+}
+
+TEST(PerceptionModel, SamplesNeverBelowOneMetre) {
+    PerceptionModel model;
+    model.blackout_probability = 1.0;  // force worst case
+    const auto env = with_weather(Weather::Fog, Lighting::Night);
+    stats::Rng rng(6);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_GE(model.sample_detection_distance_m(ActorType::Animal, env, rng), 1.0);
+    }
+}
+
+TEST(PerceptionModel, BlackoutInjectionShortensDetection) {
+    PerceptionModel healthy;
+    PerceptionModel faulty = healthy;
+    faulty.blackout_probability = 1.0;
+    const auto env = with_weather(Weather::Clear);
+    stats::Rng r1(7), r2(7);
+    double healthy_sum = 0.0, faulty_sum = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+        healthy_sum += healthy.sample_detection_distance_m(ActorType::Car, env, r1);
+        faulty_sum += faulty.sample_detection_distance_m(ActorType::Car, env, r2);
+    }
+    EXPECT_LT(faulty_sum, healthy_sum * 0.1);
+}
+
+}  // namespace
+}  // namespace qrn::sim

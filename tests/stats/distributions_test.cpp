@@ -1,0 +1,97 @@
+// Distribution functions: reference values, normalisation and identities.
+#include "stats/distributions.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace qrn::stats {
+namespace {
+
+TEST(Poisson, PmfKnownValues) {
+    // P(X=0 | 2) = e^-2.
+    EXPECT_NEAR(poisson_pmf(0, 2.0), std::exp(-2.0), 1e-14);
+    // P(X=3 | 2) = 2^3 e^-2 / 6.
+    EXPECT_NEAR(poisson_pmf(3, 2.0), 8.0 * std::exp(-2.0) / 6.0, 1e-14);
+    EXPECT_DOUBLE_EQ(poisson_pmf(0, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(poisson_pmf(2, 0.0), 0.0);
+}
+
+TEST(Poisson, PmfSumsToOne) {
+    double sum = 0.0;
+    for (std::uint64_t k = 0; k <= 60; ++k) sum += poisson_pmf(k, 10.0);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Poisson, CdfConsistentWithPmf) {
+    for (double mean : {0.5, 3.0, 12.0}) {
+        double acc = 0.0;
+        for (std::uint64_t k = 0; k <= 30; ++k) {
+            acc += poisson_pmf(k, mean);
+            EXPECT_NEAR(poisson_cdf(k, mean), acc, 1e-10)
+                << "mean=" << mean << " k=" << k;
+        }
+    }
+}
+
+TEST(Poisson, QuantileIsSmallestK) {
+    for (double mean : {0.7, 5.0, 80.0}) {
+        for (double p : {0.05, 0.5, 0.95, 0.999}) {
+            const std::uint64_t k = poisson_quantile(p, mean);
+            EXPECT_GE(poisson_cdf(k, mean), p);
+            if (k > 0) {
+                EXPECT_LT(poisson_cdf(k - 1, mean), p);
+            }
+        }
+    }
+}
+
+TEST(Normal, PdfCdfQuantile) {
+    EXPECT_NEAR(normal_pdf(0.0, 0.0, 1.0), 1.0 / std::sqrt(2.0 * M_PI), 1e-12);
+    EXPECT_NEAR(normal_cdf_at(3.0, 3.0, 5.0), 0.5, 1e-12);
+    EXPECT_NEAR(normal_quantile_at(0.975, 10.0, 2.0), 10.0 + 2.0 * 1.959963984540054,
+                1e-8);
+    EXPECT_THROW(normal_pdf(0.0, 0.0, 0.0), std::invalid_argument);
+}
+
+TEST(Exponential, PdfCdf) {
+    EXPECT_NEAR(exponential_cdf(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-14);
+    EXPECT_DOUBLE_EQ(exponential_cdf(-1.0, 1.0), 0.0);
+    EXPECT_NEAR(exponential_pdf(0.5, 2.0), 2.0 * std::exp(-1.0), 1e-14);
+    EXPECT_THROW(exponential_cdf(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Binomial, PmfKnownValues) {
+    // Binomial(4, 0.5): P(X=2) = 6/16.
+    EXPECT_NEAR(binomial_pmf(2, 4, 0.5), 6.0 / 16.0, 1e-13);
+    EXPECT_DOUBLE_EQ(binomial_pmf(5, 4, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(binomial_pmf(0, 4, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(binomial_pmf(4, 4, 1.0), 1.0);
+}
+
+TEST(Binomial, CdfMatchesPmfSum) {
+    for (double p : {0.1, 0.5, 0.83}) {
+        double acc = 0.0;
+        for (std::uint64_t k = 0; k < 12; ++k) {
+            acc += binomial_pmf(k, 12, p);
+            EXPECT_NEAR(binomial_cdf(k, 12, p), acc, 1e-10) << "p=" << p << " k=" << k;
+        }
+        EXPECT_DOUBLE_EQ(binomial_cdf(12, 12, p), 1.0);
+    }
+}
+
+TEST(Lognormal, PdfCdf) {
+    // Median at exp(mu).
+    EXPECT_NEAR(lognormal_cdf(std::exp(1.5), 1.5, 0.7), 0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(lognormal_cdf(0.0, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(lognormal_pdf(-1.0, 0.0, 1.0), 0.0);
+    // Integrates to ~1 over a wide range (trapezoid check).
+    double integral = 0.0;
+    const double dx = 0.001;
+    for (double x = dx; x < 50.0; x += dx) integral += lognormal_pdf(x, 0.0, 0.5) * dx;
+    EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace qrn::stats

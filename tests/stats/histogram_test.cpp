@@ -1,0 +1,78 @@
+// Histogram and streaming summary: binning, edges, quantiles, Welford.
+#include "stats/histogram.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace qrn::stats {
+namespace {
+
+TEST(RunningSummary, WelfordMatchesDirectComputation) {
+    RunningSummary s;
+    const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    for (double x : xs) s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of the classic dataset: 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningSummary, DegenerateCases) {
+    RunningSummary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(Histogram, BinningAndEdges) {
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.0);   // bin 0
+    h.add(1.99);  // bin 0
+    h.add(2.0);   // bin 1
+    h.add(9.99);  // bin 4
+    h.add(-1.0);  // underflow
+    h.add(10.0);  // overflow (hi is exclusive)
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_DOUBLE_EQ(h.bin_lower(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.bin_upper(1), 4.0);
+}
+
+TEST(Histogram, CumulativeFraction) {
+    Histogram h(0.0, 4.0, 4);
+    for (double x : {0.5, 1.5, 2.5, 3.5}) h.add(x);
+    EXPECT_DOUBLE_EQ(h.cumulative_fraction(0), 0.25);
+    EXPECT_DOUBLE_EQ(h.cumulative_fraction(3), 1.0);
+}
+
+TEST(Histogram, QuantileApproximatesUniform) {
+    Histogram h(0.0, 1.0, 100);
+    Rng rng(77);
+    for (int i = 0; i < 100000; ++i) h.add(rng.uniform());
+    EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+    EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+    EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(Histogram, Domain) {
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+    Histogram h(0.0, 1.0, 2);
+    EXPECT_THROW(h.count(2), std::out_of_range);
+    EXPECT_THROW(h.quantile(1.5), std::invalid_argument);
+    EXPECT_THROW(h.quantile(0.5), std::logic_error);  // no samples yet
+}
+
+}  // namespace
+}  // namespace qrn::stats

@@ -1,0 +1,170 @@
+// Exact Poisson rate intervals: reference values, the rule of three, and a
+// Monte-Carlo coverage property for the Garwood interval.
+#include "stats/rate_estimation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace qrn::stats {
+namespace {
+
+TEST(RateMle, BasicAndDomain) {
+    EXPECT_DOUBLE_EQ(rate_mle({10, 100.0}), 0.1);
+    EXPECT_DOUBLE_EQ(rate_mle({0, 50.0}), 0.0);
+    EXPECT_THROW(rate_mle({1, 0.0}), std::invalid_argument);
+}
+
+TEST(Garwood, ZeroEventsMatchesRuleOfThree) {
+    const auto ci = garwood_interval({0, 1000.0}, 0.95);
+    EXPECT_DOUBLE_EQ(ci.lower, 0.0);
+    // Two-sided upper for k=0: chi2(0.975, 2)/2 / T = -ln(0.025)/T ~ 3.69/T.
+    EXPECT_NEAR(ci.upper, -std::log(0.025) / 1000.0, 1e-9);
+    // One-sided 95% upper bound: -ln(0.05)/T ~ 3.0/T (the rule of three).
+    EXPECT_NEAR(rate_upper_bound({0, 1000.0}, 0.95), -std::log(0.05) / 1000.0, 1e-9);
+}
+
+TEST(Garwood, KnownValues) {
+    // k=5, T=100h, 95%: Garwood CI = [chi2(.025,10)/2, chi2(.975,12)/2] / 100
+    // = [1.6235, 11.668] / 100.
+    const auto ci = garwood_interval({5, 100.0}, 0.95);
+    EXPECT_NEAR(ci.lower, 1.623486 / 100.0, 1e-5);
+    EXPECT_NEAR(ci.upper, 11.66833 / 100.0, 1e-4);
+    EXPECT_DOUBLE_EQ(ci.point, 0.05);
+}
+
+TEST(Garwood, IntervalContainsPointEstimate) {
+    for (std::uint64_t k : {0ULL, 1ULL, 3ULL, 17ULL, 120ULL}) {
+        const auto ci = garwood_interval({k, 250.0}, 0.9);
+        EXPECT_LE(ci.lower, ci.point);
+        EXPECT_GE(ci.upper, ci.point);
+    }
+}
+
+TEST(Bounds, OneSidedOrdering) {
+    const RateObservation obs{7, 500.0};
+    EXPECT_LT(rate_lower_bound(obs, 0.95), rate_mle(obs));
+    EXPECT_GT(rate_upper_bound(obs, 0.95), rate_mle(obs));
+    // Higher confidence widens the one-sided bound.
+    EXPECT_GT(rate_upper_bound(obs, 0.99), rate_upper_bound(obs, 0.9));
+}
+
+TEST(Bounds, Domain) {
+    EXPECT_THROW(rate_upper_bound({1, 10.0}, 0.0), std::invalid_argument);
+    EXPECT_THROW(rate_upper_bound({1, 10.0}, 1.0), std::invalid_argument);
+    EXPECT_THROW(rate_upper_bound({1, -1.0}, 0.9), std::invalid_argument);
+    EXPECT_DOUBLE_EQ(rate_lower_bound({0, 10.0}, 0.9), 0.0);
+}
+
+TEST(ExposureNeeded, InvertsRuleOfThree) {
+    const double t = exposure_needed_for_zero_events(1e-7, 0.95);
+    // Observing 0 events over t hours must bound the rate at exactly 1e-7.
+    EXPECT_NEAR(rate_upper_bound({0, t}, 0.95), 1e-7, 1e-15);
+    EXPECT_THROW(exposure_needed_for_zero_events(0.0, 0.95), std::invalid_argument);
+}
+
+TEST(RateRatioTest, EqualRatesGiveHighPValue) {
+    const auto result = rate_ratio_test({50, 1000.0}, {50, 1000.0});
+    EXPECT_DOUBLE_EQ(result.ratio, 1.0);
+    EXPECT_GT(result.p_value, 0.9);
+}
+
+TEST(RateRatioTest, ClearlyDifferentRatesGiveLowPValue) {
+    const auto result = rate_ratio_test({100, 1000.0}, {20, 1000.0});
+    EXPECT_NEAR(result.ratio, 5.0, 1e-12);
+    EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(RateRatioTest, AccountsForUnequalExposure) {
+    // 100 events in 1000 h vs 200 events in 2000 h: identical rates.
+    const auto same = rate_ratio_test({100, 1000.0}, {200, 2000.0});
+    EXPECT_GT(same.p_value, 0.5);
+    // 100 in 1000 vs 100 in 4000: a 4x rate difference.
+    const auto different = rate_ratio_test({100, 1000.0}, {100, 4000.0});
+    EXPECT_LT(different.p_value, 1e-6);
+}
+
+TEST(RateRatioTest, EdgeCases) {
+    const auto empty = rate_ratio_test({0, 100.0}, {0, 100.0});
+    EXPECT_DOUBLE_EQ(empty.p_value, 1.0);
+    const auto one_sided = rate_ratio_test({5, 100.0}, {0, 100.0});
+    EXPECT_TRUE(std::isinf(one_sided.ratio));
+    EXPECT_LE(one_sided.p_value, 1.0);
+    EXPECT_THROW(rate_ratio_test({1, 0.0}, {1, 10.0}), std::invalid_argument);
+}
+
+TEST(HeterogeneityTest, HomogeneousSamplesYieldHighPValues) {
+    Rng rng(0x1234);
+    int rejections = 0;
+    const int trials = 1000;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<RateObservation> fleets;
+        for (int f = 0; f < 6; ++f) {
+            fleets.push_back({rng.poisson(40.0), 800.0});  // common rate 0.05
+        }
+        if (rate_heterogeneity_test(fleets).p_value < 0.05) ++rejections;
+    }
+    EXPECT_LT(rejections / static_cast<double>(trials), 0.08);
+}
+
+TEST(HeterogeneityTest, MixedRatesAreDetected) {
+    // Five fleets at rate 0.05 and one at 0.25: clear overdispersion.
+    std::vector<RateObservation> fleets(5, RateObservation{40, 800.0});
+    fleets.push_back({200, 800.0});
+    const auto result = rate_heterogeneity_test(fleets);
+    EXPECT_LT(result.p_value, 1e-6);
+    EXPECT_GT(result.chi_squared, 50.0);
+    EXPECT_DOUBLE_EQ(result.degrees_of_freedom, 5.0);
+}
+
+TEST(HeterogeneityTest, PooledRateAndEdgeCases) {
+    const std::vector<RateObservation> fleets{{10, 100.0}, {20, 300.0}};
+    const auto result = rate_heterogeneity_test(fleets);
+    EXPECT_NEAR(result.pooled_rate, 30.0 / 400.0, 1e-12);
+    const std::vector<RateObservation> empty_counts{{0, 100.0}, {0, 100.0}};
+    EXPECT_DOUBLE_EQ(rate_heterogeneity_test(empty_counts).p_value, 1.0);
+    EXPECT_THROW(rate_heterogeneity_test({{1, 10.0}}), std::invalid_argument);
+    EXPECT_THROW(rate_heterogeneity_test({{1, 10.0}, {1, 0.0}}), std::invalid_argument);
+}
+
+TEST(RateRatioTest, PValueIsValidUnderTheNull) {
+    // Simulated null: both rates 0.05/h, 500 h each; P(p < 0.05) <~ 0.05.
+    Rng rng(0xAB);
+    int rejections = 0;
+    const int trials = 2000;
+    for (int t = 0; t < trials; ++t) {
+        const std::uint64_t k1 = rng.poisson(25.0);
+        const std::uint64_t k2 = rng.poisson(25.0);
+        if (rate_ratio_test({k1, 500.0}, {k2, 500.0}).p_value < 0.05) ++rejections;
+    }
+    EXPECT_LT(rejections / static_cast<double>(trials), 0.07);
+}
+
+/// Coverage property: the 90% Garwood interval must cover the true rate in
+/// at least ~90% of simulated experiments (it is conservative, so >= 90%
+/// minus Monte-Carlo noise).
+class GarwoodCoverage : public ::testing::TestWithParam<double> {};
+
+TEST_P(GarwoodCoverage, CoversTrueRate) {
+    const double true_rate = GetParam();
+    const double exposure = 400.0;
+    Rng rng(0xC0FFEE ^ static_cast<std::uint64_t>(true_rate * 1e6));
+    int covered = 0;
+    const int trials = 3000;
+    for (int i = 0; i < trials; ++i) {
+        const std::uint64_t k = rng.poisson(true_rate * exposure);
+        const auto ci = garwood_interval({k, exposure}, 0.90);
+        if (ci.lower <= true_rate && true_rate <= ci.upper) ++covered;
+    }
+    EXPECT_GE(covered / static_cast<double>(trials), 0.88)
+        << "true rate " << true_rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(RateSweep, GarwoodCoverage,
+                         ::testing::Values(0.002, 0.01, 0.05, 0.25, 1.0));
+
+}  // namespace
+}  // namespace qrn::stats

@@ -1,0 +1,143 @@
+// Determinism, range and first/second-moment sanity of the RNG samplers.
+#include "stats/rng.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace qrn::stats {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_EQ(a(), b());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == b()) ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitStreamsAreIndependentlyDeterministic) {
+    Rng a(7);
+    Rng s1 = a.split();
+    Rng a2(7);
+    Rng s2 = a2.split();
+    for (int i = 0; i < 100; ++i) ASSERT_EQ(s1(), s2());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(5);
+    double sum = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng rng(6);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(-3.0, 7.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 7.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias) {
+    Rng rng(9);
+    int counts[6] = {};
+    for (int i = 0; i < 60000; ++i) {
+        const auto v = rng.uniform_int(10, 15);
+        ASSERT_GE(v, 10);
+        ASSERT_LE(v, 15);
+        ++counts[v - 10];
+    }
+    for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, NormalMoments) {
+    Rng rng(13);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum2 += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.01);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalShiftScale) {
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+    Rng rng(19);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.exponential(4.0);
+        ASSERT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, PoissonSmallMean) {
+    Rng rng(23);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(2.5));
+    EXPECT_NEAR(sum / n, 2.5, 0.05);
+    EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, PoissonLargeMean) {
+    Rng rng(29);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double x = static_cast<double>(rng.poisson(100.0));
+        sum += x;
+        sum2 += x * x;
+    }
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 100.0, 0.5);
+    EXPECT_NEAR(sum2 / n - mean * mean, 100.0, 5.0);  // var == mean
+}
+
+TEST(Rng, LognormalMedian) {
+    Rng rng(31);
+    int below = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) below += rng.lognormal(std::log(3.0), 0.5) < 3.0;
+    EXPECT_NEAR(below / static_cast<double>(n), 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace qrn::stats

@@ -1,0 +1,116 @@
+// Wald SPRT: boundaries, decisions, error-rate property and the efficiency
+// advantage over fixed-exposure testing.
+#include "stats/sequential.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "stats/rate_estimation.h"
+#include "stats/rng.h"
+
+namespace qrn::stats {
+namespace {
+
+TEST(PoissonSprt, ConstructionDomain) {
+    EXPECT_THROW(PoissonSprt(0.0, 1.0, 0.05, 0.05), std::invalid_argument);
+    EXPECT_THROW(PoissonSprt(1.0, 1.0, 0.05, 0.05), std::invalid_argument);
+    EXPECT_THROW(PoissonSprt(1.0, 2.0, 0.0, 0.05), std::invalid_argument);
+    EXPECT_THROW(PoissonSprt(1.0, 2.0, 0.05, 0.6), std::invalid_argument);
+}
+
+TEST(PoissonSprt, StartsUndecided) {
+    const PoissonSprt sprt(1e-3, 1e-2, 0.05, 0.05);
+    EXPECT_EQ(sprt.decision(), SprtDecision::Continue);
+    EXPECT_DOUBLE_EQ(sprt.log_likelihood_ratio(), 0.0);
+}
+
+TEST(PoissonSprt, EventFreeExposureAcceptsLowRate) {
+    PoissonSprt sprt(1e-3, 1e-2, 0.05, 0.05);
+    // LLR drifts down at (lambda1-lambda0) per event-free hour; the accept
+    // boundary ln(0.05/0.95) ~ -2.94 is reached after ~327 h.
+    sprt.observe(0, 300.0);
+    EXPECT_EQ(sprt.decision(), SprtDecision::Continue);
+    sprt.observe(0, 50.0);
+    EXPECT_EQ(sprt.decision(), SprtDecision::AcceptH0);
+}
+
+TEST(PoissonSprt, EventBurstRejectsLowRate) {
+    PoissonSprt sprt(1e-3, 1e-2, 0.05, 0.05);
+    // Each event adds ln(10) ~ 2.30; the reject boundary ln(0.95/0.05) ~
+    // 2.94 is crossed after two immediate events.
+    sprt.observe(2, 1.0);
+    EXPECT_EQ(sprt.decision(), SprtDecision::RejectH0);
+}
+
+TEST(PoissonSprt, ObserveValidation) {
+    PoissonSprt sprt(1e-3, 1e-2, 0.05, 0.05);
+    EXPECT_THROW(sprt.observe(0, -1.0), std::invalid_argument);
+    sprt.observe(3, 100.0);
+    EXPECT_EQ(sprt.events(), 3u);
+    EXPECT_DOUBLE_EQ(sprt.hours(), 100.0);
+}
+
+TEST(PoissonSprt, ErrorRatesApproximatelyControlled) {
+    // Simulate under H0 (true rate = lambda0): false rejections <~ alpha.
+    const double lambda0 = 0.01, lambda1 = 0.05;
+    Rng rng(0xDECADE);
+    int rejections = 0, undecided = 0;
+    const int trials = 1500;
+    for (int t = 0; t < trials; ++t) {
+        PoissonSprt sprt(lambda0, lambda1, 0.05, 0.05);
+        for (int step = 0; step < 10000 && sprt.decision() == SprtDecision::Continue;
+             ++step) {
+            sprt.observe(rng.poisson(lambda0 * 10.0), 10.0);
+        }
+        if (sprt.decision() == SprtDecision::RejectH0) ++rejections;
+        if (sprt.decision() == SprtDecision::Continue) ++undecided;
+    }
+    EXPECT_LT(rejections / static_cast<double>(trials), 0.07);
+    EXPECT_EQ(undecided, 0);
+}
+
+TEST(PoissonSprt, DetectsElevatedRates) {
+    // Under H1 the test must almost always reject.
+    const double lambda0 = 0.01, lambda1 = 0.05;
+    Rng rng(0xFACADE);
+    int rejections = 0;
+    const int trials = 800;
+    for (int t = 0; t < trials; ++t) {
+        PoissonSprt sprt(lambda0, lambda1, 0.05, 0.05);
+        for (int step = 0; step < 10000 && sprt.decision() == SprtDecision::Continue;
+             ++step) {
+            sprt.observe(rng.poisson(lambda1 * 10.0), 10.0);
+        }
+        if (sprt.decision() == SprtDecision::RejectH0) ++rejections;
+    }
+    EXPECT_GT(rejections / static_cast<double>(trials), 0.93);
+}
+
+TEST(PoissonSprt, SequentialBeatsFixedHorizonOnAverage) {
+    // Fixed-horizon demonstration of lambda0 = 1e-3 at 95% needs ~3000 h
+    // (rule of three). The SPRT accepting against lambda1 = 1e-2 takes
+    // ~330 h of event-free operation: an order of magnitude less.
+    const double fixed_hours = exposure_needed_for_zero_events(1e-3, 0.95);
+    const PoissonSprt sprt(1e-3, 1e-2, 0.05, 0.05);
+    const double sequential_hours = sprt.expected_hours_to_decision(1e-4);
+    EXPECT_LT(sequential_hours, fixed_hours / 5.0);
+    EXPECT_GT(sequential_hours, 0.0);
+}
+
+TEST(PoissonSprt, ExpectedHoursDomain) {
+    const PoissonSprt sprt(1e-3, 1e-2, 0.05, 0.05);
+    EXPECT_THROW(sprt.expected_hours_to_decision(0.0), std::invalid_argument);
+    // Drift direction: low true rate -> accept boundary (negative drift).
+    EXPECT_GT(sprt.expected_hours_to_decision(1e-2), 0.0);
+}
+
+TEST(PoissonSprt, NamingOfDecisions) {
+    EXPECT_EQ(to_string(SprtDecision::Continue), "CONTINUE");
+    EXPECT_EQ(to_string(SprtDecision::AcceptH0), "ACCEPT-H0");
+    EXPECT_EQ(to_string(SprtDecision::RejectH0), "REJECT-H0");
+}
+
+}  // namespace
+}  // namespace qrn::stats
