@@ -12,8 +12,10 @@
 // ones as the sample grows; small databases give noisy budgets - the reason
 // a real safety case needs the conservative upper bounds.
 #include <cmath>
+#include <cstdint>
 #include <iostream>
 
+#include "exec/parallel.h"
 #include "qrn/empirical.h"
 #include "qrn/qrn.h"
 #include "report/csv.h"
@@ -59,7 +61,11 @@ int main() {
             nm.relative_speed_kmh = rng.uniform(10.0, 40.0);
             incidents.push_back(nm);
         }
-        const auto labelled = label_incidents(incidents, norm, model, {0.6, 0.4}, rng);
+        // Stream-seeded overload: incident i labels from stream(2468, i),
+        // in parallel chunks, independent of the incident count above.
+        const auto labelled = label_incidents(incidents, norm, model, {0.6, 0.4},
+                                              std::uint64_t{2468},
+                                              qrn::exec::default_jobs());
         const auto counts = tally_contributions(labelled, types, norm.size());
         const auto empirical = counts.point_matrix();
 

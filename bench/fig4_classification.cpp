@@ -9,6 +9,7 @@
 #include <map>
 #include <string>
 
+#include "exec/parallel.h"
 #include "qrn/banding.h"
 #include "qrn/classification.h"
 #include "qrn/incident_type.h"
@@ -44,6 +45,14 @@ qrn::Incident random_incident(qrn::stats::Rng& rng) {
     return i;
 }
 
+/// Index-pure variant: incident n is a function of (seed, n) alone, so the
+/// certification and coverage scans can run on any number of threads with
+/// identical output.
+qrn::Incident incident_at(std::uint64_t seed, std::size_t n) {
+    auto rng = qrn::stats::Rng::stream(seed, n);
+    return random_incident(rng);
+}
+
 }  // namespace
 
 int main() {
@@ -55,17 +64,19 @@ int main() {
     const auto tree = ClassificationTree::paper_example();
     std::cout << tree.render() << '\n';
 
-    // Leaf census over one million sampled incidents.
-    stats::Rng rng(0xF16'4);
+    // Leaf census over one million sampled incidents; incident n comes
+    // from stream (kSeed, n), so the census and the parallel certificate
+    // below see exactly the same population.
+    constexpr std::uint64_t kSeed = 0xF16'4;
     constexpr std::size_t kSamples = 1'000'000;
+    const unsigned jobs = exec::default_jobs();
     std::map<std::string, std::size_t> census;
     for (std::size_t n = 0; n < kSamples; ++n) {
-        census[tree.classify(random_incident(rng)).leaf()]++;
+        census[tree.classify(incident_at(kSeed, n)).leaf()]++;
     }
 
-    stats::Rng rng2(0xF16'4);
-    const auto certificate =
-        tree.certify_mece(kSamples, [&](std::size_t) { return random_incident(rng2); });
+    const auto certificate = tree.certify_mece(
+        kSamples, [](std::size_t n) { return incident_at(kSeed, n); }, 10, jobs);
 
     Table table({"leaf", "sampled incidents", "share"});
     CsvWriter csv({"leaf", "count", "share"});
@@ -84,16 +95,15 @@ int main() {
     // Beyond MECE: which leaves do the defined incident types actually
     // constrain? The paper's I1/I2/I3 example leaves every non-VRU leaf as
     // a gap; the banding-generated complete catalog closes the ego half.
-    stats::Rng rng3(0xF16'4);
     const auto paper_types = IncidentTypeSet::paper_vru_example();
     const auto paper_cov = check_type_coverage(
-        tree, paper_types, 100000, [&](std::size_t) { return random_incident(rng3); });
-    stats::Rng rng4(0xF16'4);
+        tree, paper_types, 100000,
+        [](std::size_t n) { return incident_at(kSeed, n); }, jobs);
     const InjuryRiskModel injury_model;
     const auto generated_types = generate_complete_types(injury_model);
     const auto generated_cov = check_type_coverage(
         tree, generated_types, 100000,
-        [&](std::size_t) { return random_incident(rng4); });
+        [](std::size_t n) { return incident_at(kSeed, n); }, jobs);
     Table coverage({"leaf", "covered by paper I1-I3", "covered by generated catalog"});
     for (std::size_t i = 0; i < paper_cov.leaves.size(); ++i) {
         coverage.add_row({paper_cov.leaves[i].leaf,

@@ -1,8 +1,20 @@
 // Performance microbenchmarks (google-benchmark): the hot paths a fleet-
 // scale deployment of the toolkit would exercise - incident classification,
 // allocation solving, Eq. 1 verification, Monte-Carlo simulation and exact
-// interval estimation.
+// interval estimation - plus serial-vs-parallel campaign runs on the
+// qrn_exec thread pool.
+//
+// Besides the normal console output, the run writes a machine-readable
+// baseline (name -> ns/op and items/s) to BENCH_perf.json in the working
+// directory (override the path with the QRN_BENCH_JSON environment
+// variable), so perf regressions can be diffed between commits.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "qrn/qrn.h"
 #include "qrn/banding.h"
@@ -173,5 +185,88 @@ void BM_CampaignRun(benchmark::State& state) {
 }
 BENCHMARK(BM_CampaignRun);
 
+/// Serial-vs-parallel campaign throughput: the same workload (8 fleets x
+/// 50 h) at jobs = range(0). jobs=1 is the serial baseline; the outputs
+/// are bit-identical across the arguments, so the only difference the
+/// benchmark sees is scheduling.
+void BM_CampaignJobs(benchmark::State& state) {
+    sim::CampaignConfig config;
+    config.fleets = 8;
+    config.hours_per_fleet = 50.0;
+    config.base.seed = 11;
+    config.jobs = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim::run_campaign(config));
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<int64_t>(config.fleets * config.hours_per_fleet));
+}
+BENCHMARK(BM_CampaignJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+/// Collects finished runs so a JSON baseline can be written after the
+/// console report. GetAdjustedRealTime() already folds in the per-
+/// iteration normalization google-benchmark applies for console output.
+class BaselineCollector : public benchmark::BenchmarkReporter {
+public:
+    bool ReportContext(const Context& context) override {
+        return console_.ReportContext(context);
+    }
+
+    void ReportRuns(const std::vector<Run>& runs) override {
+        console_.ReportRuns(runs);
+        for (const Run& run : runs) {
+            if (run.error_occurred) continue;
+            Entry entry;
+            entry.name = run.benchmark_name();
+            entry.ns_per_op = run.GetAdjustedRealTime();
+            const auto items = run.counters.find("items_per_second");
+            if (items != run.counters.end()) entry.items_per_second = items->second;
+            entries_.push_back(std::move(entry));
+        }
+    }
+
+    void Finalize() override { console_.Finalize(); }
+
+    /// Writes `{"benchmarks":[{"name":...,"ns_per_op":...},...]}`.
+    void write_json(const std::string& path) const {
+        std::ofstream out(path);
+        if (!out) {
+            std::cerr << "perf_microbench: cannot write " << path << '\n';
+            return;
+        }
+        out << "{\n  \"benchmarks\": [\n";
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            const Entry& e = entries_[i];
+            out << "    {\"name\": \"" << e.name << "\", \"ns_per_op\": " << e.ns_per_op;
+            if (e.items_per_second > 0.0) {
+                out << ", \"items_per_second\": " << e.items_per_second;
+            }
+            out << '}' << (i + 1 < entries_.size() ? "," : "") << '\n';
+        }
+        out << "  ]\n}\n";
+    }
+
+private:
+    struct Entry {
+        std::string name;
+        double ns_per_op = 0.0;
+        double items_per_second = 0.0;
+    };
+
+    benchmark::ConsoleReporter console_;
+    std::vector<Entry> entries_;
+};
+
 }  // namespace
-// main() is provided by benchmark::benchmark_main.
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    BaselineCollector collector;
+    benchmark::RunSpecifiedBenchmarks(&collector);
+    benchmark::Shutdown();
+    const char* path = std::getenv("QRN_BENCH_JSON");
+    collector.write_json(path != nullptr ? path : "BENCH_perf.json");
+    return 0;
+}

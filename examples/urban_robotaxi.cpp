@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "exec/parallel.h"
 #include "fsc/refinement.h"
 #include "qrn/qrn.h"
 #include "report/table.h"
@@ -52,7 +53,9 @@ int main(int argc, char** argv) {
     config.policy = sim::TacticalPolicy::cautious();
     config.seed = seed;
     std::cout << "\nOperating " << hours << " h in " << config.odd.describe() << " ...\n";
-    const auto log = sim::FleetSimulator(config).run(hours);
+    // Parallel across operational stretches; the log is identical to a
+    // serial run (per-stretch RNG streams, partials merged in order).
+    const auto log = sim::FleetSimulator(config).run(hours, exec::default_jobs());
     std::cout << "  encounters resolved: " << log.encounters
               << ", incidents logged: " << log.incidents.size()
               << ", emergency brakings: " << log.emergency_brakings << "\n\n";
@@ -80,18 +83,21 @@ int main(int argc, char** argv) {
     // assemble the full safety case from every artifact produced above.
     const auto fsc = fsc::derive_fsc(goals, fsc::ChainTemplate{});
     const auto tree = ClassificationTree::paper_example();
-    stats::Rng mece_rng(7);
-    const auto mece = tree.certify_mece(50000, [&](std::size_t) {
-        Incident incident;
-        incident.second = actor_type_from_index(
-            static_cast<std::size_t>(mece_rng.uniform_int(1, kActorTypeCount - 1)));
-        if (mece_rng.bernoulli(0.5)) {
-            incident.mechanism = IncidentMechanism::NearMiss;
-            incident.min_distance_m = mece_rng.uniform(0.0, 5.0);
-        }
-        incident.relative_speed_kmh = mece_rng.uniform(0.0, 150.0);
-        return incident;
-    });
+    const auto mece = tree.certify_mece(
+        50000,
+        [](std::size_t i) {
+            stats::Rng rng = stats::Rng::stream(7, i);
+            Incident incident;
+            incident.second = actor_type_from_index(
+                static_cast<std::size_t>(rng.uniform_int(1, kActorTypeCount - 1)));
+            if (rng.bernoulli(0.5)) {
+                incident.mechanism = IncidentMechanism::NearMiss;
+                incident.min_distance_m = rng.uniform(0.0, 5.0);
+            }
+            incident.relative_speed_kmh = rng.uniform(0.0, 150.0);
+            return incident;
+        },
+        10, exec::default_jobs());
     safety_case::CaseInputs case_inputs;
     case_inputs.problem = &problem;
     case_inputs.allocation = &allocation;

@@ -1,0 +1,81 @@
+#include "exec/parallel.h"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "exec/thread_pool.h"
+
+namespace qrn::exec {
+
+unsigned default_jobs() noexcept {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+std::vector<ChunkRange> chunk_ranges(unsigned jobs, std::size_t count) {
+    std::vector<ChunkRange> out;
+    if (count == 0) return out;
+    const std::size_t chunks =
+        std::min<std::size_t>(count, jobs == 0 ? 1 : jobs);
+    out.reserve(chunks);
+    const std::size_t base = count / chunks;
+    const std::size_t extra = count % chunks;  // first `extra` chunks get +1
+    std::size_t begin = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t size = base + (c < extra ? 1 : 0);
+        out.push_back(ChunkRange{begin, begin + size, c});
+        begin += size;
+    }
+    return out;
+}
+
+void parallel_for(unsigned jobs, std::size_t count,
+                  const std::function<void(const ChunkRange&)>& body) {
+    const auto chunks = chunk_ranges(jobs, count);
+    if (chunks.empty()) return;
+
+    // Serial fallback: one job requested, a single chunk, or we are already
+    // on a pool worker (nested parallel_for would deadlock a fixed pool).
+    if (jobs <= 1 || chunks.size() == 1 || ThreadPool::on_worker_thread()) {
+        for (const auto& chunk : chunks) body(chunk);
+        return;
+    }
+
+    std::vector<std::exception_ptr> errors(chunks.size());
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining = chunks.size();
+
+    auto& pool = ThreadPool::shared();
+    for (const auto& chunk : chunks) {
+        pool.submit([&, chunk] {
+            try {
+                body(chunk);
+            } catch (...) {
+                errors[chunk.index] = std::current_exception();
+            }
+            {
+                // Notify while holding the lock: the waiter owns `done` on
+                // its stack and may destroy it as soon as it observes
+                // remaining == 0, which it can only do after we release
+                // the mutex - i.e. strictly after notify_one returns.
+                const std::lock_guard<std::mutex> lock(mutex);
+                --remaining;
+                done.notify_one();
+            }
+        });
+    }
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        done.wait(lock, [&] { return remaining == 0; });
+    }
+    // Rethrow the lowest-index failure: the same exception a serial
+    // left-to-right loop would have raised first.
+    for (auto& error : errors) {
+        if (error) std::rethrow_exception(error);
+    }
+}
+
+}  // namespace qrn::exec

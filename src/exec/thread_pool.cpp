@@ -1,0 +1,70 @@
+#include "exec/thread_pool.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace qrn::exec {
+
+namespace {
+
+thread_local bool t_on_worker_thread = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+    if (threads == 0) {
+        throw std::invalid_argument("ThreadPool: threads must be >= 1");
+    }
+    workers_.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) {
+            throw std::logic_error("ThreadPool: submit after shutdown");
+        }
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+unsigned ThreadPool::size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+}
+
+ThreadPool& ThreadPool::shared() {
+    static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+    return pool;
+}
+
+bool ThreadPool::on_worker_thread() noexcept { return t_on_worker_thread; }
+
+void ThreadPool::worker_loop() {
+    t_on_worker_thread = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+}  // namespace qrn::exec

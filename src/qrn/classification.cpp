@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "exec/parallel.h"
 #include "qrn/incident_type.h"
 
 namespace qrn {
@@ -84,34 +85,50 @@ ClassificationPath ClassificationTree::classify(const Incident& incident) const 
 
 MeceReport ClassificationTree::certify_mece(
     std::size_t samples, const std::function<Incident(std::size_t)>& next_incident,
-    std::size_t max_violations) const {
+    std::size_t max_violations, unsigned jobs) const {
+    // Each chunk collects up to max_violations defects over its own sample
+    // range; concatenating the partials in chunk order and truncating
+    // yields the first max_violations defects in sample order - the same
+    // list the serial scan produces, independent of the chunking.
+    auto partials = exec::parallel_chunks<std::vector<MeceViolation>>(
+        jobs, samples, [&](const exec::ChunkRange& chunk) {
+            std::vector<MeceViolation> violations;
+            for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+                const Incident incident = next_incident(i);
+                validate(incident);
+                // Walk the tree counting accepting children at each level
+                // instead of calling classify(), so one sample can surface
+                // multiple defects.
+                const ClassificationNode* node = root_.get();
+                if (!node->accepts(incident)) {
+                    violations.push_back({node->name(), 0, describe(incident)});
+                }
+                while (!node->is_leaf()) {
+                    const ClassificationNode* chosen = nullptr;
+                    std::size_t accepting = 0;
+                    for (const auto& child : node->children()) {
+                        if (child->accepts(incident)) {
+                            ++accepting;
+                            chosen = child.get();
+                        }
+                    }
+                    if (accepting != 1) {
+                        violations.push_back({node->name(), accepting, describe(incident)});
+                        break;
+                    }
+                    node = chosen;
+                }
+                if (violations.size() >= max_violations) break;
+            }
+            return violations;
+        });
     MeceReport report;
     report.samples = samples;
-    for (std::size_t i = 0; i < samples; ++i) {
-        const Incident incident = next_incident(i);
-        validate(incident);
-        // Walk the tree counting accepting children at each level instead of
-        // calling classify(), so one sample can surface multiple defects.
-        const ClassificationNode* node = root_.get();
-        if (!node->accepts(incident)) {
-            report.violations.push_back({node->name(), 0, describe(incident)});
+    for (auto& part : partials) {
+        for (auto& violation : part) {
+            if (report.violations.size() >= max_violations) break;
+            report.violations.push_back(std::move(violation));
         }
-        while (!node->is_leaf()) {
-            const ClassificationNode* chosen = nullptr;
-            std::size_t accepting = 0;
-            for (const auto& child : node->children()) {
-                if (child->accepts(incident)) {
-                    ++accepting;
-                    chosen = child.get();
-                }
-            }
-            if (accepting != 1) {
-                report.violations.push_back({node->name(), accepting, describe(incident)});
-                break;
-            }
-            node = chosen;
-        }
-        if (report.violations.size() >= max_violations) break;
     }
     return report;
 }
@@ -158,18 +175,34 @@ std::vector<std::string> TypeCoverageReport::gaps(double min_fraction) const {
 
 TypeCoverageReport check_type_coverage(
     const ClassificationTree& tree, const IncidentTypeSet& types, std::size_t samples,
-    const std::function<Incident(std::size_t)>& next_incident) {
+    const std::function<Incident(std::size_t)>& next_incident, unsigned jobs) {
     if (samples == 0) {
         throw std::invalid_argument("check_type_coverage: samples must be >= 1");
     }
+    // Per-chunk tallies merge by summing counters, which is independent of
+    // the chunking; the map keeps leaves sorted by name either way.
+    using LeafMap = std::map<std::string, LeafCoverage>;
+    auto partials = exec::parallel_chunks<LeafMap>(
+        jobs, samples, [&](const exec::ChunkRange& chunk) {
+            LeafMap local;
+            for (std::size_t n = chunk.begin; n < chunk.end; ++n) {
+                const Incident incident = next_incident(n);
+                const auto leaf = tree.classify(incident).leaf();
+                auto& entry = local[leaf];
+                entry.leaf = leaf;
+                ++entry.sampled;
+                if (types.classify(incident).has_value()) ++entry.covered;
+            }
+            return local;
+        });
     std::map<std::string, LeafCoverage> by_leaf;
-    for (std::size_t n = 0; n < samples; ++n) {
-        const Incident incident = next_incident(n);
-        const auto leaf = tree.classify(incident).leaf();
-        auto& entry = by_leaf[leaf];
-        entry.leaf = leaf;
-        ++entry.sampled;
-        if (types.classify(incident).has_value()) ++entry.covered;
+    for (auto& part : partials) {
+        for (auto& [name, coverage] : part) {
+            auto& entry = by_leaf[name];
+            entry.leaf = name;
+            entry.sampled += coverage.sampled;
+            entry.covered += coverage.covered;
+        }
     }
     TypeCoverageReport report;
     report.samples = samples;

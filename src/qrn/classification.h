@@ -88,10 +88,17 @@ public:
 
     /// Certifies the MECE property over a population of sampled incidents.
     /// `next_incident(i)` must return the i-th sample. At most
-    /// `max_violations` defects are recorded before early exit.
+    /// `max_violations` defects are recorded (the first ones in sample
+    /// order) before early exit.
+    ///
+    /// With jobs > 1 the samples are scanned in parallel chunks on the
+    /// shared thread pool; `next_incident` must then be safe to call
+    /// concurrently and pure in its index (derive any randomness via
+    /// stats::Rng::stream(seed, i)). The report is bit-identical for every
+    /// jobs value.
     [[nodiscard]] MeceReport certify_mece(
         std::size_t samples, const std::function<Incident(std::size_t)>& next_incident,
-        std::size_t max_violations = 10) const;
+        std::size_t max_violations = 10, unsigned jobs = 1) const;
 
     /// All leaf paths (depth-first), for reporting the tree (Fig. 4).
     [[nodiscard]] std::vector<ClassificationPath> leaves() const;
@@ -139,9 +146,12 @@ class IncidentTypeSet;  // incident_type.h; full definition needed by users.
 /// The completeness argument needs more than a MECE tree: every leaf's
 /// incidents must also be constrained by some safety goal. This check
 /// samples incidents, routes each through the tree, and records whether
-/// any incident type matches it.
+/// any incident type matches it. Same concurrency contract as
+/// certify_mece: with jobs > 1, `next_incident` must be thread-safe and
+/// index-pure; per-leaf tallies are merged and are bit-identical for
+/// every jobs value.
 [[nodiscard]] TypeCoverageReport check_type_coverage(
     const ClassificationTree& tree, const IncidentTypeSet& types, std::size_t samples,
-    const std::function<Incident(std::size_t)>& next_incident);
+    const std::function<Incident(std::size_t)>& next_incident, unsigned jobs = 1);
 
 }  // namespace qrn

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "exec/parallel.h"
 #include "stats/proportion.h"
 
 namespace qrn {
@@ -84,6 +85,20 @@ std::vector<LabelledIncident> label_incidents(std::span<const Incident> incident
             sample_consequence(incident, norm, model, near_miss_profile, rng)});
     }
     return out;
+}
+
+std::vector<LabelledIncident> label_incidents(std::span<const Incident> incidents,
+                                              const RiskNorm& norm,
+                                              const InjuryRiskModel& model,
+                                              const std::vector<double>& near_miss_profile,
+                                              std::uint64_t seed, unsigned jobs) {
+    return exec::parallel_map<LabelledIncident>(
+        jobs, incidents.size(), [&](std::size_t i) {
+            stats::Rng rng = stats::Rng::stream(seed, i);
+            return LabelledIncident{
+                incidents[i],
+                sample_consequence(incidents[i], norm, model, near_miss_profile, rng)};
+        });
 }
 
 ContributionMatrix ContributionCounts::point_matrix() const {

@@ -48,6 +48,16 @@ struct LabelledIncident {
     const InjuryRiskModel& model, const std::vector<double>& near_miss_profile,
     stats::Rng& rng);
 
+/// Labels a whole incident log with incident i drawn from its own RNG
+/// stream stats::Rng::stream(seed, i). With jobs > 1 the incidents are
+/// labelled in parallel chunks; the result is bit-identical for every
+/// jobs value (but differs from the sequential-Rng overload above, which
+/// threads one generator through the log).
+[[nodiscard]] std::vector<LabelledIncident> label_incidents(
+    std::span<const Incident> incidents, const RiskNorm& norm,
+    const InjuryRiskModel& model, const std::vector<double>& near_miss_profile,
+    std::uint64_t seed, unsigned jobs);
+
 /// Count data underlying an empirical contribution estimate.
 struct ContributionCounts {
     /// counts[class][type]: labelled incidents of the type landing in the class.

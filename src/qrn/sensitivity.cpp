@@ -4,31 +4,46 @@
 #include <limits>
 #include <stdexcept>
 
+#include "exec/parallel.h"
+
 namespace qrn {
 
 std::vector<FractionSensitivity> fraction_sensitivities(const AllocationProblem& problem,
-                                                        const Allocation& allocation) {
+                                                        const Allocation& allocation,
+                                                        unsigned jobs) {
     if (!satisfies_norm(problem, allocation.budgets)) {
         throw std::invalid_argument(
             "fraction_sensitivities: the allocation must satisfy the norm");
     }
     const auto usage = evaluate_usage(problem, allocation.budgets);
+    // One task per consequence class: each computes its row of cells; the
+    // rows concatenate in class order, so the pre-sort order (and hence
+    // the sorted output) matches the serial scan for every jobs value.
+    auto rows = exec::parallel_chunks<std::vector<FractionSensitivity>>(
+        jobs, problem.norm().size(), [&](const exec::ChunkRange& chunk) {
+            std::vector<FractionSensitivity> part;
+            part.reserve((chunk.end - chunk.begin) * problem.types().size());
+            for (std::size_t j = chunk.begin; j < chunk.end; ++j) {
+                const double limit = problem.norm().limit(j).per_hour_value();
+                const double headroom = limit - usage[j].used.per_hour_value();
+                for (std::size_t k = 0; k < problem.types().size(); ++k) {
+                    FractionSensitivity s;
+                    s.class_index = j;
+                    s.type_index = k;
+                    const double budget = allocation.budgets[k].per_hour_value();
+                    s.utilization_gradient = budget / limit;
+                    s.tolerable_error = budget > 0.0
+                                            ? std::max(headroom, 0.0) / budget
+                                            : std::numeric_limits<double>::infinity();
+                    part.push_back(s);
+                }
+            }
+            return part;
+        });
     std::vector<FractionSensitivity> out;
     out.reserve(problem.norm().size() * problem.types().size());
-    for (std::size_t j = 0; j < problem.norm().size(); ++j) {
-        const double limit = problem.norm().limit(j).per_hour_value();
-        const double headroom = limit - usage[j].used.per_hour_value();
-        for (std::size_t k = 0; k < problem.types().size(); ++k) {
-            FractionSensitivity s;
-            s.class_index = j;
-            s.type_index = k;
-            const double budget = allocation.budgets[k].per_hour_value();
-            s.utilization_gradient = budget / limit;
-            s.tolerable_error = budget > 0.0
-                                    ? std::max(headroom, 0.0) / budget
-                                    : std::numeric_limits<double>::infinity();
-            out.push_back(s);
-        }
+    for (auto& row : rows) {
+        out.insert(out.end(), row.begin(), row.end());
     }
     std::sort(out.begin(), out.end(),
               [](const FractionSensitivity& a, const FractionSensitivity& b) {
@@ -39,8 +54,8 @@ std::vector<FractionSensitivity> fraction_sensitivities(const AllocationProblem&
 
 std::vector<FractionSensitivity> critical_fractions(const AllocationProblem& problem,
                                                     const Allocation& allocation,
-                                                    std::size_t count) {
-    auto all = fraction_sensitivities(problem, allocation);
+                                                    std::size_t count, unsigned jobs) {
+    auto all = fraction_sensitivities(problem, allocation, jobs);
     std::sort(all.begin(), all.end(),
               [](const FractionSensitivity& a, const FractionSensitivity& b) {
                   if (a.tolerable_error != b.tolerable_error) {

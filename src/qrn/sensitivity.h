@@ -30,13 +30,16 @@ struct FractionSensitivity {
 
 /// Computes sensitivities for every cell, given budgets that satisfy the
 /// norm (checked). Rows are ordered by descending utilization gradient.
+/// With jobs > 1 the per-class rows are computed in parallel chunks;
+/// bit-identical for every jobs value.
 [[nodiscard]] std::vector<FractionSensitivity> fraction_sensitivities(
-    const AllocationProblem& problem, const Allocation& allocation);
+    const AllocationProblem& problem, const Allocation& allocation, unsigned jobs = 1);
 
 /// The most critical cells: the `count` rows with the smallest tolerable
 /// error (ties broken by gradient).
 [[nodiscard]] std::vector<FractionSensitivity> critical_fractions(
-    const AllocationProblem& problem, const Allocation& allocation, std::size_t count);
+    const AllocationProblem& problem, const Allocation& allocation, std::size_t count,
+    unsigned jobs = 1);
 
 /// Returns a copy of the problem's matrix with one cell replaced (used for
 /// what-if analyses). The new value must keep the matrix valid.

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "exec/parallel.h"
+#include "stats/rng.h"
+
 namespace qrn::sim {
 
 std::vector<TypeEvidence> CampaignResult::pooled_evidence(
@@ -51,13 +54,17 @@ CampaignResult run_campaign(const CampaignConfig& config) {
         throw std::invalid_argument("run_campaign: hours_per_fleet must be > 0");
     }
     CampaignResult result;
-    result.logs.reserve(config.fleets);
-    for (std::size_t i = 0; i < config.fleets; ++i) {
-        FleetConfig fleet = config.base;
-        fleet.seed = config.base.seed + i;
-        result.logs.push_back(FleetSimulator(fleet).run(config.hours_per_fleet));
-        result.total_exposure += result.logs.back().exposure;
-    }
+    // Fleet i's whole run is a pure function of stream_seed(base.seed, i),
+    // so the fleets can execute in any order on any thread; parallel_map
+    // restores seed order when collecting. Each fleet runs its stretches
+    // serially - the campaign level is where the parallelism pays.
+    result.logs = exec::parallel_map<IncidentLog>(
+        config.jobs, config.fleets, [&](std::size_t i) {
+            FleetConfig fleet = config.base;
+            fleet.seed = stats::Rng::stream_seed(config.base.seed, i);
+            return FleetSimulator(fleet).run(config.hours_per_fleet);
+        });
+    for (const auto& log : result.logs) result.total_exposure += log.exposure;
     return result;
 }
 

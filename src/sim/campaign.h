@@ -17,12 +17,15 @@
 
 namespace qrn::sim {
 
-/// Campaign parameters: N fleets derived from a base configuration with
-/// consecutive seeds.
+/// Campaign parameters: N fleets derived from a base configuration. Fleet
+/// i runs with seed stats::Rng::stream_seed(base.seed, i), so fleet seeds
+/// are decorrelated (not consecutive integers) and independent of how the
+/// fleets are scheduled over threads.
 struct CampaignConfig {
     FleetConfig base;
     std::size_t fleets = 10;          ///< >= 1.
     double hours_per_fleet = 1000.0;  ///< > 0.
+    unsigned jobs = 1;                ///< Fleets simulated concurrently.
 };
 
 /// The pooled result of a campaign.
@@ -49,7 +52,9 @@ struct CampaignResult {
     [[nodiscard]] stats::HeterogeneityResult heterogeneity() const;
 };
 
-/// Runs the campaign: fleet i uses seed base.seed + i. Deterministic.
+/// Runs the campaign: fleet i uses seed stream_seed(base.seed, i).
+/// Bit-identical for every config.jobs value (fleets own their RNG
+/// streams; logs are collected in fleet order).
 [[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config);
 
 }  // namespace qrn::sim

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <limits>
 #include <stdexcept>
+
+#include "exec/parallel.h"
 
 namespace qrn::sim {
 
@@ -40,30 +43,76 @@ std::uint64_t IncidentLog::induced_count() const {
     return n;
 }
 
+void IncidentLog::merge(IncidentLog&& other) {
+    incidents.insert(incidents.end(),
+                     std::make_move_iterator(other.incidents.begin()),
+                     std::make_move_iterator(other.incidents.end()));
+    exposure += other.exposure;
+    encounters += other.encounters;
+    emergency_brakings += other.emergency_brakings;
+    degraded_hours += other.degraded_hours;
+    odd_exits += other.odd_exits;
+    mrm_executions += other.mrm_executions;
+    unmonitored_exits += other.unmonitored_exits;
+}
+
 FleetSimulator::FleetSimulator(FleetConfig config) : config_(std::move(config)) {
     config_.policy.validate();
 }
 
-IncidentLog FleetSimulator::run(double hours) const {
+IncidentLog FleetSimulator::run(double hours, unsigned jobs) const {
     if (!(hours > 0.0) || !std::isfinite(hours)) {
         throw std::invalid_argument("FleetSimulator::run: hours must be > 0");
     }
-    stats::Rng rng(config_.seed);
-    const ScenarioSampler sampler(config_.rates);
-    EnvironmentProcess environment(config_.odd, config_.environment_persistence);
-
-    IncidentLog log;
-    log.exposure = ExposureHours(hours);
 
     const auto whole_hours = static_cast<std::uint64_t>(hours);
     const double remainder = hours - static_cast<double>(whole_hours);
+    const std::size_t stretches =
+        static_cast<std::size_t>(whole_hours) + (remainder > 0.0 ? 1 : 0);
 
-    double clock_hours = 0.0;
-    for (std::uint64_t h = 0; h <= whole_hours; ++h) {
-        const double stretch = h < whole_hours ? 1.0 : remainder;
-        if (stretch <= 0.0) break;
-        Environment env = environment.next(rng);
+    // Phase 1 (serial, cheap): the environment regime chain is a Markov
+    // process across stretches, so it is advanced in order from its own
+    // dedicated RNG stream (stream 0 of the fleet seed).
+    std::vector<Environment> environments;
+    environments.reserve(stretches);
+    {
+        stats::Rng env_rng = stats::Rng::stream(config_.seed, 0);
+        EnvironmentProcess environment(config_.odd, config_.environment_persistence);
+        for (std::size_t h = 0; h < stretches; ++h) {
+            environments.push_back(environment.next(env_rng));
+        }
+    }
 
+    // Phase 2 (parallel): every stretch draws exclusively from its own RNG
+    // stream (stream h+1), so chunks of stretches resolve independently and
+    // merging the partial logs in stretch order is bit-identical to the
+    // serial loop for every jobs value.
+    auto partials = exec::parallel_chunks<IncidentLog>(
+        jobs, stretches, [&](const exec::ChunkRange& chunk) {
+            IncidentLog part;
+            for (std::size_t h = chunk.begin; h < chunk.end; ++h) {
+                const double stretch =
+                    h < static_cast<std::size_t>(whole_hours) ? 1.0 : remainder;
+                run_stretch(h, stretch, environments[h], part);
+            }
+            return part;
+        });
+
+    IncidentLog log;
+    for (auto& part : partials) log.merge(std::move(part));
+    log.exposure = ExposureHours(hours);
+    return log;
+}
+
+void FleetSimulator::run_stretch(std::size_t index, double stretch, Environment env,
+                                 IncidentLog& log) const {
+    stats::Rng rng = stats::Rng::stream(config_.seed, static_cast<std::uint64_t>(index) + 1);
+    const ScenarioSampler sampler(config_.rates);
+    // Stretches are one hour each except possibly the last, so stretch h
+    // starts at clock hour h.
+    const double clock_hours = static_cast<double>(index);
+
+    {
         // ODD exit: conditions may leave the declared domain mid-stretch.
         // Detected -> minimal risk manoeuvre (the stretch ends early, with a
         // small chance of a low-speed rear-end during the stop). Missed ->
@@ -85,8 +134,7 @@ IncidentLog FleetSimulator::run(double hours) const {
                 }
                 // The vehicle is parked for the rest of the stretch; exposure
                 // still counts (the feature was engaged when the stretch began).
-                clock_hours += stretch;
-                continue;
+                return;
             }
             ++log.unmonitored_exits;
             // Out-of-ODD conditions: the weather the ODD excluded, with the
@@ -292,9 +340,7 @@ IncidentLog FleetSimulator::run(double hours) const {
                 }
             }
         }
-        clock_hours += stretch;
     }
-    return log;
 }
 
 }  // namespace qrn::sim

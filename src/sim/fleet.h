@@ -122,9 +122,19 @@ struct IncidentLog {
 
     /// Count of induced incidents (ego a causing factor, not a party).
     [[nodiscard]] std::uint64_t induced_count() const;
+
+    /// Folds another (partial) log into this one: incidents are appended
+    /// in the other log's order and every counter (including exposure) is
+    /// summed. Folding per-stretch partials in stretch order reproduces
+    /// the log a serial simulation would have written.
+    void merge(IncidentLog&& other);
 };
 
-/// Monte-Carlo fleet simulator. Deterministic for a given config (seed).
+/// Monte-Carlo fleet simulator. Deterministic for a given config (seed):
+/// the environment regime chain is sampled serially from its own RNG
+/// stream, and every operational stretch then draws from a stream derived
+/// from (seed, stretch index) alone - so the log is bit-identical for
+/// every `jobs` value, including the serial path at jobs == 1.
 class FleetSimulator {
 public:
     explicit FleetSimulator(FleetConfig config);
@@ -132,9 +142,16 @@ public:
     [[nodiscard]] const FleetConfig& config() const noexcept { return config_; }
 
     /// Simulates `hours` of in-ODD operation and returns the incident log.
-    [[nodiscard]] IncidentLog run(double hours) const;
+    /// With jobs > 1 the stretches are resolved in parallel chunks on the
+    /// shared thread pool and merged in stretch order.
+    [[nodiscard]] IncidentLog run(double hours, unsigned jobs = 1) const;
 
 private:
+    /// Simulates stretch `index` (duration `stretch` hours, environment
+    /// `env`) into `log`, drawing only from the stretch's own RNG stream.
+    void run_stretch(std::size_t index, double stretch, Environment env,
+                     IncidentLog& log) const;
+
     FleetConfig config_;
 };
 

@@ -4,12 +4,15 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/parallel.h"
+
 namespace qrn::stats {
 
 BootstrapResult percentile_bootstrap(
     std::span<const double> sample,
     const std::function<double(std::span<const double>)>& statistic,
-    std::size_t replicates, double confidence, Rng& rng) {
+    std::size_t replicates, double confidence, std::uint64_t seed,
+    unsigned jobs) {
     if (sample.empty()) throw std::invalid_argument("bootstrap: empty sample");
     if (replicates < 100) throw std::invalid_argument("bootstrap: replicates >= 100");
     if (confidence <= 0.0 || confidence >= 1.0) {
@@ -20,16 +23,24 @@ BootstrapResult percentile_bootstrap(
     out.point = statistic(sample);
     out.confidence = confidence;
 
-    std::vector<double> resample(sample.size());
+    const auto n = static_cast<std::int64_t>(sample.size());
+    const auto parts = exec::parallel_chunks<std::vector<double>>(
+        jobs, replicates, [&](const exec::ChunkRange& chunk) {
+            std::vector<double> resample(sample.size());
+            std::vector<double> chunk_stats;
+            chunk_stats.reserve(chunk.end - chunk.begin);
+            for (std::size_t r = chunk.begin; r < chunk.end; ++r) {
+                Rng rng = Rng::stream(seed, r);
+                for (auto& x : resample) {
+                    x = sample[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+                }
+                chunk_stats.push_back(statistic(resample));
+            }
+            return chunk_stats;
+        });
     std::vector<double> stats;
     stats.reserve(replicates);
-    const auto n = static_cast<std::int64_t>(sample.size());
-    for (std::size_t r = 0; r < replicates; ++r) {
-        for (auto& x : resample) {
-            x = sample[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
-        }
-        stats.push_back(statistic(resample));
-    }
+    for (const auto& part : parts) stats.insert(stats.end(), part.begin(), part.end());
     std::sort(stats.begin(), stats.end());
 
     const double alpha = 1.0 - confidence;

@@ -24,10 +24,15 @@ struct BootstrapResult {
 /// Percentile bootstrap of `statistic` over `sample`.
 ///
 /// Requires a non-empty sample, replicates >= 100, confidence in (0, 1).
-/// Deterministic given the RNG state.
+/// Replicate r resamples from its own RNG stream Rng::stream(seed, r), so
+/// the result is a pure function of (sample, statistic, replicates,
+/// confidence, seed) - bit-identical for every `jobs` value. With
+/// jobs > 1 the replicates run on the shared thread pool; `statistic`
+/// must then be safe to call concurrently.
 [[nodiscard]] BootstrapResult percentile_bootstrap(
     std::span<const double> sample,
     const std::function<double(std::span<const double>)>& statistic,
-    std::size_t replicates, double confidence, Rng& rng);
+    std::size_t replicates, double confidence, std::uint64_t seed,
+    unsigned jobs = 1);
 
 }  // namespace qrn::stats

@@ -6,12 +6,18 @@ namespace qrn::stats {
 
 namespace {
 
-std::uint64_t splitmix64(std::uint64_t& x) noexcept {
-    x += 0x9E3779B97F4A7C15ULL;
-    std::uint64_t z = x;
+constexpr std::uint64_t kWeyl = 0x9E3779B97F4A7C15ULL;
+
+/// The splitmix64 output function (finalizer) alone, without advancing.
+constexpr std::uint64_t splitmix64_mix(std::uint64_t z) noexcept {
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
     return z ^ (z >> 31);
+}
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+    x += kWeyl;
+    return splitmix64_mix(x);
 }
 
 constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
@@ -118,6 +124,19 @@ double Rng::lognormal(double mu_log, double sigma_log) noexcept {
 
 Rng Rng::split() noexcept {
     return Rng((*this)());
+}
+
+std::uint64_t Rng::stream_seed(std::uint64_t seed, std::uint64_t stream_index) noexcept {
+    // Whiten the seed first so nearby user seeds (42, 43, ...) map to
+    // unrelated base points, then advance by `stream_index` Weyl steps and
+    // finalize: exactly the splitmix64 sequence anchored at the whitened
+    // seed, evaluated in closed form at position `stream_index`.
+    const std::uint64_t base = splitmix64_mix(seed + kWeyl);
+    return splitmix64_mix(base + (stream_index + 1) * kWeyl);
+}
+
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_index) noexcept {
+    return Rng(stream_seed(seed, stream_index));
 }
 
 }  // namespace qrn::stats

@@ -63,7 +63,22 @@ public:
     double lognormal(double mu_log, double sigma_log) noexcept;
 
     /// Forks an independent stream; deterministic given this stream's state.
+    /// NOTE: order-dependent (the fork consumes one draw of *this*), so the
+    /// result depends on how many draws preceded the call. Parallel
+    /// workloads must use the schedule-independent stream() instead.
     Rng split() noexcept;
+
+    /// Seed of the `stream_index`-th independent substream of `seed`:
+    /// the splitmix64 finalizer applied to the whitened seed advanced by
+    /// `stream_index` Weyl steps. Pure in (seed, stream_index), so each
+    /// fleet/sample/replicate can derive its own RNG regardless of which
+    /// thread - or in what order - it runs.
+    [[nodiscard]] static std::uint64_t stream_seed(
+        std::uint64_t seed, std::uint64_t stream_index) noexcept;
+
+    /// An Rng seeded from stream_seed(seed, stream_index).
+    [[nodiscard]] static Rng stream(std::uint64_t seed,
+                                    std::uint64_t stream_index) noexcept;
 
 private:
     std::array<std::uint64_t, 4> state_{};

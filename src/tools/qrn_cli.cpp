@@ -10,15 +10,20 @@
 //   verify --norm F --types F --evidence F [--confidence C]
 //                                    run Eq. 1 against observed evidence
 //   simulate --hours H [--policy P] [--seed N] [--odd urban|highway]
-//                                    run the fleet simulator and print the
+//            [--jobs N]              run the fleet simulator and print the
 //                                    evidence document for the paper types
 //   campaign --fleets N --hours H [--policy P] [--seed N] [--odd ...]
-//                                    run N independently seeded fleets and
+//            [--jobs N]              run N independently seeded fleets and
 //                                    print the pooled evidence document
-//   pipeline [--hours H] [--markdown]
+//   pipeline [--hours H] [--markdown] [--jobs N]
 //                                    full demo: allocate, simulate, verify,
 //                                    print the safety case (text or
 //                                    markdown task list)
+//
+// --jobs N selects the worker-thread count for the Monte-Carlo stages
+// (default: the hardware concurrency). Outputs are bit-identical for
+// every N: randomness is drawn from per-index RNG streams and results
+// are merged in index order, so parallelism never changes the numbers.
 //
 // Evidence document format:
 //   {"kind":"qrn.evidence","exposure_hours":H,
@@ -30,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/parallel.h"
 #include "qrn/banding.h"
 #include "qrn/qrn.h"
 #include "qrn/serialize.h"
@@ -97,6 +103,30 @@ Allocation run_solver(const AllocationProblem& problem, const std::string& solve
     if (solver == "water-filling") return allocate_water_filling(problem);
     throw std::runtime_error("unknown solver '" + solver +
                              "' (use proportional, inverse-cost or water-filling)");
+}
+
+/// Parses --jobs: a positive decimal integer; defaults to the hardware
+/// concurrency when absent. Rejects 0, signs, and non-numeric input with
+/// a clear message (main() turns the throw into exit code 1).
+unsigned parse_jobs(const Args& args) {
+    const auto value = args.option("--jobs");
+    if (!value) return qrn::exec::default_jobs();
+    const std::string& text = *value;
+    const bool digits_only =
+        !text.empty() && text.find_first_not_of("0123456789") == std::string::npos;
+    unsigned long parsed = 0;
+    if (digits_only) {
+        try {
+            parsed = std::stoul(text);
+        } catch (const std::out_of_range&) {
+            parsed = 0;  // falls through to the shared error below
+        }
+    }
+    if (!digits_only || parsed == 0 || parsed > 4096) {
+        throw std::runtime_error("--jobs must be a positive integer (got '" + text +
+                                 "')");
+    }
+    return static_cast<unsigned>(parsed);
 }
 
 sim::TacticalPolicy policy_by_name(const std::string& name) {
@@ -215,7 +245,8 @@ int cmd_simulate(const Args& args) {
         config.seed = std::stoull(*seed);
     }
     const double hours = std::stod(args.require("--hours"));
-    const auto log = sim::FleetSimulator(config).run(hours);
+    const unsigned jobs = parse_jobs(args);
+    const auto log = sim::FleetSimulator(config).run(hours, jobs);
     std::cerr << "encounters: " << log.encounters
               << ", incidents: " << log.incidents.size()
               << ", emergency brakings: " << log.emergency_brakings
@@ -234,6 +265,7 @@ int cmd_campaign(const Args& args) {
     }
     config.fleets = std::stoull(args.require("--fleets"));
     config.hours_per_fleet = std::stod(args.require("--hours"));
+    config.jobs = parse_jobs(args);
     const auto result = sim::run_campaign(config);
     const auto summary = result.per_fleet_rate_summary();
     std::cerr << "fleets: " << result.logs.size()
@@ -254,6 +286,7 @@ int cmd_campaign(const Args& args) {
 
 int cmd_pipeline(const Args& args) {
     const double hours = std::stod(args.option("--hours").value_or("20000"));
+    const unsigned jobs = parse_jobs(args);
     RiskNorm norm(ConsequenceClassSet::paper_example(),
                   {
                       Frequency::per_hour(5e-1), Frequency::per_hour(2e-1),
@@ -272,23 +305,28 @@ int cmd_pipeline(const Args& args) {
     sim::FleetConfig config;
     config.policy = sim::TacticalPolicy::cautious();
     config.seed = 2024;
-    const auto log = sim::FleetSimulator(config).run(hours);
+    const auto log = sim::FleetSimulator(config).run(hours, jobs);
     const auto verification = verify_against_evidence(
         problem, allocation, log.evidence_for(types), 0.95);
 
     const auto tree = ClassificationTree::paper_example();
-    stats::Rng rng(1);
-    const auto mece = tree.certify_mece(20000, [&](std::size_t) {
-        Incident incident;
-        incident.second = actor_type_from_index(
-            static_cast<std::size_t>(rng.uniform_int(1, kActorTypeCount - 1)));
-        if (rng.bernoulli(0.5)) {
-            incident.mechanism = IncidentMechanism::NearMiss;
-            incident.min_distance_m = rng.uniform(0.0, 5.0);
-        }
-        incident.relative_speed_kmh = rng.uniform(0.0, 150.0);
-        return incident;
-    });
+    // Index-pure sampler: incident i is a function of stream(1, i) alone,
+    // so the MECE scan can run on any number of threads.
+    const auto mece = tree.certify_mece(
+        20000,
+        [](std::size_t i) {
+            stats::Rng rng = stats::Rng::stream(1, i);
+            Incident incident;
+            incident.second = actor_type_from_index(
+                static_cast<std::size_t>(rng.uniform_int(1, kActorTypeCount - 1)));
+            if (rng.bernoulli(0.5)) {
+                incident.mechanism = IncidentMechanism::NearMiss;
+                incident.min_distance_m = rng.uniform(0.0, 5.0);
+            }
+            incident.relative_speed_kmh = rng.uniform(0.0, 150.0);
+            return incident;
+        },
+        10, jobs);
 
     safety_case::CaseInputs inputs;
     inputs.problem = &problem;

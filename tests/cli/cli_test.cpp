@@ -139,6 +139,35 @@ TEST(Cli, MissingFilesAndOptionsFailCleanly) {
     EXPECT_EQ(run_cli("simulate --hours 10 --policy bogus").exit_code, 1);
 }
 
+TEST(Cli, JobsFlagValidation) {
+    // Invalid --jobs values fail loudly with exit code 1 on every
+    // subcommand that accepts the flag.
+    EXPECT_EQ(run_cli("simulate --hours 10 --jobs 0").exit_code, 1);
+    EXPECT_EQ(run_cli("simulate --hours 10 --jobs -2").exit_code, 1);
+    EXPECT_EQ(run_cli("simulate --hours 10 --jobs many").exit_code, 1);
+    EXPECT_EQ(run_cli("simulate --hours 10 --jobs 2x").exit_code, 1);
+    EXPECT_EQ(run_cli("campaign --fleets 2 --hours 10 --jobs 0").exit_code, 1);
+    EXPECT_EQ(run_cli("pipeline --hours 500 --jobs nope").exit_code, 1);
+}
+
+TEST(Cli, CampaignOutputIndependentOfJobs) {
+    // The determinism contract at the CLI boundary: the evidence document
+    // is byte-identical whether the campaign runs serially or on threads.
+    const auto serial = run_cli("campaign --fleets 4 --hours 15 --seed 9 --jobs 1");
+    ASSERT_EQ(serial.exit_code, 0);
+    const auto parallel = run_cli("campaign --fleets 4 --hours 15 --seed 9 --jobs 3");
+    ASSERT_EQ(parallel.exit_code, 0);
+    EXPECT_EQ(serial.output, parallel.output);
+}
+
+TEST(Cli, SimulateOutputIndependentOfJobs) {
+    const auto serial = run_cli("simulate --hours 40 --seed 5 --jobs 1");
+    ASSERT_EQ(serial.exit_code, 0);
+    const auto parallel = run_cli("simulate --hours 40 --seed 5 --jobs 4");
+    ASSERT_EQ(parallel.exit_code, 0);
+    EXPECT_EQ(serial.output, parallel.output);
+}
+
 TEST(Cli, CampaignPoolsEvidence) {
     const auto result = run_cli("campaign --fleets 3 --hours 20 --seed 4");
     ASSERT_EQ(result.exit_code, 0);

@@ -1,0 +1,166 @@
+// The non-negotiable invariant of the execution layer: every parallel
+// Monte-Carlo workload produces bit-identical results for every jobs
+// count, including the serial fallback at jobs == 1. Each test runs the
+// same workload at jobs in {1, 2, 7} and compares exactly.
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qrn/classification.h"
+#include "qrn/empirical.h"
+#include "qrn/incident_type.h"
+#include "qrn/injury_risk.h"
+#include "qrn/risk_norm.h"
+#include "sim/campaign.h"
+#include "sim/fleet.h"
+#include "stats/rng.h"
+
+namespace {
+
+using namespace qrn;
+
+constexpr unsigned kJobs[] = {1, 2, 7};
+
+/// Exact equality of two incident logs, field by field.
+void expect_logs_identical(const sim::IncidentLog& a, const sim::IncidentLog& b,
+                           unsigned jobs) {
+    EXPECT_EQ(a.exposure.hours(), b.exposure.hours()) << "jobs=" << jobs;
+    EXPECT_EQ(a.encounters, b.encounters) << "jobs=" << jobs;
+    EXPECT_EQ(a.emergency_brakings, b.emergency_brakings) << "jobs=" << jobs;
+    EXPECT_EQ(a.degraded_hours, b.degraded_hours) << "jobs=" << jobs;
+    EXPECT_EQ(a.odd_exits, b.odd_exits) << "jobs=" << jobs;
+    EXPECT_EQ(a.mrm_executions, b.mrm_executions) << "jobs=" << jobs;
+    EXPECT_EQ(a.unmonitored_exits, b.unmonitored_exits) << "jobs=" << jobs;
+    ASSERT_EQ(a.incidents.size(), b.incidents.size()) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < a.incidents.size(); ++i) {
+        EXPECT_EQ(a.incidents[i].first, b.incidents[i].first);
+        EXPECT_EQ(a.incidents[i].second, b.incidents[i].second);
+        EXPECT_EQ(a.incidents[i].mechanism, b.incidents[i].mechanism);
+        EXPECT_EQ(a.incidents[i].relative_speed_kmh, b.incidents[i].relative_speed_kmh);
+        EXPECT_EQ(a.incidents[i].min_distance_m, b.incidents[i].min_distance_m);
+        EXPECT_EQ(a.incidents[i].ego_causing_factor, b.incidents[i].ego_causing_factor);
+        EXPECT_EQ(a.incidents[i].timestamp_hours, b.incidents[i].timestamp_hours);
+    }
+}
+
+TEST(Determinism, FleetRunIdenticalForEveryJobs) {
+    sim::FleetConfig config;
+    config.seed = 77;
+    const sim::FleetSimulator fleet(config);
+    const auto serial = fleet.run(40.5, 1);
+    for (const unsigned jobs : kJobs) {
+        expect_logs_identical(serial, fleet.run(40.5, jobs), jobs);
+    }
+}
+
+TEST(Determinism, CampaignIdenticalForEveryJobs) {
+    sim::CampaignConfig config;
+    config.fleets = 5;
+    config.hours_per_fleet = 30.0;
+    config.base.seed = 1234;
+    config.jobs = 1;
+    const auto serial = sim::run_campaign(config);
+    for (const unsigned jobs : kJobs) {
+        config.jobs = jobs;
+        const auto parallel = sim::run_campaign(config);
+        EXPECT_EQ(serial.total_exposure.hours(), parallel.total_exposure.hours());
+        ASSERT_EQ(serial.logs.size(), parallel.logs.size());
+        for (std::size_t f = 0; f < serial.logs.size(); ++f) {
+            expect_logs_identical(serial.logs[f], parallel.logs[f], jobs);
+        }
+    }
+}
+
+Incident incident_at(std::uint64_t seed, std::size_t i) {
+    stats::Rng rng = stats::Rng::stream(seed, i);
+    Incident incident;
+    incident.second = actor_type_from_index(
+        static_cast<std::size_t>(rng.uniform_int(1, kActorTypeCount - 1)));
+    if (rng.bernoulli(0.5)) {
+        incident.mechanism = IncidentMechanism::NearMiss;
+        incident.min_distance_m = rng.uniform(0.0, 5.0);
+    }
+    incident.relative_speed_kmh = rng.uniform(0.0, 150.0);
+    return incident;
+}
+
+TEST(Determinism, MeceCertificationIdenticalForEveryJobs) {
+    const auto tree = ClassificationTree::paper_example();
+    const auto sampler = [](std::size_t i) { return incident_at(5, i); };
+    const auto serial = tree.certify_mece(5000, sampler, 10, 1);
+    EXPECT_TRUE(serial.certified());
+    for (const unsigned jobs : kJobs) {
+        const auto parallel = tree.certify_mece(5000, sampler, 10, jobs);
+        EXPECT_EQ(serial.samples, parallel.samples);
+        EXPECT_EQ(serial.violations.size(), parallel.violations.size())
+            << "jobs=" << jobs;
+    }
+}
+
+TEST(Determinism, MeceViolationListIdenticalForEveryJobs) {
+    // A defective tree: only collisions are covered, so near misses are
+    // gaps. The capped violation list must be the same incidents, in the
+    // same order, for every jobs count.
+    auto root = std::make_unique<ClassificationNode>("root",
+                                                     [](const Incident&) { return true; });
+    root->add_child("collisions", [](const Incident& i) {
+        return i.mechanism == IncidentMechanism::Collision;
+    });
+    const ClassificationTree tree(std::move(root));
+    const auto sampler = [](std::size_t i) { return incident_at(6, i); };
+    const auto serial = tree.certify_mece(4000, sampler, 7, 1);
+    ASSERT_EQ(serial.violations.size(), 7u);
+    for (const unsigned jobs : kJobs) {
+        const auto parallel = tree.certify_mece(4000, sampler, 7, jobs);
+        ASSERT_EQ(parallel.violations.size(), serial.violations.size())
+            << "jobs=" << jobs;
+        for (std::size_t v = 0; v < serial.violations.size(); ++v) {
+            EXPECT_EQ(serial.violations[v].node, parallel.violations[v].node);
+            EXPECT_EQ(serial.violations[v].accepting_children,
+                      parallel.violations[v].accepting_children);
+            EXPECT_EQ(serial.violations[v].incident, parallel.violations[v].incident);
+        }
+    }
+}
+
+TEST(Determinism, TypeCoverageIdenticalForEveryJobs) {
+    const auto tree = ClassificationTree::paper_example();
+    const auto types = IncidentTypeSet::paper_vru_example();
+    const auto sampler = [](std::size_t i) { return incident_at(7, i); };
+    const auto serial = check_type_coverage(tree, types, 5000, sampler, 1);
+    for (const unsigned jobs : kJobs) {
+        const auto parallel = check_type_coverage(tree, types, 5000, sampler, jobs);
+        EXPECT_EQ(serial.samples, parallel.samples);
+        ASSERT_EQ(serial.leaves.size(), parallel.leaves.size()) << "jobs=" << jobs;
+        for (std::size_t l = 0; l < serial.leaves.size(); ++l) {
+            EXPECT_EQ(serial.leaves[l].leaf, parallel.leaves[l].leaf);
+            EXPECT_EQ(serial.leaves[l].sampled, parallel.leaves[l].sampled);
+            EXPECT_EQ(serial.leaves[l].covered, parallel.leaves[l].covered);
+        }
+    }
+}
+
+TEST(Determinism, LabelIncidentsIdenticalForEveryJobs) {
+    const auto norm = RiskNorm::paper_example();
+    const InjuryRiskModel model;
+    std::vector<Incident> incidents;
+    for (std::size_t i = 0; i < 3000; ++i) {
+        Incident incident = incident_at(8, i);
+        incident.second = ActorType::Vru;
+        incidents.push_back(incident);
+    }
+    const auto serial = label_incidents(incidents, norm, model, {0.6, 0.4}, 21, 1);
+    for (const unsigned jobs : kJobs) {
+        const auto parallel = label_incidents(incidents, norm, model, {0.6, 0.4}, 21,
+                                              jobs);
+        ASSERT_EQ(serial.size(), parallel.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(serial[i].class_index, parallel[i].class_index)
+                << "jobs=" << jobs << " i=" << i;
+        }
+    }
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// parallel_for / parallel_map / parallel_chunks: chunk decomposition,
+// ordered collection, exception propagation and nested-call safety.
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/thread_pool.h"
+
+namespace qrn::exec {
+namespace {
+
+TEST(ChunkRanges, CoversRangeInOrderWithoutGaps) {
+    for (const unsigned jobs : {1u, 2u, 3u, 7u, 16u}) {
+        for (const std::size_t count : {0ul, 1ul, 5ul, 16ul, 100ul, 101ul}) {
+            const auto chunks = chunk_ranges(jobs, count);
+            std::size_t expected_begin = 0;
+            for (std::size_t c = 0; c < chunks.size(); ++c) {
+                EXPECT_EQ(chunks[c].index, c);
+                EXPECT_EQ(chunks[c].begin, expected_begin);
+                EXPECT_LT(chunks[c].begin, chunks[c].end);
+                expected_begin = chunks[c].end;
+            }
+            EXPECT_EQ(expected_begin, count) << "jobs=" << jobs << " count=" << count;
+            EXPECT_LE(chunks.size(), std::max<std::size_t>(jobs, 1));
+        }
+    }
+}
+
+TEST(ChunkRanges, ChunkSizesDifferByAtMostOne) {
+    const auto chunks = chunk_ranges(7, 100);
+    std::size_t min_size = 100;
+    std::size_t max_size = 0;
+    for (const auto& chunk : chunks) {
+        min_size = std::min(min_size, chunk.end - chunk.begin);
+        max_size = std::max(max_size, chunk.end - chunk.begin);
+    }
+    EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+    std::vector<std::atomic<int>> visits(257);
+    parallel_for(7, visits.size(), [&](const ChunkRange& chunk) {
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+            visits[i].fetch_add(1);
+        }
+    });
+    for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsANoOp) {
+    bool called = false;
+    parallel_for(4, 0, [&](const ChunkRange&) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ParallelMap, ResultsInIndexOrderForEveryJobs) {
+    const std::function<int(std::size_t)> square = [](std::size_t i) {
+        return static_cast<int>(i * i);
+    };
+    const auto serial = parallel_map<int>(1, 100, square);
+    for (const unsigned jobs : {2u, 7u, 32u}) {
+        EXPECT_EQ(parallel_map<int>(jobs, 100, square), serial) << "jobs=" << jobs;
+    }
+}
+
+TEST(ParallelChunks, PartialsOrderedByChunkIndex) {
+    const auto parts = parallel_chunks<std::size_t>(
+        7, 100, [](const ChunkRange& chunk) { return chunk.begin; });
+    EXPECT_TRUE(std::is_sorted(parts.begin(), parts.end()));
+    std::size_t covered = 0;
+    const auto chunks = chunk_ranges(7, 100);
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+        EXPECT_EQ(parts[c], chunks[c].begin);
+        covered += chunks[c].end - chunks[c].begin;
+    }
+    EXPECT_EQ(covered, 100u);
+}
+
+TEST(ParallelFor, RethrowsLowestChunkException) {
+    // Every chunk beyond the first throws; the lowest throwing chunk must
+    // win, matching a serial scan's first failure. (jobs >= 2 so the range
+    // actually splits into multiple chunks.)
+    for (const unsigned jobs : {2u, 4u}) {
+        try {
+            parallel_for(jobs, 100, [](const ChunkRange& chunk) {
+                if (chunk.index >= 1) {
+                    throw std::runtime_error("chunk " + std::to_string(chunk.index));
+                }
+            });
+            FAIL() << "expected an exception (jobs=" << jobs << ")";
+        } catch (const std::runtime_error& error) {
+            EXPECT_STREQ(error.what(), "chunk 1") << "jobs=" << jobs;
+        }
+    }
+}
+
+TEST(ParallelFor, NestedCallsFallBackToSerialWithoutDeadlock) {
+    std::atomic<int> inner_total{0};
+    parallel_for(4, 8, [&](const ChunkRange& outer) {
+        parallel_for(4, 16, [&](const ChunkRange& inner) {
+            inner_total.fetch_add(static_cast<int>(inner.end - inner.begin));
+        });
+        (void)outer;
+    });
+    const auto outer_chunks = chunk_ranges(4, 8).size();
+    EXPECT_EQ(inner_total.load(), static_cast<int>(outer_chunks) * 16);
+}
+
+TEST(DefaultJobs, AtLeastOne) { EXPECT_GE(default_jobs(), 1u); }
+
+}  // namespace
+}  // namespace qrn::exec

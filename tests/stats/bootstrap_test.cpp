@@ -25,40 +25,47 @@ std::vector<double> normal_sample(std::size_t n, double mu, double sigma,
 
 TEST(Bootstrap, PointEqualsStatisticOnSample) {
     const auto sample = normal_sample(200, 5.0, 1.0, 1);
-    Rng rng(2);
-    const auto r = percentile_bootstrap(sample, mean_of, 500, 0.95, rng);
+    const auto r = percentile_bootstrap(sample, mean_of, 500, 0.95, 2);
     EXPECT_DOUBLE_EQ(r.point, mean_of(sample));
     EXPECT_LE(r.lower, r.point);
     EXPECT_GE(r.upper, r.point);
 }
 
-TEST(Bootstrap, DeterministicGivenRngState) {
+TEST(Bootstrap, DeterministicGivenSeed) {
     const auto sample = normal_sample(100, 0.0, 1.0, 3);
-    Rng a(9), b(9);
-    const auto ra = percentile_bootstrap(sample, mean_of, 300, 0.9, a);
-    const auto rb = percentile_bootstrap(sample, mean_of, 300, 0.9, b);
+    const auto ra = percentile_bootstrap(sample, mean_of, 300, 0.9, 9);
+    const auto rb = percentile_bootstrap(sample, mean_of, 300, 0.9, 9);
     EXPECT_DOUBLE_EQ(ra.lower, rb.lower);
     EXPECT_DOUBLE_EQ(ra.upper, rb.upper);
 }
 
+TEST(Bootstrap, IdenticalForEveryJobsCount) {
+    const auto sample = normal_sample(150, 2.0, 0.5, 7);
+    const auto serial = percentile_bootstrap(sample, mean_of, 400, 0.95, 11, 1);
+    for (const unsigned jobs : {2u, 7u}) {
+        const auto parallel = percentile_bootstrap(sample, mean_of, 400, 0.95, 11, jobs);
+        EXPECT_EQ(serial.point, parallel.point) << "jobs=" << jobs;
+        EXPECT_EQ(serial.lower, parallel.lower) << "jobs=" << jobs;
+        EXPECT_EQ(serial.upper, parallel.upper) << "jobs=" << jobs;
+    }
+}
+
 TEST(Bootstrap, WidthShrinksWithSampleSize) {
-    Rng rng(4);
     const auto small = normal_sample(50, 0.0, 1.0, 5);
     const auto large = normal_sample(5000, 0.0, 1.0, 6);
-    const auto rs = percentile_bootstrap(small, mean_of, 400, 0.95, rng);
-    const auto rl = percentile_bootstrap(large, mean_of, 400, 0.95, rng);
+    const auto rs = percentile_bootstrap(small, mean_of, 400, 0.95, 4);
+    const auto rl = percentile_bootstrap(large, mean_of, 400, 0.95, 4);
     EXPECT_LT(rl.upper - rl.lower, rs.upper - rs.lower);
 }
 
 TEST(Bootstrap, InvalidInputs) {
-    Rng rng(1);
     const std::vector<double> empty;
     const std::vector<double> one{1.0};
-    EXPECT_THROW(percentile_bootstrap(empty, mean_of, 200, 0.95, rng),
+    EXPECT_THROW(percentile_bootstrap(empty, mean_of, 200, 0.95, 1),
                  std::invalid_argument);
-    EXPECT_THROW(percentile_bootstrap(one, mean_of, 10, 0.95, rng),
+    EXPECT_THROW(percentile_bootstrap(one, mean_of, 10, 0.95, 1),
                  std::invalid_argument);
-    EXPECT_THROW(percentile_bootstrap(one, mean_of, 200, 1.0, rng),
+    EXPECT_THROW(percentile_bootstrap(one, mean_of, 200, 1.0, 1),
                  std::invalid_argument);
 }
 
