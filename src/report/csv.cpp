@@ -9,7 +9,9 @@ namespace qrn::report {
 namespace {
 
 std::string escape(const std::string& cell) {
-    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    // CR must quote too: a bare \r inside an unquoted cell splits the
+    // record on CRLF-aware readers (RFC 4180).
+    if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
     std::string out = "\"";
     for (char ch : cell) {
         if (ch == '"') out += '"';

@@ -1,0 +1,110 @@
+#include "tools/parse.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstddef>
+#include <utility>
+
+namespace qrn::tools {
+
+namespace {
+
+std::string render(const std::string& flag, const std::string& value,
+                   const std::string& expectation) {
+    return "invalid value '" + value + "' for " + flag + ": expected " +
+           expectation;
+}
+
+/// "1", "2", ... for human-facing positions inside a list diagnostic.
+std::string ordinal(std::size_t index) { return std::to_string(index + 1); }
+
+}  // namespace
+
+ParseError::ParseError(std::string flag, std::string value, std::string expectation)
+    : std::runtime_error(render(flag, value, expectation)),
+      flag_(std::move(flag)),
+      value_(std::move(value)),
+      expectation_(std::move(expectation)) {}
+
+double parse_f64(const std::string& flag, const std::string& text) {
+    const char* begin = text.data();
+    const char* end = begin + text.size();
+    double parsed = 0.0;
+    const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+    if (ec == std::errc::result_out_of_range) {
+        throw ParseError(flag, text, "a finite number (magnitude overflows a double)");
+    }
+    // from_chars accepts "inf"/"nan" spellings; the CLI grammar does not.
+    if (ec != std::errc() || ptr != end || !std::isfinite(parsed)) {
+        throw ParseError(flag, text, "a finite number");
+    }
+    return parsed;
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& text,
+                        std::uint64_t min_value, std::uint64_t max_value) {
+    std::string expectation = "an unsigned integer in [" +
+                              std::to_string(min_value) + ", " +
+                              std::to_string(max_value) + "]";
+    if (!text.empty() && (text.front() == '-' || text.front() == '+')) {
+        throw ParseError(flag, text, expectation + " without a sign");
+    }
+    const char* begin = text.data();
+    const char* end = begin + text.size();
+    std::uint64_t parsed = 0;
+    const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+    if (ec != std::errc() || ptr != end || parsed < min_value ||
+        parsed > max_value) {
+        throw ParseError(flag, text, std::move(expectation));
+    }
+    return parsed;
+}
+
+double parse_probability(const std::string& flag, const std::string& text,
+                         bool inclusive_one) {
+    const double parsed = parse_f64(flag, text);
+    const bool above_one = inclusive_one ? parsed > 1.0 : parsed >= 1.0;
+    if (parsed <= 0.0 || above_one) {
+        throw ParseError(flag, text,
+                         inclusive_one ? "a probability in (0, 1]"
+                                       : "a probability in (0, 1)");
+    }
+    return parsed;
+}
+
+double parse_positive(const std::string& flag, const std::string& text) {
+    const double parsed = parse_f64(flag, text);
+    if (parsed <= 0.0) {
+        throw ParseError(flag, text, "a finite number > 0");
+    }
+    return parsed;
+}
+
+std::vector<double> parse_csv_list(const std::string& flag,
+                                   const std::string& text) {
+    std::vector<double> out;
+    std::size_t start = 0;
+    for (std::size_t index = 0;; ++index) {
+        const std::size_t comma = text.find(',', start);
+        const std::string token = text.substr(
+            start, comma == std::string::npos ? std::string::npos : comma - start);
+        if (token.empty()) {
+            throw ParseError(flag, text,
+                             "a comma-separated list of numbers (element " +
+                                 ordinal(index) + " is empty)");
+        }
+        try {
+            out.push_back(parse_f64(flag, token));
+        } catch (const ParseError&) {
+            throw ParseError(flag, text,
+                             "a comma-separated list of numbers (element " +
+                                 ordinal(index) + " '" + token +
+                                 "' is not a finite number)");
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+}  // namespace qrn::tools

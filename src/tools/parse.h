@@ -1,0 +1,66 @@
+// Checked parsing of user-supplied CLI tokens.
+//
+// Every number the qrn CLI accepts feeds the paper's Eq. 1 check, so a
+// silently mis-parsed input is a safety-argument bug, not a UX nit. The
+// functions here therefore consume the *entire* token (trailing junk is an
+// error, "10h" never parses as 10), reject NaN/inf/overflow, reject signs
+// where the grammar has none (no stoull-style "-1" -> 2^64-1 wraparound),
+// and report failures as a typed ParseError carrying the offending flag,
+// the raw value, and the expectation - which main() renders as a one-line
+// diagnostic and turns into exit code 1.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace qrn::tools {
+
+/// A CLI token failed validation. what() is the ready-to-print one-line
+/// diagnostic: "invalid value '<value>' for <flag>: expected <expectation>".
+class ParseError : public std::runtime_error {
+public:
+    ParseError(std::string flag, std::string value, std::string expectation);
+
+    [[nodiscard]] const std::string& flag() const noexcept { return flag_; }
+    [[nodiscard]] const std::string& value() const noexcept { return value_; }
+    [[nodiscard]] const std::string& expectation() const noexcept {
+        return expectation_;
+    }
+
+private:
+    std::string flag_;
+    std::string value_;
+    std::string expectation_;
+};
+
+/// Parses a finite double from the whole token. Rejects empty input,
+/// whitespace, "nan"/"inf", overflow to infinity, and trailing junk.
+[[nodiscard]] double parse_f64(const std::string& flag, const std::string& text);
+
+/// Parses an unsigned decimal integer in [min_value, max_value] from the
+/// whole token. Rejects any sign ("-1" is an error, never 2^64-1), leading
+/// whitespace, non-digits, trailing junk, and out-of-range magnitudes.
+[[nodiscard]] std::uint64_t parse_u64(
+    const std::string& flag, const std::string& text, std::uint64_t min_value = 0,
+    std::uint64_t max_value = std::numeric_limits<std::uint64_t>::max());
+
+/// Parses a probability: a finite double in (0, 1), or (0, 1] when
+/// `inclusive_one` is set (e.g. an ethical cap of 1 disables the cap).
+[[nodiscard]] double parse_probability(const std::string& flag,
+                                       const std::string& text,
+                                       bool inclusive_one = false);
+
+/// Parses a finite double that must be strictly positive.
+[[nodiscard]] double parse_positive(const std::string& flag,
+                                    const std::string& text);
+
+/// Parses a comma-separated list of finite doubles. Empty tokens ("1,,2",
+/// a trailing comma, or an empty string) are errors, as is any element
+/// parse_f64 would reject.
+[[nodiscard]] std::vector<double> parse_csv_list(const std::string& flag,
+                                                 const std::string& text);
+
+}  // namespace qrn::tools

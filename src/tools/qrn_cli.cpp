@@ -20,6 +20,22 @@
 //                                    print the safety case (text or
 //                                    markdown task list)
 //
+// Exit-code contract (stable; scripts and CI may rely on it):
+//   0  success (verify/pipeline: norm fulfilled / safety case holds)
+//   1  usage or parse error: unknown command, missing required option, or
+//      a token that fails the checked grammar of tools/parse.h - the
+//      diagnostic is one line on stderr naming the offending flag + value
+//   2  the norm is NOT fulfilled (verify) / the safety case does not hold
+//      (pipeline) - inputs were valid, the quantitative check failed
+//   3  I/O error: an input file cannot be opened or read
+//
+// Every numeric option is validated before any file is read or any
+// simulation starts: --hours finite and > 0, --confidence in (0, 1),
+// --ethics in (0, 1], --seed a plain unsigned integer, --fleets in
+// [1, 100000], --jobs in [1, 4096], --thresholds finite, positive and
+// strictly increasing. Signed input to unsigned flags is rejected (no
+// stoull wraparound), as is trailing junk ("10h" never parses as 10).
+//
 // --jobs N selects the worker-thread count for the Monte-Carlo stages
 // (default: the hardware concurrency). Outputs are bit-identical for
 // every N: randomness is drawn from per-index RNG streams and results
@@ -28,6 +44,7 @@
 // Evidence document format:
 //   {"kind":"qrn.evidence","exposure_hours":H,
 //    "events":[{"incident_type":"I1","events":N}, ...]}
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -42,10 +59,25 @@
 #include "safety_case/builder.h"
 #include "sim/sim.h"
 #include "stats/rng.h"
+#include "tools/parse.h"
 
 namespace {
 
 using namespace qrn;
+using tools::ParseError;
+
+/// A typo in --fleets must fail loudly instead of OOMing the machine with
+/// per-fleet logs; 1e5 fleets is already far beyond any realistic campaign.
+constexpr std::uint64_t kMaxFleets = 100000;
+constexpr std::uint64_t kMaxJobs = 4096;
+
+/// An input file could not be opened or read; main() maps this to exit
+/// code 3 (distinct from parse errors so scripted campaigns can tell
+/// "bad argv" from "missing artifact").
+class IoError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
 
 /// Minimal argv cursor with --flag value parsing.
 class Args {
@@ -83,63 +115,85 @@ private:
 
 std::string read_file(const std::string& path) {
     std::ifstream f(path);
-    if (!f) throw std::runtime_error("cannot open " + path);
+    if (!f) throw IoError("cannot open " + path);
     std::stringstream buffer;
     buffer << f.rdbuf();
+    if (f.bad()) throw IoError("read failed for " + path);
     return buffer.str();
 }
 
+/// Reads and parses a JSON artifact; parse diagnostics carry the file name.
+json::Value load_json_file(const std::string& path) {
+    const std::string text = read_file(path);
+    try {
+        return json::parse(text);
+    } catch (const std::exception& error) {
+        throw std::runtime_error(path + ": " + error.what());
+    }
+}
+
 RiskNorm load_norm(const Args& args) {
-    return risk_norm_from_json(json::parse(read_file(args.require("--norm"))));
+    const std::string path = args.require("--norm");
+    try {
+        return risk_norm_from_json(load_json_file(path));
+    } catch (const IoError&) {
+        throw;
+    } catch (const std::exception& error) {
+        throw std::runtime_error(path + ": not a valid risk norm: " + error.what());
+    }
 }
 
 IncidentTypeSet load_types(const Args& args) {
-    return incident_types_from_json(json::parse(read_file(args.require("--types"))));
+    const std::string path = args.require("--types");
+    try {
+        return incident_types_from_json(load_json_file(path));
+    } catch (const IoError&) {
+        throw;
+    } catch (const std::exception& error) {
+        throw std::runtime_error(path + ": not a valid incident-type catalog: " +
+                                 error.what());
+    }
 }
 
-Allocation run_solver(const AllocationProblem& problem, const std::string& solver) {
-    if (solver == "proportional") return allocate_proportional(problem);
-    if (solver == "inverse-cost") return allocate_inverse_cost(problem);
-    if (solver == "water-filling") return allocate_water_filling(problem);
-    throw std::runtime_error("unknown solver '" + solver +
-                             "' (use proportional, inverse-cost or water-filling)");
+using Solver = Allocation (*)(const AllocationProblem&);
+
+/// Resolves --solver to its function up front so an unknown name is
+/// diagnosed before any artifact file is read.
+Solver solver_by_name(const std::string& name) {
+    if (name == "proportional") {
+        return [](const AllocationProblem& p) { return allocate_proportional(p); };
+    }
+    if (name == "inverse-cost") {
+        return [](const AllocationProblem& p) { return allocate_inverse_cost(p); };
+    }
+    if (name == "water-filling") {
+        return [](const AllocationProblem& p) { return allocate_water_filling(p); };
+    }
+    throw ParseError("--solver", name,
+                     "one of 'proportional', 'inverse-cost', 'water-filling'");
 }
 
 /// Parses --jobs: a positive decimal integer; defaults to the hardware
-/// concurrency when absent. Rejects 0, signs, and non-numeric input with
-/// a clear message (main() turns the throw into exit code 1).
+/// concurrency when absent. Thin wrapper over the checked parser (main()
+/// turns the throw into exit code 1).
 unsigned parse_jobs(const Args& args) {
     const auto value = args.option("--jobs");
     if (!value) return qrn::exec::default_jobs();
-    const std::string& text = *value;
-    const bool digits_only =
-        !text.empty() && text.find_first_not_of("0123456789") == std::string::npos;
-    unsigned long parsed = 0;
-    if (digits_only) {
-        try {
-            parsed = std::stoul(text);
-        } catch (const std::out_of_range&) {
-            parsed = 0;  // falls through to the shared error below
-        }
-    }
-    if (!digits_only || parsed == 0 || parsed > 4096) {
-        throw std::runtime_error("--jobs must be a positive integer (got '" + text +
-                                 "')");
-    }
-    return static_cast<unsigned>(parsed);
+    return static_cast<unsigned>(tools::parse_u64("--jobs", *value, 1, kMaxJobs));
 }
 
 sim::TacticalPolicy policy_by_name(const std::string& name) {
     if (name == "cautious") return sim::TacticalPolicy::cautious();
     if (name == "nominal") return sim::TacticalPolicy::nominal();
     if (name == "performance") return sim::TacticalPolicy::performance();
-    throw std::runtime_error("unknown policy '" + name + "'");
+    throw ParseError("--policy", name,
+                     "one of 'cautious', 'nominal', 'performance'");
 }
 
 sim::Odd odd_by_name(const std::string& name) {
     if (name == "urban") return sim::Odd::urban();
     if (name == "highway") return sim::Odd::highway();
-    throw std::runtime_error("unknown ODD '" + name + "'");
+    throw ParseError("--odd", name, "one of 'urban', 'highway'");
 }
 
 json::Value evidence_to_json(const std::vector<TypeEvidence>& evidence) {
@@ -160,19 +214,64 @@ json::Value evidence_to_json(const std::vector<TypeEvidence>& evidence) {
 }
 
 std::vector<TypeEvidence> evidence_from_json(const json::Value& doc) {
-    if (!doc.contains("kind") || doc.at("kind").as_string() != "qrn.evidence") {
-        throw std::runtime_error("not a qrn.evidence document");
+    if (!doc.is_object() || !doc.contains("kind") || !doc.at("kind").is_string() ||
+        doc.at("kind").as_string() != "qrn.evidence") {
+        throw std::runtime_error("not a qrn.evidence document (kind must be "
+                                 "\"qrn.evidence\")");
+    }
+    if (!doc.contains("exposure_hours") || !doc.at("exposure_hours").is_number()) {
+        throw std::runtime_error("exposure_hours: expected a number");
     }
     const double hours = doc.at("exposure_hours").as_number();
+    if (!std::isfinite(hours) || hours <= 0.0) {
+        throw std::runtime_error("exposure_hours: must be finite and > 0 (got " +
+                                 std::to_string(hours) + ")");
+    }
+    if (!doc.contains("events") || !doc.at("events").is_array()) {
+        throw std::runtime_error("events: expected an array");
+    }
     std::vector<TypeEvidence> out;
-    for (const auto& entry : doc.at("events").as_array()) {
+    const auto& entries = doc.at("events").as_array();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const std::string where = "events[" + std::to_string(i) + "]";
+        const auto& entry = entries[i];
+        if (!entry.is_object() || !entry.contains("incident_type") ||
+            !entry.at("incident_type").is_string()) {
+            throw std::runtime_error(where +
+                                     ".incident_type: expected a string");
+        }
+        if (!entry.contains("events") || !entry.at("events").is_number()) {
+            throw std::runtime_error(where + ".events: expected a number");
+        }
+        const double count = entry.at("events").as_number();
+        if (!std::isfinite(count) || count < 0.0 ||
+            count != std::floor(count) || count > 1e18) {
+            throw std::runtime_error(where +
+                                     ".events: must be a non-negative integer "
+                                     "(got " +
+                                     std::to_string(count) + ")");
+        }
         TypeEvidence e;
         e.incident_type_id = entry.at("incident_type").as_string();
-        e.events = static_cast<std::uint64_t>(entry.at("events").as_number());
+        e.events = static_cast<std::uint64_t>(count);
         e.exposure = ExposureHours(hours);
         out.push_back(std::move(e));
     }
     return out;
+}
+
+std::vector<TypeEvidence> load_evidence(const Args& args) {
+    const std::string path = args.require("--evidence");
+    try {
+        return evidence_from_json(load_json_file(path));
+    } catch (const IoError&) {
+        throw;
+    } catch (const std::exception& error) {
+        const std::string what = error.what();
+        // load_json_file already prefixed the path on raw JSON errors.
+        if (what.rfind(path, 0) == 0) throw;
+        throw std::runtime_error(path + ": " + what);
+    }
 }
 
 int cmd_norm_example() {
@@ -188,11 +287,13 @@ int cmd_types_example() {
 int cmd_types_generate(const Args& args) {
     BandingConfig config;
     if (const auto list = args.option("--thresholds")) {
-        config.thresholds.clear();
-        std::stringstream ss(*list);
-        std::string token;
-        while (std::getline(ss, token, ',')) {
-            config.thresholds.push_back(std::stod(token));
+        config.thresholds = tools::parse_csv_list("--thresholds", *list);
+        for (std::size_t i = 0; i < config.thresholds.size(); ++i) {
+            if (config.thresholds[i] <= 0.0 ||
+                (i > 0 && config.thresholds[i] <= config.thresholds[i - 1])) {
+                throw ParseError("--thresholds", *list,
+                                 "positive, strictly increasing thresholds");
+            }
         }
     }
     const InjuryRiskModel model;
@@ -201,16 +302,22 @@ int cmd_types_generate(const Args& args) {
 }
 
 int cmd_allocate(const Args& args) {
+    // Validate the cheap argv tokens before touching the filesystem so a
+    // typo is diagnosed even when the artifact files are absent.
+    EthicalConstraint ethics;
+    if (const auto cap = args.option("--ethics")) {
+        ethics.max_share =
+            tools::parse_probability("--ethics", *cap, /*inclusive_one=*/true);
+    }
+    const Solver solve =
+        solver_by_name(args.option("--solver").value_or("water-filling"));
     const auto norm = load_norm(args);
     const auto types = load_types(args);
     const InjuryRiskModel model;
     const auto matrix =
         ContributionMatrix::from_injury_model(norm, types, model, {0.6, 0.4});
-    EthicalConstraint ethics;
-    if (const auto cap = args.option("--ethics")) ethics.max_share = std::stod(*cap);
     const AllocationProblem problem(norm, types, matrix, {}, ethics);
-    const auto allocation =
-        run_solver(problem, args.option("--solver").value_or("water-filling"));
+    const auto allocation = solve(problem);
     std::cout << to_json(allocation, types).dump(2) << '\n';
     const auto goals = SafetyGoalSet::derive(problem, allocation);
     std::cerr << "\nSafety goals:\n";
@@ -221,6 +328,8 @@ int cmd_allocate(const Args& args) {
 }
 
 int cmd_verify(const Args& args) {
+    const double confidence = tools::parse_probability(
+        "--confidence", args.option("--confidence").value_or("0.95"));
     const auto norm = load_norm(args);
     const auto types = load_types(args);
     const InjuryRiskModel model;
@@ -228,10 +337,7 @@ int cmd_verify(const Args& args) {
         ContributionMatrix::from_injury_model(norm, types, model, {0.6, 0.4});
     const AllocationProblem problem(norm, types, matrix);
     const auto allocation = allocate_water_filling(problem);
-    const auto evidence =
-        evidence_from_json(json::parse(read_file(args.require("--evidence"))));
-    const double confidence =
-        std::stod(args.option("--confidence").value_or("0.95"));
+    const auto evidence = load_evidence(args);
     const auto report = verify_against_evidence(problem, allocation, evidence, confidence);
     std::cout << to_json(report).dump(2) << '\n';
     return report.norm_fulfilled() ? 0 : 2;
@@ -242,9 +348,9 @@ int cmd_simulate(const Args& args) {
     config.policy = policy_by_name(args.option("--policy").value_or("nominal"));
     config.odd = odd_by_name(args.option("--odd").value_or("urban"));
     if (const auto seed = args.option("--seed")) {
-        config.seed = std::stoull(*seed);
+        config.seed = tools::parse_u64("--seed", *seed);
     }
-    const double hours = std::stod(args.require("--hours"));
+    const double hours = tools::parse_positive("--hours", args.require("--hours"));
     const unsigned jobs = parse_jobs(args);
     const auto log = sim::FleetSimulator(config).run(hours, jobs);
     std::cerr << "encounters: " << log.encounters
@@ -261,10 +367,12 @@ int cmd_campaign(const Args& args) {
     config.base.policy = policy_by_name(args.option("--policy").value_or("nominal"));
     config.base.odd = odd_by_name(args.option("--odd").value_or("urban"));
     if (const auto seed = args.option("--seed")) {
-        config.base.seed = std::stoull(*seed);
+        config.base.seed = tools::parse_u64("--seed", *seed);
     }
-    config.fleets = std::stoull(args.require("--fleets"));
-    config.hours_per_fleet = std::stod(args.require("--hours"));
+    config.fleets = tools::parse_u64("--fleets", args.require("--fleets"), 1,
+                                     kMaxFleets);
+    config.hours_per_fleet =
+        tools::parse_positive("--hours", args.require("--hours"));
     config.jobs = parse_jobs(args);
     const auto result = sim::run_campaign(config);
     const auto summary = result.per_fleet_rate_summary();
@@ -285,7 +393,8 @@ int cmd_campaign(const Args& args) {
 }
 
 int cmd_pipeline(const Args& args) {
-    const double hours = std::stod(args.option("--hours").value_or("20000"));
+    const double hours = tools::parse_positive(
+        "--hours", args.option("--hours").value_or("20000"));
     const unsigned jobs = parse_jobs(args);
     RiskNorm norm(ConsequenceClassSet::paper_example(),
                   {
@@ -343,8 +452,10 @@ int usage() {
     std::cerr << "usage: qrn <command> [options]\n"
               << "commands: norm-example | types-example | types-generate |\n"
               << "          allocate | verify | simulate | campaign | pipeline\n"
+              << "exit codes: 0 ok, 1 usage/parse error, 2 norm not fulfilled,\n"
+              << "            3 I/O error\n"
               << "see the file header of src/tools/qrn_cli.cpp for options\n";
-    return 64;
+    return 1;
 }
 
 }  // namespace
@@ -362,6 +473,12 @@ int main(int argc, char** argv) {
         if (command == "campaign") return cmd_campaign(args);
         if (command == "pipeline") return cmd_pipeline(args);
         return usage();
+    } catch (const IoError& error) {
+        std::cerr << "qrn: " << error.what() << '\n';
+        return 3;
+    } catch (const ParseError& error) {
+        std::cerr << "qrn: " << error.what() << '\n';
+        return 1;
     } catch (const std::exception& error) {
         std::cerr << "qrn: " << error.what() << '\n';
         return 1;

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -21,9 +22,7 @@ struct CommandResult {
     std::string output;  // stdout only
 };
 
-CommandResult run_cli(const std::string& arguments) {
-    const std::string command =
-        std::string(QRN_CLI_PATH) + " " + arguments + " 2>/dev/null";
+CommandResult run_pipe(const std::string& command) {
     FILE* pipe = popen(command.c_str(), "r");
     if (pipe == nullptr) throw std::runtime_error("popen failed");
     CommandResult result;
@@ -37,6 +36,17 @@ CommandResult run_cli(const std::string& arguments) {
     return result;
 }
 
+CommandResult run_cli(const std::string& arguments) {
+    return run_pipe(std::string(QRN_CLI_PATH) + " " + arguments + " 2>/dev/null");
+}
+
+/// Runs the CLI capturing stderr (stdout discarded) - the channel the
+/// one-line parse diagnostics are printed on.
+CommandResult run_cli_stderr(const std::string& arguments) {
+    return run_pipe(std::string(QRN_CLI_PATH) + " " + arguments +
+                    " 2>&1 1>/dev/null");
+}
+
 std::string temp_path(const std::string& name) {
     return ::testing::TempDir() + "qrn_cli_" + name;
 }
@@ -48,8 +58,12 @@ void write_file(const std::string& path, const std::string& content) {
 }
 
 TEST(Cli, NoCommandShowsUsage) {
-    EXPECT_EQ(run_cli("").exit_code, 64);
-    EXPECT_EQ(run_cli("bogus-command").exit_code, 64);
+    // Exit-code contract: usage errors are 1 (0 ok, 2 norm not fulfilled,
+    // 3 I/O error).
+    EXPECT_EQ(run_cli("").exit_code, 1);
+    EXPECT_EQ(run_cli("bogus-command").exit_code, 1);
+    const auto usage = run_cli_stderr("bogus-command");
+    EXPECT_NE(usage.output.find("usage: qrn"), std::string::npos);
 }
 
 TEST(Cli, NormExampleEmitsValidDocument) {
@@ -132,8 +146,14 @@ TEST(Cli, SimulateIsDeterministicPerSeed) {
 }
 
 TEST(Cli, MissingFilesAndOptionsFailCleanly) {
-    EXPECT_EQ(run_cli("allocate --norm /no/such.json --types /no/such.json").exit_code,
-              1);
+    // Unreadable input files are I/O errors (exit 3), distinct from the
+    // argv parse errors (exit 1).
+    const auto missing =
+        run_cli_stderr("allocate --norm /no/such.json --types /no/such.json");
+    EXPECT_EQ(missing.exit_code, 3);
+    EXPECT_NE(missing.output.find("/no/such.json"), std::string::npos);
+    EXPECT_EQ(run_cli("verify --norm /no/such.json --types x --evidence y").exit_code,
+              3);
     EXPECT_EQ(run_cli("allocate").exit_code, 1);
     EXPECT_EQ(run_cli("simulate").exit_code, 1);  // --hours missing
     EXPECT_EQ(run_cli("simulate --hours 10 --policy bogus").exit_code, 1);
@@ -148,6 +168,167 @@ TEST(Cli, JobsFlagValidation) {
     EXPECT_EQ(run_cli("simulate --hours 10 --jobs 2x").exit_code, 1);
     EXPECT_EQ(run_cli("campaign --fleets 2 --hours 10 --jobs 0").exit_code, 1);
     EXPECT_EQ(run_cli("pipeline --hours 500 --jobs nope").exit_code, 1);
+}
+
+// One row of the malformed-input matrix: a bad command line, plus two
+// substrings (the flag and the quoted offending value) that the one-line
+// stderr diagnostic must contain. Rows with `accepts_jobs` run under both
+// --jobs 1 and --jobs 2 so the diagnostics are identical on every worker
+// count - the contract machine-generated campaign inputs will rely on.
+struct BadArgvCase {
+    const char* args;
+    const char* flag;
+    const char* value;
+    bool accepts_jobs;
+};
+
+void expect_one_line_parse_error(const std::string& arguments,
+                                 const BadArgvCase& expected) {
+    const auto result = run_cli_stderr(arguments);
+    EXPECT_EQ(result.exit_code, 1) << arguments;
+    EXPECT_NE(result.output.find(expected.flag), std::string::npos)
+        << arguments << " stderr: " << result.output;
+    EXPECT_NE(result.output.find(expected.value), std::string::npos)
+        << arguments << " stderr: " << result.output;
+    // One-line contract: the diagnostic is a single stderr line.
+    EXPECT_EQ(result.output.find('\n'), result.output.size() - 1)
+        << arguments << " stderr: " << result.output;
+    EXPECT_EQ(result.output.rfind("qrn: ", 0), 0u)
+        << arguments << " stderr: " << result.output;
+}
+
+TEST(Cli, MalformedArgvMatrix) {
+    const std::vector<BadArgvCase> matrix = {
+        // types-generate: threshold lists
+        {"types-generate --thresholds 1,,2", "--thresholds", "'1,,2'", false},
+        {"types-generate --thresholds 0.6,0.1", "--thresholds", "'0.6,0.1'", false},
+        {"types-generate --thresholds 0.1,0.1", "--thresholds", "increasing", false},
+        {"types-generate --thresholds nan", "--thresholds", "'nan'", false},
+        {"types-generate --thresholds 0.1,0.6x", "--thresholds", "'0.6x'", false},
+        {"types-generate --thresholds -0.1,0.6", "--thresholds", "positive", false},
+        // allocate: ethics cap and solver name (diagnosed before file I/O)
+        {"allocate --ethics 0", "--ethics", "'0'", false},
+        {"allocate --ethics 1.5", "--ethics", "(0, 1]", false},
+        {"allocate --ethics abc", "--ethics", "'abc'", false},
+        {"allocate --solver bogus", "--solver", "'bogus'", false},
+        {"allocate --solver bogus", "--solver", "water-filling", false},
+        // verify: confidence strictly inside (0, 1)
+        {"verify --confidence 1", "--confidence", "(0, 1)", false},
+        {"verify --confidence 0", "--confidence", "'0'", false},
+        {"verify --confidence 0.95x", "--confidence", "'0.95x'", false},
+        {"verify --confidence -0.5", "--confidence", "'-0.5'", false},
+        // simulate: hours, seed, enum names
+        {"simulate --hours 0", "--hours", "'0'", true},
+        {"simulate --hours -5", "--hours", "'-5'", true},
+        {"simulate --hours inf", "--hours", "'inf'", true},
+        {"simulate --hours nan", "--hours", "'nan'", true},
+        {"simulate --hours 10h", "--hours", "'10h'", true},
+        {"simulate --hours 1e999", "--hours", "'1e999'", true},
+        {"simulate --hours 10 --seed -1", "--seed", "'-1'", true},
+        {"simulate --hours 10 --seed +1", "--seed", "'+1'", true},
+        {"simulate --hours 10 --seed 1.5", "--seed", "'1.5'", true},
+        {"simulate --hours 10 --seed 18446744073709551616", "--seed",
+         "'18446744073709551616'", true},
+        {"simulate --hours 10 --policy bogus", "--policy", "'bogus'", true},
+        {"simulate --hours 10 --policy bogus", "--policy", "cautious", true},
+        {"simulate --hours 10 --odd mars", "--odd", "'mars'", true},
+        {"simulate --hours 10 --odd mars", "--odd", "urban", true},
+        // campaign: fleets bounds kill both wraparound and OOM typos
+        {"campaign --fleets -1 --hours 10", "--fleets", "'-1'", true},
+        {"campaign --fleets 0 --hours 10", "--fleets", "[1, 100000]", true},
+        {"campaign --fleets 100001 --hours 10", "--fleets", "'100001'", true},
+        {"campaign --fleets 2x --hours 10", "--fleets", "'2x'", true},
+        {"campaign --fleets 2 --hours nan", "--hours", "'nan'", true},
+        // pipeline
+        {"pipeline --hours -1", "--hours", "'-1'", true},
+        {"pipeline --hours 0", "--hours", "'0'", true},
+        // --jobs itself (never appended twice)
+        {"simulate --hours 10 --jobs 4097", "--jobs", "'4097'", false},
+        {"simulate --hours 10 --jobs -2", "--jobs", "'-2'", false},
+        {"simulate --hours 10 --jobs 0", "--jobs", "'0'", false},
+        {"pipeline --jobs nope", "--jobs", "'nope'", false},
+        {"campaign --fleets 2 --hours 5 --jobs 2x", "--jobs", "'2x'", false},
+    };
+    for (const auto& bad : matrix) {
+        if (bad.accepts_jobs) {
+            expect_one_line_parse_error(std::string(bad.args) + " --jobs 1", bad);
+            expect_one_line_parse_error(std::string(bad.args) + " --jobs 2", bad);
+        } else {
+            expect_one_line_parse_error(bad.args, bad);
+        }
+    }
+}
+
+TEST(Cli, MalformedEvidenceJsonMatrix) {
+    const std::string norm_path = temp_path("bad_norm.json");
+    const std::string types_path = temp_path("bad_types.json");
+    const std::string evidence_path = temp_path("bad_evidence.json");
+    write_file(norm_path, run_cli("norm-example").output);
+    write_file(types_path, run_cli("types-example").output);
+    const std::string verify_args = "verify --norm " + norm_path + " --types " +
+                                    types_path + " --evidence " + evidence_path;
+
+    struct BadJsonCase {
+        const char* content;
+        const char* stderr_substring;
+    };
+    const std::vector<BadJsonCase> matrix = {
+        // Raw JSON syntax errors name the file and byte offset.
+        {"{oops", "json parse error"},
+        {"", "json parse error"},
+        // Structural errors name the JSON path.
+        {"[]", "qrn.evidence"},
+        {R"({"kind":"other"})", "qrn.evidence"},
+        {R"({"kind":"qrn.evidence","events":[]})", "exposure_hours"},
+        {R"({"kind":"qrn.evidence","exposure_hours":"ten","events":[]})",
+         "exposure_hours"},
+        {R"({"kind":"qrn.evidence","exposure_hours":0,"events":[]})",
+         "exposure_hours"},
+        {R"({"kind":"qrn.evidence","exposure_hours":-5,"events":[]})",
+         "exposure_hours"},
+        {R"({"kind":"qrn.evidence","exposure_hours":10})", "events"},
+        {R"({"kind":"qrn.evidence","exposure_hours":10,"events":{}})", "events"},
+        {R"({"kind":"qrn.evidence","exposure_hours":10,
+             "events":[{"incident_type":7,"events":1}]})",
+         "events[0].incident_type"},
+        {R"({"kind":"qrn.evidence","exposure_hours":10,
+             "events":[{"incident_type":"I1"}]})",
+         "events[0].events"},
+        {R"({"kind":"qrn.evidence","exposure_hours":10,
+             "events":[{"incident_type":"I1","events":-2}]})",
+         "events[0].events"},
+        {R"({"kind":"qrn.evidence","exposure_hours":10,
+             "events":[{"incident_type":"I1","events":1.5}]})",
+         "events[0].events"},
+        {R"({"kind":"qrn.evidence","exposure_hours":10,
+             "events":[{"incident_type":"I1","events":0},
+                       {"incident_type":"I2","events":1e300}]})",
+         "events[1].events"},
+    };
+    for (const auto& bad : matrix) {
+        write_file(evidence_path, bad.content);
+        const auto result = run_cli_stderr(verify_args);
+        EXPECT_EQ(result.exit_code, 1) << bad.content;
+        EXPECT_NE(result.output.find(bad.stderr_substring), std::string::npos)
+            << bad.content << " stderr: " << result.output;
+        // Every evidence diagnostic names the offending file.
+        EXPECT_NE(result.output.find(evidence_path), std::string::npos)
+            << bad.content << " stderr: " << result.output;
+    }
+
+    std::remove(norm_path.c_str());
+    std::remove(types_path.c_str());
+    std::remove(evidence_path.c_str());
+}
+
+TEST(Cli, MalformedNormAndTypesNameTheFile) {
+    const std::string norm_path = temp_path("broken_norm.json");
+    write_file(norm_path, R"({"kind":"not-a-norm"})");
+    const auto result =
+        run_cli_stderr("allocate --norm " + norm_path + " --types whatever");
+    EXPECT_EQ(result.exit_code, 1);
+    EXPECT_NE(result.output.find(norm_path), std::string::npos) << result.output;
+    std::remove(norm_path.c_str());
 }
 
 TEST(Cli, CampaignOutputIndependentOfJobs) {

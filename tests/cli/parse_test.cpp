@@ -1,0 +1,142 @@
+// Unit tests for the checked CLI token grammar (tools/parse.h): whole-token
+// consumption, NaN/inf/overflow rejection, sign rejection on unsigned
+// flags, range enforcement, and the ParseError diagnostic contract.
+#include "tools/parse.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qrn::tools {
+namespace {
+
+// Runs `call` expecting a ParseError and returns it for field inspection.
+template <typename Fn>
+ParseError capture(Fn&& call) {
+    try {
+        (void)call();
+    } catch (const ParseError& error) {
+        return error;
+    }
+    ADD_FAILURE() << "expected ParseError";
+    return ParseError("", "", "");
+}
+
+TEST(ParseF64, AcceptsOrdinaryNumbers) {
+    EXPECT_DOUBLE_EQ(parse_f64("--x", "42"), 42.0);
+    EXPECT_DOUBLE_EQ(parse_f64("--x", "-1.5"), -1.5);
+    EXPECT_DOUBLE_EQ(parse_f64("--x", "1e-9"), 1e-9);
+    EXPECT_DOUBLE_EQ(parse_f64("--x", "0.0"), 0.0);
+}
+
+TEST(ParseF64, RejectsTrailingJunkAndEmptyAndWhitespace) {
+    EXPECT_THROW(parse_f64("--x", "10h"), ParseError);
+    EXPECT_THROW(parse_f64("--x", "1.5.2"), ParseError);
+    EXPECT_THROW(parse_f64("--x", ""), ParseError);
+    EXPECT_THROW(parse_f64("--x", " 1"), ParseError);
+    EXPECT_THROW(parse_f64("--x", "1 "), ParseError);
+    EXPECT_THROW(parse_f64("--x", "abc"), ParseError);
+}
+
+TEST(ParseF64, RejectsNonFinite) {
+    EXPECT_THROW(parse_f64("--x", "nan"), ParseError);
+    EXPECT_THROW(parse_f64("--x", "NaN"), ParseError);
+    EXPECT_THROW(parse_f64("--x", "inf"), ParseError);
+    EXPECT_THROW(parse_f64("--x", "-inf"), ParseError);
+    EXPECT_THROW(parse_f64("--x", "infinity"), ParseError);
+    EXPECT_THROW(parse_f64("--x", "1e999"), ParseError);  // overflow
+}
+
+TEST(ParseF64, DiagnosticNamesFlagAndValue) {
+    const auto error = capture([] { return parse_f64("--hours", "10h"); });
+    EXPECT_EQ(error.flag(), "--hours");
+    EXPECT_EQ(error.value(), "10h");
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--hours"), std::string::npos);
+    EXPECT_NE(what.find("'10h'"), std::string::npos);
+    EXPECT_EQ(what.find('\n'), std::string::npos);  // one-line contract
+}
+
+TEST(ParseU64, AcceptsFullRange) {
+    EXPECT_EQ(parse_u64("--n", "0"), 0u);
+    EXPECT_EQ(parse_u64("--n", "18446744073709551615"),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseU64, RejectsSignsInsteadOfWrapping) {
+    // std::stoull would have parsed "-1" as 2^64-1.
+    EXPECT_THROW(parse_u64("--seed", "-1"), ParseError);
+    EXPECT_THROW(parse_u64("--seed", "+1"), ParseError);
+    EXPECT_THROW(parse_u64("--seed", "-0"), ParseError);
+}
+
+TEST(ParseU64, RejectsJunkAndOverflow) {
+    EXPECT_THROW(parse_u64("--n", ""), ParseError);
+    EXPECT_THROW(parse_u64("--n", "2x"), ParseError);
+    EXPECT_THROW(parse_u64("--n", "1.5"), ParseError);
+    EXPECT_THROW(parse_u64("--n", "18446744073709551616"), ParseError);  // 2^64
+    EXPECT_THROW(parse_u64("--n", "99999999999999999999999"), ParseError);
+}
+
+TEST(ParseU64, EnforcesRange) {
+    EXPECT_EQ(parse_u64("--jobs", "1", 1, 4096), 1u);
+    EXPECT_EQ(parse_u64("--jobs", "4096", 1, 4096), 4096u);
+    EXPECT_THROW(parse_u64("--jobs", "0", 1, 4096), ParseError);
+    EXPECT_THROW(parse_u64("--jobs", "4097", 1, 4096), ParseError);
+    const auto error =
+        capture([] { return parse_u64("--fleets", "0", 1, 100000); });
+    EXPECT_NE(std::string(error.what()).find("[1, 100000]"), std::string::npos);
+}
+
+TEST(ParseProbability, OpenIntervalByDefault) {
+    EXPECT_DOUBLE_EQ(parse_probability("--confidence", "0.95"), 0.95);
+    EXPECT_THROW(parse_probability("--confidence", "0"), ParseError);
+    EXPECT_THROW(parse_probability("--confidence", "1"), ParseError);
+    EXPECT_THROW(parse_probability("--confidence", "-0.5"), ParseError);
+    EXPECT_THROW(parse_probability("--confidence", "1.5"), ParseError);
+}
+
+TEST(ParseProbability, InclusiveOneVariant) {
+    EXPECT_DOUBLE_EQ(parse_probability("--ethics", "1", true), 1.0);
+    EXPECT_DOUBLE_EQ(parse_probability("--ethics", "0.4", true), 0.4);
+    EXPECT_THROW(parse_probability("--ethics", "0", true), ParseError);
+    EXPECT_THROW(parse_probability("--ethics", "1.0001", true), ParseError);
+}
+
+TEST(ParsePositive, RejectsZeroNegativeAndNonFinite) {
+    EXPECT_DOUBLE_EQ(parse_positive("--hours", "20000"), 20000.0);
+    EXPECT_THROW(parse_positive("--hours", "0"), ParseError);
+    EXPECT_THROW(parse_positive("--hours", "-5"), ParseError);
+    EXPECT_THROW(parse_positive("--hours", "inf"), ParseError);
+    EXPECT_THROW(parse_positive("--hours", "nan"), ParseError);
+}
+
+TEST(ParseCsvList, ParsesAndPreservesOrder) {
+    const std::vector<double> expected{0.1, 0.6, 0.9};
+    EXPECT_EQ(parse_csv_list("--thresholds", "0.1,0.6,0.9"), expected);
+    EXPECT_EQ(parse_csv_list("--thresholds", "5"), std::vector<double>{5.0});
+}
+
+TEST(ParseCsvList, RejectsEmptyTokensWithPosition) {
+    EXPECT_THROW(parse_csv_list("--thresholds", ""), ParseError);
+    EXPECT_THROW(parse_csv_list("--thresholds", "1,,2"), ParseError);
+    EXPECT_THROW(parse_csv_list("--thresholds", "1,2,"), ParseError);
+    EXPECT_THROW(parse_csv_list("--thresholds", ",1"), ParseError);
+    const auto error =
+        capture([] { return parse_csv_list("--thresholds", "1,,2"); });
+    EXPECT_NE(std::string(error.what()).find("element 2"), std::string::npos);
+}
+
+TEST(ParseCsvList, RejectsBadElements) {
+    EXPECT_THROW(parse_csv_list("--thresholds", "0.1,nan"), ParseError);
+    EXPECT_THROW(parse_csv_list("--thresholds", "0.1,0.6x"), ParseError);
+    const auto error =
+        capture([] { return parse_csv_list("--thresholds", "0.1,oops"); });
+    EXPECT_NE(std::string(error.what()).find("'oops'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qrn::tools

@@ -1,10 +1,13 @@
 // CSV writer: quoting rules and file output.
 #include "report/csv.h"
 
+#include <cstddef>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -49,6 +52,65 @@ TEST(Csv, WritesFile) {
 TEST(Csv, WriteFileFailsOnBadPath) {
     CsvWriter w({"a"});
     EXPECT_THROW(w.write_file("/nonexistent-dir-zzz/file.csv"), std::runtime_error);
+}
+
+TEST(Csv, QuotesCarriageReturn) {
+    // A bare \r splits the record on CRLF-aware readers unless quoted.
+    CsvWriter w({"text"});
+    w.add_row({"has\rcr"});
+    w.add_row({"has\r\ncrlf"});
+    EXPECT_EQ(w.render(), "text\n\"has\rcr\"\n\"has\r\ncrlf\"\n");
+}
+
+// Minimal RFC 4180 reader, used only to prove render() round-trips.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> row;
+    std::string cell;
+    bool quoted = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char ch = text[i];
+        if (quoted) {
+            if (ch == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    cell += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cell += ch;
+            }
+        } else if (ch == '"') {
+            quoted = true;
+        } else if (ch == ',') {
+            row.push_back(std::move(cell));
+            cell.clear();
+        } else if (ch == '\n') {
+            row.push_back(std::move(cell));
+            cell.clear();
+            rows.push_back(std::move(row));
+            row.clear();
+        } else {
+            cell += ch;
+        }
+    }
+    return rows;
+}
+
+TEST(Csv, EscapingRoundTripsEveryHostileCell) {
+    const std::vector<std::vector<std::string>> cells = {
+        {"plain", "has,comma", "has\"quote"},
+        {"has\ncr-less newline", "has\rbare cr", "has\r\ncrlf"},
+        {"\"already quoted\"", ",\r\n\",", ""},
+    };
+    CsvWriter w({"c1", "c2", "c3"});
+    for (const auto& row : cells) w.add_row(row);
+    const auto parsed = parse_csv(w.render());
+    ASSERT_EQ(parsed.size(), cells.size() + 1);  // header + rows
+    for (std::size_t r = 0; r < cells.size(); ++r) {
+        EXPECT_EQ(parsed[r + 1], cells[r]) << "row " << r;
+    }
 }
 
 }  // namespace

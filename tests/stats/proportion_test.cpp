@@ -63,6 +63,19 @@ TEST(Proportion, Domain) {
     EXPECT_THROW(jeffreys_interval(1, 10, 0.0), std::invalid_argument);
 }
 
+// Pins the full precondition matrix (zero trials, successes > trials,
+// confidence outside (0, 1)) for every interval the CLI contracts rely on.
+TEST(Proportion, PreconditionsPinnedForCliContract) {
+    for (auto fn : {wilson_interval, clopper_pearson_interval, jeffreys_interval}) {
+        EXPECT_THROW(fn(0, 0, 0.95), std::invalid_argument);
+        EXPECT_THROW(fn(5, 4, 0.95), std::invalid_argument);
+        EXPECT_THROW(fn(1, 10, 0.0), std::invalid_argument);
+        EXPECT_THROW(fn(1, 10, 1.0), std::invalid_argument);
+        EXPECT_THROW(fn(1, 10, -0.2), std::invalid_argument);
+        EXPECT_THROW(fn(1, 10, 1.2), std::invalid_argument);
+    }
+}
+
 /// Clopper-Pearson is conservative by construction: empirical coverage must
 /// be at or above the nominal level for every true p.
 class CpCoverage : public ::testing::TestWithParam<double> {};

@@ -59,6 +59,28 @@ TEST(Bounds, Domain) {
     EXPECT_DOUBLE_EQ(rate_lower_bound({0, 10.0}, 0.9), 0.0);
 }
 
+// Pins the precondition contract the CLI's checked-parsing layer relies
+// on: zero/negative exposure and confidence outside (0, 1) must throw for
+// every estimator, never return a number.
+TEST(Bounds, PreconditionsPinnedForCliContract) {
+    EXPECT_THROW(garwood_interval({1, 0.0}, 0.95), std::invalid_argument);
+    EXPECT_THROW(garwood_interval({0, -10.0}, 0.95), std::invalid_argument);
+    EXPECT_THROW(garwood_interval({1, 10.0}, 0.0), std::invalid_argument);
+    EXPECT_THROW(garwood_interval({1, 10.0}, 1.0), std::invalid_argument);
+    EXPECT_THROW(garwood_interval({1, 10.0}, -0.5), std::invalid_argument);
+    EXPECT_THROW(garwood_interval({1, 10.0}, 1.5), std::invalid_argument);
+    EXPECT_THROW(rate_upper_bound({0, 0.0}, 0.95), std::invalid_argument);
+    EXPECT_THROW(rate_lower_bound({1, 0.0}, 0.95), std::invalid_argument);
+    EXPECT_THROW(rate_lower_bound({1, 10.0}, 1.0), std::invalid_argument);
+    EXPECT_THROW(rate_mle({0, -1.0}), std::invalid_argument);
+    EXPECT_THROW(exposure_needed_for_zero_events(-1e-7, 0.95),
+                 std::invalid_argument);
+    EXPECT_THROW(exposure_needed_for_zero_events(1e-7, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(exposure_needed_for_zero_events(1e-7, 1.0),
+                 std::invalid_argument);
+}
+
 TEST(ExposureNeeded, InvertsRuleOfThree) {
     const double t = exposure_needed_for_zero_events(1e-7, 0.95);
     // Observing 0 events over t hours must bound the rate at exactly 1e-7.
