@@ -8,7 +8,6 @@
 // live tripwire. Expansion proceeds only while the evidence supports it.
 //
 // Run: ./odd_expansion [hours_per_fleet=4000]
-#include <cstdlib>
 #include <iostream>
 
 #include "qrn/norm_builder.h"
@@ -16,10 +15,17 @@
 #include "report/table.h"
 #include "sim/sim.h"
 #include "stats/sequential.h"
+#include "tools/parse.h"
 
 int main(int argc, char** argv) {
     using namespace qrn;
-    const double hours_per_fleet = argc > 1 ? std::atof(argv[1]) : 4000.0;
+    double hours_per_fleet = 4000.0;
+    try {
+        if (argc > 1) hours_per_fleet = tools::parse_positive("hours_per_fleet", argv[1]);
+    } catch (const tools::ParseError& e) {
+        std::cerr << "odd_expansion: " << e.what() << "\n";
+        return 1;
+    }
 
     // One norm for the whole programme, calibrated between the societal
     // ceiling and what the simulated fleet can credibly demonstrate.

@@ -7,7 +7,6 @@
 // needed before the statistical upper bounds clear the limits.
 //
 // Run: ./urban_robotaxi [hours=50000] [seed=2024]
-#include <cstdlib>
 #include <iostream>
 
 #include "exec/parallel.h"
@@ -17,11 +16,19 @@
 #include "safety_case/builder.h"
 #include "sim/sim.h"
 #include "stats/rng.h"
+#include "tools/parse.h"
 
 int main(int argc, char** argv) {
     using namespace qrn;
-    const double hours = argc > 1 ? std::atof(argv[1]) : 50000.0;
-    const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2024;
+    double hours = 50000.0;
+    std::uint64_t seed = 2024;
+    try {
+        if (argc > 1) hours = tools::parse_positive("hours", argv[1]);
+        if (argc > 2) seed = tools::parse_u64("seed", argv[2]);
+    } catch (const tools::ParseError& e) {
+        std::cerr << "urban_robotaxi: " << e.what() << "\n";
+        return 1;
+    }
 
     // A service-level norm for the pilot deployment. Limits are deliberately
     // modest (this is a research example, not a certified safety case).

@@ -1,0 +1,19 @@
+// A single qrn-lint diagnostic, rendered as "file:line: rule-id: message".
+#pragma once
+
+#include <string>
+
+namespace qrn::lint {
+
+struct Finding {
+    std::string file;  ///< project-relative path with '/' separators
+    int line = 0;      ///< 1-based
+    std::string rule;  ///< rule id, e.g. "raw-parse"
+    std::string message;
+};
+
+[[nodiscard]] inline std::string render(const Finding& f) {
+    return f.file + ":" + std::to_string(f.line) + ": " + f.rule + ": " + f.message;
+}
+
+}  // namespace qrn::lint

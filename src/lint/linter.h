@@ -1,0 +1,35 @@
+// File discovery + rule execution + suppression filtering for qrn-lint.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/finding.h"
+
+namespace qrn::lint {
+
+struct LintResult {
+    std::vector<Finding> findings;  ///< sorted by (file, line, rule)
+    std::size_t files_scanned = 0;
+};
+
+/// Project-relative view of `path`: everything from the last
+/// src/tests/bench/examples path component on (so findings printed from
+/// an out-of-tree build still read "src/qrn/json.cpp:343"). Paths outside
+/// those roots are returned unchanged, with '\\' normalized to '/'.
+[[nodiscard]] std::string relativize(std::string path);
+
+/// Lints one in-memory source file (the unit-test entry point).
+/// `display_path` is relativized and used for rule scoping.
+[[nodiscard]] std::vector<Finding> lint_source(const std::string& display_path,
+                                               std::string_view content);
+
+/// Lints every *.cpp/*.h/*.hpp/*.cc/*.hh under the given files or
+/// directories (recursively), in sorted path order. A path that does not
+/// exist is reported through `error` and makes the call fail (empty
+/// result, files_scanned == 0).
+[[nodiscard]] LintResult lint_paths(const std::vector<std::string>& paths,
+                                    std::string& error);
+
+}  // namespace qrn::lint

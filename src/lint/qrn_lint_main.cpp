@@ -1,0 +1,82 @@
+// qrn-lint: the toolkit's self-hosted static-analysis gate.
+//
+// Usage:  qrn-lint [--list-rules] <path>...
+//
+// Scans the given files/directories for violations of the project's
+// safety-code invariants (see docs/LINTING.md) and prints findings as
+// "file:line: rule-id: message" on stdout.
+//
+// Exit-code contract (stable; the lint_selfcheck ctest and the CI lint
+// job rely on it, mirroring the qrn CLI's 0/1/2 convention):
+//   0  clean (or --list-rules)
+//   1  usage error: unknown flag, no paths, unreadable path
+//   2  at least one finding
+
+// qrn-lint: allow(iostream-in-lib) CLI entry point: stdout/stderr is the product surface
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/linter.h"
+#include "lint/rules.h"
+
+namespace {
+
+void print_usage(std::ostream& os) {
+    os << "usage: qrn-lint [--list-rules] <path>...\n"
+          "  Lints *.cpp/*.h/*.hpp/*.cc/*.hh under each path for the\n"
+          "  project invariants listed by --list-rules (docs/LINTING.md).\n"
+          "  Suppress one finding with: // qrn-lint: allow(rule-id) reason\n"
+          "  Exit codes: 0 clean, 1 usage error, 2 findings.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::vector<std::string> paths;
+    bool list_rules = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            list_rules = true;
+        } else if (arg == "--help" || arg == "-h") {
+            print_usage(std::cout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "qrn-lint: unknown option '" << arg << "'\n";
+            print_usage(std::cerr);
+            return 1;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    if (list_rules) {
+        for (const auto& rule : qrn::lint::rules()) {
+            std::cout << rule.id << "\n    " << rule.summary << "\n";
+        }
+        return 0;
+    }
+    if (paths.empty()) {
+        std::cerr << "qrn-lint: no paths given\n";
+        print_usage(std::cerr);
+        return 1;
+    }
+
+    std::string error;
+    const qrn::lint::LintResult result = qrn::lint::lint_paths(paths, error);
+    if (!error.empty()) {
+        std::cerr << "qrn-lint: " << error << "\n";
+        return 1;
+    }
+    for (const auto& finding : result.findings) {
+        std::cout << qrn::lint::render(finding) << "\n";
+    }
+    if (!result.findings.empty()) {
+        std::cerr << "qrn-lint: " << result.findings.size() << " finding"
+                  << (result.findings.size() == 1 ? "" : "s") << " in "
+                  << result.files_scanned << " files\n";
+        return 2;
+    }
+    return 0;
+}

@@ -1,0 +1,123 @@
+#include "lint/suppression.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace qrn::lint {
+
+namespace {
+
+[[nodiscard]] std::string_view trim(std::string_view s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+        s.remove_prefix(1);
+    }
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+        s.remove_suffix(1);
+    }
+    return s;
+}
+
+/// Strips the comment delimiters: "// ..." or "/* ... */".
+[[nodiscard]] std::string_view comment_body(std::string_view text) {
+    if (text.size() >= 2 && text[0] == '/' && text[1] == '/') {
+        return trim(text.substr(2));
+    }
+    if (text.size() >= 4 && text[0] == '/' && text[1] == '*') {
+        text.remove_prefix(2);
+        if (text.size() >= 2 && text.substr(text.size() - 2) == "*/") {
+            text.remove_suffix(2);
+        }
+        return trim(text);
+    }
+    return trim(text);
+}
+
+}  // namespace
+
+SuppressionSet::SuppressionSet(const std::vector<Token>& tokens,
+                               const std::set<std::string>& valid_rules,
+                               const std::string& path,
+                               std::vector<Finding>& findings) {
+    constexpr std::string_view kMarker = "qrn-lint:";
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token& tok = tokens[i];
+        if (tok.kind != TokKind::Comment) continue;
+        std::string_view body = comment_body(tok.text);
+        if (body.substr(0, kMarker.size()) != kMarker) continue;
+        body = trim(body.substr(kMarker.size()));
+
+        const auto bad = [&](const std::string& why) {
+            findings.push_back(Finding{path, tok.line, kSuppressionHygieneRule, why});
+        };
+
+        // Prose that merely mentions "qrn-lint:" is not a suppression;
+        // only an allow-clause is. But once the author typed "allow",
+        // anything short of the exact grammar is reported, so a typo like
+        // "allow (rule)" can never become a silent no-op.
+        constexpr std::string_view kAllow = "allow(";
+        if (body.substr(0, 5) != "allow") continue;
+        if (body.substr(0, kAllow.size()) != kAllow) {
+            bad("malformed qrn-lint comment; expected 'qrn-lint: allow(rule-id) reason'");
+            continue;
+        }
+        body.remove_prefix(kAllow.size());
+        const std::size_t close = body.find(')');
+        if (close == std::string_view::npos) {
+            bad("unterminated allow(...) in qrn-lint comment");
+            continue;
+        }
+
+        Suppression sup;
+        sup.comment_line = tok.line;
+        std::string_view list = body.substr(0, close);
+        while (!list.empty()) {
+            const std::size_t comma = list.find(',');
+            const std::string_view id =
+                trim(comma == std::string_view::npos ? list : list.substr(0, comma));
+            list = comma == std::string_view::npos ? std::string_view{}
+                                                   : list.substr(comma + 1);
+            if (id.empty()) continue;
+            if (valid_rules.find(std::string(id)) == valid_rules.end()) {
+                bad("suppression names unknown rule '" + std::string(id) +
+                    "'; see qrn-lint --list-rules");
+            } else if (std::string(id) == kSuppressionHygieneRule) {
+                bad("'suppression-hygiene' findings cannot be suppressed");
+            } else {
+                sup.rules.push_back(std::string(id));
+            }
+        }
+        sup.reason = std::string(trim(body.substr(close + 1)));
+        if (sup.rules.empty()) {
+            bad("allow() names no rule; expected 'qrn-lint: allow(rule-id) reason'");
+            continue;
+        }
+        if (sup.reason.empty()) {
+            bad("suppression for '" + sup.rules.front() +
+                "' has no reason; every waiver must say why");
+            continue;
+        }
+
+        // A comment that shares its line with code waives that line; a
+        // stand-alone comment waives the line below it.
+        const bool alone = std::none_of(
+            tokens.begin(), tokens.begin() + static_cast<std::ptrdiff_t>(i),
+            [&](const Token& t) {
+                return t.kind != TokKind::Comment && t.line == tok.line;
+            });
+        sup.effective_line = alone ? tok.line + 1 : tok.line;
+        entries_.push_back(std::move(sup));
+    }
+}
+
+bool SuppressionSet::allows(const std::string& rule, int line) const {
+    if (rule == kSuppressionHygieneRule) return false;
+    for (const Suppression& sup : entries_) {
+        if (sup.effective_line != line && sup.comment_line != line) continue;
+        if (std::find(sup.rules.begin(), sup.rules.end(), rule) != sup.rules.end()) {
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace qrn::lint

@@ -1,0 +1,54 @@
+// Inline suppression comments:
+//
+//     // qrn-lint: allow(rule-id) reason the violation is intentional
+//     // qrn-lint: allow(rule-a, rule-b) one reason covering both
+//
+// A suppression covers findings of the named rule(s) on its own line; if
+// the comment is the only thing on its line it covers the next line
+// instead (the usual "annotation above the offending statement" style).
+//
+// Suppressions are themselves linted (rule id "suppression-hygiene"):
+// the reason must be non-empty and every named rule id must exist, so a
+// suppression can never silently rot into a blanket waiver.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/finding.h"
+#include "lint/tokenizer.h"
+
+namespace qrn::lint {
+
+/// Rule id under which malformed suppressions are reported. Findings of
+/// this rule are never themselves suppressible.
+inline constexpr const char* kSuppressionHygieneRule = "suppression-hygiene";
+
+struct Suppression {
+    int comment_line = 0;
+    int effective_line = 0;  ///< line whose findings it waives
+    std::vector<std::string> rules;
+    std::string reason;
+};
+
+class SuppressionSet {
+public:
+    /// Scans the comment tokens of one file. `valid_rules` is the set of
+    /// registered rule ids; unknown ids and empty reasons are reported
+    /// into `findings` against `path`.
+    SuppressionSet(const std::vector<Token>& tokens,
+                   const std::set<std::string>& valid_rules,
+                   const std::string& path, std::vector<Finding>& findings);
+
+    [[nodiscard]] bool allows(const std::string& rule, int line) const;
+
+    [[nodiscard]] const std::vector<Suppression>& entries() const {
+        return entries_;
+    }
+
+private:
+    std::vector<Suppression> entries_;
+};
+
+}  // namespace qrn::lint

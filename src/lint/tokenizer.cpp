@@ -1,0 +1,277 @@
+#include "lint/tokenizer.h"
+
+#include <cctype>
+
+namespace qrn::lint {
+
+namespace {
+
+[[nodiscard]] bool ident_start(char c) noexcept {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+[[nodiscard]] bool ident_char(char c) noexcept {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Character cursor over the source with translation-phase-2 line
+/// splicing: peek()/get() make a backslash immediately followed by a
+/// newline (optionally with a CR) invisible, while still counting the
+/// physical line. Raw string bodies use raw_get(), which keeps splices.
+class Cursor {
+public:
+    explicit Cursor(std::string_view s) : s_(s) {}
+
+    [[nodiscard]] bool eof() { return skip_splices(), pos_ >= s_.size(); }
+
+    /// Logical character `ahead` positions away, or '\0' past the end.
+    [[nodiscard]] char peek(std::size_t ahead = 0) {
+        skip_splices();
+        std::size_t p = pos_;
+        for (std::size_t i = 0; i < ahead; ++i) {
+            p = skip_splices_from(p + 1);
+        }
+        return p < s_.size() ? s_[p] : '\0';
+    }
+
+    char get() {
+        skip_splices();
+        if (pos_ >= s_.size()) return '\0';
+        const char c = s_[pos_++];
+        if (c == '\n') ++line_;
+        return c;
+    }
+
+    /// Physical character, splices included (raw string bodies).
+    char raw_get() {
+        if (pos_ >= s_.size()) return '\0';
+        const char c = s_[pos_++];
+        if (c == '\n') ++line_;
+        return c;
+    }
+
+    [[nodiscard]] char raw_peek() const {
+        return pos_ < s_.size() ? s_[pos_] : '\0';
+    }
+
+    [[nodiscard]] int line() const noexcept { return line_; }
+
+private:
+    /// Advances `p` past any run of splices starting at it and returns
+    /// the resulting position; only the member overload moves pos_ (and
+    /// the line counter, since a splice swallows a physical newline).
+    [[nodiscard]] std::size_t skip_splices_from(std::size_t p) const {
+        while (p + 1 < s_.size() && s_[p] == '\\') {
+            if (s_[p + 1] == '\n') {
+                p += 2;
+            } else if (s_[p + 1] == '\r' && p + 2 < s_.size() && s_[p + 2] == '\n') {
+                p += 3;
+            } else {
+                break;
+            }
+        }
+        return p;
+    }
+
+    void skip_splices() {
+        std::size_t p = skip_splices_from(pos_);
+        while (pos_ < p) {
+            if (s_[pos_] == '\n') ++line_;
+            ++pos_;
+        }
+    }
+
+    std::string_view s_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+};
+
+/// Encoding prefixes that may precede a string/char literal.
+[[nodiscard]] bool is_encoding_prefix(std::string_view id) noexcept {
+    return id == "u8" || id == "u" || id == "U" || id == "L";
+}
+
+/// Identifier that is actually a raw-string prefix (R, u8R, uR, UR, LR).
+[[nodiscard]] bool is_raw_prefix(std::string_view id) noexcept {
+    return id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR";
+}
+
+class Lexer {
+public:
+    explicit Lexer(std::string_view src) : cur_(src) {}
+
+    [[nodiscard]] std::vector<Token> run() {
+        while (!cur_.eof()) {
+            const char c = cur_.peek();
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+                c == '\v') {
+                cur_.get();
+                continue;
+            }
+            start_line_ = cur_.line();
+            if (c == '/' && cur_.peek(1) == '/') {
+                lex_line_comment();
+            } else if (c == '/' && cur_.peek(1) == '*') {
+                lex_block_comment();
+            } else if (c == '"') {
+                lex_string("");
+            } else if (c == '\'') {
+                lex_char();
+            } else if (ident_start(c)) {
+                lex_identifier_or_literal_prefix();
+            } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                       (c == '.' &&
+                        std::isdigit(static_cast<unsigned char>(cur_.peek(1))))) {
+                lex_number();
+            } else {
+                lex_punct();
+            }
+        }
+        return std::move(out_);
+    }
+
+private:
+    void emit(TokKind kind, std::string text) {
+        out_.push_back(Token{kind, std::move(text), start_line_});
+    }
+
+    void lex_line_comment() {
+        std::string text;
+        // get() hides spliced newlines, so a backslash-continued line
+        // comment extends onto the next physical line, as in real C++.
+        while (!cur_.eof() && cur_.peek() != '\n') text += cur_.get();
+        emit(TokKind::Comment, std::move(text));
+    }
+
+    void lex_block_comment() {
+        std::string text;
+        text += cur_.get();  // '/'
+        text += cur_.get();  // '*'
+        while (!cur_.eof()) {
+            const char c = cur_.get();
+            text += c;
+            if (c == '*' && cur_.peek() == '/') {
+                text += cur_.get();
+                break;
+            }
+        }
+        emit(TokKind::Comment, std::move(text));
+    }
+
+    void lex_string(std::string prefix) {
+        std::string text = std::move(prefix);
+        text += cur_.get();  // opening quote
+        while (!cur_.eof()) {
+            const char c = cur_.get();
+            if (c == '\n') break;  // unterminated: close at line end
+            text += c;
+            if (c == '\\' && !cur_.eof()) {
+                text += cur_.get();  // escaped char (quote, backslash, ...)
+            } else if (c == '"') {
+                break;
+            }
+        }
+        emit(TokKind::String, std::move(text));
+    }
+
+    /// cur_ sits on the opening quote; `prefix` is e.g. "R" or "u8R".
+    /// Raw string bodies take characters verbatim: no splices, no
+    /// escapes; only )delim" terminates.
+    void lex_raw_string(std::string prefix) {
+        std::string text = std::move(prefix);
+        text += cur_.raw_get();  // '"'
+        std::string delim;
+        while (!cur_.eof() && cur_.raw_peek() != '(') {
+            delim += cur_.raw_get();
+        }
+        text += delim;
+        if (!cur_.eof()) text += cur_.raw_get();  // '('
+        const std::string close = ")" + delim + "\"";
+        std::string tail;
+        while (!cur_.eof()) {
+            tail += cur_.raw_get();
+            if (tail.size() >= close.size() &&
+                tail.compare(tail.size() - close.size(), close.size(), close) == 0) {
+                break;
+            }
+        }
+        text += tail;
+        emit(TokKind::String, std::move(text));
+    }
+
+    void lex_char() {
+        std::string text;
+        text += cur_.get();  // opening '
+        while (!cur_.eof()) {
+            const char c = cur_.get();
+            if (c == '\n') break;
+            text += c;
+            if (c == '\\' && !cur_.eof()) {
+                text += cur_.get();
+            } else if (c == '\'') {
+                break;
+            }
+        }
+        emit(TokKind::CharLit, std::move(text));
+    }
+
+    void lex_identifier_or_literal_prefix() {
+        std::string id;
+        while (!cur_.eof() && ident_char(cur_.peek())) id += cur_.get();
+        if (cur_.peek() == '"') {
+            if (is_raw_prefix(id)) return lex_raw_string(std::move(id));
+            if (is_encoding_prefix(id)) return lex_string(std::move(id));
+        }
+        if (cur_.peek() == '\'' && is_encoding_prefix(id)) {
+            // u'x' etc.: fold the prefix into the char literal.
+            const int line = start_line_;
+            lex_char();
+            out_.back().text.insert(0, id);
+            out_.back().line = line;
+            return;
+        }
+        emit(TokKind::Identifier, std::move(id));
+    }
+
+    void lex_number() {
+        // pp-number: digits, identifier chars, '.', digit separators,
+        // and a sign right after an exponent marker (1e-3, 0x1p+2).
+        std::string text;
+        text += cur_.get();
+        while (!cur_.eof()) {
+            const char c = cur_.peek();
+            if (ident_char(c) || c == '.') {
+                text += cur_.get();
+            } else if (c == '\'' && ident_char(cur_.peek(1))) {
+                text += cur_.get();  // digit separator, not a char literal
+            } else if ((c == '+' || c == '-') && !text.empty() &&
+                       (text.back() == 'e' || text.back() == 'E' ||
+                        text.back() == 'p' || text.back() == 'P')) {
+                text += cur_.get();
+            } else {
+                break;
+            }
+        }
+        emit(TokKind::Number, std::move(text));
+    }
+
+    void lex_punct() {
+        std::string text;
+        text += cur_.get();
+        // "::" is the one multi-character punctuator rules care about
+        // (std::thread, Rng::stream); everything else stays single-char
+        // so bracket depth counting in rules.cpp sees every < > ( ).
+        if (text[0] == ':' && cur_.peek() == ':') text += cur_.get();
+        emit(TokKind::Punct, std::move(text));
+    }
+
+    Cursor cur_;
+    int start_line_ = 1;
+    std::vector<Token> out_;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view src) { return Lexer(src).run(); }
+
+}  // namespace qrn::lint

@@ -1,0 +1,42 @@
+// Comment/string/raw-string-aware C++ tokenizer for qrn-lint.
+//
+// This is not a compiler front end: it produces just enough lexical
+// structure for the project rules in rules.h to match identifier and
+// punctuator sequences without being fooled by comments, string literals
+// (including raw strings and encoding prefixes), character literals,
+// digit separators or line continuations. Comments are kept as tokens so
+// the suppression grammar (suppression.h) can read them; rules match on
+// the non-comment stream.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qrn::lint {
+
+enum class TokKind {
+    Identifier,  ///< keywords are not distinguished from identifiers
+    Number,      ///< pp-number, including 0x1F, 1'000'000, 1.5e-3
+    String,      ///< "..." with escapes, u8"...", R"delim(...)delim"
+    CharLit,     ///< 'a', '\n', u'x'
+    Comment,     ///< // ... (splice-extended) or /* ... */, delimiters kept
+    Punct,       ///< single characters, except "::" which is one token
+};
+
+struct Token {
+    TokKind kind = TokKind::Punct;
+    std::string text;
+    int line = 1;  ///< 1-based line the token starts on
+};
+
+/// Lexes `src`. Line continuations (backslash-newline, also with a
+/// trailing CR) are spliced everywhere except inside raw string literals,
+/// exactly like translation phase 2; line numbers still count the spliced
+/// physical lines so findings point at real source lines. Unterminated
+/// literals and comments are closed at end of input rather than rejected:
+/// the linter must degrade gracefully on code the compiler will reject
+/// anyway.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view src);
+
+}  // namespace qrn::lint

@@ -1,9 +1,9 @@
 #include "qrn/json.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <stdexcept>
 
 namespace qrn::json {
@@ -338,10 +338,17 @@ private:
         if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
             fail("expected a number");
         }
-        const std::string token(text_.substr(start, pos_ - start));
-        char* end = nullptr;
-        const double d = std::strtod(token.c_str(), &end);
-        if (end != token.c_str() + token.size()) fail("malformed number");
+        // std::from_chars, not strtod: strtod honours LC_NUMERIC, so under
+        // e.g. LC_NUMERIC=de_DE "1.5" would stop at the '.' and evidence
+        // files would silently parse differently per machine. from_chars
+        // is locale-independent and needs no NUL-terminated copy.
+        const std::string_view token = text_.substr(start, pos_ - start);
+        double d = 0.0;
+        const auto [end, ec] = std::from_chars(token.data(), token.data() + token.size(), d);
+        if (ec == std::errc::result_out_of_range) fail("number out of range");
+        if (ec != std::errc() || end != token.data() + token.size()) {
+            fail("malformed number");
+        }
         return Value(d);
     }
 

@@ -12,7 +12,7 @@ namespace qrn::quant {
 std::unique_ptr<ArchNode> ArchNode::element(std::string name, Frequency rate,
                                             CauseCategory cause) {
     if (name.empty()) throw std::invalid_argument("ArchNode::element: name required");
-    auto node = std::unique_ptr<ArchNode>(new ArchNode());
+    auto node = std::make_unique<ArchNode>(Passkey{});
     node->name_ = std::move(name);
     node->rate_ = rate;
     node->rate_lower_ = rate;
@@ -31,7 +31,7 @@ std::unique_ptr<ArchNode> ArchNode::element_with_interval(std::string name,
         throw std::invalid_argument(
             "ArchNode::element_with_interval: requires lower <= upper");
     }
-    auto node = std::unique_ptr<ArchNode>(new ArchNode());
+    auto node = std::make_unique<ArchNode>(Passkey{});
     node->name_ = std::move(name);
     node->rate_ = upper;
     node->rate_lower_ = lower;
@@ -42,7 +42,7 @@ std::unique_ptr<ArchNode> ArchNode::element_with_interval(std::string name,
 std::unique_ptr<ArchNode> ArchNode::any_of(std::string name,
                                            std::vector<std::unique_ptr<ArchNode>> children) {
     if (children.empty()) throw std::invalid_argument("ArchNode::any_of: needs children");
-    auto node = std::unique_ptr<ArchNode>(new ArchNode());
+    auto node = std::make_unique<ArchNode>(Passkey{});
     node->name_ = std::move(name);
     node->kind_ = GateKind::Or;
     node->children_ = std::move(children);
@@ -56,7 +56,7 @@ std::unique_ptr<ArchNode> ArchNode::all_of(std::string name,
         throw std::invalid_argument("ArchNode::all_of: redundancy needs >= 2 children");
     }
     if (!(tau_hours > 0.0)) throw std::invalid_argument("ArchNode::all_of: tau > 0");
-    auto node = std::unique_ptr<ArchNode>(new ArchNode());
+    auto node = std::make_unique<ArchNode>(Passkey{});
     node->name_ = std::move(name);
     node->kind_ = GateKind::And;
     node->children_ = std::move(children);
@@ -67,7 +67,7 @@ std::unique_ptr<ArchNode> ArchNode::all_of(std::string name,
 std::unique_ptr<ArchNode> ArchNode::k_of_n(std::string name, std::size_t k, std::size_t n,
                                            Frequency child_rate, double tau_hours) {
     if (k == 0 || k > n) throw std::invalid_argument("ArchNode::k_of_n: 1 <= k <= n");
-    auto node = std::unique_ptr<ArchNode>(new ArchNode());
+    auto node = std::make_unique<ArchNode>(Passkey{});
     node->name_ = std::move(name);
     node->kind_ = GateKind::KofN;
     node->synthetic_kofn_ = true;

@@ -31,7 +31,15 @@ enum class GateKind : std::uint8_t { Or, And, KofN };
 
 /// A node in the architecture tree. Build with the static factories.
 class ArchNode {
+    /// Passkey: only the static factories can name this type, so only they
+    /// can construct nodes - but through std::make_unique, not a naked new.
+    struct Passkey {
+        explicit Passkey() = default;
+    };
+
 public:
+    explicit ArchNode(Passkey) noexcept {}
+
     /// Leaf element with its violation rate and cause.
     [[nodiscard]] static std::unique_ptr<ArchNode> element(
         std::string name, Frequency rate,
@@ -111,8 +119,6 @@ public:
                                                  double factor) const;
 
 private:
-    ArchNode() = default;
-
     /// True if `target` is this node or inside this subtree.
     [[nodiscard]] bool contains(const ArchNode* target) const noexcept;
 

@@ -14,7 +14,7 @@ std::string_view to_string(NodeKind kind) noexcept {
     return "?";
 }
 
-ArgumentNode::ArgumentNode(std::string id, std::string text, NodeKind kind,
+ArgumentNode::ArgumentNode(Passkey, std::string id, std::string text, NodeKind kind,
                            EvidenceStatus status)
     : id_(std::move(id)), text_(std::move(text)), kind_(kind), status_(status) {
     if (id_.empty()) throw std::invalid_argument("ArgumentNode: id must be non-empty");
@@ -22,19 +22,19 @@ ArgumentNode::ArgumentNode(std::string id, std::string text, NodeKind kind,
 }
 
 std::unique_ptr<ArgumentNode> ArgumentNode::claim(std::string id, std::string text) {
-    return std::unique_ptr<ArgumentNode>(new ArgumentNode(
-        std::move(id), std::move(text), NodeKind::Claim, EvidenceStatus::Pending));
+    return std::make_unique<ArgumentNode>(Passkey{}, std::move(id), std::move(text),
+                                          NodeKind::Claim, EvidenceStatus::Pending);
 }
 
 std::unique_ptr<ArgumentNode> ArgumentNode::strategy(std::string id, std::string text) {
-    return std::unique_ptr<ArgumentNode>(new ArgumentNode(
-        std::move(id), std::move(text), NodeKind::Strategy, EvidenceStatus::Pending));
+    return std::make_unique<ArgumentNode>(Passkey{}, std::move(id), std::move(text),
+                                          NodeKind::Strategy, EvidenceStatus::Pending);
 }
 
 std::unique_ptr<ArgumentNode> ArgumentNode::evidence(std::string id, std::string text,
                                                      EvidenceStatus status) {
-    return std::unique_ptr<ArgumentNode>(
-        new ArgumentNode(std::move(id), std::move(text), NodeKind::Evidence, status));
+    return std::make_unique<ArgumentNode>(Passkey{}, std::move(id), std::move(text),
+                                          NodeKind::Evidence, status);
 }
 
 ArgumentNode& ArgumentNode::add(std::unique_ptr<ArgumentNode> child) {

@@ -35,7 +35,16 @@ enum class EvidenceStatus : std::uint8_t {
 
 /// One node of the argument.
 class ArgumentNode {
+    /// Passkey: only the static factories can name this type, so only they
+    /// can construct nodes - but through std::make_unique, not a naked new.
+    struct Passkey {
+        explicit Passkey() = default;
+    };
+
 public:
+    ArgumentNode(Passkey, std::string id, std::string text, NodeKind kind,
+                 EvidenceStatus status);
+
     /// Creates a claim or strategy node (no status).
     [[nodiscard]] static std::unique_ptr<ArgumentNode> claim(std::string id,
                                                              std::string text);
@@ -71,8 +80,6 @@ public:
     [[nodiscard]] std::string render(int indent = 0) const;
 
 private:
-    ArgumentNode(std::string id, std::string text, NodeKind kind, EvidenceStatus status);
-
     std::string id_;
     std::string text_;
     NodeKind kind_;

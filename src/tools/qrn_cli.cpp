@@ -46,6 +46,7 @@
 //    "events":[{"incident_type":"I1","events":N}, ...]}
 #include <cmath>
 #include <fstream>
+// qrn-lint: allow(iostream-in-lib) CLI entry point: stdout/stderr is the product surface
 #include <iostream>
 #include <optional>
 #include <sstream>

@@ -1,0 +1,298 @@
+// Every qrn-lint project rule: what it flags, where it is scoped, and the
+// suppression grammar that can waive it. Fixtures go through lint_source,
+// the same entry point the CLI uses per file.
+#include "lint/linter.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "lint/rules.h"
+#include "lint/suppression.h"
+
+namespace qrn::lint {
+namespace {
+
+bool has_rule(const std::vector<Finding>& fs, std::string_view rule) {
+    return std::any_of(fs.begin(), fs.end(),
+                       [&](const Finding& f) { return f.rule == rule; });
+}
+
+int line_of(const std::vector<Finding>& fs, std::string_view rule) {
+    for (const Finding& f : fs) {
+        if (f.rule == rule) return f.line;
+    }
+    return -1;
+}
+
+// ---- raw-parse ---------------------------------------------------------
+
+TEST(RuleRawParse, FlagsStdStodWithLine) {
+    const auto fs = lint_source("src/qrn/foo.cpp", "void f(std::string s) {\n"
+                                                   "  double d = std::stod(s);\n"
+                                                   "}\n");
+    ASSERT_TRUE(has_rule(fs, "raw-parse"));
+    EXPECT_EQ(line_of(fs, "raw-parse"), 2);
+}
+
+TEST(RuleRawParse, FlagsCFamilyToo) {
+    EXPECT_TRUE(has_rule(lint_source("bench/b.cpp", "int n = atoi(argv[1]);"),
+                         "raw-parse"));
+    EXPECT_TRUE(has_rule(lint_source("tests/t.cpp", "double d = strtod(p, &e);"),
+                         "raw-parse"));
+    EXPECT_TRUE(has_rule(lint_source("examples/e.cpp", "sscanf(buf, \"%d\", &n);"),
+                         "raw-parse"));
+}
+
+TEST(RuleRawParse, AllowedInsideTheCheckedLayer) {
+    EXPECT_FALSE(has_rule(
+        lint_source("src/tools/parse.cpp", "double d = std::stod(s);"), "raw-parse"));
+    EXPECT_FALSE(has_rule(
+        lint_source("src/qrn/json.cpp", "double d = std::strtod(s, &e);"), "raw-parse"));
+}
+
+TEST(RuleRawParse, IgnoresStringsAndComments) {
+    EXPECT_FALSE(has_rule(
+        lint_source("src/a.cpp", "// std::stoull would have parsed \"-1\"\n"
+                                 "auto s = \"call atoi here\";\n"),
+        "raw-parse"));
+}
+
+// ---- ambient-rng -------------------------------------------------------
+
+TEST(RuleAmbientRng, FlagsRandAndRandomDevice) {
+    EXPECT_TRUE(has_rule(lint_source("src/sim/x.cpp", "int r = rand() % 6;"),
+                         "ambient-rng"));
+    EXPECT_TRUE(has_rule(
+        lint_source("tests/x.cpp", "std::random_device rd; std::mt19937 g(rd());"),
+        "ambient-rng"));
+}
+
+TEST(RuleAmbientRng, AllowedOnlyInRngCpp) {
+    EXPECT_FALSE(has_rule(lint_source("src/stats/rng.cpp", "std::random_device rd;"),
+                          "ambient-rng"));
+}
+
+// ---- naked-new ---------------------------------------------------------
+
+TEST(RuleNakedNew, FlagsNewAndDeleteExpressions) {
+    EXPECT_TRUE(has_rule(lint_source("src/a.cpp", "auto* p = new Widget();"),
+                         "naked-new"));
+    EXPECT_TRUE(has_rule(lint_source("src/a.cpp", "delete p;"), "naked-new"));
+    EXPECT_TRUE(has_rule(lint_source("src/a.cpp", "delete[] p;"), "naked-new"));
+}
+
+TEST(RuleNakedNew, SkipsDeletedFunctionsAndAllocatorDecls) {
+    const char* src = "struct S {\n"
+                      "  S(const S&) = delete;\n"
+                      "  S& operator=(const S&) = delete;\n"
+                      "  void* operator new(std::size_t);\n"
+                      "  void operator delete(void*);\n"
+                      "};\n";
+    EXPECT_FALSE(has_rule(lint_source("src/a.cpp", src), "naked-new"));
+}
+
+// ---- thread-discipline -------------------------------------------------
+
+TEST(RuleThreadDiscipline, FlagsStdThreadOutsideExec) {
+    const auto fs = lint_source("src/sim/x.cpp", "std::thread t(work);");
+    EXPECT_TRUE(has_rule(fs, "thread-discipline"));
+    EXPECT_TRUE(has_rule(lint_source("tests/x.cpp", "std::jthread t(work);"),
+                         "thread-discipline"));
+}
+
+TEST(RuleThreadDiscipline, AllowedInExecAndForThisThread) {
+    EXPECT_FALSE(has_rule(
+        lint_source("src/exec/thread_pool.cpp", "workers_.emplace_back(std::thread(w));"),
+        "thread-discipline"));
+    EXPECT_FALSE(has_rule(
+        lint_source("src/sim/x.cpp", "std::this_thread::sleep_for(d);"),
+        "thread-discipline"));
+}
+
+// ---- rng-stream --------------------------------------------------------
+
+TEST(RuleRngStream, FlagsDirectSeedingInParallelBody) {
+    const char* src =
+        "void f() {\n"
+        "  exec::parallel_for(jobs, n, [&](const ChunkRange& c) {\n"
+        "    stats::Rng rng(seed);\n"
+        "    use(rng);\n"
+        "  });\n"
+        "}\n";
+    const auto fs = lint_source("src/sim/x.cpp", src);
+    ASSERT_TRUE(has_rule(fs, "rng-stream"));
+    EXPECT_EQ(line_of(fs, "rng-stream"), 3);
+}
+
+TEST(RuleRngStream, FlagsTemporaryAndBraceForms) {
+    EXPECT_TRUE(has_rule(
+        lint_source("src/a.cpp", "parallel_map<int>(j, n, [&](std::size_t i) {"
+                                 " return use(Rng(i)); });"),
+        "rng-stream"));
+    EXPECT_TRUE(has_rule(
+        lint_source("src/a.cpp", "parallel_for(j, n, [&](const C& c) {"
+                                 " Rng rng{seed}; });"),
+        "rng-stream"));
+}
+
+TEST(RuleRngStream, StreamDerivationIsTheBlessedForm) {
+    const char* src =
+        "auto parts = exec::parallel_chunks<std::vector<double>>(\n"
+        "    jobs, n, [&](const exec::ChunkRange& chunk) {\n"
+        "      Rng rng = Rng::stream(seed, chunk.begin);\n"
+        "      return go(rng);\n"
+        "    });\n";
+    EXPECT_FALSE(has_rule(lint_source("src/stats/b.cpp", src), "rng-stream"));
+}
+
+TEST(RuleRngStream, DirectSeedingOutsideParallelIsFine) {
+    EXPECT_FALSE(has_rule(lint_source("src/hara/e.cpp", "stats::Rng rng(seed);"),
+                          "rng-stream"));
+}
+
+// ---- using-namespace-header --------------------------------------------
+
+TEST(RuleUsingNamespaceHeader, FlagsHeadersOnly) {
+    EXPECT_TRUE(has_rule(lint_source("src/qrn/a.h", "using namespace std;"),
+                         "using-namespace-header"));
+    EXPECT_TRUE(has_rule(lint_source("src/qrn/a.hpp", "using namespace qrn;"),
+                         "using-namespace-header"));
+    EXPECT_FALSE(has_rule(lint_source("src/qrn/a.cpp", "using namespace qrn;"),
+                          "using-namespace-header"));
+    // "using std::vector;" is fine anywhere.
+    EXPECT_FALSE(has_rule(lint_source("src/qrn/a.h", "using std::vector;"),
+                          "using-namespace-header"));
+}
+
+// ---- iostream-in-lib ---------------------------------------------------
+
+TEST(RuleIostreamInLib, FlagsLibraryCodeOnly) {
+    EXPECT_TRUE(has_rule(lint_source("src/report/t.cpp", "#include <iostream>\n"),
+                         "iostream-in-lib"));
+    EXPECT_FALSE(has_rule(lint_source("tests/report/t.cpp", "#include <iostream>\n"),
+                          "iostream-in-lib"));
+    EXPECT_FALSE(has_rule(lint_source("src/report/t.cpp", "#include <ostream>\n"),
+                          "iostream-in-lib"));
+}
+
+// ---- throw-message -----------------------------------------------------
+
+TEST(RuleThrowMessage, FlagsEmptyPreconditionThrows) {
+    EXPECT_TRUE(has_rule(
+        lint_source("src/a.cpp", "if (bad) throw std::invalid_argument();"),
+        "throw-message"));
+    EXPECT_TRUE(has_rule(
+        lint_source("src/a.cpp", "if (bad) throw std::out_of_range(\"\");"),
+        "throw-message"));
+    EXPECT_TRUE(has_rule(lint_source("src/a.cpp", "throw std::logic_error{};"),
+                         "throw-message"));
+}
+
+TEST(RuleThrowMessage, AcceptsMessagesRethrowsAndOtherTypes) {
+    EXPECT_FALSE(has_rule(
+        lint_source("src/a.cpp",
+                    "throw std::invalid_argument(\"bootstrap: replicates >= 100\");"),
+        "throw-message"));
+    EXPECT_FALSE(has_rule(lint_source("src/a.cpp", "catch (...) { throw; }"),
+                          "throw-message"));
+    EXPECT_FALSE(has_rule(lint_source("src/a.cpp", "throw ParseError(flag, v, e);"),
+                          "throw-message"));
+}
+
+// ---- suppressions ------------------------------------------------------
+
+TEST(Suppressions, SameLineAllowWaivesTheFinding) {
+    const auto fs = lint_source(
+        "src/a.cpp",
+        "int n = atoi(s);  // qrn-lint: allow(raw-parse) fixture exercises atoi\n");
+    EXPECT_FALSE(has_rule(fs, "raw-parse"));
+    EXPECT_FALSE(has_rule(fs, kSuppressionHygieneRule));
+}
+
+TEST(Suppressions, StandaloneCommentWaivesTheNextLine) {
+    const auto fs = lint_source(
+        "src/a.cpp",
+        "// qrn-lint: allow(iostream-in-lib) CLI entry point prints here\n"
+        "#include <iostream>\n");
+    EXPECT_FALSE(has_rule(fs, "iostream-in-lib"));
+}
+
+TEST(Suppressions, DoNotLeakBeyondTheirLine) {
+    const auto fs = lint_source(
+        "src/a.cpp",
+        "int a = atoi(s);  // qrn-lint: allow(raw-parse) only this line\n"
+        "int b = atoi(t);\n");
+    ASSERT_TRUE(has_rule(fs, "raw-parse"));
+    EXPECT_EQ(line_of(fs, "raw-parse"), 2);
+}
+
+TEST(Suppressions, OnlyTheNamedRuleIsWaived) {
+    const auto fs = lint_source(
+        "src/a.cpp",
+        "auto* p = new int(atoi(s));  // qrn-lint: allow(raw-parse) atoi is the point\n");
+    EXPECT_FALSE(has_rule(fs, "raw-parse"));
+    EXPECT_TRUE(has_rule(fs, "naked-new"));
+}
+
+TEST(Suppressions, CommaListWaivesSeveralRules) {
+    const auto fs = lint_source(
+        "src/a.cpp",
+        "auto* p = new int(atoi(s));  "
+        "// qrn-lint: allow(raw-parse, naked-new) fixture needs both\n");
+    EXPECT_FALSE(has_rule(fs, "raw-parse"));
+    EXPECT_FALSE(has_rule(fs, "naked-new"));
+}
+
+TEST(Suppressions, MissingReasonIsItselfAFinding) {
+    const auto fs = lint_source(
+        "src/a.cpp", "int n = atoi(s);  // qrn-lint: allow(raw-parse)\n");
+    EXPECT_TRUE(has_rule(fs, kSuppressionHygieneRule));
+    // And the malformed suppression must NOT waive the finding.
+    EXPECT_TRUE(has_rule(fs, "raw-parse"));
+}
+
+TEST(Suppressions, UnknownRuleIdIsAFinding) {
+    const auto fs = lint_source(
+        "src/a.cpp", "// qrn-lint: allow(no-such-rule) misspelled\nint x;\n");
+    EXPECT_TRUE(has_rule(fs, kSuppressionHygieneRule));
+}
+
+TEST(Suppressions, HygieneFindingsCannotBeSuppressed) {
+    const auto fs = lint_source(
+        "src/a.cpp",
+        "// qrn-lint: allow(suppression-hygiene) trying to waive the waiver rule\n");
+    EXPECT_TRUE(has_rule(fs, kSuppressionHygieneRule));
+}
+
+TEST(Suppressions, AllowTypoIsReportedNotIgnored) {
+    const auto fs = lint_source(
+        "src/a.cpp", "// qrn-lint: allow (raw-parse) space before paren\nint x;\n");
+    EXPECT_TRUE(has_rule(fs, kSuppressionHygieneRule));
+}
+
+TEST(Suppressions, ProseMentioningQrnLintIsNotASuppression) {
+    const auto fs = lint_source(
+        "src/a.cpp", "// qrn-lint: the toolkit's self-hosted gate\nint x;\n");
+    EXPECT_FALSE(has_rule(fs, kSuppressionHygieneRule));
+}
+
+// ---- registry & paths --------------------------------------------------
+
+TEST(Registry, EveryRuleHasIdAndSummary) {
+    ASSERT_GE(rules().size(), 8u);
+    for (const Rule& r : rules()) {
+        EXPECT_FALSE(r.id.empty());
+        EXPECT_FALSE(r.summary.empty());
+        EXPECT_EQ(rule_ids().count(r.id), 1u);
+    }
+}
+
+TEST(Paths, RelativizeFindsProjectRoots) {
+    EXPECT_EQ(relativize("/root/repo/src/qrn/json.cpp"), "src/qrn/json.cpp");
+    EXPECT_EQ(relativize("/a/b/tests/lint/x.cpp"), "tests/lint/x.cpp");
+    EXPECT_EQ(relativize("bench/fig3_risk_norm.cpp"), "bench/fig3_risk_norm.cpp");
+    EXPECT_EQ(relativize("/elsewhere/file.cpp"), "/elsewhere/file.cpp");
+}
+
+}  // namespace
+}  // namespace qrn::lint

@@ -1,0 +1,183 @@
+// The tokenizer's job is to never be fooled: banned names inside strings,
+// raw strings and comments must vanish from the code-token stream, while
+// line splices must not hide a banned name from it. Every case here is an
+// edge a naive regex linter gets wrong.
+#include "lint/tokenizer.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+namespace qrn::lint {
+namespace {
+
+std::vector<Token> code_tokens(std::string_view src) {
+    std::vector<Token> out = tokenize(src);
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [](const Token& t) { return t.kind == TokKind::Comment; }),
+              out.end());
+    return out;
+}
+
+bool has_identifier(const std::vector<Token>& toks, std::string_view name) {
+    return std::any_of(toks.begin(), toks.end(), [&](const Token& t) {
+        return t.kind == TokKind::Identifier && t.text == name;
+    });
+}
+
+TEST(Tokenizer, BasicStream) {
+    const auto toks = tokenize("int x = 42; // done");
+    ASSERT_EQ(toks.size(), 6u);
+    EXPECT_EQ(toks[0].kind, TokKind::Identifier);
+    EXPECT_EQ(toks[0].text, "int");
+    EXPECT_EQ(toks[2].text, "=");
+    EXPECT_EQ(toks[3].kind, TokKind::Number);
+    EXPECT_EQ(toks[5].kind, TokKind::Comment);
+    EXPECT_EQ(toks[5].text, "// done");
+}
+
+TEST(Tokenizer, LineNumbersAreOneBased) {
+    const auto toks = tokenize("a\nb\n\nc");
+    ASSERT_EQ(toks.size(), 3u);
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(Tokenizer, StringEmbeddedCommentIsNotAComment) {
+    // "// not a comment" inside a string: the 'oops' after it is real code.
+    const auto toks = code_tokens("auto s = \"// not a comment\"; oops();");
+    EXPECT_TRUE(has_identifier(toks, "oops"));
+    const auto str = std::find_if(toks.begin(), toks.end(), [](const Token& t) {
+        return t.kind == TokKind::String;
+    });
+    ASSERT_NE(str, toks.end());
+    EXPECT_EQ(str->text, "\"// not a comment\"");
+}
+
+TEST(Tokenizer, EscapedQuoteDoesNotEndString) {
+    const auto toks = code_tokens(R"(auto s = "a\"b"; tail();)");
+    EXPECT_TRUE(has_identifier(toks, "tail"));
+    EXPECT_FALSE(has_identifier(toks, "b"));  // still inside the literal
+}
+
+TEST(Tokenizer, RawStringSwallowsEverything) {
+    // A raw string containing quotes, comment markers and a banned name:
+    // one String token, nothing leaks into the code stream.
+    const auto toks =
+        code_tokens("auto s = R\"(std::stod(\"1\") // */ \")\"; after();");
+    EXPECT_TRUE(has_identifier(toks, "after"));
+    EXPECT_FALSE(has_identifier(toks, "stod"));
+    const auto strings = std::count_if(toks.begin(), toks.end(), [](const Token& t) {
+        return t.kind == TokKind::String;
+    });
+    EXPECT_EQ(strings, 1);
+}
+
+TEST(Tokenizer, RawStringWithCustomDelimiter) {
+    // ")" alone must not terminate: only )xy" does.
+    const auto toks = code_tokens("auto s = R\"xy(quote \" close )\" )xy\"; z();");
+    EXPECT_TRUE(has_identifier(toks, "z"));
+    EXPECT_FALSE(has_identifier(toks, "close"));
+}
+
+TEST(Tokenizer, RawStringPrefixes) {
+    for (const char* src : {"u8R\"(x)\"", "uR\"(x)\"", "UR\"(x)\"", "LR\"(x)\""}) {
+        const auto toks = code_tokens(src);
+        ASSERT_EQ(toks.size(), 1u) << src;
+        EXPECT_EQ(toks[0].kind, TokKind::String) << src;
+    }
+}
+
+TEST(Tokenizer, RawStringTracksEmbeddedNewlines) {
+    const auto toks = code_tokens("auto s = R\"(line\nline\nline)\";\nnext");
+    const auto next = std::find_if(toks.begin(), toks.end(), [](const Token& t) {
+        return t.text == "next";
+    });
+    ASSERT_NE(next, toks.end());
+    EXPECT_EQ(next->line, 4);
+}
+
+TEST(Tokenizer, LineContinuationSplicesIdentifiers) {
+    // Phase-2 splicing: "sto\<newline>d" is the identifier "stod". A linter
+    // that scans physical lines would miss this; the tokenizer must not.
+    const auto toks = code_tokens("std::sto\\\nd(s);");
+    EXPECT_TRUE(has_identifier(toks, "stod"));
+    EXPECT_FALSE(has_identifier(toks, "sto"));
+}
+
+TEST(Tokenizer, LineContinuationExtendsLineComments) {
+    // A '\' at the end of a // comment continues it, so "hidden" below is
+    // commented out and must NOT appear as code.
+    const auto toks = code_tokens("// comment \\\nhidden();\nvisible();");
+    EXPECT_FALSE(has_identifier(toks, "hidden"));
+    EXPECT_TRUE(has_identifier(toks, "visible"));
+    // ...and the comment swallowed one physical line, so "visible" is on 3.
+    EXPECT_EQ(toks[0].line, 3);
+}
+
+TEST(Tokenizer, LineContinuationWithCrLf) {
+    const auto toks = code_tokens("ab\\\r\ncd = 1;");
+    EXPECT_TRUE(has_identifier(toks, "abcd"));
+}
+
+TEST(Tokenizer, BlockCommentHidesLineCommentMarkers) {
+    // "/* ... // ... */": the // inside a block comment is inert, and the
+    // block ends at the first */, making "code" visible again.
+    const auto toks = code_tokens("/* outer // inner */ code();");
+    EXPECT_TRUE(has_identifier(toks, "code"));
+}
+
+TEST(Tokenizer, BlockCommentDoesNotNest) {
+    // C++ block comments do not nest: the first */ ends the comment, so
+    // "tail" is code and the trailing */ are stray puncts - not swallowed.
+    const auto toks = code_tokens("/* a /* b */ tail(); /* c */");
+    EXPECT_TRUE(has_identifier(toks, "tail"));
+}
+
+TEST(Tokenizer, BlockCommentTracksLines) {
+    const auto toks = code_tokens("/* a\nb\nc */ x");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0].line, 3);
+}
+
+TEST(Tokenizer, DigitSeparatorIsNotACharLiteral) {
+    const auto toks = code_tokens("auto n = 1'000'000; done();");
+    EXPECT_TRUE(has_identifier(toks, "done"));
+    const auto num = std::find_if(toks.begin(), toks.end(), [](const Token& t) {
+        return t.kind == TokKind::Number;
+    });
+    ASSERT_NE(num, toks.end());
+    EXPECT_EQ(num->text, "1'000'000");
+}
+
+TEST(Tokenizer, NumbersWithExponentsAndHex) {
+    for (const char* src : {"1.5e-3", "2.4e+08", "0x1Fu", "0x1p-2", ".5"}) {
+        const auto toks = code_tokens(src);
+        ASSERT_EQ(toks.size(), 1u) << src;
+        EXPECT_EQ(toks[0].kind, TokKind::Number) << src;
+        EXPECT_EQ(toks[0].text, src);
+    }
+}
+
+TEST(Tokenizer, CharLiteralWithEscapes) {
+    const auto toks = code_tokens(R"(char c = '\''; next();)");
+    EXPECT_TRUE(has_identifier(toks, "next"));
+}
+
+TEST(Tokenizer, ScopeResolutionIsOneToken) {
+    const auto toks = code_tokens("std::thread t;");
+    ASSERT_GE(toks.size(), 3u);
+    EXPECT_EQ(toks[1].text, "::");
+    EXPECT_EQ(toks[2].text, "thread");
+}
+
+TEST(Tokenizer, UnterminatedLiteralsDoNotCrash) {
+    EXPECT_NO_THROW(tokenize("\"unterminated"));
+    EXPECT_NO_THROW(tokenize("/* unterminated"));
+    EXPECT_NO_THROW(tokenize("R\"(unterminated"));
+    EXPECT_NO_THROW(tokenize("'"));
+    EXPECT_NO_THROW(tokenize("x\\"));
+}
+
+}  // namespace
+}  // namespace qrn::lint

@@ -65,6 +65,21 @@ TEST(JsonParse, Scalars) {
     EXPECT_EQ(parse("\"hello\"").as_string(), "hello");
 }
 
+// Regression: number parsing used std::strtod, which honours LC_NUMERIC.
+// Under a comma-decimal locale (de_DE, sv_SE, ...) "1.5" parsed as 1 with
+// trailing junk and evidence JSON differed per machine. parse_number now
+// uses std::from_chars, which is locale-independent by construction; this
+// pins the exact values a German locale would have broken, plus the
+// stricter overflow handling from_chars gives us.
+TEST(JsonParse, NumbersAreLocaleIndependent) {
+    EXPECT_DOUBLE_EQ(parse("1.5").as_number(), 1.5);
+    EXPECT_DOUBLE_EQ(parse("-0.125").as_number(), -0.125);
+    EXPECT_DOUBLE_EQ(parse("2.4e-08").as_number(), 2.4e-08);
+    EXPECT_THROW(parse("1.5.5"), std::runtime_error);  // one decimal point only
+    EXPECT_THROW(parse("1,5"), std::runtime_error);    // comma is never a decimal
+    EXPECT_THROW(parse("1e999"), std::runtime_error);  // overflow is an error, not inf
+}
+
 TEST(JsonParse, NestedStructures) {
     const auto v = parse(R"({"list": [1, {"deep": true}], "s": "x"})");
     EXPECT_DOUBLE_EQ(v.at("list").as_array()[0].as_number(), 1.0);
