@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_allocators"
+  "../bench/abl_allocators.pdb"
+  "CMakeFiles/abl_allocators.dir/abl_allocators.cpp.o"
+  "CMakeFiles/abl_allocators.dir/abl_allocators.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_allocators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_brake_capability"
+  "../bench/abl_brake_capability.pdb"
+  "CMakeFiles/abl_brake_capability.dir/abl_brake_capability.cpp.o"
+  "CMakeFiles/abl_brake_capability.dir/abl_brake_capability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_brake_capability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

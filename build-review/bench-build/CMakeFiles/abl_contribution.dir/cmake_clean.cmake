@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_contribution"
+  "../bench/abl_contribution.pdb"
+  "CMakeFiles/abl_contribution.dir/abl_contribution.cpp.o"
+  "CMakeFiles/abl_contribution.dir/abl_contribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_contribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

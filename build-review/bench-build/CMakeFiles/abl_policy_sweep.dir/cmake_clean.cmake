@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_policy_sweep"
+  "../bench/abl_policy_sweep.pdb"
+  "CMakeFiles/abl_policy_sweep.dir/abl_policy_sweep.cpp.o"
+  "CMakeFiles/abl_policy_sweep.dir/abl_policy_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_policy_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

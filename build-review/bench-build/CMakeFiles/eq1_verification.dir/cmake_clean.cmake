@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/eq1_verification"
+  "../bench/eq1_verification.pdb"
+  "CMakeFiles/eq1_verification.dir/eq1_verification.cpp.o"
+  "CMakeFiles/eq1_verification.dir/eq1_verification.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eq1_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_iso26262_risk"
+  "../bench/fig1_iso26262_risk.pdb"
+  "CMakeFiles/fig1_iso26262_risk.dir/fig1_iso26262_risk.cpp.o"
+  "CMakeFiles/fig1_iso26262_risk.dir/fig1_iso26262_risk.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_iso26262_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

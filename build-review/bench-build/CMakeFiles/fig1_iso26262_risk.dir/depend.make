@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_iso26262_risk.
+# This may be replaced when dependencies are built.

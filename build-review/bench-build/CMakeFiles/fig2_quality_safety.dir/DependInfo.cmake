@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_quality_safety.cpp" "bench-build/CMakeFiles/fig2_quality_safety.dir/fig2_quality_safety.cpp.o" "gcc" "bench-build/CMakeFiles/fig2_quality_safety.dir/fig2_quality_safety.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/qrn/CMakeFiles/qrn_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/qrn_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hara/CMakeFiles/hara_iso26262.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/quant/CMakeFiles/quant_assurance.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/ads_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/report/CMakeFiles/qrn_report.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fsc/CMakeFiles/qrn_fsc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/safety_case/CMakeFiles/qrn_safety_case.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/exec/CMakeFiles/qrn_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_quality_safety"
+  "../bench/fig2_quality_safety.pdb"
+  "CMakeFiles/fig2_quality_safety.dir/fig2_quality_safety.cpp.o"
+  "CMakeFiles/fig2_quality_safety.dir/fig2_quality_safety.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_quality_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_risk_norm"
+  "../bench/fig3_risk_norm.pdb"
+  "CMakeFiles/fig3_risk_norm.dir/fig3_risk_norm.cpp.o"
+  "CMakeFiles/fig3_risk_norm.dir/fig3_risk_norm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_risk_norm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_classification"
+  "../bench/fig4_classification.pdb"
+  "CMakeFiles/fig4_classification.dir/fig4_classification.cpp.o"
+  "CMakeFiles/fig4_classification.dir/fig4_classification.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_assignment"
+  "../bench/fig5_assignment.pdb"
+  "CMakeFiles/fig5_assignment.dir/fig5_assignment.cpp.o"
+  "CMakeFiles/fig5_assignment.dir/fig5_assignment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

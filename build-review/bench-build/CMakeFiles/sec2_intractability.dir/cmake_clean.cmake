@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec2_intractability"
+  "../bench/sec2_intractability.pdb"
+  "CMakeFiles/sec2_intractability.dir/sec2_intractability.cpp.o"
+  "CMakeFiles/sec2_intractability.dir/sec2_intractability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2_intractability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

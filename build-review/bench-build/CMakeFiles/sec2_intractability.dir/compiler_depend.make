@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec2_intractability.
+# This may be replaced when dependencies are built.

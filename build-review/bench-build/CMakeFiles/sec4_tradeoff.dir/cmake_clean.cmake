@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec4_tradeoff"
+  "../bench/sec4_tradeoff.pdb"
+  "CMakeFiles/sec4_tradeoff.dir/sec4_tradeoff.cpp.o"
+  "CMakeFiles/sec4_tradeoff.dir/sec4_tradeoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

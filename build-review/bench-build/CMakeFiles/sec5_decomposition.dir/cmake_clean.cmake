@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec5_decomposition"
+  "../bench/sec5_decomposition.pdb"
+  "CMakeFiles/sec5_decomposition.dir/sec5_decomposition.cpp.o"
+  "CMakeFiles/sec5_decomposition.dir/sec5_decomposition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

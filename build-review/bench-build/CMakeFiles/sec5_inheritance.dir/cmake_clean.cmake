@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec5_inheritance"
+  "../bench/sec5_inheritance.pdb"
+  "CMakeFiles/sec5_inheritance.dir/sec5_inheritance.cpp.o"
+  "CMakeFiles/sec5_inheritance.dir/sec5_inheritance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_inheritance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

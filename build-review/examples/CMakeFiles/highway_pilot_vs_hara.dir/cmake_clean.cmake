@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highway_pilot_vs_hara.dir/highway_pilot_vs_hara.cpp.o"
+  "CMakeFiles/highway_pilot_vs_hara.dir/highway_pilot_vs_hara.cpp.o.d"
+  "highway_pilot_vs_hara"
+  "highway_pilot_vs_hara.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highway_pilot_vs_hara.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

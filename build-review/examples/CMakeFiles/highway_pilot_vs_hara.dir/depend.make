@@ -1,0 +1,2 @@
+# Empty dependencies file for highway_pilot_vs_hara.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odd_expansion.dir/odd_expansion.cpp.o"
+  "CMakeFiles/odd_expansion.dir/odd_expansion.cpp.o.d"
+  "odd_expansion"
+  "odd_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odd_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_line.dir/product_line.cpp.o"
+  "CMakeFiles/product_line.dir/product_line.cpp.o.d"
+  "product_line"
+  "product_line.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_line.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

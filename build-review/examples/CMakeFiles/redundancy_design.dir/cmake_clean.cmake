@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redundancy_design.dir/redundancy_design.cpp.o"
+  "CMakeFiles/redundancy_design.dir/redundancy_design.cpp.o.d"
+  "redundancy_design"
+  "redundancy_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redundancy_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urban_robotaxi.dir/urban_robotaxi.cpp.o"
+  "CMakeFiles/urban_robotaxi.dir/urban_robotaxi.cpp.o.d"
+  "urban_robotaxi"
+  "urban_robotaxi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urban_robotaxi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("exec")
+subdirs("stats")
+subdirs("report")
+subdirs("qrn")
+subdirs("hara")
+subdirs("quant")
+subdirs("sim")
+subdirs("fsc")
+subdirs("safety_case")
+subdirs("tools")
+subdirs("lint")

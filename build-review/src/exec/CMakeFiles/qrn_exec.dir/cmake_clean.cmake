@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrn_exec.dir/parallel.cpp.o"
+  "CMakeFiles/qrn_exec.dir/parallel.cpp.o.d"
+  "CMakeFiles/qrn_exec.dir/thread_pool.cpp.o"
+  "CMakeFiles/qrn_exec.dir/thread_pool.cpp.o.d"
+  "libqrn_exec.a"
+  "libqrn_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrn_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

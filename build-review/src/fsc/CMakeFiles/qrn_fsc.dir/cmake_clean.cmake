@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrn_fsc.dir/fsr.cpp.o"
+  "CMakeFiles/qrn_fsc.dir/fsr.cpp.o.d"
+  "CMakeFiles/qrn_fsc.dir/refinement.cpp.o"
+  "CMakeFiles/qrn_fsc.dir/refinement.cpp.o.d"
+  "CMakeFiles/qrn_fsc.dir/tradeoff.cpp.o"
+  "CMakeFiles/qrn_fsc.dir/tradeoff.cpp.o.d"
+  "libqrn_fsc.a"
+  "libqrn_fsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrn_fsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hara/asil.cpp" "src/hara/CMakeFiles/hara_iso26262.dir/asil.cpp.o" "gcc" "src/hara/CMakeFiles/hara_iso26262.dir/asil.cpp.o.d"
+  "/root/repo/src/hara/exposure.cpp" "src/hara/CMakeFiles/hara_iso26262.dir/exposure.cpp.o" "gcc" "src/hara/CMakeFiles/hara_iso26262.dir/exposure.cpp.o.d"
+  "/root/repo/src/hara/hara_study.cpp" "src/hara/CMakeFiles/hara_iso26262.dir/hara_study.cpp.o" "gcc" "src/hara/CMakeFiles/hara_iso26262.dir/hara_study.cpp.o.d"
+  "/root/repo/src/hara/hazard.cpp" "src/hara/CMakeFiles/hara_iso26262.dir/hazard.cpp.o" "gcc" "src/hara/CMakeFiles/hara_iso26262.dir/hazard.cpp.o.d"
+  "/root/repo/src/hara/risk_graph.cpp" "src/hara/CMakeFiles/hara_iso26262.dir/risk_graph.cpp.o" "gcc" "src/hara/CMakeFiles/hara_iso26262.dir/risk_graph.cpp.o.d"
+  "/root/repo/src/hara/situation.cpp" "src/hara/CMakeFiles/hara_iso26262.dir/situation.cpp.o" "gcc" "src/hara/CMakeFiles/hara_iso26262.dir/situation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/qrn/CMakeFiles/qrn_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/ads_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/qrn_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/exec/CMakeFiles/qrn_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hara_iso26262.dir/asil.cpp.o"
+  "CMakeFiles/hara_iso26262.dir/asil.cpp.o.d"
+  "CMakeFiles/hara_iso26262.dir/exposure.cpp.o"
+  "CMakeFiles/hara_iso26262.dir/exposure.cpp.o.d"
+  "CMakeFiles/hara_iso26262.dir/hara_study.cpp.o"
+  "CMakeFiles/hara_iso26262.dir/hara_study.cpp.o.d"
+  "CMakeFiles/hara_iso26262.dir/hazard.cpp.o"
+  "CMakeFiles/hara_iso26262.dir/hazard.cpp.o.d"
+  "CMakeFiles/hara_iso26262.dir/risk_graph.cpp.o"
+  "CMakeFiles/hara_iso26262.dir/risk_graph.cpp.o.d"
+  "CMakeFiles/hara_iso26262.dir/situation.cpp.o"
+  "CMakeFiles/hara_iso26262.dir/situation.cpp.o.d"
+  "libhara_iso26262.a"
+  "libhara_iso26262.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hara_iso26262.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhara_iso26262.a"
+)

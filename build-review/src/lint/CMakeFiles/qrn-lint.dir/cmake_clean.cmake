@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrn-lint.dir/qrn_lint_main.cpp.o"
+  "CMakeFiles/qrn-lint.dir/qrn_lint_main.cpp.o.d"
+  "qrn-lint"
+  "qrn-lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrn-lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lint/linter.cpp" "src/lint/CMakeFiles/qrn_lint.dir/linter.cpp.o" "gcc" "src/lint/CMakeFiles/qrn_lint.dir/linter.cpp.o.d"
+  "/root/repo/src/lint/rules.cpp" "src/lint/CMakeFiles/qrn_lint.dir/rules.cpp.o" "gcc" "src/lint/CMakeFiles/qrn_lint.dir/rules.cpp.o.d"
+  "/root/repo/src/lint/suppression.cpp" "src/lint/CMakeFiles/qrn_lint.dir/suppression.cpp.o" "gcc" "src/lint/CMakeFiles/qrn_lint.dir/suppression.cpp.o.d"
+  "/root/repo/src/lint/tokenizer.cpp" "src/lint/CMakeFiles/qrn_lint.dir/tokenizer.cpp.o" "gcc" "src/lint/CMakeFiles/qrn_lint.dir/tokenizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrn_lint.dir/linter.cpp.o"
+  "CMakeFiles/qrn_lint.dir/linter.cpp.o.d"
+  "CMakeFiles/qrn_lint.dir/rules.cpp.o"
+  "CMakeFiles/qrn_lint.dir/rules.cpp.o.d"
+  "CMakeFiles/qrn_lint.dir/suppression.cpp.o"
+  "CMakeFiles/qrn_lint.dir/suppression.cpp.o.d"
+  "CMakeFiles/qrn_lint.dir/tokenizer.cpp.o"
+  "CMakeFiles/qrn_lint.dir/tokenizer.cpp.o.d"
+  "libqrn_lint.a"
+  "libqrn_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrn_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

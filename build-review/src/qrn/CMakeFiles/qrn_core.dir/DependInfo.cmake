@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qrn/allocation.cpp" "src/qrn/CMakeFiles/qrn_core.dir/allocation.cpp.o" "gcc" "src/qrn/CMakeFiles/qrn_core.dir/allocation.cpp.o.d"
+  "/root/repo/src/qrn/banding.cpp" "src/qrn/CMakeFiles/qrn_core.dir/banding.cpp.o" "gcc" "src/qrn/CMakeFiles/qrn_core.dir/banding.cpp.o.d"
+  "/root/repo/src/qrn/classification.cpp" "src/qrn/CMakeFiles/qrn_core.dir/classification.cpp.o" "gcc" "src/qrn/CMakeFiles/qrn_core.dir/classification.cpp.o.d"
+  "/root/repo/src/qrn/contribution.cpp" "src/qrn/CMakeFiles/qrn_core.dir/contribution.cpp.o" "gcc" "src/qrn/CMakeFiles/qrn_core.dir/contribution.cpp.o.d"
+  "/root/repo/src/qrn/empirical.cpp" "src/qrn/CMakeFiles/qrn_core.dir/empirical.cpp.o" "gcc" "src/qrn/CMakeFiles/qrn_core.dir/empirical.cpp.o.d"
+  "/root/repo/src/qrn/frequency.cpp" "src/qrn/CMakeFiles/qrn_core.dir/frequency.cpp.o" "gcc" "src/qrn/CMakeFiles/qrn_core.dir/frequency.cpp.o.d"
+  "/root/repo/src/qrn/incident.cpp" "src/qrn/CMakeFiles/qrn_core.dir/incident.cpp.o" "gcc" "src/qrn/CMakeFiles/qrn_core.dir/incident.cpp.o.d"
+  "/root/repo/src/qrn/incident_type.cpp" "src/qrn/CMakeFiles/qrn_core.dir/incident_type.cpp.o" "gcc" "src/qrn/CMakeFiles/qrn_core.dir/incident_type.cpp.o.d"
+  "/root/repo/src/qrn/injury_risk.cpp" "src/qrn/CMakeFiles/qrn_core.dir/injury_risk.cpp.o" "gcc" "src/qrn/CMakeFiles/qrn_core.dir/injury_risk.cpp.o.d"
+  "/root/repo/src/qrn/json.cpp" "src/qrn/CMakeFiles/qrn_core.dir/json.cpp.o" "gcc" "src/qrn/CMakeFiles/qrn_core.dir/json.cpp.o.d"
+  "/root/repo/src/qrn/norm_builder.cpp" "src/qrn/CMakeFiles/qrn_core.dir/norm_builder.cpp.o" "gcc" "src/qrn/CMakeFiles/qrn_core.dir/norm_builder.cpp.o.d"
+  "/root/repo/src/qrn/product_line.cpp" "src/qrn/CMakeFiles/qrn_core.dir/product_line.cpp.o" "gcc" "src/qrn/CMakeFiles/qrn_core.dir/product_line.cpp.o.d"
+  "/root/repo/src/qrn/risk_norm.cpp" "src/qrn/CMakeFiles/qrn_core.dir/risk_norm.cpp.o" "gcc" "src/qrn/CMakeFiles/qrn_core.dir/risk_norm.cpp.o.d"
+  "/root/repo/src/qrn/safety_goal.cpp" "src/qrn/CMakeFiles/qrn_core.dir/safety_goal.cpp.o" "gcc" "src/qrn/CMakeFiles/qrn_core.dir/safety_goal.cpp.o.d"
+  "/root/repo/src/qrn/sensitivity.cpp" "src/qrn/CMakeFiles/qrn_core.dir/sensitivity.cpp.o" "gcc" "src/qrn/CMakeFiles/qrn_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/qrn/serialize.cpp" "src/qrn/CMakeFiles/qrn_core.dir/serialize.cpp.o" "gcc" "src/qrn/CMakeFiles/qrn_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/qrn/severity.cpp" "src/qrn/CMakeFiles/qrn_core.dir/severity.cpp.o" "gcc" "src/qrn/CMakeFiles/qrn_core.dir/severity.cpp.o.d"
+  "/root/repo/src/qrn/tolerance_margin.cpp" "src/qrn/CMakeFiles/qrn_core.dir/tolerance_margin.cpp.o" "gcc" "src/qrn/CMakeFiles/qrn_core.dir/tolerance_margin.cpp.o.d"
+  "/root/repo/src/qrn/verification.cpp" "src/qrn/CMakeFiles/qrn_core.dir/verification.cpp.o" "gcc" "src/qrn/CMakeFiles/qrn_core.dir/verification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/stats/CMakeFiles/qrn_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/exec/CMakeFiles/qrn_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/architecture.cpp" "src/quant/CMakeFiles/quant_assurance.dir/architecture.cpp.o" "gcc" "src/quant/CMakeFiles/quant_assurance.dir/architecture.cpp.o.d"
+  "/root/repo/src/quant/asil_compare.cpp" "src/quant/CMakeFiles/quant_assurance.dir/asil_compare.cpp.o" "gcc" "src/quant/CMakeFiles/quant_assurance.dir/asil_compare.cpp.o.d"
+  "/root/repo/src/quant/failure_rate.cpp" "src/quant/CMakeFiles/quant_assurance.dir/failure_rate.cpp.o" "gcc" "src/quant/CMakeFiles/quant_assurance.dir/failure_rate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/qrn/CMakeFiles/qrn_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hara/CMakeFiles/hara_iso26262.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/ads_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/qrn_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/exec/CMakeFiles/qrn_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quant_assurance.dir/architecture.cpp.o"
+  "CMakeFiles/quant_assurance.dir/architecture.cpp.o.d"
+  "CMakeFiles/quant_assurance.dir/asil_compare.cpp.o"
+  "CMakeFiles/quant_assurance.dir/asil_compare.cpp.o.d"
+  "CMakeFiles/quant_assurance.dir/failure_rate.cpp.o"
+  "CMakeFiles/quant_assurance.dir/failure_rate.cpp.o.d"
+  "libquant_assurance.a"
+  "libquant_assurance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quant_assurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/csv.cpp" "src/report/CMakeFiles/qrn_report.dir/csv.cpp.o" "gcc" "src/report/CMakeFiles/qrn_report.dir/csv.cpp.o.d"
+  "/root/repo/src/report/series.cpp" "src/report/CMakeFiles/qrn_report.dir/series.cpp.o" "gcc" "src/report/CMakeFiles/qrn_report.dir/series.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "src/report/CMakeFiles/qrn_report.dir/table.cpp.o" "gcc" "src/report/CMakeFiles/qrn_report.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

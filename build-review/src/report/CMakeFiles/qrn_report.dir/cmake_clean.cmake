@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrn_report.dir/csv.cpp.o"
+  "CMakeFiles/qrn_report.dir/csv.cpp.o.d"
+  "CMakeFiles/qrn_report.dir/series.cpp.o"
+  "CMakeFiles/qrn_report.dir/series.cpp.o.d"
+  "CMakeFiles/qrn_report.dir/table.cpp.o"
+  "CMakeFiles/qrn_report.dir/table.cpp.o.d"
+  "libqrn_report.a"
+  "libqrn_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrn_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrn_safety_case.dir/argument.cpp.o"
+  "CMakeFiles/qrn_safety_case.dir/argument.cpp.o.d"
+  "CMakeFiles/qrn_safety_case.dir/builder.cpp.o"
+  "CMakeFiles/qrn_safety_case.dir/builder.cpp.o.d"
+  "libqrn_safety_case.a"
+  "libqrn_safety_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrn_safety_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

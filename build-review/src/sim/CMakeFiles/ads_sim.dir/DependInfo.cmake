@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/campaign.cpp" "src/sim/CMakeFiles/ads_sim.dir/campaign.cpp.o" "gcc" "src/sim/CMakeFiles/ads_sim.dir/campaign.cpp.o.d"
+  "/root/repo/src/sim/dynamics.cpp" "src/sim/CMakeFiles/ads_sim.dir/dynamics.cpp.o" "gcc" "src/sim/CMakeFiles/ads_sim.dir/dynamics.cpp.o.d"
+  "/root/repo/src/sim/ego_policy.cpp" "src/sim/CMakeFiles/ads_sim.dir/ego_policy.cpp.o" "gcc" "src/sim/CMakeFiles/ads_sim.dir/ego_policy.cpp.o.d"
+  "/root/repo/src/sim/fleet.cpp" "src/sim/CMakeFiles/ads_sim.dir/fleet.cpp.o" "gcc" "src/sim/CMakeFiles/ads_sim.dir/fleet.cpp.o.d"
+  "/root/repo/src/sim/incident_detector.cpp" "src/sim/CMakeFiles/ads_sim.dir/incident_detector.cpp.o" "gcc" "src/sim/CMakeFiles/ads_sim.dir/incident_detector.cpp.o.d"
+  "/root/repo/src/sim/odd.cpp" "src/sim/CMakeFiles/ads_sim.dir/odd.cpp.o" "gcc" "src/sim/CMakeFiles/ads_sim.dir/odd.cpp.o.d"
+  "/root/repo/src/sim/perception.cpp" "src/sim/CMakeFiles/ads_sim.dir/perception.cpp.o" "gcc" "src/sim/CMakeFiles/ads_sim.dir/perception.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/ads_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/ads_sim.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/qrn/CMakeFiles/qrn_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/qrn_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/exec/CMakeFiles/qrn_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

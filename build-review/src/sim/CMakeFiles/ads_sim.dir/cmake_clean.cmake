@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_sim.dir/campaign.cpp.o"
+  "CMakeFiles/ads_sim.dir/campaign.cpp.o.d"
+  "CMakeFiles/ads_sim.dir/dynamics.cpp.o"
+  "CMakeFiles/ads_sim.dir/dynamics.cpp.o.d"
+  "CMakeFiles/ads_sim.dir/ego_policy.cpp.o"
+  "CMakeFiles/ads_sim.dir/ego_policy.cpp.o.d"
+  "CMakeFiles/ads_sim.dir/fleet.cpp.o"
+  "CMakeFiles/ads_sim.dir/fleet.cpp.o.d"
+  "CMakeFiles/ads_sim.dir/incident_detector.cpp.o"
+  "CMakeFiles/ads_sim.dir/incident_detector.cpp.o.d"
+  "CMakeFiles/ads_sim.dir/odd.cpp.o"
+  "CMakeFiles/ads_sim.dir/odd.cpp.o.d"
+  "CMakeFiles/ads_sim.dir/perception.cpp.o"
+  "CMakeFiles/ads_sim.dir/perception.cpp.o.d"
+  "CMakeFiles/ads_sim.dir/scenario.cpp.o"
+  "CMakeFiles/ads_sim.dir/scenario.cpp.o.d"
+  "libads_sim.a"
+  "libads_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

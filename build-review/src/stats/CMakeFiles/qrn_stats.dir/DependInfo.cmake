@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/qrn_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/qrn_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/qrn_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/qrn_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/qrn_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/qrn_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/proportion.cpp" "src/stats/CMakeFiles/qrn_stats.dir/proportion.cpp.o" "gcc" "src/stats/CMakeFiles/qrn_stats.dir/proportion.cpp.o.d"
+  "/root/repo/src/stats/rate_estimation.cpp" "src/stats/CMakeFiles/qrn_stats.dir/rate_estimation.cpp.o" "gcc" "src/stats/CMakeFiles/qrn_stats.dir/rate_estimation.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/qrn_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/qrn_stats.dir/rng.cpp.o.d"
+  "/root/repo/src/stats/sequential.cpp" "src/stats/CMakeFiles/qrn_stats.dir/sequential.cpp.o" "gcc" "src/stats/CMakeFiles/qrn_stats.dir/sequential.cpp.o.d"
+  "/root/repo/src/stats/special_functions.cpp" "src/stats/CMakeFiles/qrn_stats.dir/special_functions.cpp.o" "gcc" "src/stats/CMakeFiles/qrn_stats.dir/special_functions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/exec/CMakeFiles/qrn_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

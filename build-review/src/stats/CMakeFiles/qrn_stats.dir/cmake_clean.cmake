@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrn_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/qrn_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/qrn_stats.dir/distributions.cpp.o"
+  "CMakeFiles/qrn_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/qrn_stats.dir/histogram.cpp.o"
+  "CMakeFiles/qrn_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/qrn_stats.dir/proportion.cpp.o"
+  "CMakeFiles/qrn_stats.dir/proportion.cpp.o.d"
+  "CMakeFiles/qrn_stats.dir/rate_estimation.cpp.o"
+  "CMakeFiles/qrn_stats.dir/rate_estimation.cpp.o.d"
+  "CMakeFiles/qrn_stats.dir/rng.cpp.o"
+  "CMakeFiles/qrn_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/qrn_stats.dir/sequential.cpp.o"
+  "CMakeFiles/qrn_stats.dir/sequential.cpp.o.d"
+  "CMakeFiles/qrn_stats.dir/special_functions.cpp.o"
+  "CMakeFiles/qrn_stats.dir/special_functions.cpp.o.d"
+  "libqrn_stats.a"
+  "libqrn_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrn_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

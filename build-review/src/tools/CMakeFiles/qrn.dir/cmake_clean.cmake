@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrn.dir/qrn_cli.cpp.o"
+  "CMakeFiles/qrn.dir/qrn_cli.cpp.o.d"
+  "qrn"
+  "qrn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

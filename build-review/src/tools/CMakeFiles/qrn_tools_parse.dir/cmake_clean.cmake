@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrn_tools_parse.dir/parse.cpp.o"
+  "CMakeFiles/qrn_tools_parse.dir/parse.cpp.o.d"
+  "libqrn_tools_parse.a"
+  "libqrn_tools_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrn_tools_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for qrn_tools_parse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_tests.dir/exec/determinism_test.cpp.o"
+  "CMakeFiles/exec_tests.dir/exec/determinism_test.cpp.o.d"
+  "CMakeFiles/exec_tests.dir/exec/parallel_test.cpp.o"
+  "CMakeFiles/exec_tests.dir/exec/parallel_test.cpp.o.d"
+  "CMakeFiles/exec_tests.dir/exec/thread_pool_test.cpp.o"
+  "CMakeFiles/exec_tests.dir/exec/thread_pool_test.cpp.o.d"
+  "exec_tests"
+  "exec_tests.pdb"
+  "exec_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

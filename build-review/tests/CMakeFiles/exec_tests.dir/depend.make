@@ -1,0 +1,2 @@
+# Empty dependencies file for exec_tests.
+# This may be replaced when dependencies are built.

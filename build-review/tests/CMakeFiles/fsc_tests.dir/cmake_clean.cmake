@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsc_tests.dir/fsc/fsr_test.cpp.o"
+  "CMakeFiles/fsc_tests.dir/fsc/fsr_test.cpp.o.d"
+  "CMakeFiles/fsc_tests.dir/fsc/refinement_test.cpp.o"
+  "CMakeFiles/fsc_tests.dir/fsc/refinement_test.cpp.o.d"
+  "CMakeFiles/fsc_tests.dir/fsc/tradeoff_test.cpp.o"
+  "CMakeFiles/fsc_tests.dir/fsc/tradeoff_test.cpp.o.d"
+  "fsc_tests"
+  "fsc_tests.pdb"
+  "fsc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

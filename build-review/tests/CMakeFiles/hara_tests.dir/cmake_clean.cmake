@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hara_tests.dir/hara/asil_test.cpp.o"
+  "CMakeFiles/hara_tests.dir/hara/asil_test.cpp.o.d"
+  "CMakeFiles/hara_tests.dir/hara/exposure_test.cpp.o"
+  "CMakeFiles/hara_tests.dir/hara/exposure_test.cpp.o.d"
+  "CMakeFiles/hara_tests.dir/hara/hara_study_test.cpp.o"
+  "CMakeFiles/hara_tests.dir/hara/hara_study_test.cpp.o.d"
+  "CMakeFiles/hara_tests.dir/hara/hazard_test.cpp.o"
+  "CMakeFiles/hara_tests.dir/hara/hazard_test.cpp.o.d"
+  "CMakeFiles/hara_tests.dir/hara/risk_graph_test.cpp.o"
+  "CMakeFiles/hara_tests.dir/hara/risk_graph_test.cpp.o.d"
+  "CMakeFiles/hara_tests.dir/hara/situation_test.cpp.o"
+  "CMakeFiles/hara_tests.dir/hara/situation_test.cpp.o.d"
+  "hara_tests"
+  "hara_tests.pdb"
+  "hara_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hara_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

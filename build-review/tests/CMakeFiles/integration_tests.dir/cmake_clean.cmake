@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/expansion_gating_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/expansion_gating_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/fleet_verification_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/fleet_verification_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/hara_vs_qrn_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/hara_vs_qrn_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/mece_property_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/mece_property_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/pipeline_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/pipeline_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/properties_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/properties_test.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

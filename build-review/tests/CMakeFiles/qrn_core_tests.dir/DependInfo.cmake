@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/qrn/allocation_test.cpp" "tests/CMakeFiles/qrn_core_tests.dir/qrn/allocation_test.cpp.o" "gcc" "tests/CMakeFiles/qrn_core_tests.dir/qrn/allocation_test.cpp.o.d"
+  "/root/repo/tests/qrn/banding_test.cpp" "tests/CMakeFiles/qrn_core_tests.dir/qrn/banding_test.cpp.o" "gcc" "tests/CMakeFiles/qrn_core_tests.dir/qrn/banding_test.cpp.o.d"
+  "/root/repo/tests/qrn/classification_test.cpp" "tests/CMakeFiles/qrn_core_tests.dir/qrn/classification_test.cpp.o" "gcc" "tests/CMakeFiles/qrn_core_tests.dir/qrn/classification_test.cpp.o.d"
+  "/root/repo/tests/qrn/contribution_test.cpp" "tests/CMakeFiles/qrn_core_tests.dir/qrn/contribution_test.cpp.o" "gcc" "tests/CMakeFiles/qrn_core_tests.dir/qrn/contribution_test.cpp.o.d"
+  "/root/repo/tests/qrn/empirical_test.cpp" "tests/CMakeFiles/qrn_core_tests.dir/qrn/empirical_test.cpp.o" "gcc" "tests/CMakeFiles/qrn_core_tests.dir/qrn/empirical_test.cpp.o.d"
+  "/root/repo/tests/qrn/frequency_test.cpp" "tests/CMakeFiles/qrn_core_tests.dir/qrn/frequency_test.cpp.o" "gcc" "tests/CMakeFiles/qrn_core_tests.dir/qrn/frequency_test.cpp.o.d"
+  "/root/repo/tests/qrn/incident_test.cpp" "tests/CMakeFiles/qrn_core_tests.dir/qrn/incident_test.cpp.o" "gcc" "tests/CMakeFiles/qrn_core_tests.dir/qrn/incident_test.cpp.o.d"
+  "/root/repo/tests/qrn/incident_type_test.cpp" "tests/CMakeFiles/qrn_core_tests.dir/qrn/incident_type_test.cpp.o" "gcc" "tests/CMakeFiles/qrn_core_tests.dir/qrn/incident_type_test.cpp.o.d"
+  "/root/repo/tests/qrn/injury_risk_test.cpp" "tests/CMakeFiles/qrn_core_tests.dir/qrn/injury_risk_test.cpp.o" "gcc" "tests/CMakeFiles/qrn_core_tests.dir/qrn/injury_risk_test.cpp.o.d"
+  "/root/repo/tests/qrn/json_test.cpp" "tests/CMakeFiles/qrn_core_tests.dir/qrn/json_test.cpp.o" "gcc" "tests/CMakeFiles/qrn_core_tests.dir/qrn/json_test.cpp.o.d"
+  "/root/repo/tests/qrn/norm_builder_test.cpp" "tests/CMakeFiles/qrn_core_tests.dir/qrn/norm_builder_test.cpp.o" "gcc" "tests/CMakeFiles/qrn_core_tests.dir/qrn/norm_builder_test.cpp.o.d"
+  "/root/repo/tests/qrn/product_line_test.cpp" "tests/CMakeFiles/qrn_core_tests.dir/qrn/product_line_test.cpp.o" "gcc" "tests/CMakeFiles/qrn_core_tests.dir/qrn/product_line_test.cpp.o.d"
+  "/root/repo/tests/qrn/risk_norm_test.cpp" "tests/CMakeFiles/qrn_core_tests.dir/qrn/risk_norm_test.cpp.o" "gcc" "tests/CMakeFiles/qrn_core_tests.dir/qrn/risk_norm_test.cpp.o.d"
+  "/root/repo/tests/qrn/safety_goal_test.cpp" "tests/CMakeFiles/qrn_core_tests.dir/qrn/safety_goal_test.cpp.o" "gcc" "tests/CMakeFiles/qrn_core_tests.dir/qrn/safety_goal_test.cpp.o.d"
+  "/root/repo/tests/qrn/sensitivity_test.cpp" "tests/CMakeFiles/qrn_core_tests.dir/qrn/sensitivity_test.cpp.o" "gcc" "tests/CMakeFiles/qrn_core_tests.dir/qrn/sensitivity_test.cpp.o.d"
+  "/root/repo/tests/qrn/serialize_test.cpp" "tests/CMakeFiles/qrn_core_tests.dir/qrn/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/qrn_core_tests.dir/qrn/serialize_test.cpp.o.d"
+  "/root/repo/tests/qrn/severity_test.cpp" "tests/CMakeFiles/qrn_core_tests.dir/qrn/severity_test.cpp.o" "gcc" "tests/CMakeFiles/qrn_core_tests.dir/qrn/severity_test.cpp.o.d"
+  "/root/repo/tests/qrn/tolerance_margin_test.cpp" "tests/CMakeFiles/qrn_core_tests.dir/qrn/tolerance_margin_test.cpp.o" "gcc" "tests/CMakeFiles/qrn_core_tests.dir/qrn/tolerance_margin_test.cpp.o.d"
+  "/root/repo/tests/qrn/verification_test.cpp" "tests/CMakeFiles/qrn_core_tests.dir/qrn/verification_test.cpp.o" "gcc" "tests/CMakeFiles/qrn_core_tests.dir/qrn/verification_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/exec/CMakeFiles/qrn_exec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/qrn/CMakeFiles/qrn_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/qrn_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hara/CMakeFiles/hara_iso26262.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/quant/CMakeFiles/quant_assurance.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/ads_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/report/CMakeFiles/qrn_report.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fsc/CMakeFiles/qrn_fsc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/safety_case/CMakeFiles/qrn_safety_case.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_tests.dir/report/csv_test.cpp.o"
+  "CMakeFiles/report_tests.dir/report/csv_test.cpp.o.d"
+  "CMakeFiles/report_tests.dir/report/series_test.cpp.o"
+  "CMakeFiles/report_tests.dir/report/series_test.cpp.o.d"
+  "CMakeFiles/report_tests.dir/report/table_test.cpp.o"
+  "CMakeFiles/report_tests.dir/report/table_test.cpp.o.d"
+  "report_tests"
+  "report_tests.pdb"
+  "report_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safety_case_tests.dir/safety_case/argument_test.cpp.o"
+  "CMakeFiles/safety_case_tests.dir/safety_case/argument_test.cpp.o.d"
+  "CMakeFiles/safety_case_tests.dir/safety_case/builder_test.cpp.o"
+  "CMakeFiles/safety_case_tests.dir/safety_case/builder_test.cpp.o.d"
+  "safety_case_tests"
+  "safety_case_tests.pdb"
+  "safety_case_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safety_case_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

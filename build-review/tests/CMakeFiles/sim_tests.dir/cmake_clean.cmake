@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/campaign_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/campaign_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/dynamics_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/dynamics_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/ego_policy_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/ego_policy_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/fleet_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/fleet_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/incident_detector_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/incident_detector_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/odd_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/odd_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/perception_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/perception_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/scenario_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/scenario_test.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/bootstrap_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/bootstrap_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/bootstrap_test.cpp.o.d"
+  "/root/repo/tests/stats/distributions_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/distributions_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/distributions_test.cpp.o.d"
+  "/root/repo/tests/stats/histogram_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/histogram_test.cpp.o.d"
+  "/root/repo/tests/stats/proportion_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/proportion_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/proportion_test.cpp.o.d"
+  "/root/repo/tests/stats/rate_estimation_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/rate_estimation_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/rate_estimation_test.cpp.o.d"
+  "/root/repo/tests/stats/rng_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/rng_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/rng_test.cpp.o.d"
+  "/root/repo/tests/stats/sequential_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/sequential_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/sequential_test.cpp.o.d"
+  "/root/repo/tests/stats/special_functions_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/special_functions_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/special_functions_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/exec/CMakeFiles/qrn_exec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/qrn/CMakeFiles/qrn_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/qrn_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hara/CMakeFiles/hara_iso26262.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/quant/CMakeFiles/quant_assurance.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/ads_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/report/CMakeFiles/qrn_report.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fsc/CMakeFiles/qrn_fsc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/safety_case/CMakeFiles/qrn_safety_case.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

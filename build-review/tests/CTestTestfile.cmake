@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/exec_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/stats_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/qrn_core_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/hara_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/quant_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/report_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/fsc_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/safety_case_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/cli_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/lint_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/integration_tests[1]_include.cmake")
+add_test(lint_selfcheck "/root/repo/build-review/src/lint/qrn-lint" "/root/repo/src" "/root/repo/tests" "/root/repo/bench" "/root/repo/examples")
+set_tests_properties(lint_selfcheck PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;117;add_test;/root/repo/tests/CMakeLists.txt;0;")
