@@ -7,7 +7,11 @@
 // Besides the normal console output, the run writes a machine-readable
 // baseline (name -> ns/op and items/s) to BENCH_perf.json in the working
 // directory (override the path with the QRN_BENCH_JSON environment
-// variable), so perf regressions can be diffed between commits.
+// variable), so perf regressions can be diffed between commits: the
+// repo-root copy is the tracked baseline and CI gates every PR against it
+// with qrn-perfdiff (docs/OBSERVABILITY.md). A failed baseline write is a
+// hard error (non-zero exit) - a bench run whose evidence silently
+// vanishes is how the baseline went dead for three PRs.
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
@@ -16,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "qrn/qrn.h"
 #include "qrn/banding.h"
 #include "qrn/serialize.h"
@@ -204,6 +209,28 @@ void BM_CampaignJobs(benchmark::State& state) {
 }
 BENCHMARK(BM_CampaignJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
+/// The same campaign workload with the observability layer armed: the
+/// delta against BM_CampaignJobs at the same jobs value IS the
+/// instrumentation overhead (budget: < 2%; the hooks are one relaxed
+/// atomic load when disarmed and per-chunk registry ops when armed).
+void BM_CampaignJobsMetrics(benchmark::State& state) {
+    sim::CampaignConfig config;
+    config.fleets = 8;
+    config.hours_per_fleet = 50.0;
+    config.base.seed = 11;
+    config.jobs = static_cast<unsigned>(state.range(0));
+    obs::set_enabled(true);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim::run_campaign(config));
+    }
+    obs::set_enabled(false);
+    obs::reset();
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<int64_t>(config.fleets * config.hours_per_fleet));
+}
+BENCHMARK(BM_CampaignJobsMetrics)->Arg(1)->Arg(4)->UseRealTime();
+
 /// Collects finished runs so a JSON baseline can be written after the
 /// console report. GetAdjustedRealTime() already folds in the per-
 /// iteration normalization google-benchmark applies for console output.
@@ -229,11 +256,13 @@ public:
     void Finalize() override { console_.Finalize(); }
 
     /// Writes `{"benchmarks":[{"name":...,"ns_per_op":...},...]}`.
-    void write_json(const std::string& path) const {
+    /// Returns false when the file cannot be created or the write fails;
+    /// main() turns that into a non-zero exit so a lost baseline is loud.
+    [[nodiscard]] bool write_json(const std::string& path) const {
         std::ofstream out(path);
         if (!out) {
             std::cerr << "perf_microbench: cannot write " << path << '\n';
-            return;
+            return false;
         }
         out << "{\n  \"benchmarks\": [\n";
         for (std::size_t i = 0; i < entries_.size(); ++i) {
@@ -245,6 +274,12 @@ public:
             out << '}' << (i + 1 < entries_.size() ? "," : "") << '\n';
         }
         out << "  ]\n}\n";
+        out.flush();
+        if (!out.good()) {
+            std::cerr << "perf_microbench: write failed for " << path << '\n';
+            return false;
+        }
+        return true;
     }
 
 private:
@@ -267,6 +302,5 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks(&collector);
     benchmark::Shutdown();
     const char* path = std::getenv("QRN_BENCH_JSON");
-    collector.write_json(path != nullptr ? path : "BENCH_perf.json");
-    return 0;
+    return collector.write_json(path != nullptr ? path : "BENCH_perf.json") ? 0 : 1;
 }

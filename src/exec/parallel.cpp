@@ -6,8 +6,27 @@
 #include <thread>
 
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace qrn::exec {
+
+namespace {
+
+/// Declares every metric parallel_for may touch, on BOTH execution paths,
+/// so a --metrics manifest has the same structure (same names, same
+/// order) for every --jobs value; only the values are schedule-dependent.
+void declare_parallel_metrics() {
+    obs::add_counter("exec.parallel_calls", 1);
+    obs::add_counter("exec.chunks_executed", 0);
+    obs::add_counter("exec.chunks_serial", 0);
+    obs::add_counter("exec.tasks_submitted", 0);
+    obs::add_counter("exec.pool.tasks_executed", 0);
+    obs::record_max("exec.pool.queue_depth_max", 0);
+    obs::declare_timer("exec.chunk_ns");
+    obs::declare_timer("exec.task_wait_ns");
+}
+
+}  // namespace
 
 unsigned default_jobs() noexcept {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -36,11 +55,25 @@ void parallel_for(unsigned jobs, std::size_t count,
     const auto chunks = chunk_ranges(jobs, count);
     if (chunks.empty()) return;
 
+    const bool metrics = obs::enabled();
+    if (metrics) declare_parallel_metrics();
+
     // Serial fallback: one job requested, a single chunk, or we are already
     // on a pool worker (nested parallel_for would deadlock a fixed pool).
     if (jobs <= 1 || chunks.size() == 1 || ThreadPool::on_worker_thread()) {
-        for (const auto& chunk : chunks) body(chunk);
+        if (metrics) {
+            obs::add_counter("exec.chunks_executed", chunks.size());
+            obs::add_counter("exec.chunks_serial", chunks.size());
+        }
+        for (const auto& chunk : chunks) {
+            const obs::ScopedTimer timer("exec.chunk_ns");
+            body(chunk);
+        }
         return;
+    }
+    if (metrics) {
+        obs::add_counter("exec.chunks_executed", chunks.size());
+        obs::add_counter("exec.tasks_submitted", chunks.size());
     }
 
     std::vector<std::exception_ptr> errors(chunks.size());
@@ -50,8 +83,13 @@ void parallel_for(unsigned jobs, std::size_t count,
 
     auto& pool = ThreadPool::shared();
     for (const auto& chunk : chunks) {
-        pool.submit([&, chunk] {
+        const std::uint64_t enqueue_ns = metrics ? obs::now_ns() : 0;
+        pool.submit([&, chunk, enqueue_ns] {
+            if (metrics) {
+                obs::record_timer("exec.task_wait_ns", obs::now_ns() - enqueue_ns);
+            }
             try {
+                const obs::ScopedTimer timer("exec.chunk_ns");
                 body(chunk);
             } catch (...) {
                 errors[chunk.index] = std::current_exception();

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace qrn::exec {
 
 namespace {
@@ -31,14 +33,22 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+    std::size_t depth = 0;
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         if (stopping_) {
             throw std::logic_error("ThreadPool: submit after shutdown");
         }
         queue_.push_back(std::move(task));
+        depth = queue_.size();
     }
     wake_.notify_one();
+    // Recorded outside the pool mutex: the registry has its own lock and
+    // a stale depth only ever under-reports the high-water mark by the
+    // tasks that raced past, never over-reports it.
+    if (obs::enabled()) {
+        obs::record_max("exec.pool.queue_depth_max", depth);
+    }
 }
 
 unsigned ThreadPool::size() const noexcept {
@@ -64,6 +74,9 @@ void ThreadPool::worker_loop() {
             queue_.pop_front();
         }
         task();
+        if (obs::enabled()) {
+            obs::add_counter("exec.pool.tasks_executed", 1);
+        }
     }
 }
 

@@ -1,0 +1,99 @@
+#include "obs/manifest.h"
+
+#include <fstream>
+
+namespace qrn::obs {
+
+namespace {
+
+/// RFC 8259 string escaping: quote, backslash and control characters.
+/// Metric names are plain identifiers, but command lines and git
+/// describe output are caller-controlled.
+void append_escaped(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char ch : s) {
+        switch (ch) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(ch) < 0x20) {
+                    constexpr char kHex[] = "0123456789abcdef";
+                    out += "\\u00";
+                    out += kHex[(static_cast<unsigned char>(ch) >> 4) & 0xF];
+                    out += kHex[static_cast<unsigned char>(ch) & 0xF];
+                } else {
+                    out += ch;
+                }
+        }
+    }
+    out += '"';
+}
+
+}  // namespace
+
+Manifest capture_manifest() {
+    Manifest m;
+    m.phases = spans_snapshot();
+    m.counters = counters_snapshot();
+    m.timers = timers_snapshot();
+    return m;
+}
+
+std::string manifest_json(const Manifest& manifest) {
+    std::string out;
+    out.reserve(1024);
+    out += "{\n  \"kind\": \"qrn.metrics\",\n  \"schema_version\": 1,\n";
+    out += "  \"command\": ";
+    append_escaped(out, manifest.command);
+    out += ",\n  \"git_describe\": ";
+    append_escaped(out, manifest.git_describe);
+    out += ",\n  \"jobs\": " + std::to_string(manifest.jobs);
+    if (manifest.seed) {
+        out += ",\n  \"seed\": " + std::to_string(*manifest.seed);
+    }
+    out += ",\n  \"wall_ns\": " + std::to_string(manifest.wall_ns);
+    out += ",\n  \"phases\": [";
+    for (std::size_t i = 0; i < manifest.phases.size(); ++i) {
+        const SpanValue& p = manifest.phases[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\"name\": ";
+        append_escaped(out, p.name);
+        out += ", \"depth\": " + std::to_string(p.depth);
+        out += ", \"wall_ns\": " + std::to_string(p.wall_ns) + "}";
+    }
+    out += manifest.phases.empty() ? "]" : "\n  ]";
+    out += ",\n  \"counters\": [";
+    for (std::size_t i = 0; i < manifest.counters.size(); ++i) {
+        const CounterValue& c = manifest.counters[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\"name\": ";
+        append_escaped(out, c.name);
+        out += ", \"value\": " + std::to_string(c.value) + "}";
+    }
+    out += manifest.counters.empty() ? "]" : "\n  ]";
+    out += ",\n  \"timers\": [";
+    for (std::size_t i = 0; i < manifest.timers.size(); ++i) {
+        const TimerValue& t = manifest.timers[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\"name\": ";
+        append_escaped(out, t.name);
+        out += ", \"count\": " + std::to_string(t.count);
+        out += ", \"total_ns\": " + std::to_string(t.total_ns) + "}";
+    }
+    out += manifest.timers.empty() ? "]" : "\n  ]";
+    out += "\n}\n";
+    return out;
+}
+
+bool write_manifest(const Manifest& manifest, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << manifest_json(manifest);
+    out.flush();
+    return out.good();
+}
+
+}  // namespace qrn::obs

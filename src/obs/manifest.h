@@ -1,0 +1,58 @@
+// Machine-readable run manifests: the JSON document behind the CLI's
+// --metrics flag.
+//
+// A manifest captures one run's observability snapshot - wall time per
+// traced phase, every counter and timer, plus the provenance needed to
+// compare runs (command, jobs, seed, git describe). Schema (stable; see
+// docs/OBSERVABILITY.md):
+//
+//   {"kind": "qrn.metrics", "schema_version": 1,
+//    "command": "campaign", "git_describe": "<describe-or-unknown>",
+//    "jobs": 4, "seed": 42,              // "seed" omitted when n/a
+//    "wall_ns": 123456789,
+//    "phases":   [{"name": "fleet_sim", "depth": 0, "wall_ns": N}, ...],
+//    "counters": [{"name": "sim.encounters", "value": N}, ...],
+//    "timers":   [{"name": "exec.chunk_ns", "count": N, "total_ns": N}, ...]}
+//
+// Phases appear in span start order, counters and timers sorted by name,
+// so two runs of the same command produce structurally identical
+// documents for every --jobs value (only schedule-dependent numbers
+// differ). Serialization is self-contained (no qrn::json dependency, so
+// qrn_obs stays below qrn_core in the layering) but emits strict RFC 8259
+// JSON that qrn::json::parse round-trips.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace qrn::obs {
+
+/// One run's metrics snapshot plus provenance.
+struct Manifest {
+    std::string command;                ///< e.g. "campaign".
+    std::string git_describe = "unknown";
+    unsigned jobs = 1;                  ///< Effective worker count.
+    std::optional<std::uint64_t> seed;  ///< Present when the run had one.
+    std::uint64_t wall_ns = 0;          ///< Whole-run wall time.
+    std::vector<SpanValue> phases;
+    std::vector<CounterValue> counters;
+    std::vector<TimerValue> timers;
+};
+
+/// Builds a manifest from the current registry snapshots. The caller
+/// fills in provenance (command/jobs/seed) and total wall time.
+[[nodiscard]] Manifest capture_manifest();
+
+/// Serializes the manifest as pretty-printed JSON (trailing newline).
+[[nodiscard]] std::string manifest_json(const Manifest& manifest);
+
+/// Writes manifest_json() to `path`. Returns false when the file cannot
+/// be created or the write fails - callers must surface that as an error
+/// (evidence that silently fails to persist is worse than none).
+[[nodiscard]] bool write_manifest(const Manifest& manifest, const std::string& path);
+
+}  // namespace qrn::obs

@@ -1,0 +1,176 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+
+namespace qrn::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+struct TimerCell {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+};
+
+struct OpenSpan {
+    std::string name;
+    std::uint64_t start_ns = 0;
+    std::uint64_t wall_ns = 0;
+    std::uint64_t depth = 0;
+    bool closed = false;
+};
+
+/// All registry state behind one mutex. Contention is negligible: the
+/// instrumented call sites record per chunk / per run, never per sample.
+struct Registry {
+    std::mutex mutex;
+    // Transparent comparators let string_view callers look up without
+    // allocating until a genuinely new name arrives.
+    std::map<std::string, std::uint64_t, std::less<>> counters;
+    std::map<std::string, TimerCell, std::less<>> timers;
+    std::vector<OpenSpan> spans;  // start order
+    std::uint64_t span_depth = 0;
+};
+
+Registry& registry() {
+    static Registry r;
+    return r;
+}
+
+}  // namespace
+
+void set_enabled(bool on) noexcept {
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void add_counter(std::string_view name, std::uint64_t delta) {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.counters.find(name);
+    if (it == r.counters.end()) {
+        r.counters.emplace(std::string(name), delta);
+    } else {
+        it->second += delta;
+    }
+}
+
+void record_max(std::string_view name, std::uint64_t value) {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.counters.find(name);
+    if (it == r.counters.end()) {
+        r.counters.emplace(std::string(name), value);
+    } else {
+        it->second = std::max(it->second, value);
+    }
+}
+
+void record_timer(std::string_view name, std::uint64_t ns) {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.timers.find(name);
+    if (it == r.timers.end()) {
+        r.timers.emplace(std::string(name), TimerCell{1, ns});
+    } else {
+        ++it->second.count;
+        it->second.total_ns += ns;
+    }
+}
+
+void declare_timer(std::string_view name) {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    r.timers.try_emplace(std::string(name));
+}
+
+std::vector<CounterValue> counters_snapshot() {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<CounterValue> out;
+    out.reserve(r.counters.size());
+    for (const auto& [name, value] : r.counters) out.push_back({name, value});
+    return out;  // std::map iteration is already name-ordered
+}
+
+std::vector<TimerValue> timers_snapshot() {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<TimerValue> out;
+    out.reserve(r.timers.size());
+    for (const auto& [name, cell] : r.timers) {
+        out.push_back({name, cell.count, cell.total_ns});
+    }
+    return out;
+}
+
+std::vector<SpanValue> spans_snapshot() {
+    const std::uint64_t now = now_ns();
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<SpanValue> out;
+    out.reserve(r.spans.size());
+    for (const OpenSpan& span : r.spans) {
+        out.push_back({span.name,
+                       span.closed ? span.wall_ns : now - span.start_ns,
+                       span.depth});
+    }
+    return out;
+}
+
+void reset() {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    r.counters.clear();
+    r.timers.clear();
+    r.spans.clear();
+    r.span_depth = 0;
+}
+
+ScopedTimer::ScopedTimer(std::string_view name) {
+    if (!enabled()) return;
+    name_ = std::string(name);
+    start_ns_ = now_ns();
+    armed_ = true;
+}
+
+ScopedTimer::~ScopedTimer() {
+    if (armed_) record_timer(name_, now_ns() - start_ns_);
+}
+
+ScopedSpan::ScopedSpan(std::string_view name) {
+    if (!enabled()) return;
+    start_ns_ = now_ns();
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    slot_ = r.spans.size();
+    r.spans.push_back(OpenSpan{std::string(name), start_ns_, 0, r.span_depth, false});
+    ++r.span_depth;
+    armed_ = true;
+}
+
+ScopedSpan::~ScopedSpan() {
+    if (!armed_) return;
+    const std::uint64_t end_ns = now_ns();
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    // A reset() between construction and destruction abandons the span.
+    if (slot_ >= r.spans.size() || r.spans[slot_].closed) return;
+    r.spans[slot_].wall_ns = end_ns - start_ns_;
+    r.spans[slot_].closed = true;
+    if (r.span_depth > 0) --r.span_depth;
+}
+
+}  // namespace qrn::obs

@@ -1,0 +1,141 @@
+// Lightweight observability: monotonic counters, max gauges, scoped
+// wall-clock timers and span-style phase tracing, all feeding one
+// process-wide thread-safe registry.
+//
+// The paper's Sec. V assurance case is built on *measured* frequencies;
+// this layer applies the same principle to the toolkit itself: every
+// campaign run can emit a machine-readable manifest of where its wall
+// clock went (see obs/manifest.h and the CLI's --metrics flag).
+//
+// Design rules:
+//  - Disabled by default and zero-overhead when disabled: hot call sites
+//    guard with `if (obs::enabled())`, a single relaxed atomic load, and
+//    the RAII helpers disarm themselves at construction time.
+//  - Deterministic structure: counter and timer snapshots are ordered by
+//    name, spans by start order. Instrumented code declares every metric
+//    name it may touch on all execution paths (see exec/parallel.cpp), so
+//    the set of names in a manifest is identical for every --jobs value;
+//    only schedule-dependent *values* (queue depths, nanoseconds) differ.
+//  - Aggregation is commutative: counters only ever sum or max, so the
+//    totals from parallel workers are schedule-independent wherever the
+//    underlying quantity is (e.g. sim.encounters).
+//  - No <iostream>, no std::thread: the registry is plain mutex + maps,
+//    and rendering/serialization live with the callers (report layer,
+//    obs/manifest.h), keeping this library dependency-free.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qrn::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when instrumentation is armed. Hot paths check this before doing
+/// any metrics work; a relaxed load keeps the disabled cost to one branch.
+[[nodiscard]] inline bool enabled() noexcept {
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Arms or disarms instrumentation process-wide. Not meant to be toggled
+/// concurrently with instrumented work (the CLI sets it once at startup;
+/// tests toggle between runs).
+void set_enabled(bool on) noexcept;
+
+/// Monotonic nanoseconds from std::chrono::steady_clock (arbitrary epoch).
+[[nodiscard]] std::uint64_t now_ns() noexcept;
+
+/// One named monotonic counter (or max gauge) value.
+struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+};
+
+/// One named duration aggregate: `count` recordings totalling `total_ns`.
+struct TimerValue {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+};
+
+/// One traced phase, in span start order. `depth` is the nesting level at
+/// the time the span opened (0 for top-level phases).
+struct SpanValue {
+    std::string name;
+    std::uint64_t wall_ns = 0;
+    std::uint64_t depth = 0;
+};
+
+/// Adds `delta` to the named counter, creating it at zero first. A delta
+/// of 0 declares the counter so it appears in snapshots - instrumented
+/// code uses that to keep manifest structure identical across schedules.
+/// Thread-safe.
+void add_counter(std::string_view name, std::uint64_t delta);
+
+/// Raises the named gauge to at least `value` (max aggregation), creating
+/// it at zero first. Thread-safe.
+void record_max(std::string_view name, std::uint64_t value);
+
+/// Records one duration into the named timer. Thread-safe.
+void record_timer(std::string_view name, std::uint64_t ns);
+
+/// Ensures the named timer exists (count 0) without recording. Thread-safe.
+void declare_timer(std::string_view name);
+
+/// Counter/gauge snapshot, ordered by name. Thread-safe.
+[[nodiscard]] std::vector<CounterValue> counters_snapshot();
+
+/// Timer snapshot, ordered by name. Thread-safe.
+[[nodiscard]] std::vector<TimerValue> timers_snapshot();
+
+/// Span snapshot, in start order. Closed spans carry their wall time;
+/// spans still open at snapshot time report the time elapsed so far.
+/// Thread-safe.
+[[nodiscard]] std::vector<SpanValue> spans_snapshot();
+
+/// Clears every counter, timer and span. Intended for tests and for tools
+/// that run several measured sections in one process.
+void reset();
+
+/// RAII wall-clock timer: records elapsed nanoseconds into the named
+/// timer at destruction. Disarms itself (no clock reads, no recording)
+/// when instrumentation is disabled at construction.
+class ScopedTimer {
+public:
+    explicit ScopedTimer(std::string_view name);
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+private:
+    std::string name_;
+    std::uint64_t start_ns_ = 0;
+    bool armed_ = false;
+};
+
+/// RAII phase span: registers a named span when constructed and fills in
+/// its wall time when destroyed. Spans order deterministically only when
+/// opened from a single thread (the CLI opens them on the main thread
+/// around campaign stages); worker-side code should use timers instead.
+/// Disarms itself when instrumentation is disabled at construction.
+class ScopedSpan {
+public:
+    explicit ScopedSpan(std::string_view name);
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+private:
+    std::size_t slot_ = 0;
+    std::uint64_t start_ns_ = 0;
+    bool armed_ = false;
+};
+
+}  // namespace qrn::obs

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "exec/parallel.h"
+#include "obs/metrics.h"
 #include "stats/rng.h"
 
 namespace qrn::sim {
@@ -54,6 +55,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
         throw std::invalid_argument("run_campaign: hours_per_fleet must be > 0");
     }
     CampaignResult result;
+    if (obs::enabled()) obs::add_counter("sim.campaign_fleets", config.fleets);
     // Fleet i's whole run is a pure function of stream_seed(base.seed, i),
     // so the fleets can execute in any order on any thread; parallel_map
     // restores seed order when collecting. Each fleet runs its stretches

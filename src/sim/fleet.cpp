@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "exec/parallel.h"
+#include "obs/metrics.h"
 
 namespace qrn::sim {
 
@@ -76,6 +77,10 @@ IncidentLog FleetSimulator::run(double hours, unsigned jobs) const {
     std::vector<Environment> environments;
     environments.reserve(stretches);
     {
+        // Scenario generation is the serial prologue of every fleet run;
+        // timed (not spanned) because campaigns call run() from pool
+        // workers and timer aggregates stay schedule-independent.
+        const obs::ScopedTimer timer("sim.scenario_generation_ns");
         stats::Rng env_rng = stats::Rng::stream(config_.seed, 0);
         EnvironmentProcess environment(config_.odd, config_.environment_persistence);
         for (std::size_t h = 0; h < stretches; ++h) {
@@ -101,6 +106,15 @@ IncidentLog FleetSimulator::run(double hours, unsigned jobs) const {
     IncidentLog log;
     for (auto& part : partials) log.merge(std::move(part));
     log.exposure = ExposureHours(hours);
+    if (obs::enabled()) {
+        // Pure sums of schedule-independent quantities: the totals are
+        // bit-identical for every jobs value, whichever thread adds them.
+        obs::add_counter("sim.fleet_runs", 1);
+        obs::add_counter("sim.stretches", stretches);
+        obs::add_counter("sim.encounters", log.encounters);
+        obs::add_counter("sim.incidents", log.incidents.size());
+        obs::add_counter("sim.emergency_brakings", log.emergency_brakings);
+    }
     return log;
 }
 

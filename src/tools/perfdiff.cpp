@@ -1,0 +1,136 @@
+#include "tools/perfdiff.h"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace qrn::tools {
+
+namespace {
+
+double checked_time(const json::Value& entry, const std::string& where,
+                    const char* key) {
+    if (!entry.contains(key) || !entry.at(key).is_number()) {
+        throw std::runtime_error(where + "." + key + ": expected a number");
+    }
+    const double value = entry.at(key).as_number();
+    if (!std::isfinite(value) || value < 0.0) {
+        throw std::runtime_error(where + "." + key +
+                                 ": must be finite and >= 0 (got " +
+                                 std::to_string(value) + ")");
+    }
+    return value;
+}
+
+}  // namespace
+
+PerfBaseline perf_baseline_from_json(const json::Value& doc) {
+    if (!doc.is_object() || !doc.contains("benchmarks") ||
+        !doc.at("benchmarks").is_array()) {
+        throw std::runtime_error(
+            "not a perf baseline (expected an object with a \"benchmarks\" "
+            "array, as written by perf_microbench)");
+    }
+    PerfBaseline out;
+    std::set<std::string> seen;
+    const auto& entries = doc.at("benchmarks").as_array();
+    out.benchmarks.reserve(entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const std::string where = "benchmarks[" + std::to_string(i) + "]";
+        const auto& entry = entries[i];
+        if (!entry.is_object() || !entry.contains("name") ||
+            !entry.at("name").is_string()) {
+            throw std::runtime_error(where + ".name: expected a string");
+        }
+        PerfEntry e;
+        e.name = entry.at("name").as_string();
+        if (e.name.empty()) {
+            throw std::runtime_error(where + ".name: must not be empty");
+        }
+        if (!seen.insert(e.name).second) {
+            throw std::runtime_error(where + ": duplicate benchmark name '" +
+                                     e.name + "'");
+        }
+        e.ns_per_op = checked_time(entry, where, "ns_per_op");
+        if (entry.contains("items_per_second")) {
+            e.items_per_second = checked_time(entry, where, "items_per_second");
+        }
+        out.benchmarks.push_back(std::move(e));
+    }
+    return out;
+}
+
+const char* to_string(PerfStatus status) noexcept {
+    switch (status) {
+        case PerfStatus::Ok: return "ok";
+        case PerfStatus::Improved: return "improved";
+        case PerfStatus::Regressed: return "REGRESSED";
+        case PerfStatus::Missing: return "MISSING";
+        case PerfStatus::New: return "new";
+        case PerfStatus::Skipped: return "skipped";
+    }
+    return "?";
+}
+
+PerfDiff perf_diff(const PerfBaseline& baseline, const PerfBaseline& current,
+                   const PerfDiffOptions& options) {
+    if (!(options.threshold_pct > 0.0) || !std::isfinite(options.threshold_pct)) {
+        throw std::invalid_argument(
+            "perf_diff: threshold_pct must be finite and > 0 (got " +
+            std::to_string(options.threshold_pct) + ")");
+    }
+    if (options.min_ns < 0.0 || !std::isfinite(options.min_ns)) {
+        throw std::invalid_argument(
+            "perf_diff: min_ns must be finite and >= 0 (got " +
+            std::to_string(options.min_ns) + ")");
+    }
+    PerfDiff out;
+    std::set<std::string> in_baseline;
+    for (const PerfEntry& base : baseline.benchmarks) {
+        in_baseline.insert(base.name);
+        PerfRow row;
+        row.name = base.name;
+        row.base_ns = base.ns_per_op;
+        const PerfEntry* cur = nullptr;
+        for (const PerfEntry& c : current.benchmarks) {
+            if (c.name == base.name) {
+                cur = &c;
+                break;
+            }
+        }
+        if (cur == nullptr) {
+            // A benchmark that vanished is a hole in the perf evidence; it
+            // gates exactly like a slowdown so coverage cannot rot away.
+            row.status = PerfStatus::Missing;
+            ++out.regressions;
+            out.rows.push_back(std::move(row));
+            continue;
+        }
+        row.cur_ns = cur->ns_per_op;
+        row.delta_pct = base.ns_per_op > 0.0
+                            ? (cur->ns_per_op - base.ns_per_op) / base.ns_per_op * 100.0
+                            : 0.0;
+        if (base.ns_per_op < options.min_ns) {
+            row.status = PerfStatus::Skipped;
+        } else if (row.delta_pct > options.threshold_pct) {
+            row.status = PerfStatus::Regressed;
+            ++out.regressions;
+        } else if (row.delta_pct < -options.threshold_pct) {
+            row.status = PerfStatus::Improved;
+        } else {
+            row.status = PerfStatus::Ok;
+        }
+        out.rows.push_back(std::move(row));
+    }
+    for (const PerfEntry& cur : current.benchmarks) {
+        if (in_baseline.count(cur.name) != 0) continue;
+        PerfRow row;
+        row.name = cur.name;
+        row.cur_ns = cur.ns_per_op;
+        row.status = PerfStatus::New;
+        out.rows.push_back(std::move(row));
+    }
+    return out;
+}
+
+}  // namespace qrn::tools

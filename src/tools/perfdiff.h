@@ -1,0 +1,83 @@
+// Perf-baseline comparison: the library behind qrn-perfdiff.
+//
+// perf_microbench writes BENCH_perf.json (name -> ns_per_op, items/s);
+// the repo-root copy of that file is the tracked baseline. This module
+// parses two such documents and classifies every benchmark's drift
+// against configurable thresholds, so CI can fail a PR that regresses a
+// hot path - the "measurably faster" mandate needs a measured gate, not
+// a gitignored file. See docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "qrn/json.h"
+
+namespace qrn::tools {
+
+/// One benchmark's measurement from a BENCH_perf.json document.
+struct PerfEntry {
+    std::string name;
+    double ns_per_op = 0.0;
+    double items_per_second = 0.0;  ///< 0 when the benchmark reports none.
+};
+
+/// A parsed BENCH_perf.json, in document order.
+struct PerfBaseline {
+    std::vector<PerfEntry> benchmarks;
+};
+
+/// Parses `{"benchmarks":[{"name":...,"ns_per_op":...},...]}`. Throws
+/// std::runtime_error naming the offending JSON path on malformed input
+/// (missing keys, wrong kinds, non-finite or negative times, duplicate
+/// benchmark names).
+[[nodiscard]] PerfBaseline perf_baseline_from_json(const json::Value& doc);
+
+/// Comparison tuning.
+struct PerfDiffOptions {
+    /// Allowed ns_per_op increase over the baseline, in percent, before a
+    /// benchmark counts as regressed.
+    double threshold_pct = 10.0;
+    /// Baseline entries faster than this are compared but never fail the
+    /// gate: sub-noise-floor benchmarks jitter by scheduler luck alone.
+    double min_ns = 0.0;
+};
+
+/// Verdict for one benchmark.
+enum class PerfStatus {
+    Ok,        ///< Within the threshold.
+    Improved,  ///< Faster than baseline beyond the threshold.
+    Regressed, ///< Slower than baseline beyond the threshold (fails).
+    Missing,   ///< In the baseline but not the current run (fails).
+    New,       ///< In the current run but not the baseline (informational).
+    Skipped,   ///< Below min_ns: reported, never gating.
+};
+
+[[nodiscard]] const char* to_string(PerfStatus status) noexcept;
+
+/// One row of the comparison: baseline order first, then new benchmarks
+/// in current-run order.
+struct PerfRow {
+    std::string name;
+    double base_ns = 0.0;   ///< 0 for New rows.
+    double cur_ns = 0.0;    ///< 0 for Missing rows.
+    double delta_pct = 0.0; ///< (cur - base) / base * 100; 0 when undefined.
+    PerfStatus status = PerfStatus::Ok;
+};
+
+/// The full comparison. `regressions` counts Regressed + Missing rows;
+/// the gate passes iff it is zero.
+struct PerfDiff {
+    std::vector<PerfRow> rows;
+    std::size_t regressions = 0;
+
+    [[nodiscard]] bool ok() const noexcept { return regressions == 0; }
+};
+
+/// Compares `current` against `baseline` under `options`.
+[[nodiscard]] PerfDiff perf_diff(const PerfBaseline& baseline,
+                                 const PerfBaseline& current,
+                                 const PerfDiffOptions& options);
+
+}  // namespace qrn::tools

@@ -41,6 +41,16 @@
 // every N: randomness is drawn from per-index RNG streams and results
 // are merged in index order, so parallelism never changes the numbers.
 //
+// --metrics PATH arms the observability layer (src/obs) and, after the
+// command completes, writes a machine-readable run manifest to PATH:
+// wall time per traced phase (allocation, fleet_sim, incident_labelling,
+// eq1_verification, ...), every counter and timer, the jobs/seed the run
+// used and the build's git describe. The manifest structure is identical
+// for every --jobs value (docs/OBSERVABILITY.md documents the schema);
+// a phase summary table is printed to stderr through the report layer.
+// A manifest that cannot be written is an I/O error (exit 3): perf
+// evidence that silently fails to persist is worse than none.
+//
 // Evidence document format:
 //   {"kind":"qrn.evidence","exposure_hours":H,
 //    "events":[{"incident_type":"I1","events":N}, ...]}
@@ -54,7 +64,10 @@
 #include <vector>
 
 #include "exec/parallel.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
 #include "qrn/banding.h"
+#include "report/table.h"
 #include "qrn/qrn.h"
 #include "qrn/serialize.h"
 #include "safety_case/builder.h"
@@ -314,6 +327,7 @@ int cmd_allocate(const Args& args) {
         solver_by_name(args.option("--solver").value_or("water-filling"));
     const auto norm = load_norm(args);
     const auto types = load_types(args);
+    const obs::ScopedSpan span("allocation");
     const InjuryRiskModel model;
     const auto matrix =
         ContributionMatrix::from_injury_model(norm, types, model, {0.6, 0.4});
@@ -334,12 +348,19 @@ int cmd_verify(const Args& args) {
     const auto norm = load_norm(args);
     const auto types = load_types(args);
     const InjuryRiskModel model;
-    const auto matrix =
-        ContributionMatrix::from_injury_model(norm, types, model, {0.6, 0.4});
-    const AllocationProblem problem(norm, types, matrix);
-    const auto allocation = allocate_water_filling(problem);
+    std::optional<AllocationProblem> problem;
+    std::optional<Allocation> allocation;
+    {
+        const obs::ScopedSpan span("allocation");
+        const auto matrix =
+            ContributionMatrix::from_injury_model(norm, types, model, {0.6, 0.4});
+        problem.emplace(norm, types, matrix);
+        allocation.emplace(allocate_water_filling(*problem));
+    }
     const auto evidence = load_evidence(args);
-    const auto report = verify_against_evidence(problem, allocation, evidence, confidence);
+    const obs::ScopedSpan span("eq1_verification");
+    const auto report =
+        verify_against_evidence(*problem, *allocation, evidence, confidence);
     std::cout << to_json(report).dump(2) << '\n';
     return report.norm_fulfilled() ? 0 : 2;
 }
@@ -353,13 +374,22 @@ int cmd_simulate(const Args& args) {
     }
     const double hours = tools::parse_positive("--hours", args.require("--hours"));
     const unsigned jobs = parse_jobs(args);
-    const auto log = sim::FleetSimulator(config).run(hours, jobs);
+    sim::IncidentLog log;
+    {
+        const obs::ScopedSpan span("fleet_sim");
+        log = sim::FleetSimulator(config).run(hours, jobs);
+    }
     std::cerr << "encounters: " << log.encounters
               << ", incidents: " << log.incidents.size()
               << ", emergency brakings: " << log.emergency_brakings
               << ", induced: " << log.induced_count() << '\n';
     const auto types = IncidentTypeSet::paper_vru_example();
-    std::cout << evidence_to_json(log.evidence_for(types)).dump(2) << '\n';
+    std::vector<TypeEvidence> evidence;
+    {
+        const obs::ScopedSpan span("incident_labelling");
+        evidence = log.evidence_for(types);
+    }
+    std::cout << evidence_to_json(evidence).dump(2) << '\n';
     return 0;
 }
 
@@ -375,7 +405,11 @@ int cmd_campaign(const Args& args) {
     config.hours_per_fleet =
         tools::parse_positive("--hours", args.require("--hours"));
     config.jobs = parse_jobs(args);
-    const auto result = sim::run_campaign(config);
+    sim::CampaignResult result;
+    {
+        const obs::ScopedSpan span("fleet_sim");
+        result = sim::run_campaign(config);
+    }
     const auto summary = result.per_fleet_rate_summary();
     std::cerr << "fleets: " << result.logs.size()
               << ", total exposure: " << result.total_exposure.hours() << " h"
@@ -389,7 +423,12 @@ int cmd_campaign(const Args& args) {
                   << homogeneity.p_value << ")\n";
     }
     const auto types = IncidentTypeSet::paper_vru_example();
-    std::cout << evidence_to_json(result.pooled_evidence(types)).dump(2) << '\n';
+    std::vector<TypeEvidence> evidence;
+    {
+        const obs::ScopedSpan span("incident_labelling");
+        evidence = result.pooled_evidence(types);
+    }
+    std::cout << evidence_to_json(evidence).dump(2) << '\n';
     return 0;
 }
 
@@ -406,44 +445,67 @@ int cmd_pipeline(const Args& args) {
                   "cli pipeline norm");
     const auto types = IncidentTypeSet::paper_vru_example();
     const InjuryRiskModel model;
-    const auto matrix =
-        ContributionMatrix::from_injury_model(norm, types, model, {0.6, 0.4});
-    const AllocationProblem problem(norm, types, matrix);
-    const auto allocation = allocate_water_filling(problem);
-    const auto goals = SafetyGoalSet::derive(problem, allocation);
+    std::optional<AllocationProblem> problem;
+    std::optional<Allocation> allocation;
+    {
+        const obs::ScopedSpan span("allocation");
+        const auto matrix =
+            ContributionMatrix::from_injury_model(norm, types, model, {0.6, 0.4});
+        problem.emplace(norm, types, matrix);
+        allocation.emplace(allocate_water_filling(*problem));
+    }
+    const auto goals = SafetyGoalSet::derive(*problem, *allocation);
 
     sim::FleetConfig config;
     config.policy = sim::TacticalPolicy::cautious();
     config.seed = 2024;
-    const auto log = sim::FleetSimulator(config).run(hours, jobs);
-    const auto verification = verify_against_evidence(
-        problem, allocation, log.evidence_for(types), 0.95);
+    sim::IncidentLog log;
+    {
+        const obs::ScopedSpan span("fleet_sim");
+        log = sim::FleetSimulator(config).run(hours, jobs);
+    }
+    std::vector<TypeEvidence> evidence;
+    {
+        const obs::ScopedSpan span("incident_labelling");
+        evidence = log.evidence_for(types);
+    }
+    std::optional<VerificationReport> verification;
+    {
+        const obs::ScopedSpan span("eq1_verification");
+        verification.emplace(
+            verify_against_evidence(*problem, *allocation, evidence, 0.95));
+    }
 
     const auto tree = ClassificationTree::paper_example();
-    // Index-pure sampler: incident i is a function of stream(1, i) alone,
-    // so the MECE scan can run on any number of threads.
-    const auto mece = tree.certify_mece(
-        20000,
-        [](std::size_t i) {
-            stats::Rng rng = stats::Rng::stream(1, i);
-            Incident incident;
-            incident.second = actor_type_from_index(
-                static_cast<std::size_t>(rng.uniform_int(1, kActorTypeCount - 1)));
-            if (rng.bernoulli(0.5)) {
-                incident.mechanism = IncidentMechanism::NearMiss;
-                incident.min_distance_m = rng.uniform(0.0, 5.0);
-            }
-            incident.relative_speed_kmh = rng.uniform(0.0, 150.0);
-            return incident;
-        },
-        10, jobs);
+    std::optional<MeceReport> mece;
+    {
+        const obs::ScopedSpan span("mece_certification");
+        // Index-pure sampler: incident i is a function of stream(1, i)
+        // alone, so the MECE scan can run on any number of threads.
+        mece.emplace(tree.certify_mece(
+            20000,
+            [](std::size_t i) {
+                stats::Rng rng = stats::Rng::stream(1, i);
+                Incident incident;
+                incident.second = actor_type_from_index(static_cast<std::size_t>(
+                    rng.uniform_int(1, kActorTypeCount - 1)));
+                if (rng.bernoulli(0.5)) {
+                    incident.mechanism = IncidentMechanism::NearMiss;
+                    incident.min_distance_m = rng.uniform(0.0, 5.0);
+                }
+                incident.relative_speed_kmh = rng.uniform(0.0, 150.0);
+                return incident;
+            },
+            10, jobs));
+    }
 
+    const obs::ScopedSpan span("safety_case");
     safety_case::CaseInputs inputs;
-    inputs.problem = &problem;
-    inputs.allocation = &allocation;
+    inputs.problem = &*problem;
+    inputs.allocation = &*allocation;
     inputs.goals = &goals;
-    inputs.mece_certificate = &mece;
-    inputs.verification = &verification;
+    inputs.mece_certificate = &*mece;
+    inputs.verification = &*verification;
     const auto sc = safety_case::build_case(inputs);
     std::cout << (args.has("--markdown") ? sc.render_markdown() : sc.render());
     return sc.holds() ? 0 : 2;
@@ -453,10 +515,61 @@ int usage() {
     std::cerr << "usage: qrn <command> [options]\n"
               << "commands: norm-example | types-example | types-generate |\n"
               << "          allocate | verify | simulate | campaign | pipeline\n"
+              << "global options: --jobs N, --metrics PATH (run manifest)\n"
               << "exit codes: 0 ok, 1 usage/parse error, 2 norm not fulfilled,\n"
               << "            3 I/O error\n"
               << "see the file header of src/tools/qrn_cli.cpp for options\n";
     return 1;
+}
+
+#ifndef QRN_GIT_DESCRIBE
+#define QRN_GIT_DESCRIBE "unknown"
+#endif
+
+/// Captures the run's metrics into a manifest, writes it to `path`, and
+/// prints the phase summary to stderr through the report layer. Throws
+/// IoError (exit 3) when the manifest cannot be persisted.
+void write_metrics(const Args& args, const std::string& command,
+                   const std::string& path, std::uint64_t wall_ns) {
+    obs::Manifest manifest = obs::capture_manifest();
+    manifest.command = command;
+    manifest.git_describe = QRN_GIT_DESCRIBE;
+    manifest.jobs = parse_jobs(args);
+    if (const auto seed = args.option("--seed")) {
+        manifest.seed = tools::parse_u64("--seed", *seed);
+    }
+    manifest.wall_ns = wall_ns;
+    if (!obs::write_manifest(manifest, path)) {
+        throw IoError("cannot write metrics manifest " + path);
+    }
+
+    report::Table table({"phase", "wall ms", "share"});
+    table.set_align(1, report::Align::Right);
+    table.set_align(2, report::Align::Right);
+    for (const auto& phase : manifest.phases) {
+        const double ms = static_cast<double>(phase.wall_ns) / 1e6;
+        const double share = wall_ns > 0 ? static_cast<double>(phase.wall_ns) /
+                                               static_cast<double>(wall_ns)
+                                         : 0.0;
+        table.add_row({std::string(phase.depth * 2, ' ') + phase.name,
+                       report::fixed(ms, 2), report::percent(share)});
+    }
+    table.add_separator();
+    table.add_row({"total", report::fixed(static_cast<double>(wall_ns) / 1e6, 2),
+                   report::percent(wall_ns > 0 ? 1.0 : 0.0)});
+    std::cerr << '\n' << table.render() << "metrics manifest: " << path << '\n';
+}
+
+int dispatch(const Args& args, const std::string& command) {
+    if (command == "norm-example") return cmd_norm_example();
+    if (command == "types-example") return cmd_types_example();
+    if (command == "types-generate") return cmd_types_generate(args);
+    if (command == "allocate") return cmd_allocate(args);
+    if (command == "verify") return cmd_verify(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "campaign") return cmd_campaign(args);
+    if (command == "pipeline") return cmd_pipeline(args);
+    return usage();
 }
 
 }  // namespace
@@ -465,15 +578,23 @@ int main(int argc, char** argv) {
     const Args args(argc, argv);
     try {
         const std::string command = args.command();
-        if (command == "norm-example") return cmd_norm_example();
-        if (command == "types-example") return cmd_types_example();
-        if (command == "types-generate") return cmd_types_generate(args);
-        if (command == "allocate") return cmd_allocate(args);
-        if (command == "verify") return cmd_verify(args);
-        if (command == "simulate") return cmd_simulate(args);
-        if (command == "campaign") return cmd_campaign(args);
-        if (command == "pipeline") return cmd_pipeline(args);
-        return usage();
+        const auto metrics_path = args.option("--metrics");
+        if (metrics_path && metrics_path->empty()) {
+            throw ParseError("--metrics", *metrics_path, "a writable file path");
+        }
+        std::uint64_t start_ns = 0;
+        if (metrics_path) {
+            obs::set_enabled(true);
+            start_ns = obs::now_ns();
+        }
+        const int code = dispatch(args, command);
+        // A usage error (1) never ran the workload, so there is nothing to
+        // persist; code 2 (norm not fulfilled) is still a completed,
+        // measured run and gets its manifest.
+        if (metrics_path && code != 1) {
+            write_metrics(args, command, *metrics_path, obs::now_ns() - start_ns);
+        }
+        return code;
     } catch (const IoError& error) {
         std::cerr << "qrn: " << error.what() << '\n';
         return 3;

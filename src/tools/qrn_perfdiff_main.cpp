@@ -1,0 +1,145 @@
+// qrn-perfdiff - gate a perf_microbench run against a tracked baseline.
+//
+//   qrn-perfdiff <baseline.json> <current.json> [--threshold PCT]
+//                [--min-ns NS]
+//
+// Both files use the BENCH_perf.json format perf_microbench writes. The
+// comparison table is printed to stdout through the report layer; CI runs
+// this after the bench job to turn the committed repo-root
+// BENCH_perf.json into an enforced regression gate (docs/OBSERVABILITY.md).
+//
+// Options:
+//   --threshold PCT  allowed ns/op increase in percent (default 10);
+//                    finite, > 0
+//   --min-ns NS      ignore baseline entries faster than NS nanoseconds
+//                    (noise floor; default 0)
+//
+// Exit-code contract (same shape as the qrn CLI; scripts rely on it):
+//   0  every benchmark within threshold (improvements and new entries ok)
+//   1  usage or parse error (bad flag value, malformed baseline JSON)
+//   2  at least one benchmark regressed beyond the threshold or went
+//      missing from the current run
+//   3  I/O error: an input file cannot be opened or read
+#include <fstream>
+// qrn-lint: allow(iostream-in-lib) CLI entry point: stdout/stderr is the product surface
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "report/table.h"
+#include "tools/parse.h"
+#include "tools/perfdiff.h"
+
+namespace {
+
+using qrn::tools::ParseError;
+
+class IoError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+std::string read_file(const std::string& path) {
+    std::ifstream f(path);
+    if (!f) throw IoError("cannot open " + path);
+    std::stringstream buffer;
+    buffer << f.rdbuf();
+    if (f.bad()) throw IoError("read failed for " + path);
+    return buffer.str();
+}
+
+qrn::tools::PerfBaseline load_baseline(const std::string& path) {
+    const std::string text = read_file(path);
+    try {
+        return qrn::tools::perf_baseline_from_json(qrn::json::parse(text));
+    } catch (const std::exception& error) {
+        throw std::runtime_error(path + ": " + error.what());
+    }
+}
+
+int usage() {
+    std::cerr << "usage: qrn-perfdiff <baseline.json> <current.json>\n"
+              << "                    [--threshold PCT] [--min-ns NS]\n"
+              << "exit codes: 0 ok, 1 usage/parse error, 2 perf regression,\n"
+              << "            3 I/O error\n";
+    return 1;
+}
+
+std::string format_ns(double ns) {
+    return ns > 0.0 ? qrn::report::fixed(ns, 1) : std::string("-");
+}
+
+std::string format_delta(const qrn::tools::PerfRow& row) {
+    if (row.base_ns <= 0.0 || row.cur_ns <= 0.0) return "-";
+    const std::string pct = qrn::report::fixed(row.delta_pct, 1) + "%";
+    return row.delta_pct > 0.0 ? "+" + pct : pct;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        std::vector<std::string> positional;
+        qrn::tools::PerfDiffOptions options;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--threshold" || arg == "--min-ns") {
+                if (i + 1 >= argc) {
+                    throw ParseError(arg, "", "a value after the flag");
+                }
+                const std::string value = argv[++i];
+                if (arg == "--threshold") {
+                    options.threshold_pct = qrn::tools::parse_positive(arg, value);
+                } else {
+                    options.min_ns = qrn::tools::parse_f64(arg, value);
+                    if (options.min_ns < 0.0) {
+                        throw ParseError(arg, value, "a non-negative duration in ns");
+                    }
+                }
+            } else if (!arg.empty() && arg[0] == '-') {
+                throw ParseError(arg, "", "a known flag (--threshold, --min-ns)");
+            } else {
+                positional.push_back(arg);
+            }
+        }
+        if (positional.size() != 2) return usage();
+
+        const auto baseline = load_baseline(positional[0]);
+        const auto current = load_baseline(positional[1]);
+        const auto diff = qrn::tools::perf_diff(baseline, current, options);
+
+        qrn::report::Table table({"benchmark", "base ns/op", "cur ns/op",
+                                  "delta", "status"});
+        for (std::size_t column : {1ul, 2ul, 3ul}) {
+            table.set_align(column, qrn::report::Align::Right);
+        }
+        for (const auto& row : diff.rows) {
+            table.add_row({row.name, format_ns(row.base_ns), format_ns(row.cur_ns),
+                           format_delta(row), qrn::tools::to_string(row.status)});
+        }
+        std::cout << table.render();
+        if (!diff.ok()) {
+            std::cerr << "qrn-perfdiff: " << diff.regressions
+                      << " benchmark(s) regressed beyond "
+                      << qrn::report::fixed(options.threshold_pct, 1)
+                      << "% (or went missing) vs " << positional[0] << '\n';
+            return 2;
+        }
+        std::cout << "qrn-perfdiff: " << diff.rows.size()
+                  << " benchmark(s) within "
+                  << qrn::report::fixed(options.threshold_pct, 1)
+                  << "% of baseline\n";
+        return 0;
+    } catch (const IoError& error) {
+        std::cerr << "qrn-perfdiff: " << error.what() << '\n';
+        return 3;
+    } catch (const ParseError& error) {
+        std::cerr << "qrn-perfdiff: " << error.what() << '\n';
+        return 1;
+    } catch (const std::exception& error) {
+        std::cerr << "qrn-perfdiff: " << error.what() << '\n';
+        return 1;
+    }
+}

@@ -1,9 +1,11 @@
 // End-to-end tests of the qrn CLI binary: each subcommand runs, emits the
 // documented JSON, and the allocate->verify file flow closes.
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -363,6 +365,108 @@ TEST(Cli, PipelineRunsEndToEnd) {
     EXPECT_EQ(result.exit_code, 0) << result.output;
     EXPECT_NE(result.output.find("Safety case"), std::string::npos);
     EXPECT_NE(result.output.find("SG-I2"), std::string::npos);
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream f(path);
+    EXPECT_TRUE(f.is_open()) << path;
+    return {std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>()};
+}
+
+std::vector<std::string> names_of(const qrn::json::Value& doc, const char* key) {
+    std::vector<std::string> out;
+    for (const auto& item : doc.at(key).as_array()) {
+        out.push_back(item.at("name").as_string());
+    }
+    return out;
+}
+
+bool contains(const std::vector<std::string>& names, const std::string& want) {
+    return std::find(names.begin(), names.end(), want) != names.end();
+}
+
+TEST(Cli, MetricsManifestWrittenAndValid) {
+    const std::string metrics_path = temp_path("metrics.json");
+    const auto result = run_cli("simulate --hours 20 --seed 5 --jobs 2 --metrics " +
+                                metrics_path);
+    ASSERT_EQ(result.exit_code, 0);
+    // stdout is still the evidence document; the manifest goes to the file
+    // and the human summary to stderr.
+    EXPECT_EQ(qrn::json::parse(result.output).at("kind").as_string(),
+              "qrn.evidence");
+
+    const auto doc = qrn::json::parse(read_file(metrics_path));
+    EXPECT_EQ(doc.at("kind").as_string(), "qrn.metrics");
+    EXPECT_EQ(doc.at("schema_version").as_number(), 1.0);
+    EXPECT_EQ(doc.at("command").as_string(), "simulate");
+    EXPECT_EQ(doc.at("jobs").as_number(), 2.0);
+    EXPECT_EQ(doc.at("seed").as_number(), 5.0);
+    EXPECT_GT(doc.at("wall_ns").as_number(), 0.0);
+
+    EXPECT_TRUE(contains(names_of(doc, "phases"), "fleet_sim"));
+    EXPECT_TRUE(contains(names_of(doc, "phases"), "incident_labelling"));
+    EXPECT_TRUE(contains(names_of(doc, "counters"), "sim.encounters"));
+    EXPECT_TRUE(contains(names_of(doc, "counters"), "exec.chunks_executed"));
+    EXPECT_TRUE(contains(names_of(doc, "timers"), "exec.chunk_ns"));
+    std::remove(metrics_path.c_str());
+}
+
+TEST(Cli, MetricsStructureIndependentOfJobs) {
+    // Acceptance criterion: the manifest's structure (phase/counter/timer
+    // names and order) is identical for every --jobs value; simulation
+    // counters (schedule-independent sums) match exactly.
+    const std::string serial_path = temp_path("metrics_j1.json");
+    const std::string parallel_path = temp_path("metrics_j3.json");
+    ASSERT_EQ(run_cli("campaign --fleets 3 --hours 10 --seed 9 --jobs 1 --metrics " +
+                      serial_path)
+                  .exit_code,
+              0);
+    ASSERT_EQ(run_cli("campaign --fleets 3 --hours 10 --seed 9 --jobs 3 --metrics " +
+                      parallel_path)
+                  .exit_code,
+              0);
+    const auto serial = qrn::json::parse(read_file(serial_path));
+    const auto parallel = qrn::json::parse(read_file(parallel_path));
+
+    for (const char* section : {"phases", "counters", "timers"}) {
+        EXPECT_EQ(names_of(serial, section), names_of(parallel, section)) << section;
+    }
+    // sim.* counters aggregate schedule-independent quantities, so their
+    // values (not just names) must agree across worker counts.
+    const auto& serial_counters = serial.at("counters").as_array();
+    const auto& parallel_counters = parallel.at("counters").as_array();
+    ASSERT_EQ(serial_counters.size(), parallel_counters.size());
+    for (std::size_t i = 0; i < serial_counters.size(); ++i) {
+        const std::string name = serial_counters[i].at("name").as_string();
+        if (name.rfind("sim.", 0) != 0) continue;
+        EXPECT_EQ(serial_counters[i].at("value").as_number(),
+                  parallel_counters[i].at("value").as_number())
+            << name;
+    }
+    std::remove(serial_path.c_str());
+    std::remove(parallel_path.c_str());
+}
+
+TEST(Cli, MetricsUnwritablePathIsIoError) {
+    const auto result = run_cli_stderr(
+        "simulate --hours 5 --seed 1 --metrics /nonexistent-qrn-dir/m.json");
+    EXPECT_EQ(result.exit_code, 3);
+    EXPECT_NE(result.output.find("/nonexistent-qrn-dir/m.json"), std::string::npos)
+        << result.output;
+}
+
+TEST(Cli, MetricsEmptyValueIsParseError) {
+    EXPECT_EQ(run_cli("simulate --hours 5 --metrics \"\"").exit_code, 1);
+}
+
+TEST(Cli, MetricsNotWrittenOnUsageError) {
+    // A usage error (exit 1) never ran the workload, so no manifest may
+    // appear - half-measured evidence would be misleading.
+    const std::string metrics_path = temp_path("metrics_unused.json");
+    std::remove(metrics_path.c_str());
+    EXPECT_EQ(run_cli("simulate --metrics " + metrics_path).exit_code, 1);
+    std::ifstream f(metrics_path);
+    EXPECT_FALSE(f.is_open());
 }
 
 TEST(Cli, PipelineMarkdownVariant) {

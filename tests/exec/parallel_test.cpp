@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace qrn::exec {
 namespace {
@@ -114,6 +115,107 @@ TEST(ParallelFor, NestedCallsFallBackToSerialWithoutDeadlock) {
 }
 
 TEST(DefaultJobs, AtLeastOne) { EXPECT_GE(default_jobs(), 1u); }
+
+// ---- behaviour pins with instrumentation armed -------------------------
+//
+// The observability layer must not change what parallel_for does, and the
+// instrumentation itself must declare the same metric names on every
+// execution path so --metrics manifests are structurally identical for
+// any --jobs value (obs/metrics.h "deterministic structure" rule).
+
+/// Arms the obs registry for one test and restores the disabled default.
+struct MetricsArmed {
+    MetricsArmed() {
+        obs::reset();
+        obs::set_enabled(true);
+    }
+    ~MetricsArmed() {
+        obs::set_enabled(false);
+        obs::reset();
+    }
+};
+
+std::vector<std::string> metric_names() {
+    std::vector<std::string> names;
+    for (const auto& c : obs::counters_snapshot()) names.push_back(c.name);
+    for (const auto& t : obs::timers_snapshot()) names.push_back(t.name);
+    return names;
+}
+
+std::uint64_t counter_value(const std::string& name) {
+    for (const auto& c : obs::counters_snapshot()) {
+        if (c.name == name) return c.value;
+    }
+    return 0;
+}
+
+TEST(ParallelForMetrics, JobsGreaterThanCountStillVisitsOnce) {
+    const MetricsArmed armed;
+    std::vector<std::atomic<int>> visits(3);
+    parallel_for(16, visits.size(), [&](const ChunkRange& chunk) {
+        for (std::size_t i = chunk.begin; i < chunk.end; ++i) {
+            visits[i].fetch_add(1);
+        }
+    });
+    for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+    // chunk_ranges caps the chunk count at the element count.
+    EXPECT_EQ(counter_value("exec.chunks_executed"), 3u);
+}
+
+TEST(ParallelForMetrics, ZeroCountIsANoOpAndRecordsNothing) {
+    const MetricsArmed armed;
+    bool called = false;
+    parallel_for(4, 0, [&](const ChunkRange&) { called = true; });
+    EXPECT_FALSE(called);
+    // An empty range returns before touching the registry; the manifest
+    // structure of a run is governed by the non-empty calls it makes.
+    EXPECT_TRUE(obs::counters_snapshot().empty());
+    EXPECT_TRUE(obs::timers_snapshot().empty());
+}
+
+TEST(ParallelForMetrics, NestedOnWorkerFallsBackToSerialAndCounts) {
+    const MetricsArmed armed;
+    std::atomic<int> inner_total{0};
+    parallel_for(4, 8, [&](const ChunkRange& outer) {
+        parallel_for(4, 16, [&](const ChunkRange& inner) {
+            inner_total.fetch_add(static_cast<int>(inner.end - inner.begin));
+        });
+        (void)outer;
+    });
+    const auto outer_chunks = chunk_ranges(4, 8).size();
+    EXPECT_EQ(inner_total.load(), static_cast<int>(outer_chunks) * 16);
+    // Nested calls took the serial path on their worker; each executed
+    // serial chunk is counted in both chunks_serial and chunks_executed.
+    EXPECT_GE(counter_value("exec.chunks_serial"), outer_chunks);
+    EXPECT_GE(counter_value("exec.chunks_executed"),
+              counter_value("exec.chunks_serial"));
+}
+
+TEST(ParallelForMetrics, MetricNamesIdenticalAcrossJobs) {
+    // The acceptance criterion behind --metrics: the *set* of metric
+    // names is schedule-independent, serial path included.
+    std::vector<std::string> serial_names;
+    {
+        const MetricsArmed armed;
+        parallel_for(1, 64, [](const ChunkRange&) {});
+        serial_names = metric_names();
+    }
+    ASSERT_FALSE(serial_names.empty());
+    for (const unsigned jobs : {2u, 7u}) {
+        const MetricsArmed armed;
+        parallel_for(jobs, 64, [](const ChunkRange&) {});
+        EXPECT_EQ(metric_names(), serial_names) << "jobs=" << jobs;
+    }
+}
+
+TEST(ParallelMapMetrics, ResultsUnchangedByInstrumentation) {
+    const std::function<int(std::size_t)> square = [](std::size_t i) {
+        return static_cast<int>(i * i);
+    };
+    const auto bare = parallel_map<int>(4, 100, square);
+    const MetricsArmed armed;
+    EXPECT_EQ(parallel_map<int>(4, 100, square), bare);
+}
 
 }  // namespace
 }  // namespace qrn::exec

@@ -100,6 +100,13 @@ TEST(RuleThreadDiscipline, FlagsStdThreadOutsideExec) {
                          "thread-discipline"));
 }
 
+TEST(RuleThreadDiscipline, CoversTheObservabilityLayer) {
+    // src/obs promises "no std::thread" (obs/metrics.h design rules); only
+    // src/exec/ is exempt, so the linter must keep obs honest.
+    EXPECT_TRUE(has_rule(lint_source("src/obs/metrics.cpp", "std::thread t(work);"),
+                         "thread-discipline"));
+}
+
 TEST(RuleThreadDiscipline, AllowedInExecAndForThisThread) {
     EXPECT_FALSE(has_rule(
         lint_source("src/exec/thread_pool.cpp", "workers_.emplace_back(std::thread(w));"),
@@ -173,6 +180,13 @@ TEST(RuleIostreamInLib, FlagsLibraryCodeOnly) {
                           "iostream-in-lib"));
     EXPECT_FALSE(has_rule(lint_source("src/report/t.cpp", "#include <ostream>\n"),
                           "iostream-in-lib"));
+}
+
+TEST(RuleIostreamInLib, CoversTheObservabilityLayer) {
+    // src/obs promises "no <iostream>" (obs/metrics.h design rules);
+    // serialization goes through obs/manifest.h and the report layer.
+    EXPECT_TRUE(has_rule(lint_source("src/obs/manifest.cpp", "#include <iostream>\n"),
+                         "iostream-in-lib"));
 }
 
 // ---- throw-message -----------------------------------------------------

@@ -1,0 +1,124 @@
+// Manifest serialization: the hand-rolled JSON emitter must produce
+// strict RFC 8259 documents that qrn::json::parse round-trips, with the
+// documented schema and ordering (phases in start order, counters/timers
+// by name), and write_manifest must report I/O failure instead of
+// silently dropping evidence.
+#include "obs/manifest.h"
+
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "qrn/json.h"
+
+namespace qrn::obs {
+namespace {
+
+Manifest example_manifest() {
+    Manifest m;
+    m.command = "campaign";
+    m.git_describe = "v1.2-3-gabc";
+    m.jobs = 4;
+    m.seed = 42;
+    m.wall_ns = 123456789;
+    m.phases = {{"fleet_sim", 1000, 0}, {"incident_labelling", 500, 0}};
+    m.counters = {{"sim.encounters", 878}, {"sim.incidents", 6}};
+    m.timers = {{"exec.chunk_ns", 8, 4000}};
+    return m;
+}
+
+TEST(Manifest, RoundTripsThroughJsonParser) {
+    const auto doc = qrn::json::parse(manifest_json(example_manifest()));
+    EXPECT_EQ(doc.at("kind").as_string(), "qrn.metrics");
+    EXPECT_EQ(doc.at("schema_version").as_number(), 1.0);
+    EXPECT_EQ(doc.at("command").as_string(), "campaign");
+    EXPECT_EQ(doc.at("git_describe").as_string(), "v1.2-3-gabc");
+    EXPECT_EQ(doc.at("jobs").as_number(), 4.0);
+    EXPECT_EQ(doc.at("seed").as_number(), 42.0);
+    EXPECT_EQ(doc.at("wall_ns").as_number(), 123456789.0);
+
+    const auto& phases = doc.at("phases").as_array();
+    ASSERT_EQ(phases.size(), 2u);
+    EXPECT_EQ(phases[0].at("name").as_string(), "fleet_sim");
+    EXPECT_EQ(phases[0].at("depth").as_number(), 0.0);
+    EXPECT_EQ(phases[0].at("wall_ns").as_number(), 1000.0);
+    EXPECT_EQ(phases[1].at("name").as_string(), "incident_labelling");
+
+    const auto& counters = doc.at("counters").as_array();
+    ASSERT_EQ(counters.size(), 2u);
+    EXPECT_EQ(counters[0].at("name").as_string(), "sim.encounters");
+    EXPECT_EQ(counters[0].at("value").as_number(), 878.0);
+
+    const auto& timers = doc.at("timers").as_array();
+    ASSERT_EQ(timers.size(), 1u);
+    EXPECT_EQ(timers[0].at("name").as_string(), "exec.chunk_ns");
+    EXPECT_EQ(timers[0].at("count").as_number(), 8.0);
+    EXPECT_EQ(timers[0].at("total_ns").as_number(), 4000.0);
+}
+
+TEST(Manifest, SeedOmittedWhenAbsent) {
+    Manifest m = example_manifest();
+    m.seed.reset();
+    const auto doc = qrn::json::parse(manifest_json(m));
+    EXPECT_FALSE(doc.contains("seed"));
+}
+
+TEST(Manifest, EmptySectionsStayValidJson) {
+    Manifest m;
+    m.command = "verify";
+    const auto doc = qrn::json::parse(manifest_json(m));
+    EXPECT_TRUE(doc.at("phases").as_array().empty());
+    EXPECT_TRUE(doc.at("counters").as_array().empty());
+    EXPECT_TRUE(doc.at("timers").as_array().empty());
+    EXPECT_FALSE(doc.contains("seed"));
+}
+
+TEST(Manifest, EscapesHostileStringsPerRfc8259) {
+    Manifest m;
+    m.command = "quote \" backslash \\ newline \n tab \t bell \x01 end";
+    m.git_describe = "dirty\r\"build\"";
+    const auto doc = qrn::json::parse(manifest_json(m));
+    EXPECT_EQ(doc.at("command").as_string(), m.command);
+    EXPECT_EQ(doc.at("git_describe").as_string(), m.git_describe);
+}
+
+TEST(Manifest, CaptureManifestSnapshotsTheRegistry) {
+    reset();
+    set_enabled(true);
+    add_counter("z.last", 3);
+    add_counter("a.first", 1);
+    record_timer("t.timer", 10);
+    { const ScopedSpan phase("phase_a"); }
+    const Manifest m = capture_manifest();
+    set_enabled(false);
+    reset();
+
+    ASSERT_EQ(m.counters.size(), 2u);
+    EXPECT_EQ(m.counters[0].name, "a.first");  // name-ordered
+    EXPECT_EQ(m.counters[1].name, "z.last");
+    ASSERT_EQ(m.timers.size(), 1u);
+    EXPECT_EQ(m.timers[0].count, 1u);
+    ASSERT_EQ(m.phases.size(), 1u);
+    EXPECT_EQ(m.phases[0].name, "phase_a");
+}
+
+TEST(Manifest, WriteManifestReportsUnwritablePath) {
+    EXPECT_FALSE(write_manifest(example_manifest(),
+                                "/nonexistent-dir-qrn/metrics.json"));
+}
+
+TEST(Manifest, WriteManifestPersistsParseableDocument) {
+    const std::string path = ::testing::TempDir() + "qrn_obs_manifest.json";
+    ASSERT_TRUE(write_manifest(example_manifest(), path));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    const auto doc = qrn::json::parse(text);
+    EXPECT_EQ(doc.at("kind").as_string(), "qrn.metrics");
+}
+
+}  // namespace
+}  // namespace qrn::obs

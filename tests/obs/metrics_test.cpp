@@ -1,0 +1,186 @@
+// Registry semantics: counter/max/timer aggregation, name-ordered
+// snapshots, span nesting and abandonment, RAII disarm when disabled, and
+// aggregation across shared-pool workers (the TSan CI job runs this
+// binary, so the worker test doubles as the data-race check).
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/parallel.h"
+
+namespace qrn::obs {
+namespace {
+
+/// Every test starts from an empty, armed registry and leaves the global
+/// state disarmed so unrelated test binaries in this process see the
+/// documented default (disabled).
+class ObsTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        reset();
+        set_enabled(true);
+    }
+    void TearDown() override {
+        set_enabled(false);
+        reset();
+    }
+};
+
+TEST_F(ObsTest, NowNsIsMonotonic) {
+    std::uint64_t previous = now_ns();
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t current = now_ns();
+        ASSERT_GE(current, previous);
+        previous = current;
+    }
+}
+
+TEST_F(ObsTest, CountersSumAndZeroDeltaDeclares) {
+    add_counter("b.second", 2);
+    add_counter("a.first", 0);  // declaration only
+    add_counter("b.second", 3);
+    const auto counters = counters_snapshot();
+    ASSERT_EQ(counters.size(), 2u);
+    EXPECT_EQ(counters[0].name, "a.first");  // name-ordered, not insert-ordered
+    EXPECT_EQ(counters[0].value, 0u);
+    EXPECT_EQ(counters[1].name, "b.second");
+    EXPECT_EQ(counters[1].value, 5u);
+}
+
+TEST_F(ObsTest, RecordMaxKeepsTheLargestValue) {
+    record_max("gauge", 0);
+    record_max("gauge", 7);
+    record_max("gauge", 3);
+    const auto counters = counters_snapshot();
+    ASSERT_EQ(counters.size(), 1u);
+    EXPECT_EQ(counters[0].value, 7u);
+}
+
+TEST_F(ObsTest, TimersAggregateCountAndTotal) {
+    declare_timer("declared");
+    record_timer("used", 10);
+    record_timer("used", 32);
+    const auto timers = timers_snapshot();
+    ASSERT_EQ(timers.size(), 2u);
+    EXPECT_EQ(timers[0].name, "declared");
+    EXPECT_EQ(timers[0].count, 0u);
+    EXPECT_EQ(timers[0].total_ns, 0u);
+    EXPECT_EQ(timers[1].name, "used");
+    EXPECT_EQ(timers[1].count, 2u);
+    EXPECT_EQ(timers[1].total_ns, 42u);
+}
+
+TEST_F(ObsTest, ScopedTimerRecordsNonDecreasingWallTime) {
+    // Monotonicity, not absolute duration: the recorded value must be
+    // >= 0 and never shrink a timer's running total.
+    {
+        const ScopedTimer timer("scoped");
+    }
+    auto timers = timers_snapshot();
+    ASSERT_EQ(timers.size(), 1u);
+    EXPECT_EQ(timers[0].count, 1u);
+    const std::uint64_t first_total = timers[0].total_ns;
+    {
+        const ScopedTimer timer("scoped");
+        // Burn a little wall clock so the second recording is non-zero on
+        // coarse clocks too.
+        volatile std::uint64_t sink = 0;
+        for (int i = 0; i < 10000; ++i) {
+            sink = sink + static_cast<std::uint64_t>(i);
+        }
+    }
+    timers = timers_snapshot();
+    ASSERT_EQ(timers.size(), 1u);
+    EXPECT_EQ(timers[0].count, 2u);
+    EXPECT_GE(timers[0].total_ns, first_total);
+}
+
+TEST_F(ObsTest, ScopedTimerDisarmedWhenDisabled) {
+    set_enabled(false);
+    {
+        const ScopedTimer timer("ghost");
+    }
+    set_enabled(true);
+    EXPECT_TRUE(timers_snapshot().empty());
+}
+
+TEST_F(ObsTest, SpansKeepStartOrderAndNestingDepth) {
+    {
+        const ScopedSpan outer("outer");
+        { const ScopedSpan inner("inner"); }
+        { const ScopedSpan sibling("sibling"); }
+    }
+    const auto spans = spans_snapshot();
+    ASSERT_EQ(spans.size(), 3u);
+    EXPECT_EQ(spans[0].name, "outer");
+    EXPECT_EQ(spans[0].depth, 0u);
+    EXPECT_EQ(spans[1].name, "inner");
+    EXPECT_EQ(spans[1].depth, 1u);
+    EXPECT_EQ(spans[2].name, "sibling");
+    EXPECT_EQ(spans[2].depth, 1u);
+    // The outer span must cover both children.
+    EXPECT_GE(spans[0].wall_ns, spans[1].wall_ns);
+    EXPECT_GE(spans[0].wall_ns, spans[2].wall_ns);
+}
+
+TEST_F(ObsTest, OpenSpanReportsElapsedSoFar) {
+    const ScopedSpan open("still-running");
+    const auto spans = spans_snapshot();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].name, "still-running");
+    // Elapsed-so-far, which a later snapshot can only grow.
+    const auto again = spans_snapshot();
+    EXPECT_GE(again[0].wall_ns, spans[0].wall_ns);
+}
+
+TEST_F(ObsTest, ResetAbandonsOpenSpansWithoutCrashing) {
+    // A reset() between a span's construction and destruction must leave
+    // the registry consistent - the destructor finds its slot gone.
+    {
+        const ScopedSpan span("abandoned");
+        reset();
+    }
+    EXPECT_TRUE(spans_snapshot().empty());
+    // And the depth counter restarted from zero.
+    { const ScopedSpan fresh("fresh"); }
+    const auto spans = spans_snapshot();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].depth, 0u);
+}
+
+TEST_F(ObsTest, ResetClearsEverything) {
+    add_counter("c", 1);
+    record_timer("t", 1);
+    { const ScopedSpan s("s"); }
+    reset();
+    EXPECT_TRUE(counters_snapshot().empty());
+    EXPECT_TRUE(timers_snapshot().empty());
+    EXPECT_TRUE(spans_snapshot().empty());
+}
+
+TEST_F(ObsTest, CountersAggregateAcrossPoolWorkers) {
+    // Every chunk of a parallel_for adds its element count from a worker
+    // thread; the sum is schedule-independent. Under TSan this also pins
+    // that the registry lock really covers concurrent recording.
+    constexpr std::size_t kCount = 1000;
+    for (const unsigned jobs : {1u, 4u, 7u}) {
+        reset();
+        exec::parallel_for(jobs, kCount, [](const exec::ChunkRange& chunk) {
+            add_counter("test.items", chunk.end - chunk.begin);
+            record_timer("test.chunk", 1);
+            record_max("test.chunk_size", chunk.end - chunk.begin);
+        });
+        std::uint64_t items = 0;
+        for (const auto& c : counters_snapshot()) {
+            if (c.name == "test.items") items = c.value;
+        }
+        EXPECT_EQ(items, kCount) << "jobs=" << jobs;
+    }
+}
+
+}  // namespace
+}  // namespace qrn::obs

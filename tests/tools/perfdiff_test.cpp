@@ -1,0 +1,194 @@
+// Perf-baseline diff semantics: the threshold gate CI relies on. Library
+// tests pin classification (ok/improved/regressed/missing/new/skipped)
+// and the strict baseline grammar; binary tests pin the qrn-perfdiff
+// exit-code contract the CI bench job scripts against.
+#include "tools/perfdiff.h"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "qrn/json.h"
+
+namespace qrn::tools {
+namespace {
+
+PerfBaseline baseline_of(const std::string& json_text) {
+    return perf_baseline_from_json(qrn::json::parse(json_text));
+}
+
+PerfEntry entry(const std::string& name, double ns) {
+    PerfEntry e;
+    e.name = name;
+    e.ns_per_op = ns;
+    return e;
+}
+
+const PerfRow* row_named(const PerfDiff& diff, const std::string& name) {
+    for (const PerfRow& row : diff.rows) {
+        if (row.name == name) return &row;
+    }
+    return nullptr;
+}
+
+// ---- baseline grammar --------------------------------------------------
+
+TEST(PerfBaseline, ParsesTheMicrobenchFormat) {
+    const auto baseline = baseline_of(
+        R"({"benchmarks":[
+             {"name":"BM_A","ns_per_op":100.0,"items_per_second":1e7},
+             {"name":"BM_B","ns_per_op":2.5}]})");
+    ASSERT_EQ(baseline.benchmarks.size(), 2u);
+    EXPECT_EQ(baseline.benchmarks[0].name, "BM_A");
+    EXPECT_DOUBLE_EQ(baseline.benchmarks[0].ns_per_op, 100.0);
+    EXPECT_DOUBLE_EQ(baseline.benchmarks[0].items_per_second, 1e7);
+    EXPECT_EQ(baseline.benchmarks[1].name, "BM_B");
+}
+
+TEST(PerfBaseline, RejectsMalformedDocuments) {
+    EXPECT_THROW(baseline_of(R"([1,2,3])"), std::runtime_error);
+    EXPECT_THROW(baseline_of(R"({"context":{}})"), std::runtime_error);
+    EXPECT_THROW(baseline_of(R"({"benchmarks":[{"ns_per_op":1.0}]})"),
+                 std::runtime_error);
+    EXPECT_THROW(baseline_of(R"({"benchmarks":[{"name":"","ns_per_op":1.0}]})"),
+                 std::runtime_error);
+    EXPECT_THROW(baseline_of(R"({"benchmarks":[{"name":"BM_A"}]})"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        baseline_of(R"({"benchmarks":[{"name":"BM_A","ns_per_op":-1.0}]})"),
+        std::runtime_error);
+    // Duplicate names would make the diff ambiguous.
+    EXPECT_THROW(baseline_of(R"({"benchmarks":[
+                   {"name":"BM_A","ns_per_op":1.0},
+                   {"name":"BM_A","ns_per_op":2.0}]})"),
+                 std::runtime_error);
+}
+
+// ---- diff classification -----------------------------------------------
+
+TEST(PerfDiff, ClassifiesEveryStatus) {
+    PerfBaseline base;
+    base.benchmarks = {entry("ok", 100), entry("regressed", 100),
+                       entry("improved", 100), entry("missing", 100),
+                       entry("noise", 5)};
+    PerfBaseline cur;
+    cur.benchmarks = {entry("ok", 105), entry("regressed", 150),
+                      entry("improved", 50), entry("noise", 50),
+                      entry("brand_new", 10)};
+    PerfDiffOptions options;
+    options.threshold_pct = 10.0;
+    options.min_ns = 10.0;  // "noise" sits below the floor
+    const auto diff = perf_diff(base, cur, options);
+
+    EXPECT_EQ(row_named(diff, "ok")->status, PerfStatus::Ok);
+    EXPECT_EQ(row_named(diff, "regressed")->status, PerfStatus::Regressed);
+    EXPECT_EQ(row_named(diff, "improved")->status, PerfStatus::Improved);
+    EXPECT_EQ(row_named(diff, "missing")->status, PerfStatus::Missing);
+    EXPECT_EQ(row_named(diff, "noise")->status, PerfStatus::Skipped);
+    EXPECT_EQ(row_named(diff, "brand_new")->status, PerfStatus::New);
+    // Regressed + missing both gate; improved/new/skipped do not.
+    EXPECT_EQ(diff.regressions, 2u);
+    EXPECT_FALSE(diff.ok());
+}
+
+TEST(PerfDiff, ThresholdBoundaryIsExclusive) {
+    // Exactly +threshold% must pass: the gate fires on "beyond", so a
+    // run landing on the line does not flap.
+    PerfBaseline base;
+    base.benchmarks = {entry("BM", 100)};
+    PerfBaseline cur;
+    cur.benchmarks = {entry("BM", 110)};
+    PerfDiffOptions options;
+    options.threshold_pct = 10.0;
+    const auto diff = perf_diff(base, cur, options);
+    EXPECT_EQ(diff.rows[0].status, PerfStatus::Ok);
+    EXPECT_TRUE(diff.ok());
+}
+
+TEST(PerfDiff, DeltaPercentIsRelativeToBaseline) {
+    PerfBaseline base;
+    base.benchmarks = {entry("BM", 200)};
+    PerfBaseline cur;
+    cur.benchmarks = {entry("BM", 250)};
+    const auto diff = perf_diff(base, cur, PerfDiffOptions{});
+    EXPECT_DOUBLE_EQ(diff.rows[0].delta_pct, 25.0);
+}
+
+TEST(PerfDiff, IdenticalBaselinesAreClean) {
+    PerfBaseline base;
+    base.benchmarks = {entry("BM_A", 100), entry("BM_B", 42)};
+    const auto diff = perf_diff(base, base, PerfDiffOptions{});
+    EXPECT_TRUE(diff.ok());
+    EXPECT_EQ(diff.regressions, 0u);
+    for (const auto& row : diff.rows) EXPECT_EQ(row.status, PerfStatus::Ok);
+}
+
+TEST(PerfDiff, RowsKeepBaselineOrderWithNewAppended) {
+    PerfBaseline base;
+    base.benchmarks = {entry("b", 1), entry("a", 1)};
+    PerfBaseline cur;
+    cur.benchmarks = {entry("zz_new", 1), entry("a", 1), entry("b", 1)};
+    const auto diff = perf_diff(base, cur, PerfDiffOptions{});
+    ASSERT_EQ(diff.rows.size(), 3u);
+    EXPECT_EQ(diff.rows[0].name, "b");
+    EXPECT_EQ(diff.rows[1].name, "a");
+    EXPECT_EQ(diff.rows[2].name, "zz_new");
+}
+
+TEST(PerfDiff, RejectsInvalidOptions) {
+    const PerfBaseline empty;
+    PerfDiffOptions options;
+    options.threshold_pct = 0.0;
+    EXPECT_THROW(perf_diff(empty, empty, options), std::invalid_argument);
+    options.threshold_pct = 10.0;
+    options.min_ns = -1.0;
+    EXPECT_THROW(perf_diff(empty, empty, options), std::invalid_argument);
+}
+
+// ---- qrn-perfdiff binary: exit-code contract ---------------------------
+
+#ifndef QRN_PERFDIFF_PATH
+#error "QRN_PERFDIFF_PATH must be defined by the build"
+#endif
+
+int run_perfdiff(const std::string& arguments) {
+    const std::string command =
+        std::string(QRN_PERFDIFF_PATH) + " " + arguments + " >/dev/null 2>&1";
+    FILE* pipe = popen(command.c_str(), "r");
+    if (pipe == nullptr) throw std::runtime_error("popen failed");
+    std::array<char, 256> buffer{};
+    while (fread(buffer.data(), 1, buffer.size(), pipe) > 0) {
+    }
+    const int status = pclose(pipe);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string write_temp_json(const std::string& name, const std::string& text) {
+    const std::string path = ::testing::TempDir() + "qrn_perfdiff_" + name;
+    std::ofstream f(path);
+    f << text;
+    return path;
+}
+
+TEST(PerfDiffCli, ExitCodesMatchTheContract) {
+    const std::string base = write_temp_json(
+        "base.json", R"({"benchmarks":[{"name":"BM_A","ns_per_op":100.0}]})");
+    const std::string slower = write_temp_json(
+        "slower.json", R"({"benchmarks":[{"name":"BM_A","ns_per_op":200.0}]})");
+    const std::string bad = write_temp_json("bad.json", R"({"oops":true})");
+
+    EXPECT_EQ(run_perfdiff(base + " " + base), 0);                    // ok
+    EXPECT_EQ(run_perfdiff(base + " " + slower), 2);                  // regression
+    EXPECT_EQ(run_perfdiff(base + " " + slower + " --threshold 150"), 0);
+    EXPECT_EQ(run_perfdiff(base + " " + bad), 1);                     // parse error
+    EXPECT_EQ(run_perfdiff(base + " " + base + " --threshold bogus"), 1);
+    EXPECT_EQ(run_perfdiff(base), 1);                                 // usage
+    EXPECT_EQ(run_perfdiff(base + " /nonexistent-qrn/cur.json"), 3);  // I/O
+}
+
+}  // namespace
+}  // namespace qrn::tools
