@@ -15,12 +15,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "store/shard.h"
 #include "qrn/qrn.h"
 #include "qrn/banding.h"
 #include "qrn/serialize.h"
@@ -230,6 +232,53 @@ void BM_CampaignJobsMetrics(benchmark::State& state) {
         static_cast<int64_t>(config.fleets * config.hours_per_fleet));
 }
 BENCHMARK(BM_CampaignJobsMetrics)->Arg(1)->Arg(4)->UseRealTime();
+
+/// A synthetic fleet log of `records` validate-passing incidents for the
+/// shard codec benchmarks below.
+sim::IncidentLog shard_bench_log(std::size_t records) {
+    stats::Rng rng(17);
+    sim::IncidentLog log;
+    for (std::size_t n = 0; n < records; ++n) {
+        log.incidents.push_back(sample_incident(rng));
+    }
+    log.exposure = ExposureHours(static_cast<double>(records));
+    return log;
+}
+
+std::string shard_bench_path(const char* name) {
+    return (std::filesystem::temp_directory_path() /
+            (std::string("qrn_bench_") + name + ".qrs"))
+        .string();
+}
+
+/// Sealed-shard write throughput: header + CRC'd blocks + footer + the
+/// atomic rename, end to end, per record.
+void BM_ShardWrite(benchmark::State& state) {
+    const auto log = shard_bench_log(static_cast<std::size_t>(state.range(0)));
+    const std::string path = shard_bench_path("write");
+    for (auto _ : state) {
+        store::write_shard(path, 0xbe5c, 0, log);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+    std::filesystem::remove(path);
+}
+BENCHMARK(BM_ShardWrite)->Arg(1000)->Arg(10000);
+
+/// Streaming read + checksum verification throughput over a sealed shard,
+/// per record; the same path the warm campaign cache and `store verify`
+/// take.
+void BM_ShardRead(benchmark::State& state) {
+    const std::string path = shard_bench_path("read");
+    store::write_shard(path, 0xbe5c, 0,
+                       shard_bench_log(static_cast<std::size_t>(state.range(0))));
+    for (auto _ : state) {
+        sim::IncidentLog log;
+        benchmark::DoNotOptimize(store::read_shard(path, log));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+    std::filesystem::remove(path);
+}
+BENCHMARK(BM_ShardRead)->Arg(1000)->Arg(10000);
 
 /// Collects finished runs so a JSON baseline can be written after the
 /// console report. GetAdjustedRealTime() already folds in the per-

@@ -221,6 +221,44 @@ void check_iostream_in_lib(const FileContext& c, std::vector<Finding>& out) {
     }
 }
 
+// ---- raw-file-io -------------------------------------------------------
+
+constexpr std::array<std::string_view, 3> kRawIoFunctions{"fread", "fwrite",
+                                                          "fopen"};
+
+/// Unchecked binary stream I/O is confined to the shard store - the one
+/// layer that checksums every byte it reads back - and the manifest
+/// serializer. Anywhere else, raw fread/fwrite or stream .read()/.write()
+/// produces bytes no integrity check ever sees.
+void check_raw_file_io(const FileContext& c, std::vector<Finding>& out) {
+    if (path_starts_with(c.path, "src/store/")) return;
+    if (c.path == "src/obs/manifest.cpp") return;
+    for (std::size_t ci = 0; ci < c.code.size(); ++ci) {
+        const Token& t = tok(c, ci);
+        if (t.kind != TokKind::Identifier) continue;
+        if (any_of_names(kRawIoFunctions, t.text)) {
+            out.push_back({c.path, t.line, "raw-file-io",
+                           "raw binary file I/O ('" + t.text +
+                               "') outside src/store bypasses the checksummed "
+                               "shard layer; go through qrn_store or the "
+                               "checked JSON loaders"});
+            continue;
+        }
+        // Member-call form: stream.read(...) / stream->write(...). The
+        // tokenizer emits "->" as two punctuators, '-' then '>'.
+        if ((t.text == "read" || t.text == "write") && ci > 0 &&
+            (text_is(c, ci - 1, ".") ||
+             (ci > 1 && text_is(c, ci - 2, "-") && text_is(c, ci - 1, ">"))) &&
+            text_is(c, ci + 1, "(")) {
+            out.push_back({c.path, t.line, "raw-file-io",
+                           "unchecked stream ." + t.text +
+                               "() outside src/store bypasses the checksummed "
+                               "shard layer; go through qrn_store or the "
+                               "checked JSON loaders"});
+        }
+    }
+}
+
 // ---- throw-message -----------------------------------------------------
 
 constexpr std::array<std::string_view, 7> kPreconditionExceptions{
@@ -310,6 +348,10 @@ const std::vector<Rule>& rules() {
         r.push_back(Rule{"iostream-in-lib",
                      "#include <iostream> in src/ library code",
                      check_iostream_in_lib});
+        r.push_back(Rule{"raw-file-io",
+                     "fread/fwrite/fopen or stream .read()/.write() outside "
+                     "src/store and the manifest serializer",
+                     check_raw_file_io});
         r.push_back(Rule{"throw-message",
                      "precondition throw (std::invalid_argument & co) with "
                      "empty or missing message",

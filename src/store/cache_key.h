@@ -1,0 +1,57 @@
+// Content-addressed cache keys for campaign shards.
+//
+// A shard is reusable exactly when the run that would produce it is the
+// run that did produce it. The key is therefore a digest of everything the
+// fleet's log is a pure function of: the full FleetConfig (every model
+// parameter, as IEEE bit patterns - 0.1 and 0.1000000000000001 are
+// different runs), the campaign's hours-per-fleet, the base seed, the
+// fleet index, and an opaque caller-supplied inputs digest (the CLI folds
+// in the incident-type catalog the evidence will be labelled against).
+// A format-version salt leads the stream so a future layout change
+// invalidates every old key instead of colliding with it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/fleet.h"
+
+namespace qrn::store {
+
+/// Incremental FNV-1a (64-bit) over a canonical byte stream. Every field
+/// is framed by its width, doubles travel as bit patterns, so two
+/// different field sequences never alias byte-for-byte.
+class KeyHasher {
+public:
+    void mix_bytes(std::string_view bytes) noexcept;
+    void mix_u64(std::uint64_t value) noexcept;
+    void mix_f64(double value) noexcept;
+    void mix_bool(bool value) noexcept;
+    /// Length-prefixed, so "ab"+"c" and "a"+"bc" differ.
+    void mix_string(std::string_view text) noexcept;
+
+    [[nodiscard]] std::uint64_t digest() const noexcept { return state_; }
+
+private:
+    std::uint64_t state_ = 14695981039346656037ULL;  ///< FNV offset basis.
+};
+
+/// The cache key of fleet `fleet_index` of a campaign: digest of
+/// (base config, hours_per_fleet, base seed, fleet index, inputs_digest).
+/// Pure in its arguments; independent of --jobs and of scheduling.
+[[nodiscard]] std::uint64_t fleet_cache_key(const sim::FleetConfig& base,
+                                            double hours_per_fleet,
+                                            std::size_t fleet_index,
+                                            std::string_view inputs_digest);
+
+/// Fixed-width lowercase hex rendering (16 digits) used in manifests and
+/// shard file names.
+[[nodiscard]] std::string key_hex(std::uint64_t key);
+
+/// Inverse of key_hex; throws StoreError(Inconsistent) on anything that is
+/// not exactly 16 lowercase hex digits.
+[[nodiscard]] std::uint64_t key_from_hex(std::string_view hex);
+
+}  // namespace qrn::store

@@ -1,0 +1,132 @@
+#include "store/campaign_store.h"
+
+#include <atomic>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+#include "exec/parallel.h"
+#include "obs/metrics.h"
+#include "stats/rng.h"
+#include "store/cache_key.h"
+#include "store/format.h"
+#include "store/shard.h"
+
+namespace qrn::store {
+
+namespace {
+
+/// Declares every store metric this path may touch, so a --metrics
+/// manifest has the same structure whether the cache hit, missed or was
+/// partially invalid (and for every --jobs value).
+void declare_metrics() {
+    if (!obs::enabled()) return;
+    obs::add_counter("store.cache_hits", 0);
+    obs::add_counter("store.cache_misses", 0);
+    obs::add_counter("store.shards_reused", 0);
+    obs::add_counter("store.shards_invalid", 0);
+    obs::add_counter("store.shards_written", 0);
+    obs::add_counter("store.records_written", 0);
+    obs::add_counter("store.bytes_written", 0);
+    obs::add_counter("store.shards_read", 0);
+    obs::add_counter("store.records_read", 0);
+    obs::add_counter("store.bytes_read", 0);
+    obs::add_counter("store.checksum_failures", 0);
+    obs::declare_timer("store.shard_write_ns");
+    obs::declare_timer("store.shard_read_ns");
+}
+
+/// A sealed shard qualifies for reuse only when a full integrity scan
+/// passes AND its header/footer identify it as exactly this fleet of
+/// exactly this run. Any defect means "simulate instead".
+bool reusable(const Store& store, const ShardEntry& entry, std::uint64_t key,
+              std::uint64_t fleet_index, bool& was_corrupt) {
+    try {
+        const ShardInfo info = verify_shard(store.shard_path(entry));
+        return info.cache_key == key && info.fleet_index == fleet_index &&
+               info.records == entry.records;
+    } catch (const StoreError& error) {
+        // A missing file (Io) is a plain cache miss; anything else is a
+        // shard that exists but cannot be trusted.
+        was_corrupt = error.is_corruption();
+        return false;
+    }
+}
+
+}  // namespace
+
+StoreCampaignStats run_campaign_with_store(const sim::CampaignConfig& config,
+                                           Store& store,
+                                           std::string_view inputs_digest) {
+    if (config.fleets == 0) {
+        throw std::invalid_argument("run_campaign_with_store: fleets must be >= 1");
+    }
+    if (!(config.hours_per_fleet > 0.0)) {
+        throw std::invalid_argument(
+            "run_campaign_with_store: hours_per_fleet must be > 0");
+    }
+    declare_metrics();
+
+    std::atomic<std::size_t> simulated{0};
+    std::atomic<std::size_t> reused{0};
+    std::atomic<std::size_t> invalid{0};
+
+    StoreCampaignStats out;
+    out.fleets_total = config.fleets;
+    out.entries = exec::parallel_map<ShardEntry>(
+        config.jobs, config.fleets, [&](std::size_t i) {
+            const std::uint64_t key = fleet_cache_key(
+                config.base, config.hours_per_fleet, i, inputs_digest);
+
+            if (const ShardEntry* existing = store.find(i);
+                existing != nullptr && existing->cache_key == key) {
+                bool was_corrupt = false;
+                ShardEntry entry = *existing;
+                if (reusable(store, entry, key, i, was_corrupt)) {
+                    reused.fetch_add(1, std::memory_order_relaxed);
+                    if (obs::enabled()) {
+                        obs::add_counter("store.cache_hits", 1);
+                        obs::add_counter("store.shards_reused", 1);
+                    }
+                    return entry;
+                }
+                if (was_corrupt) {
+                    invalid.fetch_add(1, std::memory_order_relaxed);
+                    if (obs::enabled()) obs::add_counter("store.shards_invalid", 1);
+                }
+            }
+
+            if (obs::enabled()) obs::add_counter("store.cache_misses", 1);
+            simulated.fetch_add(1, std::memory_order_relaxed);
+            sim::FleetConfig fleet = config.base;
+            fleet.seed = stats::Rng::stream_seed(config.base.seed, i);
+            const sim::IncidentLog log =
+                sim::FleetSimulator(fleet).run(config.hours_per_fleet);
+
+            ShardEntry entry;
+            entry.fleet_index = i;
+            entry.file = Store::shard_filename(i, key);
+            entry.cache_key = key;
+            entry.records = log.incidents.size();
+            entry.exposure_hours = log.exposure.hours();
+            write_shard(store.shard_path(entry), key, i, log);
+
+            // A previous run may have left this fleet under a different
+            // key (different config); the new manifest row supersedes it,
+            // and the stale file is removed best-effort.
+            if (const ShardEntry* stale = store.find(i);
+                stale != nullptr && stale->file != entry.file) {
+                std::error_code ec;
+                std::filesystem::remove(store.shard_path(*stale), ec);
+            }
+            store.record(entry);
+            return entry;
+        });
+
+    out.fleets_simulated = simulated.load();
+    out.fleets_reused = reused.load();
+    out.shards_invalid = invalid.load();
+    return out;
+}
+
+}  // namespace qrn::store

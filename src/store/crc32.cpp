@@ -1,0 +1,43 @@
+#include "store/crc32.h"
+
+#include <array>
+
+namespace qrn::store {
+
+namespace {
+
+/// The reflected CRC-32 table for polynomial 0xEDB88320, computed once.
+const std::array<std::uint32_t, 256>& table() {
+    static const std::array<std::uint32_t, 256> kTable = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t n = 0; n < 256; ++n) {
+            std::uint32_t c = n;
+            for (int bit = 0; bit < 8; ++bit) {
+                c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            }
+            t[n] = c;
+        }
+        return t;
+    }();
+    return kTable;
+}
+
+}  // namespace
+
+void Crc32::update(const void* data, std::size_t size) noexcept {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    const auto& t = table();
+    std::uint32_t c = state_;
+    for (std::size_t i = 0; i < size; ++i) {
+        c = t[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+    }
+    state_ = c;
+}
+
+std::uint32_t crc32(std::string_view bytes) noexcept {
+    Crc32 crc;
+    crc.update(bytes);
+    return crc.value();
+}
+
+}  // namespace qrn::store

@@ -1,0 +1,63 @@
+#include "store/format.h"
+
+#include <bit>
+
+namespace qrn::store {
+
+std::string_view to_string(StoreErrorKind kind) noexcept {
+    switch (kind) {
+        case StoreErrorKind::Io: return "io";
+        case StoreErrorKind::BadMagic: return "bad-magic";
+        case StoreErrorKind::BadVersion: return "bad-version";
+        case StoreErrorKind::Truncated: return "truncated";
+        case StoreErrorKind::Checksum: return "checksum";
+        case StoreErrorKind::Inconsistent: return "inconsistent";
+    }
+    return "unknown";
+}
+
+StoreError::StoreError(StoreErrorKind kind, const std::string& message)
+    : std::runtime_error("[" + std::string(to_string(kind)) + "] " + message),
+      kind_(kind) {}
+
+void put_u32(std::string& out, std::uint32_t value) {
+    for (int shift = 0; shift < 32; shift += 8) {
+        out.push_back(static_cast<char>((value >> shift) & 0xFFu));
+    }
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+        out.push_back(static_cast<char>((value >> shift) & 0xFFu));
+    }
+}
+
+void put_f64(std::string& out, double value) {
+    put_u64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+std::uint32_t get_u32(std::string_view bytes, std::size_t offset) noexcept {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+        value |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(bytes[offset + static_cast<std::size_t>(i)]))
+                 << (8 * i);
+    }
+    return value;
+}
+
+std::uint64_t get_u64(std::string_view bytes, std::size_t offset) noexcept {
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+        value |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(bytes[offset + static_cast<std::size_t>(i)]))
+                 << (8 * i);
+    }
+    return value;
+}
+
+double get_f64(std::string_view bytes, std::size_t offset) noexcept {
+    return std::bit_cast<double>(get_u64(bytes, offset));
+}
+
+}  // namespace qrn::store

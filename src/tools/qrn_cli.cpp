@@ -13,12 +13,37 @@
 //            [--jobs N]              run the fleet simulator and print the
 //                                    evidence document for the paper types
 //   campaign --fleets N --hours H [--policy P] [--seed N] [--odd ...]
-//            [--jobs N]              run N independently seeded fleets and
-//                                    print the pooled evidence document
+//            [--jobs N] [--store DIR] [--resume]
+//                                    run N independently seeded fleets and
+//                                    print the pooled evidence document.
+//                                    With --store, each fleet is sealed as
+//                                    a content-addressed shard in DIR and
+//                                    fleets whose sealed shard already
+//                                    matches are reused instead of
+//                                    re-simulated (checkpoint/resume;
+//                                    outputs stay bit-identical). --resume
+//                                    additionally requires DIR to hold a
+//                                    previous run's manifest (exit 3
+//                                    otherwise).
 //   pipeline [--hours H] [--markdown] [--jobs N]
 //                                    full demo: allocate, simulate, verify,
 //                                    print the safety case (text or
 //                                    markdown task list)
+//   store inspect --store DIR        list the store: provenance, every
+//                                    sealed shard, stray .tmp files
+//   store verify --store DIR [--jobs N]
+//                                    full integrity scan of every shard;
+//                                    any corrupt/truncated/missing shard
+//                                    is reported and exits 2
+//   store merge --store DIR --out FILE
+//                                    stream every shard (fleet order) into
+//                                    one sealed shard at FILE
+//   --version                        print the configure-time git describe
+//
+// Shard corruption semantics (docs/STORE.md): a shard that fails its CRCs,
+// is truncated, or self-contradicts is *never* trusted - campaign runs
+// re-simulate the fleet, `store verify` exits 2, and the defect kind is
+// named on stderr.
 //
 // Exit-code contract (stable; scripts and CI may rely on it):
 //   0  success (verify/pipeline: norm fulfilled / safety case holds)
@@ -73,6 +98,12 @@
 #include "safety_case/builder.h"
 #include "sim/sim.h"
 #include "stats/rng.h"
+#include "store/aggregate.h"
+#include "store/cache_key.h"
+#include "store/campaign_store.h"
+#include "store/format.h"
+#include "store/shard.h"
+#include "store/store.h"
 #include "tools/parse.h"
 
 namespace {
@@ -100,6 +131,13 @@ public:
 
     [[nodiscard]] std::string command() const {
         return args_.empty() ? "" : args_.front();
+    }
+
+    /// The token right after the command when it is not an option
+    /// ("store inspect"); empty otherwise.
+    [[nodiscard]] std::string subcommand() const {
+        if (args_.size() < 2 || args_[1].rfind("--", 0) == 0) return "";
+        return args_[1];
     }
 
     [[nodiscard]] std::optional<std::string> option(const std::string& flag) const {
@@ -393,6 +431,67 @@ int cmd_simulate(const Args& args) {
     return 0;
 }
 
+/// The campaign summary lines, shared by the in-memory and store paths.
+/// Both paths must produce byte-identical text for the same campaign -
+/// that is the observable face of the resume-determinism guarantee.
+void print_campaign_summary(std::size_t fleets, ExposureHours total_exposure,
+                            Frequency pooled_rate,
+                            const stats::RunningSummary& summary,
+                            const std::optional<stats::HeterogeneityResult>& homogeneity) {
+    std::cerr << "fleets: " << fleets
+              << ", total exposure: " << total_exposure.hours() << " h"
+              << ", pooled incident rate: " << pooled_rate.to_string()
+              << ", per-fleet rate mean/stddev: " << summary.mean() << " / "
+              << summary.stddev() << '\n';
+    if (homogeneity) {
+        std::cerr << "fleet homogeneity: chi2 " << homogeneity->chi_squared << " on "
+                  << homogeneity->degrees_of_freedom << " dof (p = "
+                  << homogeneity->p_value << ")\n";
+    }
+}
+
+/// Campaign against a shard store: reuse every sealed shard whose content
+/// key matches, simulate the rest, then rebuild the pooled statistics by
+/// streaming the shards (never the in-memory logs), so cold, warm and
+/// resumed runs all flow through the same aggregation code.
+int cmd_campaign_store(const sim::CampaignConfig& config, const std::string& dir,
+                       bool resume) {
+    store::Store st(dir);
+    if (resume && !st.manifest_found()) {
+        throw IoError("cannot --resume: no store manifest in '" + dir +
+                      "' (run once with --store first)");
+    }
+    const auto types = IncidentTypeSet::paper_vru_example();
+    // The incident-type catalog is part of the cache key: evidence computed
+    // against different types must never reuse each other's shards.
+    const std::string inputs_digest = to_json(types).dump();
+    store::StoreCampaignStats run;
+    {
+        const obs::ScopedSpan span("fleet_sim");
+        run = store::run_campaign_with_store(config, st, inputs_digest);
+    }
+    std::cerr << "store: " << run.fleets_reused << " shard(s) reused, "
+              << run.fleets_simulated << " simulated, " << run.shards_invalid
+              << " invalid (" << dir << ")\n";
+    std::vector<store::ShardRef> refs;
+    refs.reserve(run.entries.size());
+    for (const auto& entry : run.entries) {
+        refs.push_back({entry.fleet_index, st.shard_path(entry)});
+    }
+    store::StoreAggregate agg;
+    {
+        const obs::ScopedSpan span("incident_labelling");
+        agg = store::aggregate_evidence(refs, types, config.jobs);
+    }
+    std::optional<stats::HeterogeneityResult> homogeneity;
+    if (agg.shard_count >= 2) homogeneity = agg.heterogeneity();
+    print_campaign_summary(agg.shard_count, agg.total_exposure,
+                           agg.pooled_incident_rate(), agg.per_fleet_rates,
+                           homogeneity);
+    std::cout << evidence_to_json(agg.evidence).dump(2) << '\n';
+    return 0;
+}
+
 int cmd_campaign(const Args& args) {
     sim::CampaignConfig config;
     config.base.policy = policy_by_name(args.option("--policy").value_or("nominal"));
@@ -405,23 +504,26 @@ int cmd_campaign(const Args& args) {
     config.hours_per_fleet =
         tools::parse_positive("--hours", args.require("--hours"));
     config.jobs = parse_jobs(args);
+    const auto store_dir = args.option("--store");
+    if (store_dir && store_dir->empty()) {
+        throw ParseError("--store", *store_dir, "a directory path");
+    }
+    if (args.has("--resume") && !store_dir) {
+        throw ParseError("--resume", "", "--store DIR alongside --resume");
+    }
+    if (store_dir) {
+        return cmd_campaign_store(config, *store_dir, args.has("--resume"));
+    }
     sim::CampaignResult result;
     {
         const obs::ScopedSpan span("fleet_sim");
         result = sim::run_campaign(config);
     }
-    const auto summary = result.per_fleet_rate_summary();
-    std::cerr << "fleets: " << result.logs.size()
-              << ", total exposure: " << result.total_exposure.hours() << " h"
-              << ", pooled incident rate: " << result.pooled_incident_rate().to_string()
-              << ", per-fleet rate mean/stddev: " << summary.mean() << " / "
-              << summary.stddev() << '\n';
-    if (result.logs.size() >= 2) {
-        const auto homogeneity = result.heterogeneity();
-        std::cerr << "fleet homogeneity: chi2 " << homogeneity.chi_squared << " on "
-                  << homogeneity.degrees_of_freedom << " dof (p = "
-                  << homogeneity.p_value << ")\n";
-    }
+    std::optional<stats::HeterogeneityResult> homogeneity;
+    if (result.logs.size() >= 2) homogeneity = result.heterogeneity();
+    print_campaign_summary(result.logs.size(), result.total_exposure,
+                           result.pooled_incident_rate(),
+                           result.per_fleet_rate_summary(), homogeneity);
     const auto types = IncidentTypeSet::paper_vru_example();
     std::vector<TypeEvidence> evidence;
     {
@@ -514,10 +616,12 @@ int cmd_pipeline(const Args& args) {
 int usage() {
     std::cerr << "usage: qrn <command> [options]\n"
               << "commands: norm-example | types-example | types-generate |\n"
-              << "          allocate | verify | simulate | campaign | pipeline\n"
+              << "          allocate | verify | simulate | campaign | pipeline |\n"
+              << "          store <inspect|verify|merge> | --version\n"
               << "global options: --jobs N, --metrics PATH (run manifest)\n"
-              << "exit codes: 0 ok, 1 usage/parse error, 2 norm not fulfilled,\n"
-              << "            3 I/O error\n"
+              << "campaign caching: --store DIR (shard cache), --resume\n"
+              << "exit codes: 0 ok, 1 usage/parse error, 2 norm not fulfilled\n"
+              << "            or store corruption, 3 I/O error\n"
               << "see the file header of src/tools/qrn_cli.cpp for options\n";
     return 1;
 }
@@ -525,6 +629,140 @@ int usage() {
 #ifndef QRN_GIT_DESCRIBE
 #define QRN_GIT_DESCRIBE "unknown"
 #endif
+
+int cmd_version() {
+    std::cout << "qrn " << QRN_GIT_DESCRIBE << '\n';
+    return 0;
+}
+
+/// Opens --store DIR and insists on an existing manifest: a store worth
+/// inspecting, verifying or merging is one a campaign has written to.
+std::string require_store_dir(const Args& args) {
+    const std::string dir = args.require("--store");
+    if (dir.empty()) throw ParseError("--store", dir, "a directory path");
+    return dir;
+}
+
+int cmd_store_inspect(const Args& args) {
+    const std::string dir = require_store_dir(args);
+    const store::Store st(dir);
+    if (!st.manifest_found()) throw IoError("no store manifest in '" + dir + "'");
+    const auto entries = st.entries();
+    std::uint64_t records = 0;
+    double hours = 0.0;
+    for (const auto& e : entries) {
+        records += e.records;
+        hours += e.exposure_hours;
+    }
+    std::cout << "store: " << dir << '\n'
+              << "git describe: " << QRN_GIT_DESCRIBE << '\n'
+              << "shards: " << entries.size() << ", records: " << records
+              << ", exposure: " << hours << " h\n";
+    for (const auto& e : entries) {
+        std::cout << "  fleet " << e.fleet_index << "  key "
+                  << store::key_hex(e.cache_key) << "  records " << e.records
+                  << "  exposure " << e.exposure_hours << " h  file " << e.file
+                  << '\n';
+    }
+    for (const auto& name : st.stray_temp_files()) {
+        std::cerr << "warning: stray temp file (interrupted write): " << name
+                  << '\n';
+    }
+    return 0;
+}
+
+int cmd_store_verify(const Args& args) {
+    const std::string dir = require_store_dir(args);
+    const unsigned jobs = parse_jobs(args);
+    const store::Store st(dir);
+    if (!st.manifest_found()) throw IoError("no store manifest in '" + dir + "'");
+    const auto entries = st.entries();
+    /// One shard's verdict; default-constructed = ok (parallel_map slot).
+    struct Outcome {
+        bool ok = true;
+        std::string message;
+    };
+    // Anything that stops a shard from being fully read and checksummed -
+    // truncation, bit rot, a missing file, an identity mismatch - fails
+    // verification; the store either proves itself whole or exits 2.
+    const auto outcomes = exec::parallel_map<Outcome>(
+        jobs, entries.size(), [&](std::size_t i) {
+            try {
+                const auto info = store::verify_shard(st.shard_path(entries[i]));
+                if (info.cache_key != entries[i].cache_key ||
+                    info.fleet_index != entries[i].fleet_index ||
+                    info.records != entries[i].records) {
+                    return Outcome{false,
+                                   entries[i].file +
+                                       ": shard identity disagrees with the manifest"};
+                }
+                return Outcome{};
+            } catch (const std::exception& error) {
+                return Outcome{false, entries[i].file + ": " + error.what()};
+            }
+        });
+    std::size_t failed = 0;
+    for (const auto& outcome : outcomes) {
+        if (outcome.ok) continue;
+        ++failed;
+        std::cerr << "qrn: store verify: " << outcome.message << '\n';
+    }
+    for (const auto& name : st.stray_temp_files()) {
+        std::cerr << "warning: stray temp file (interrupted write): " << name
+                  << '\n';
+    }
+    std::cout << "verified " << (entries.size() - failed) << "/" << entries.size()
+              << " shard(s) in " << dir << '\n';
+    return failed == 0 ? 0 : 2;
+}
+
+int cmd_store_merge(const Args& args) {
+    const std::string dir = require_store_dir(args);
+    const std::string out_path = args.require("--out");
+    if (out_path.empty()) throw ParseError("--out", out_path, "a file path");
+    const store::Store st(dir);
+    if (!st.manifest_found()) throw IoError("no store manifest in '" + dir + "'");
+    const auto entries = st.entries();
+    if (entries.empty()) {
+        throw IoError("store '" + dir + "' holds no shards to merge");
+    }
+    // The merged shard's key digests the constituent keys in fleet order,
+    // so merges of different inputs (or orders) never collide.
+    store::KeyHasher hasher;
+    hasher.mix_string("qrn.store.merge.v1");
+    for (const auto& e : entries) hasher.mix_u64(e.cache_key);
+    store::ShardWriter writer(out_path, hasher.digest(), 0);
+    store::ShardTotals totals;
+    std::uint64_t records = 0;
+    for (const auto& e : entries) {
+        store::ShardReader reader(st.shard_path(e));
+        const auto info = reader.for_each(
+            [&](const Incident& incident) { writer.append(incident); });
+        totals.exposure_hours += info.totals.exposure_hours;
+        totals.encounters += info.totals.encounters;
+        totals.emergency_brakings += info.totals.emergency_brakings;
+        totals.degraded_hours += info.totals.degraded_hours;
+        totals.odd_exits += info.totals.odd_exits;
+        totals.mrm_executions += info.totals.mrm_executions;
+        totals.unmonitored_exits += info.totals.unmonitored_exits;
+        records += info.records;
+    }
+    writer.seal(totals);
+    std::cout << "merged " << entries.size() << " shard(s), " << records
+              << " record(s), " << totals.exposure_hours << " h into " << out_path
+              << '\n';
+    return 0;
+}
+
+int cmd_store(const Args& args) {
+    const std::string sub = args.subcommand();
+    if (sub == "inspect") return cmd_store_inspect(args);
+    if (sub == "verify") return cmd_store_verify(args);
+    if (sub == "merge") return cmd_store_merge(args);
+    std::cerr << "usage: qrn store <inspect|verify|merge> --store DIR "
+                 "[--out FILE] [--jobs N]\n";
+    return 1;
+}
 
 /// Captures the run's metrics into a manifest, writes it to `path`, and
 /// prints the phase summary to stderr through the report layer. Throws
@@ -569,6 +807,8 @@ int dispatch(const Args& args, const std::string& command) {
     if (command == "simulate") return cmd_simulate(args);
     if (command == "campaign") return cmd_campaign(args);
     if (command == "pipeline") return cmd_pipeline(args);
+    if (command == "store") return cmd_store(args);
+    if (command == "--version" || command == "version") return cmd_version();
     return usage();
 }
 
@@ -598,6 +838,11 @@ int main(int argc, char** argv) {
     } catch (const IoError& error) {
         std::cerr << "qrn: " << error.what() << '\n';
         return 3;
+    } catch (const store::StoreError& error) {
+        // Corrupt bytes are a failed integrity check (2); a file that is
+        // simply absent or unwritable is an I/O failure (3).
+        std::cerr << "qrn: " << error.what() << '\n';
+        return error.is_corruption() ? 2 : 3;
     } catch (const ParseError& error) {
         std::cerr << "qrn: " << error.what() << '\n';
         return 1;

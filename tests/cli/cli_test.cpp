@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <string>
@@ -30,6 +31,7 @@ CommandResult run_pipe(const std::string& command) {
     CommandResult result;
     std::array<char, 4096> buffer{};
     std::size_t n = 0;
+    // qrn-lint: allow(raw-file-io) draining a popen pipe of a spawned CLI, not a shard
     while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
         result.output.append(buffer.data(), n);
     }
@@ -467,6 +469,150 @@ TEST(Cli, MetricsNotWrittenOnUsageError) {
     EXPECT_EQ(run_cli("simulate --metrics " + metrics_path).exit_code, 1);
     std::ifstream f(metrics_path);
     EXPECT_FALSE(f.is_open());
+}
+
+TEST(Cli, VersionPrintsProvenance) {
+    const auto result = run_cli("--version");
+    ASSERT_EQ(result.exit_code, 0);
+    EXPECT_EQ(result.output.rfind("qrn ", 0), 0u) << result.output;
+    EXPECT_GT(result.output.size(), 5u) << "version line carries no provenance";
+    EXPECT_EQ(run_cli("version").exit_code, 0);
+}
+
+std::string store_dir(const std::string& name) {
+    const std::string dir = ::testing::TempDir() + "qrn_cli_store_" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+/// First sealed shard file in a store directory.
+std::string first_shard_in(const std::string& dir) {
+    std::vector<std::string> shards;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() == ".qrs") shards.push_back(entry.path());
+    }
+    EXPECT_FALSE(shards.empty()) << dir;
+    std::sort(shards.begin(), shards.end());
+    return shards.front();
+}
+
+TEST(Cli, CampaignStoreMatchesInMemoryByteForByte) {
+    // The resume-determinism pin at the CLI boundary: with or without the
+    // cache, cold or warm, serial or parallel - one byte stream.
+    const std::string dir = store_dir("determinism");
+    const std::string args = "campaign --fleets 3 --hours 10 --seed 9";
+    const auto memory = run_cli(args);
+    ASSERT_EQ(memory.exit_code, 0);
+    const auto cold = run_cli(args + " --store " + dir);
+    ASSERT_EQ(cold.exit_code, 0);
+    const auto warm = run_cli(args + " --store " + dir);
+    ASSERT_EQ(warm.exit_code, 0);
+    const auto warm_parallel = run_cli(args + " --store " + dir + " --jobs 3");
+    ASSERT_EQ(warm_parallel.exit_code, 0);
+    EXPECT_EQ(cold.output, memory.output);
+    EXPECT_EQ(warm.output, memory.output);
+    EXPECT_EQ(warm_parallel.output, memory.output);
+
+    // The stderr summary reports what the cache did.
+    const auto warm_stderr = run_cli_stderr(args + " --store " + dir);
+    EXPECT_EQ(warm_stderr.exit_code, 0);
+    EXPECT_NE(warm_stderr.output.find("3 shard(s) reused, 0 simulated"),
+              std::string::npos)
+        << warm_stderr.output;
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, CampaignResumeFlagContract) {
+    const std::string dir = store_dir("resume");
+    // --resume without --store is a usage error (exit 1)...
+    EXPECT_EQ(run_cli("campaign --fleets 2 --hours 5 --resume").exit_code, 1);
+    // ... and --resume against a store with no manifest is an I/O error
+    // (exit 3): there is nothing to resume from.
+    const auto fresh = run_cli_stderr("campaign --fleets 2 --hours 5 --store " + dir +
+                                      " --resume");
+    EXPECT_EQ(fresh.exit_code, 3);
+    EXPECT_NE(fresh.output.find("cannot --resume"), std::string::npos)
+        << fresh.output;
+
+    // After any run with --store, --resume succeeds and stays byte-stable.
+    const auto cold = run_cli("campaign --fleets 2 --hours 5 --store " + dir);
+    ASSERT_EQ(cold.exit_code, 0);
+    const auto resumed =
+        run_cli("campaign --fleets 2 --hours 5 --store " + dir + " --resume");
+    EXPECT_EQ(resumed.exit_code, 0);
+    EXPECT_EQ(resumed.output, cold.output);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, StoreInspectVerifyMergeFlow) {
+    const std::string dir = store_dir("inspect");
+    ASSERT_EQ(run_cli("campaign --fleets 3 --hours 10 --seed 9 --store " + dir)
+                  .exit_code,
+              0);
+
+    const auto inspect = run_cli("store inspect --store " + dir);
+    ASSERT_EQ(inspect.exit_code, 0);
+    EXPECT_NE(inspect.output.find("git describe: "), std::string::npos)
+        << inspect.output;
+    EXPECT_NE(inspect.output.find("shards: 3"), std::string::npos) << inspect.output;
+    EXPECT_NE(inspect.output.find("fleet 0"), std::string::npos) << inspect.output;
+
+    const auto verify = run_cli("store verify --store " + dir);
+    EXPECT_EQ(verify.exit_code, 0);
+    EXPECT_NE(verify.output.find("verified 3/3 shard(s)"), std::string::npos)
+        << verify.output;
+
+    const std::string merged_path = temp_path("merged.qrs");
+    const auto merge =
+        run_cli("store merge --store " + dir + " --out " + merged_path);
+    EXPECT_EQ(merge.exit_code, 0);
+    EXPECT_NE(merge.output.find("merged 3 shard(s)"), std::string::npos)
+        << merge.output;
+    EXPECT_TRUE(std::filesystem::exists(merged_path));
+
+    std::remove(merged_path.c_str());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, StoreVerifyDetectsCorruptionAndCampaignHeals) {
+    const std::string dir = store_dir("corruption");
+    const std::string args = "campaign --fleets 3 --hours 10 --seed 9 --store " + dir;
+    const auto cold = run_cli(args);
+    ASSERT_EQ(cold.exit_code, 0);
+
+    // Bit-flip the middle of one sealed shard.
+    const std::string victim = first_shard_in(dir);
+    std::string bytes = read_file(victim);
+    ASSERT_GT(bytes.size(), 60u);
+    bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x20);
+    write_file(victim, bytes);
+
+    // Corruption is the documented exit 2, and the diagnostic names the file.
+    const auto verify = run_cli_stderr("store verify --store " + dir);
+    EXPECT_EQ(verify.exit_code, 2);
+    EXPECT_NE(verify.output.find(std::filesystem::path(victim).filename().string()),
+              std::string::npos)
+        << verify.output;
+
+    // A campaign against the damaged store re-simulates, never trusts...
+    const auto healed = run_cli_stderr(args);
+    EXPECT_EQ(healed.exit_code, 0);
+    EXPECT_NE(healed.output.find("1 invalid"), std::string::npos) << healed.output;
+    // ... and the evidence is byte-identical to the uncorrupted run.
+    EXPECT_EQ(run_cli(args).output, cold.output);
+    EXPECT_EQ(run_cli("store verify --store " + dir).exit_code, 0);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, StoreUsageErrors) {
+    EXPECT_EQ(run_cli("store").exit_code, 1);
+    EXPECT_EQ(run_cli("store bogus --store somewhere").exit_code, 1);
+    EXPECT_EQ(run_cli("store inspect").exit_code, 1);       // --store missing
+    EXPECT_EQ(run_cli("store verify").exit_code, 1);        // --store missing
+    EXPECT_EQ(run_cli("store merge --store x").exit_code, 1);  // --out missing
+    EXPECT_EQ(run_cli("campaign --fleets 2 --hours 5 --store \"\"").exit_code, 1);
+    // Inspecting a store that was never created is an I/O error.
+    EXPECT_EQ(run_cli("store inspect --store /no/such/qrn/store").exit_code, 3);
 }
 
 TEST(Cli, PipelineMarkdownVariant) {

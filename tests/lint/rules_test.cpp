@@ -189,6 +189,46 @@ TEST(RuleIostreamInLib, CoversTheObservabilityLayer) {
                          "iostream-in-lib"));
 }
 
+// ---- raw-file-io -------------------------------------------------------
+
+TEST(RuleRawFileIo, FlagsCStdioAndStreamMemberCalls) {
+    const auto fs = lint_source("src/sim/dump.cpp",
+                                "void f(FILE* fp, char* b) {\n"
+                                "  fread(b, 1, 16, fp);\n"
+                                "}\n");
+    ASSERT_TRUE(has_rule(fs, "raw-file-io"));
+    EXPECT_EQ(line_of(fs, "raw-file-io"), 2);
+    EXPECT_TRUE(has_rule(
+        lint_source("src/qrn/x.cpp", "out.write(bytes.data(), bytes.size());"),
+        "raw-file-io"));
+    EXPECT_TRUE(has_rule(
+        lint_source("tests/t.cpp", "stream->read(buf, n);"), "raw-file-io"));
+    EXPECT_TRUE(has_rule(
+        lint_source("src/qrn/x.cpp", "FILE* f = fopen(path, \"rb\");"),
+        "raw-file-io"));
+}
+
+TEST(RuleRawFileIo, ConfinedToTheStoreAndManifestSerializer) {
+    EXPECT_FALSE(has_rule(
+        lint_source("src/store/shard.cpp", "out.write(block.data(), block.size());"),
+        "raw-file-io"));
+    EXPECT_FALSE(has_rule(
+        lint_source("src/obs/manifest.cpp", "fwrite(buf, 1, n, fp);"),
+        "raw-file-io"));
+}
+
+TEST(RuleRawFileIo, IgnoresOtherIdentifiersAndFreeCalls) {
+    // read/write only count as the member-call form; a free function or a
+    // differently named member is someone else's contract.
+    EXPECT_FALSE(has_rule(lint_source("src/a.cpp", "read(fd, buf, n);"),
+                          "raw-file-io"));
+    EXPECT_FALSE(has_rule(
+        lint_source("src/a.cpp", "reader.read_exact(buf, n, \"header\");"),
+        "raw-file-io"));
+    EXPECT_FALSE(has_rule(lint_source("src/a.cpp", "auto w = t.write_count;"),
+                          "raw-file-io"));
+}
+
 // ---- throw-message -----------------------------------------------------
 
 TEST(RuleThrowMessage, FlagsEmptyPreconditionThrows) {

@@ -116,6 +116,29 @@ TEST(Campaign, HeterogeneityDispersionReflectsFleetMix) {
               5.0 * same_dispersion);
 }
 
+TEST(Campaign, HeterogeneityRequiresAtLeastTwoFleets) {
+    // A single fleet has no dispersion to test; the streaming store path
+    // mirrors this exact contract (tests/store/aggregate_test.cpp).
+    const auto result = run_campaign(small_campaign(1, 200.0));
+    EXPECT_THROW((void)result.heterogeneity(), std::invalid_argument);
+}
+
+TEST(Campaign, AllZeroIncidentCountsAreHomogeneous) {
+    // Fleets that all observed nothing agree perfectly: chi^2 = 0, p = 1.
+    CampaignResult result;
+    for (int i = 0; i < 3; ++i) {
+        IncidentLog log;
+        log.exposure = ExposureHours(100.0);
+        result.total_exposure += log.exposure;
+        result.logs.push_back(log);
+    }
+    const auto test = result.heterogeneity();
+    EXPECT_DOUBLE_EQ(test.chi_squared, 0.0);
+    EXPECT_DOUBLE_EQ(test.p_value, 1.0);
+    EXPECT_DOUBLE_EQ(test.pooled_rate, 0.0);
+    EXPECT_DOUBLE_EQ(result.pooled_incident_rate().per_hour_value(), 0.0);
+}
+
 TEST(Campaign, Validation) {
     EXPECT_THROW(run_campaign(small_campaign(0, 100.0)), std::invalid_argument);
     EXPECT_THROW(run_campaign(small_campaign(2, 0.0)), std::invalid_argument);

@@ -102,6 +102,47 @@ TEST(Fleet, EvidenceForPaperTypesCoversMatchingIncidents) {
     }
 }
 
+TEST(Fleet, EvidenceForZeroIncidentsStillReportsExposure) {
+    // A quiet fleet is evidence, not absence of evidence: "0 events over H
+    // hours" is exactly what drives the rule-of-three upper bounds. The
+    // streaming store aggregation reproduces this shape from an empty shard
+    // (tests/store/aggregate_test.cpp).
+    IncidentLog log;
+    log.exposure = ExposureHours(250.0);
+    const auto types = IncidentTypeSet::paper_vru_example();
+    const auto evidence = log.evidence_for(types);
+    ASSERT_EQ(evidence.size(), 3u);
+    for (const auto& e : evidence) {
+        EXPECT_EQ(e.events, 0u);
+        EXPECT_DOUBLE_EQ(e.exposure.hours(), 250.0);
+    }
+    EXPECT_DOUBLE_EQ(log.incident_rate().per_hour_value(), 0.0);
+}
+
+TEST(Fleet, EvidenceForConcentratesWhenAllIncidentsShareOneType) {
+    IncidentLog log;
+    for (int i = 0; i < 25; ++i) {
+        Incident incident;
+        incident.second = ActorType::Vru;
+        incident.relative_speed_kmh = 5.0;  // inside the I2 impact-speed band
+        incident.timestamp_hours = static_cast<double>(i);
+        log.incidents.push_back(incident);
+    }
+    log.exposure = ExposureHours(100.0);
+    const auto types = IncidentTypeSet::paper_vru_example();
+    const auto evidence = log.evidence_for(types);
+    ASSERT_EQ(evidence.size(), 3u);
+    std::uint64_t total = 0;
+    std::size_t nonzero_types = 0;
+    for (std::size_t k = 0; k < evidence.size(); ++k) {
+        EXPECT_EQ(evidence[k].events, log.count_matching(types.at(k)));
+        total += evidence[k].events;
+        if (evidence[k].events > 0) ++nonzero_types;
+    }
+    EXPECT_EQ(total, 25u);
+    EXPECT_EQ(nonzero_types, 1u);
+}
+
 TEST(Fleet, IncidentRateIsCountOverExposure) {
     const auto log = FleetSimulator(urban_config(23)).run(1000.0);
     EXPECT_DOUBLE_EQ(log.incident_rate().per_hour_value(),

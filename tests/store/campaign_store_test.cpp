@@ -1,0 +1,245 @@
+// Campaign caching and resume: cold runs seal every fleet, warm runs
+// re-simulate nothing, interrupted runs resume to byte-identical shards at
+// every jobs value, and corrupted shards are re-simulated - never trusted.
+#include "store/campaign_store.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "store/cache_key.h"
+#include "store/format.h"
+#include "store/shard.h"
+
+namespace qrn::store {
+namespace {
+
+constexpr std::string_view kDigest = "incident-types-digest-v1";
+
+std::string fresh_dir(const std::string& name) {
+    const std::string dir = ::testing::TempDir() + "qrn_campaign_store_" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+sim::CampaignConfig small_campaign(std::size_t fleets = 4, unsigned jobs = 1) {
+    sim::CampaignConfig config;
+    config.base.odd = sim::Odd::urban();
+    config.base.policy = sim::TacticalPolicy::nominal();
+    config.base.seed = 100;
+    config.fleets = fleets;
+    config.hours_per_fleet = 120.0;
+    config.jobs = jobs;
+    return config;
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << path;
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+/// All sealed shards of a store, file name -> bytes.
+std::map<std::string, std::string> shard_bytes(const Store& store) {
+    std::map<std::string, std::string> bytes;
+    for (const auto& entry : store.entries()) {
+        bytes[entry.file] = slurp(store.shard_path(entry));
+    }
+    return bytes;
+}
+
+std::uint64_t counter(const std::string& name) {
+    for (const auto& value : obs::counters_snapshot()) {
+        if (value.name == name) return value.value;
+    }
+    return 0;
+}
+
+TEST(CampaignStore, ColdRunSimulatesAndSealsEveryFleet) {
+    const auto config = small_campaign();
+    const std::string dir = fresh_dir("cold");
+    Store store(dir);
+    const auto stats = run_campaign_with_store(config, store, kDigest);
+    EXPECT_EQ(stats.fleets_total, 4u);
+    EXPECT_EQ(stats.fleets_simulated, 4u);
+    EXPECT_EQ(stats.fleets_reused, 0u);
+    EXPECT_EQ(stats.shards_invalid, 0u);
+    ASSERT_EQ(stats.entries.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        const ShardEntry& entry = stats.entries[i];
+        EXPECT_EQ(entry.fleet_index, i);
+        EXPECT_EQ(entry.cache_key,
+                  fleet_cache_key(config.base, config.hours_per_fleet, i, kDigest));
+        const ShardInfo info = verify_shard(store.shard_path(entry));
+        EXPECT_EQ(info.cache_key, entry.cache_key);
+        EXPECT_EQ(info.fleet_index, i);
+        EXPECT_EQ(info.records, entry.records);
+    }
+    // The manifest survives reopening and indexes everything.
+    const Store reopened(dir);
+    EXPECT_TRUE(reopened.manifest_found());
+    EXPECT_EQ(reopened.entries().size(), 4u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignStore, WarmRunReusesEveryShardUnchanged) {
+    const auto config = small_campaign();
+    const std::string dir = fresh_dir("warm");
+    Store store(dir);
+    (void)run_campaign_with_store(config, store, kDigest);
+    const auto before = shard_bytes(store);
+
+    const auto warm = run_campaign_with_store(config, store, kDigest);
+    EXPECT_EQ(warm.fleets_reused, 4u);
+    EXPECT_EQ(warm.fleets_simulated, 0u);
+    EXPECT_EQ(warm.shards_invalid, 0u);
+    EXPECT_EQ(shard_bytes(store), before);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignStore, ShardsAreByteIdenticalForEveryJobsValue) {
+    const std::string serial_dir = fresh_dir("jobs1");
+    Store serial_store(serial_dir);
+    (void)run_campaign_with_store(small_campaign(4, 1), serial_store, kDigest);
+
+    const std::string parallel_dir = fresh_dir("jobs3");
+    Store parallel_store(parallel_dir);
+    (void)run_campaign_with_store(small_campaign(4, 3), parallel_store, kDigest);
+
+    EXPECT_EQ(shard_bytes(serial_store), shard_bytes(parallel_store));
+    std::filesystem::remove_all(serial_dir);
+    std::filesystem::remove_all(parallel_dir);
+}
+
+TEST(CampaignStore, ResumingAPrefixYieldsByteIdenticalShards) {
+    // Reference: one uninterrupted run.
+    const std::string full_dir = fresh_dir("full");
+    Store full_store(full_dir);
+    (void)run_campaign_with_store(small_campaign(), full_store, kDigest);
+
+    // "Killed" run: only the first two fleets got sealed (their keys do not
+    // depend on the fleet count), then the full campaign resumes on top.
+    const std::string resumed_dir = fresh_dir("resumed");
+    Store resumed_store(resumed_dir);
+    (void)run_campaign_with_store(small_campaign(2), resumed_store, kDigest);
+    const auto resumed = run_campaign_with_store(small_campaign(4, 2), resumed_store,
+                                                 kDigest);
+    EXPECT_EQ(resumed.fleets_reused, 2u);
+    EXPECT_EQ(resumed.fleets_simulated, 2u);
+
+    EXPECT_EQ(shard_bytes(resumed_store), shard_bytes(full_store));
+    std::filesystem::remove_all(full_dir);
+    std::filesystem::remove_all(resumed_dir);
+}
+
+TEST(CampaignStore, CorruptedShardIsResimulatedNeverTrusted) {
+    const auto config = small_campaign();
+    const std::string dir = fresh_dir("heal");
+    Store store(dir);
+    (void)run_campaign_with_store(config, store, kDigest);
+    const auto before = shard_bytes(store);
+
+    // Bit rot inside fleet 1's shard.
+    const auto entries = store.entries();
+    const std::string victim = store.shard_path(entries[1]);
+    std::string bytes = slurp(victim);
+    bytes[50] = static_cast<char>(bytes[50] ^ 0x10);
+    {
+        std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+        out << bytes;
+    }
+    EXPECT_THROW((void)verify_shard(victim), StoreError);
+
+    const auto healed = run_campaign_with_store(config, store, kDigest);
+    EXPECT_EQ(healed.fleets_reused, 3u);
+    EXPECT_EQ(healed.fleets_simulated, 1u);
+    EXPECT_EQ(healed.shards_invalid, 1u);
+    // The store healed back to the exact pre-corruption bytes.
+    EXPECT_EQ(shard_bytes(store), before);
+    EXPECT_NO_THROW((void)verify_shard(victim));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignStore, MissingShardFileIsAPlainMiss) {
+    const auto config = small_campaign();
+    const std::string dir = fresh_dir("missing");
+    Store store(dir);
+    (void)run_campaign_with_store(config, store, kDigest);
+    const auto before = shard_bytes(store);
+    std::filesystem::remove(store.shard_path(store.entries()[2]));
+
+    const auto rerun = run_campaign_with_store(config, store, kDigest);
+    EXPECT_EQ(rerun.fleets_reused, 3u);
+    EXPECT_EQ(rerun.fleets_simulated, 1u);
+    // A vanished file is absence, not corruption.
+    EXPECT_EQ(rerun.shards_invalid, 0u);
+    EXPECT_EQ(shard_bytes(store), before);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignStore, ChangedConfigInvalidatesTheWholeCache) {
+    const std::string dir = fresh_dir("invalidate");
+    Store store(dir);
+    (void)run_campaign_with_store(small_campaign(), store, kDigest);
+
+    auto changed = small_campaign();
+    changed.base.seed = 777;
+    const auto rerun = run_campaign_with_store(changed, store, kDigest);
+    EXPECT_EQ(rerun.fleets_reused, 0u);
+    EXPECT_EQ(rerun.fleets_simulated, 4u);
+    for (const auto& entry : store.entries()) {
+        EXPECT_EQ(entry.cache_key, fleet_cache_key(changed.base, changed.hours_per_fleet,
+                                                   entry.fleet_index, kDigest));
+        EXPECT_NO_THROW((void)verify_shard(store.shard_path(entry)));
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignStore, WarmCacheMeansZeroResimulation) {
+    // The observability pin behind the --store promise: a warm run does not
+    // run a single fleet simulation, as counted by the simulator itself.
+    const auto config = small_campaign();
+    const std::string dir = fresh_dir("obs");
+    Store store(dir);
+    obs::set_enabled(true);
+    obs::reset();
+    (void)run_campaign_with_store(config, store, kDigest);
+    EXPECT_EQ(counter("sim.fleet_runs"), 4u);
+    EXPECT_EQ(counter("store.cache_misses"), 4u);
+    EXPECT_EQ(counter("store.shards_written"), 4u);
+    EXPECT_EQ(counter("store.cache_hits"), 0u);
+
+    obs::reset();
+    (void)run_campaign_with_store(config, store, kDigest);
+    EXPECT_EQ(counter("sim.fleet_runs"), 0u);
+    EXPECT_EQ(counter("store.cache_hits"), 4u);
+    EXPECT_EQ(counter("store.shards_reused"), 4u);
+    EXPECT_EQ(counter("store.cache_misses"), 0u);
+    EXPECT_EQ(counter("store.shards_written"), 0u);
+    // Reuse is verification, not trust: every reused shard was re-read.
+    EXPECT_EQ(counter("store.shards_read"), 4u);
+    obs::reset();
+    obs::set_enabled(false);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignStore, RejectsConfigsThePlainCampaignRejects) {
+    const std::string dir = fresh_dir("validate");
+    Store store(dir);
+    EXPECT_THROW((void)run_campaign_with_store(small_campaign(0), store, kDigest),
+                 std::invalid_argument);
+    auto config = small_campaign();
+    config.hours_per_fleet = 0.0;
+    EXPECT_THROW((void)run_campaign_with_store(config, store, kDigest),
+                 std::invalid_argument);
+    std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace qrn::store

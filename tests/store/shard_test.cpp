@@ -1,0 +1,298 @@
+// Shard format: bit-identical round trips, block framing, crash safety of
+// the temp-file protocol, and the corruption matrix (every StoreErrorKind
+// surfaces for the defect that defines it).
+#include "store/shard.h"
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "store/crc32.h"
+#include "store/format.h"
+
+namespace qrn::store {
+namespace {
+
+std::string temp_shard(const std::string& name) {
+    return ::testing::TempDir() + "qrn_shard_" + name + std::string(kShardExtension);
+}
+
+// Binary file access via streambuf iterators / operator<<: tests stay out
+// of the raw .read()/.write() surface the raw-file-io lint rule confines
+// to src/store.
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << path;
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.is_open()) << path;
+    out << bytes;
+}
+
+Incident sample_incident(std::size_t i) {
+    Incident incident;
+    incident.first = (i % 7 == 3) ? ActorType::Car : ActorType::EgoVehicle;
+    incident.second = actor_type_from_index(i % kActorTypeCount);
+    incident.mechanism =
+        (i % 3 == 0) ? IncidentMechanism::NearMiss : IncidentMechanism::Collision;
+    // Deliberately non-representable decimals: the round trip must carry the
+    // exact IEEE bit patterns, not a decimal rendering.
+    incident.relative_speed_kmh = 0.1 + static_cast<double>(i) / 3.0;
+    incident.min_distance_m =
+        incident.mechanism == IncidentMechanism::NearMiss ? 0.7 + 0.01 * static_cast<double>(i)
+                                                          : 0.0;
+    incident.ego_causing_factor = (i % 7 == 3);
+    incident.timestamp_hours = static_cast<double>(i) * 0.977;
+    return incident;
+}
+
+sim::IncidentLog sample_log(std::size_t records) {
+    sim::IncidentLog log;
+    for (std::size_t i = 0; i < records; ++i) log.incidents.push_back(sample_incident(i));
+    log.exposure = ExposureHours(123.25 + static_cast<double>(records) / 7.0);
+    log.encounters = 9001 + records;
+    log.emergency_brakings = 41;
+    log.degraded_hours = 7;
+    log.odd_exits = 5;
+    log.mrm_executions = 4;
+    log.unmonitored_exits = 1;
+    return log;
+}
+
+std::uint64_t bits(double value) { return std::bit_cast<std::uint64_t>(value); }
+
+void expect_bit_identical(const sim::IncidentLog& a, const sim::IncidentLog& b) {
+    ASSERT_EQ(a.incidents.size(), b.incidents.size());
+    for (std::size_t i = 0; i < a.incidents.size(); ++i) {
+        const Incident& x = a.incidents[i];
+        const Incident& y = b.incidents[i];
+        EXPECT_EQ(x.first, y.first) << i;
+        EXPECT_EQ(x.second, y.second) << i;
+        EXPECT_EQ(x.mechanism, y.mechanism) << i;
+        EXPECT_EQ(bits(x.relative_speed_kmh), bits(y.relative_speed_kmh)) << i;
+        EXPECT_EQ(bits(x.min_distance_m), bits(y.min_distance_m)) << i;
+        EXPECT_EQ(x.ego_causing_factor, y.ego_causing_factor) << i;
+        EXPECT_EQ(bits(x.timestamp_hours), bits(y.timestamp_hours)) << i;
+    }
+    EXPECT_EQ(bits(a.exposure.hours()), bits(b.exposure.hours()));
+    EXPECT_EQ(a.encounters, b.encounters);
+    EXPECT_EQ(a.emergency_brakings, b.emergency_brakings);
+    EXPECT_EQ(a.degraded_hours, b.degraded_hours);
+    EXPECT_EQ(a.odd_exits, b.odd_exits);
+    EXPECT_EQ(a.mrm_executions, b.mrm_executions);
+    EXPECT_EQ(a.unmonitored_exits, b.unmonitored_exits);
+}
+
+StoreErrorKind kind_of(const std::string& path) {
+    try {
+        (void)verify_shard(path);
+    } catch (const StoreError& error) {
+        return error.kind();
+    }
+    ADD_FAILURE() << "expected a StoreError from " << path;
+    return StoreErrorKind::Io;
+}
+
+TEST(Codec, LittleEndianRoundTrip) {
+    std::string bytes;
+    put_u32(bytes, 0x01020304u);
+    put_u64(bytes, 0x1122334455667788ULL);
+    put_f64(bytes, -0.1);
+    EXPECT_EQ(bytes.size(), 20u);
+    // Low byte first: the format is defined independent of host endianness.
+    EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0x04u);
+    EXPECT_EQ(static_cast<unsigned char>(bytes[4]), 0x88u);
+    EXPECT_EQ(get_u32(bytes, 0), 0x01020304u);
+    EXPECT_EQ(get_u64(bytes, 4), 0x1122334455667788ULL);
+    EXPECT_EQ(bits(get_f64(bytes, 12)), bits(-0.1));
+}
+
+TEST(Shard, RoundTripIsBitIdentical) {
+    const std::string path = temp_shard("roundtrip");
+    const auto log = sample_log(5);
+    write_shard(path, 0xDEADBEEFCAFE0123ULL, 17, log);
+
+    sim::IncidentLog back;
+    const ShardInfo info = read_shard(path, back);
+    EXPECT_EQ(info.cache_key, 0xDEADBEEFCAFE0123ULL);
+    EXPECT_EQ(info.fleet_index, 17u);
+    EXPECT_EQ(info.records, 5u);
+    EXPECT_EQ(info.totals, totals_of(log));
+    EXPECT_EQ(info.file_bytes, std::filesystem::file_size(path));
+    expect_bit_identical(log, back);
+    std::filesystem::remove(path);
+}
+
+TEST(Shard, BlockBoundariesRoundTrip) {
+    // 0 records (footer only), exactly one full block, and a multi-block
+    // shard with a partial tail block.
+    for (const std::size_t records : {std::size_t{0}, std::size_t{kBlockRecords},
+                                      std::size_t{2 * kBlockRecords + 176}}) {
+        const std::string path = temp_shard("blocks_" + std::to_string(records));
+        const auto log = sample_log(records);
+        write_shard(path, 1, 0, log);
+        sim::IncidentLog back;
+        const ShardInfo info = read_shard(path, back);
+        EXPECT_EQ(info.records, records);
+        expect_bit_identical(log, back);
+        std::filesystem::remove(path);
+    }
+}
+
+TEST(Shard, UnsealedWriterLeavesNoFinalFile) {
+    const std::string path = temp_shard("unsealed");
+    {
+        ShardWriter writer(path, 1, 0);
+        writer.append(sample_incident(0));
+        // Destroyed without seal(): the crash case.
+    }
+    EXPECT_FALSE(std::filesystem::exists(path));
+    EXPECT_FALSE(std::filesystem::exists(path + std::string(kTempSuffix)));
+}
+
+TEST(Shard, AppendAfterSealIsALogicError) {
+    const std::string path = temp_shard("sealed_append");
+    ShardWriter writer(path, 1, 0);
+    writer.seal(ShardTotals{});
+    EXPECT_THROW(writer.append(sample_incident(0)), std::logic_error);
+    std::filesystem::remove(path);
+}
+
+TEST(Shard, TotalsOfMirrorsTheLog) {
+    const auto log = sample_log(3);
+    const ShardTotals totals = totals_of(log);
+    EXPECT_EQ(bits(totals.exposure_hours), bits(log.exposure.hours()));
+    EXPECT_EQ(totals.encounters, log.encounters);
+    EXPECT_EQ(totals.emergency_brakings, log.emergency_brakings);
+    EXPECT_EQ(totals.degraded_hours, log.degraded_hours);
+    EXPECT_EQ(totals.odd_exits, log.odd_exits);
+    EXPECT_EQ(totals.mrm_executions, log.mrm_executions);
+    EXPECT_EQ(totals.unmonitored_exits, log.unmonitored_exits);
+}
+
+TEST(ShardCorruption, MissingFileIsIo) {
+    const std::string path = temp_shard("missing");
+    std::filesystem::remove(path);
+    EXPECT_EQ(kind_of(path), StoreErrorKind::Io);
+}
+
+TEST(ShardCorruption, ForeignBytesAreBadMagic) {
+    const std::string path = temp_shard("magic");
+    spit(path, "definitely not a shard, but comfortably longer than a header");
+    EXPECT_EQ(kind_of(path), StoreErrorKind::BadMagic);
+    std::filesystem::remove(path);
+}
+
+TEST(ShardCorruption, FutureVersionIsBadVersion) {
+    const std::string path = temp_shard("version");
+    write_shard(path, 1, 0, sample_log(2));
+    std::string bytes = slurp(path);
+    // Header payload = magic(8) + version(4) + flags(4) + key(8) + fleet(8);
+    // patch the version and re-seal the header CRC so only the version is
+    // "wrong" - the reader must report BadVersion, not Checksum.
+    std::string patched = bytes.substr(0, 8);
+    put_u32(patched, kShardVersion + 1);
+    patched += bytes.substr(12, 20);
+    std::string header = patched;
+    put_u32(header, crc32(patched));
+    spit(path, header + bytes.substr(36));
+    EXPECT_EQ(kind_of(path), StoreErrorKind::BadVersion);
+    std::filesystem::remove(path);
+}
+
+TEST(ShardCorruption, TruncationIsDetected) {
+    const std::string path = temp_shard("truncated");
+    write_shard(path, 1, 0, sample_log(20));
+    const std::string bytes = slurp(path);
+    spit(path, bytes.substr(0, bytes.size() - 10));
+    EXPECT_EQ(kind_of(path), StoreErrorKind::Truncated);
+    std::filesystem::remove(path);
+}
+
+TEST(ShardCorruption, HeaderOnlyFileIsTruncated) {
+    // The crash window between header and footer: a shard with no footer is
+    // an interrupted write, never an empty log.
+    const std::string path = temp_shard("headeronly");
+    write_shard(path, 1, 0, sample_log(0));
+    const std::string bytes = slurp(path);
+    spit(path, bytes.substr(0, 36));
+    EXPECT_EQ(kind_of(path), StoreErrorKind::Truncated);
+    std::filesystem::remove(path);
+}
+
+TEST(ShardCorruption, RecordBitFlipIsChecksum) {
+    const std::string path = temp_shard("bitflip");
+    write_shard(path, 1, 0, sample_log(20));
+    std::string bytes = slurp(path);
+    bytes[60] = static_cast<char>(bytes[60] ^ 0x01);  // inside the first block
+    spit(path, bytes);
+    EXPECT_EQ(kind_of(path), StoreErrorKind::Checksum);
+    std::filesystem::remove(path);
+}
+
+TEST(ShardCorruption, FooterKeyMismatchIsInconsistent) {
+    const std::string path = temp_shard("footerkey");
+    write_shard(path, 0x1111111111111111ULL, 0, sample_log(4));
+    const std::string bytes = slurp(path);
+    // Footer = tag(4), then a 72-byte payload (records, exposure, six
+    // counters, echoed key) whose CRC(4) closes the file. Swap the echoed
+    // key and re-seal the CRC: every checksum passes, but the shard
+    // contradicts itself.
+    const std::size_t payload_at = bytes.size() - 76;
+    std::string payload = bytes.substr(payload_at, 64);
+    put_u64(payload, 0x2222222222222222ULL);
+    std::string sealed = payload;
+    put_u32(sealed, crc32(payload));
+    spit(path, bytes.substr(0, payload_at) + sealed);
+    EXPECT_EQ(kind_of(path), StoreErrorKind::Inconsistent);
+    std::filesystem::remove(path);
+}
+
+TEST(ShardCorruption, TrailingGarbageIsInconsistent) {
+    const std::string path = temp_shard("trailing");
+    write_shard(path, 1, 0, sample_log(2));
+    spit(path, slurp(path) + "extra");
+    EXPECT_EQ(kind_of(path), StoreErrorKind::Inconsistent);
+    std::filesystem::remove(path);
+}
+
+TEST(ShardCorruption, ErrorsCarryKindPrefixAndPath) {
+    const std::string path = temp_shard("message");
+    spit(path, "garbage garbage garbage garbage garbage garbage");
+    try {
+        (void)verify_shard(path);
+        FAIL() << "expected StoreError";
+    } catch (const StoreError& error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("[bad-magic]"), std::string::npos) << what;
+        EXPECT_NE(what.find(path), std::string::npos) << what;
+        EXPECT_TRUE(error.is_corruption());
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(Shard, VerifyAgreesWithRead) {
+    const std::string path = temp_shard("verify");
+    const auto log = sample_log(700);  // spans a block boundary
+    write_shard(path, 77, 3, log);
+    sim::IncidentLog back;
+    const ShardInfo read_info = read_shard(path, back);
+    const ShardInfo verify_info = verify_shard(path);
+    EXPECT_EQ(verify_info.cache_key, read_info.cache_key);
+    EXPECT_EQ(verify_info.fleet_index, read_info.fleet_index);
+    EXPECT_EQ(verify_info.records, read_info.records);
+    EXPECT_EQ(verify_info.totals, read_info.totals);
+    EXPECT_EQ(verify_info.file_bytes, read_info.file_bytes);
+    std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace qrn::store
