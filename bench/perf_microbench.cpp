@@ -115,6 +115,21 @@ void BM_FleetSimulationPerHour(benchmark::State& state) {
 }
 BENCHMARK(BM_FleetSimulationPerHour)->Arg(10)->Arg(100)->Arg(1000);
 
+/// One operational stretch end to end: a single-stretch run() isolates the
+/// refactored sim inner loop (batched count draws, columnar incident
+/// accumulation) plus the fixed per-run prologue, so regressions in the
+/// per-stretch cost are tracked separately from campaign scheduling.
+void BM_RunStretch(benchmark::State& state) {
+    sim::FleetConfig config;
+    config.seed = 3;
+    const sim::FleetSimulator fleet(config);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fleet.run(1.0));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RunStretch);
+
 void BM_GarwoodUpperBound(benchmark::State& state) {
     const stats::RateObservation obs{static_cast<std::uint64_t>(state.range(0)), 1e6};
     for (auto _ : state) {
@@ -250,6 +265,20 @@ std::string shard_bench_path(const char* name) {
             (std::string("qrn_bench_") + name + ".qrs"))
         .string();
 }
+
+/// The one-pass evidence scan: every per-type count from a single sweep
+/// over the incident columns (count_matching_all), per record scanned.
+/// This is the path pooled_evidence and evidence_for take after the
+/// columnar refactor; the former per-type rescan cost K sweeps.
+void BM_EvidenceScan(benchmark::State& state) {
+    const auto types = IncidentTypeSet::paper_vru_example();
+    const auto log = shard_bench_log(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(log.evidence_for(types));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EvidenceScan)->Arg(10000);
 
 /// Sealed-shard write throughput: header + CRC'd blocks + footer + the
 /// atomic rename, end to end, per record.

@@ -36,8 +36,17 @@ unsigned default_jobs() noexcept {
 std::vector<ChunkRange> chunk_ranges(unsigned jobs, std::size_t count) {
     std::vector<ChunkRange> out;
     if (count == 0) return out;
-    const std::size_t chunks =
-        std::min<std::size_t>(count, jobs == 0 ? 1 : jobs);
+    // Oversubscribe parallel runs: kChunksPerJob chunks per worker (capped
+    // by count). With one chunk per worker, the whole run waits on the
+    // slowest chunk - per-index cost varies (incident-heavy stretches,
+    // PR 4 chunk_ns vs task_wait_ns timers), so smaller chunks let fast
+    // workers absorb the straggler's tail. Chunks stay coarse enough that
+    // chunk cost dominates the ~µs dispatch cost, and since results merge
+    // in chunk-index order the output is unchanged by the split.
+    constexpr std::size_t kChunksPerJob = 4;
+    const std::size_t target =
+        jobs <= 1 ? 1 : static_cast<std::size_t>(jobs) * kChunksPerJob;
+    const std::size_t chunks = std::min<std::size_t>(count, target);
     out.reserve(chunks);
     const std::size_t base = count / chunks;
     const std::size_t extra = count % chunks;  // first `extra` chunks get +1

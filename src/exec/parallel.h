@@ -36,14 +36,16 @@ struct ChunkRange {
     std::size_t index = 0;  ///< Chunk number, 0-based, in range order.
 };
 
-/// The chunk decomposition parallel_for uses: at most `jobs` contiguous
-/// near-equal chunks covering [0, count). Exposed so callers (and tests)
-/// can reason about partial ordering; results must never depend on it.
+/// The chunk decomposition parallel_for uses: contiguous near-equal chunks
+/// covering [0, count) - one chunk at jobs <= 1, up to 4 per job otherwise
+/// (oversubscription smooths stragglers when per-index cost varies).
+/// Exposed so callers (and tests) can reason about partial ordering;
+/// results must never depend on it.
 [[nodiscard]] std::vector<ChunkRange> chunk_ranges(unsigned jobs, std::size_t count);
 
-/// Runs `body` over [0, count) split into at most `jobs` contiguous
-/// chunks. jobs <= 1 (or nesting inside a pool worker) runs serially in
-/// the calling thread, in chunk order. Blocks until every chunk is done.
+/// Runs `body` over [0, count) split into the chunk_ranges decomposition.
+/// jobs <= 1 (or nesting inside a pool worker) runs serially in the
+/// calling thread, in chunk order. Blocks until every chunk is done.
 void parallel_for(unsigned jobs, std::size_t count,
                   const std::function<void(const ChunkRange&)>& body);
 

@@ -1,0 +1,119 @@
+// Struct-of-arrays incident storage: the native in-memory layout of the
+// incident pipeline.
+//
+// Every layer that touches incidents in bulk - the fleet simulator's
+// accumulation loop, the campaign aggregators, the evidence scans and the
+// qrn-store shard codec - iterates over *columns*, not records. The seven
+// columns mirror the store's 28-byte v1 record field for field (four u8
+// fields, three IEEE-754 doubles; docs/STORE.md), so a shard writer can
+// serialize a column run without materializing a single Incident and a
+// reader can decode straight back into columns. The row-oriented Incident
+// struct (incident.h) remains the unit of *observation* - single records
+// cross API boundaries as Incident; bulk data lives here.
+//
+// Invariant: all seven columns always have equal length; only the member
+// functions below mutate them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+#include "qrn/incident.h"
+
+namespace qrn {
+
+class IncidentTypeSet;
+
+/// Parallel columns of incident records (one entry per incident).
+class IncidentColumns {
+public:
+    IncidentColumns() = default;
+
+    [[nodiscard]] std::size_t size() const noexcept { return firsts_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return firsts_.empty(); }
+
+    void reserve(std::size_t n);
+    void clear() noexcept;
+
+    /// Appends one record (row -> columns).
+    void push_back(const Incident& incident);
+
+    /// Appends one record from raw fields, skipping the Incident
+    /// round-trip; the caller guarantees the same invariants `validate`
+    /// checks (the simulator validates before emplacing).
+    void emplace_back(ActorType first, ActorType second, IncidentMechanism mechanism,
+                      double relative_speed_kmh, double min_distance_m,
+                      bool ego_causing_factor, double timestamp_hours);
+
+    /// Materializes row `index` (columns -> row). No bounds check beyond
+    /// the debug assert of the underlying vectors.
+    [[nodiscard]] Incident operator[](std::size_t index) const;
+
+    /// Appends every row of `other` in order (columnar memcpy-style).
+    void append(const IncidentColumns& other);
+
+    friend bool operator==(const IncidentColumns&, const IncidentColumns&) = default;
+
+    // ---- column views (hot scans read these directly) -------------------
+    [[nodiscard]] const std::vector<std::uint8_t>& firsts() const noexcept { return firsts_; }
+    [[nodiscard]] const std::vector<std::uint8_t>& seconds() const noexcept { return seconds_; }
+    [[nodiscard]] const std::vector<std::uint8_t>& mechanisms() const noexcept { return mechanisms_; }
+    [[nodiscard]] const std::vector<std::uint8_t>& induced_flags() const noexcept { return induced_; }
+    [[nodiscard]] const std::vector<double>& relative_speeds_kmh() const noexcept { return relative_speed_kmh_; }
+    [[nodiscard]] const std::vector<double>& min_distances_m() const noexcept { return min_distance_m_; }
+    [[nodiscard]] const std::vector<double>& timestamps_hours() const noexcept { return timestamp_hours_; }
+
+    // ---- row-compatible iteration ---------------------------------------
+    //
+    // Materializing proxy iterator: `*it` yields an Incident by value, so
+    // range-for and <algorithm> code written against std::vector<Incident>
+    // keeps working. Bulk consumers should prefer the column views.
+    class const_iterator {
+    public:
+        using iterator_category = std::input_iterator_tag;
+        using value_type = Incident;
+        using difference_type = std::ptrdiff_t;
+        using pointer = void;
+        using reference = Incident;
+
+        const_iterator() = default;
+        const_iterator(const IncidentColumns* columns, std::size_t index)
+            : columns_(columns), index_(index) {}
+
+        [[nodiscard]] Incident operator*() const { return (*columns_)[index_]; }
+        const_iterator& operator++() { ++index_; return *this; }
+        const_iterator operator++(int) { auto old = *this; ++index_; return old; }
+        friend bool operator==(const const_iterator&, const const_iterator&) = default;
+
+    private:
+        const IncidentColumns* columns_ = nullptr;
+        std::size_t index_ = 0;
+    };
+
+    [[nodiscard]] const_iterator begin() const noexcept { return {this, 0}; }
+    [[nodiscard]] const_iterator end() const noexcept { return {this, size()}; }
+
+    // ---- AoS <-> SoA conversion -----------------------------------------
+    [[nodiscard]] static IncidentColumns from_vector(const std::vector<Incident>& rows);
+    [[nodiscard]] std::vector<Incident> to_vector() const;
+
+private:
+    std::vector<std::uint8_t> firsts_;
+    std::vector<std::uint8_t> seconds_;
+    std::vector<std::uint8_t> mechanisms_;
+    std::vector<std::uint8_t> induced_;
+    std::vector<double> relative_speed_kmh_;
+    std::vector<double> min_distance_m_;
+    std::vector<double> timestamp_hours_;
+};
+
+/// All per-type match counts in ONE pass over the columns (index k of the
+/// result counts incidents matching types.at(k)). Replaces the K
+/// re-scans of a per-type count_matching loop: the record data streams
+/// through cache once however many types the norm carries.
+[[nodiscard]] std::vector<std::uint64_t> count_matching_all(
+    const IncidentColumns& columns, const IncidentTypeSet& types);
+
+}  // namespace qrn

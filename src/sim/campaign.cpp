@@ -10,15 +10,20 @@ namespace qrn::sim {
 
 std::vector<TypeEvidence> CampaignResult::pooled_evidence(
     const IncidentTypeSet& types) const {
+    // One columnar pass per log computes every per-type count; the former
+    // loop rescanned each log once per incident type (K x incidents).
+    std::vector<std::uint64_t> totals(types.size(), 0);
+    for (const auto& log : logs) {
+        const std::vector<std::uint64_t> counts = count_matching_all(log.incidents, types);
+        for (std::size_t k = 0; k < types.size(); ++k) totals[k] += counts[k];
+    }
     std::vector<TypeEvidence> out;
     out.reserve(types.size());
     for (std::size_t k = 0; k < types.size(); ++k) {
         TypeEvidence e;
         e.incident_type_id = types.at(k).id();
         e.exposure = total_exposure;
-        for (const auto& log : logs) {
-            e.events += log.count_matching(types.at(k));
-        }
+        e.events = totals[k];
         out.push_back(std::move(e));
     }
     return out;

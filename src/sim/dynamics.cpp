@@ -145,39 +145,89 @@ EncounterOutcome resolve_lead_braking(double speed_kmh, double gap_m,
     }
     EncounterOutcome out;
     const double v0 = kmh_to_ms(speed_kmh);
-    constexpr double dt = 1e-3;
+    if (v0 <= 0.0) {
+        out.min_gap_m = gap_m;
+        return out;
+    }
 
-    double xe = 0.0, ve = v0;       // ego
-    double xl = gap_m, vl = v0;     // lead (front-to-rear gap)
+    // Both speed profiles are piecewise linear (lead brakes from t = 0, ego
+    // from its reaction time, each until standstill), so the gap is
+    // piecewise quadratic between the profile breakpoints. Solving each
+    // segment exactly replaces the former 1 ms Euler integration - this is
+    // the campaign hot path, called once per lead-braking/cut-in encounter.
+    const double tr = response.reaction_time_s;
+    const double ae = response.deceleration_ms2;
+    const double al = lead_decel_ms2;
+    const double lead_stop = v0 / al;
+    const double ego_stop = tr + v0 / ae;
+    const double t_end = std::max(lead_stop, ego_stop);
+
+    const auto lead_speed = [&](double t) {
+        return t < lead_stop ? v0 - al * t : 0.0;
+    };
+    const auto ego_speed_at = [&](double t) {
+        if (t <= tr) return v0;
+        return t < ego_stop ? v0 - ae * (t - tr) : 0.0;
+    };
+
+    double knots[4] = {tr, lead_stop, ego_stop, t_end};
+    std::sort(std::begin(knots), std::end(knots));
+
+    double gap = gap_m;
     double min_gap = gap_m;
     double closing_at_min = 0.0;
-    double t = 0.0;
-    const double t_max = 120.0;
-    while (t < t_max) {
-        // Lead brakes from t = 0.
-        vl = std::max(0.0, vl - lead_decel_ms2 * dt);
-        xl += vl * dt;
-        // Ego brakes after its reaction time.
-        if (t >= response.reaction_time_s) {
-            ve = std::max(0.0, ve - response.deceleration_ms2 * dt);
+    double a = 0.0;
+    for (const double b : knots) {
+        if (b <= a || a >= t_end) continue;
+        // On [a, b] the closing speed w(t) = ego - lead is linear:
+        // w(t) = w_a + s (t - a); the gap shrinks by its integral.
+        const double w_a = ego_speed_at(a) - lead_speed(a);
+        const double w_b = ego_speed_at(b) - lead_speed(b);
+        const double s = (w_b - w_a) / (b - a);
+        // Contact inside the segment: gap - w_a u - s/2 u^2 = 0 with
+        // u = t - a; take the earliest root where the gap still closes.
+        if (w_a > 0.0 || (w_a == 0.0 && s > 0.0)) {
+            const double disc = w_a * w_a + 2.0 * s * gap;
+            if (disc >= 0.0) {
+                const double sq = std::sqrt(disc);
+                // Smallest positive root of (s/2) u^2 + w_a u - gap = 0.
+                double u = -1.0;
+                if (s != 0.0) {
+                    const double u1 = (-w_a + sq) / s;
+                    const double u2 = (-w_a - sq) / s;
+                    u = std::min(u1 > 0.0 ? u1 : std::numeric_limits<double>::infinity(),
+                                 u2 > 0.0 ? u2 : std::numeric_limits<double>::infinity());
+                } else if (w_a > 0.0) {
+                    u = gap / w_a;
+                }
+                if (u >= 0.0 && u <= b - a + 1e-12) {
+                    const double t_hit = a + u;
+                    out.collision = true;
+                    out.impact_speed_kmh = ms_to_kmh(
+                        std::max(0.0, ego_speed_at(t_hit) - lead_speed(t_hit)));
+                    return out;
+                }
+            }
         }
-        xe += ve * dt;
-        t += dt;
-        const double gap = xl - xe;
-        if (gap <= 0.0) {
-            out.collision = true;
-            out.impact_speed_kmh = ms_to_kmh(std::max(0.0, ve - vl));
-            return out;
+        // The in-segment gap minimum is at the w = 0 crossing (if the
+        // closing speed changes sign inside) or at the segment end.
+        const double gap_b = gap - (w_a + w_b) * 0.5 * (b - a);
+        if (w_a > 0.0 && w_b < 0.0) {
+            const double u_star = -w_a / s;  // s < 0 here
+            const double gap_star = gap - w_a * u_star - 0.5 * s * u_star * u_star;
+            if (gap_star < min_gap) {
+                min_gap = gap_star;
+                closing_at_min = 0.0;
+            }
         }
-        if (gap < min_gap) {
-            min_gap = gap;
-            closing_at_min = std::max(0.0, ve - vl);
+        if (gap_b < min_gap) {
+            min_gap = gap_b;
+            closing_at_min = std::max(0.0, w_b);
         }
-        if (ve <= 0.0 && vl <= 0.0) break;  // both stopped
-        // Once ego is no faster than the lead the gap can only grow again.
-        if (ve <= vl && t > response.reaction_time_s) break;
+        gap = gap_b;
+        a = b;
     }
-    out.min_gap_m = min_gap;
+    out.min_gap_m = std::max(min_gap, 0.0);
     out.closing_speed_kmh = ms_to_kmh(closing_at_min);
     return out;
 }

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <iterator>
 #include <limits>
 #include <stdexcept>
 
@@ -16,12 +15,15 @@ Frequency IncidentLog::incident_rate() const {
 }
 
 std::vector<TypeEvidence> IncidentLog::evidence_for(const IncidentTypeSet& types) const {
+    // One pass over the columns yields every per-type count at once; the
+    // former per-type count_matching loop rescanned the log K times.
+    const std::vector<std::uint64_t> counts = count_matching_all(incidents, types);
     std::vector<TypeEvidence> out;
     out.reserve(types.size());
     for (std::size_t k = 0; k < types.size(); ++k) {
         TypeEvidence e;
         e.incident_type_id = types.at(k).id();
-        e.events = count_matching(types.at(k));
+        e.events = counts[k];
         e.exposure = exposure;
         out.push_back(std::move(e));
     }
@@ -30,24 +32,20 @@ std::vector<TypeEvidence> IncidentLog::evidence_for(const IncidentTypeSet& types
 
 std::uint64_t IncidentLog::count_matching(const IncidentType& type) const {
     std::uint64_t n = 0;
-    for (const auto& incident : incidents) {
-        if (type.matches(incident)) ++n;
+    for (std::size_t i = 0; i < incidents.size(); ++i) {
+        if (type.matches(incidents[i])) ++n;
     }
     return n;
 }
 
 std::uint64_t IncidentLog::induced_count() const {
     std::uint64_t n = 0;
-    for (const auto& incident : incidents) {
-        if (incident.ego_causing_factor) ++n;
-    }
+    for (const std::uint8_t flag : incidents.induced_flags()) n += flag;
     return n;
 }
 
 void IncidentLog::merge(IncidentLog&& other) {
-    incidents.insert(incidents.end(),
-                     std::make_move_iterator(other.incidents.begin()),
-                     std::make_move_iterator(other.incidents.end()));
+    incidents.append(other.incidents);
     exposure += other.exposure;
     encounters += other.encounters;
     emergency_brakings += other.emergency_brakings;
@@ -92,13 +90,17 @@ IncidentLog FleetSimulator::run(double hours, unsigned jobs) const {
     // stream (stream h+1), so chunks of stretches resolve independently and
     // merging the partial logs in stretch order is bit-identical to the
     // serial loop for every jobs value.
+    // The sampler is stateless given the rates: one instance serves every
+    // stretch (hoisted out of the former per-stretch construction).
+    const ScenarioSampler sampler(config_.rates);
     auto partials = exec::parallel_chunks<IncidentLog>(
         jobs, stretches, [&](const exec::ChunkRange& chunk) {
             IncidentLog part;
+            StretchScratch scratch;
             for (std::size_t h = chunk.begin; h < chunk.end; ++h) {
                 const double stretch =
                     h < static_cast<std::size_t>(whole_hours) ? 1.0 : remainder;
-                run_stretch(h, stretch, environments[h], part);
+                run_stretch(h, stretch, environments[h], sampler, scratch, part);
             }
             return part;
         });
@@ -119,9 +121,9 @@ IncidentLog FleetSimulator::run(double hours, unsigned jobs) const {
 }
 
 void FleetSimulator::run_stretch(std::size_t index, double stretch, Environment env,
-                                 IncidentLog& log) const {
+                                 const ScenarioSampler& sampler,
+                                 StretchScratch& scratch, IncidentLog& log) const {
     stats::Rng rng = stats::Rng::stream(config_.seed, static_cast<std::uint64_t>(index) + 1);
-    const ScenarioSampler sampler(config_.rates);
     // Stretches are one hour each except possibly the last, so stretch h
     // starts at clock hour h.
     const double clock_hours = static_cast<double>(index);
@@ -188,9 +190,15 @@ void FleetSimulator::run_stretch(std::size_t index, double stretch, Environment 
             }
         }
 
+        // All seven Poisson counts in one batched draw (sequence-identical
+        // to per-kind sample_count calls), into the chunk-owned scratch.
+        sampler.sample_counts(env, stretch, rng, scratch.encounter_counts);
+
+        // qrn:hotloop(begin) -- the campaign inner loop: no per-iteration
+        // heap allocation is permitted here (enforced by qrn-lint).
         for (std::size_t kind_index = 0; kind_index < kEncounterKindCount; ++kind_index) {
             const EncounterKind kind = encounter_kind_from_index(kind_index);
-            const std::uint64_t count = sampler.sample_count(kind, env, stretch, rng);
+            const std::uint64_t count = scratch.encounter_counts[kind_index];
             for (std::uint64_t i = 0; i < count; ++i) {
                 const Encounter encounter = sampler.sample(kind, env, rng);
                 ++log.encounters;
@@ -354,6 +362,7 @@ void FleetSimulator::run_stretch(std::size_t index, double stretch, Environment 
                 }
             }
         }
+        // qrn:hotloop(end)
     }
 }
 

@@ -9,11 +9,13 @@
 // to fleet data.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "qrn/frequency.h"
 #include "qrn/incident.h"
+#include "qrn/incident_columns.h"
 #include "qrn/incident_type.h"
 #include "qrn/verification.h"
 #include "sim/ego_policy.h"
@@ -96,8 +98,15 @@ struct FleetConfig {
 };
 
 /// Result of a fleet run.
+///
+/// Incidents are stored column-wise (IncidentColumns): the simulator
+/// appends rows, but every bulk consumer - evidence scans, merging, the
+/// qrn-store shard writer - walks the parallel columns, which mirror the
+/// store's 28-byte record format field for field. Row-style access
+/// (`log.incidents[i]`, range-for) still works through the materializing
+/// compatibility API.
 struct IncidentLog {
-    std::vector<Incident> incidents;
+    IncidentColumns incidents;
     ExposureHours exposure;
     std::uint64_t encounters = 0;          ///< Total conflicts resolved.
     std::uint64_t emergency_brakings = 0;  ///< Encounters needing more than
@@ -113,7 +122,8 @@ struct IncidentLog {
     /// Observed events per incident type, ready for Eq. 1 verification.
     /// Incidents matching no type are ignored (they are outside the margin
     /// space the goals constrain; the MECE argument lives at the
-    /// classification level, not the recording thresholds).
+    /// classification level, not the recording thresholds). One pass over
+    /// the columns computes all per-type counts (count_matching_all).
     [[nodiscard]] std::vector<TypeEvidence> evidence_for(
         const IncidentTypeSet& types) const;
 
@@ -147,9 +157,20 @@ public:
     [[nodiscard]] IncidentLog run(double hours, unsigned jobs = 1) const;
 
 private:
+    /// Per-chunk scratch reused across the stretches of one chunk, so the
+    /// inner loop performs no per-stretch setup work beyond seeding its
+    /// RNG stream (the chunk's partial IncidentLog doubles as the incident
+    /// accumulation buffer, its columns keeping their capacity).
+    struct StretchScratch {
+        std::array<std::uint64_t, kEncounterKindCount> encounter_counts{};
+    };
+
     /// Simulates stretch `index` (duration `stretch` hours, environment
     /// `env`) into `log`, drawing only from the stretch's own RNG stream.
+    /// `sampler` is hoisted out by run() (one instance per fleet run, not
+    /// per stretch); `scratch` is owned by the calling chunk.
     void run_stretch(std::size_t index, double stretch, Environment env,
+                     const ScenarioSampler& sampler, StretchScratch& scratch,
                      IncidentLog& log) const;
 
     FleetConfig config_;

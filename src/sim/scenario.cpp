@@ -68,6 +68,17 @@ std::uint64_t ScenarioSampler::sample_count(EncounterKind kind, const Environmen
     return rng.poisson(rates_.rate_of(kind, env) * hours);
 }
 
+void ScenarioSampler::sample_counts(
+    const Environment& env, double hours, stats::Rng& rng,
+    std::array<std::uint64_t, kEncounterKindCount>& out) const {
+    if (!(hours >= 0.0)) throw std::invalid_argument("sample_counts: hours >= 0");
+    std::array<double, kEncounterKindCount> means;
+    for (std::size_t i = 0; i < kEncounterKindCount; ++i) {
+        means[i] = rates_.rate_of(encounter_kind_from_index(i), env) * hours;
+    }
+    rng.fill_poisson(means.data(), out.data(), kEncounterKindCount);
+}
+
 Encounter ScenarioSampler::sample(EncounterKind kind, const Environment& env,
                                   stats::Rng& rng) const {
     Encounter e;

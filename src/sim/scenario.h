@@ -8,6 +8,7 @@
 // Poisson per encounter kind; parameters are sampled per encounter.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 
@@ -75,6 +76,13 @@ public:
     /// Number of encounters of `kind` in `hours` of operation in `env`.
     [[nodiscard]] std::uint64_t sample_count(EncounterKind kind, const Environment& env,
                                              double hours, stats::Rng& rng) const;
+
+    /// Counts for *every* kind in one batched draw: out[i] is the count of
+    /// encounter_kind_from_index(i). Draw-sequence-identical to calling
+    /// sample_count for kind 0..N-1 in index order (pinned by tests), so
+    /// the per-stretch stream is unchanged when call sites batch.
+    void sample_counts(const Environment& env, double hours, stats::Rng& rng,
+                       std::array<std::uint64_t, kEncounterKindCount>& out) const;
 
     /// Parameters of one encounter of `kind` in `env`.
     [[nodiscard]] Encounter sample(EncounterKind kind, const Environment& env,

@@ -118,6 +118,15 @@ std::uint64_t Rng::poisson(double mean) noexcept {
     return static_cast<std::uint64_t>(draw);
 }
 
+void Rng::fill_uniform(double* out, std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) out[i] = uniform();
+}
+
+void Rng::fill_poisson(const double* means, std::uint64_t* out,
+                       std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) out[i] = poisson(means[i]);
+}
+
 double Rng::lognormal(double mu_log, double sigma_log) noexcept {
     return std::exp(normal(mu_log, sigma_log));
 }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
@@ -58,6 +59,17 @@ public:
     /// Poisson count with the given mean >= 0. Uses inversion for small
     /// means and the PTRS transformed-rejection method for large ones.
     std::uint64_t poisson(double mean) noexcept;
+
+    /// Batched draws for hot loops. Each fill consumes the generator
+    /// exactly as the equivalent sequence of scalar calls would - out[i]
+    /// is bit-identical to the i-th sequential draw (pinned by tests) -
+    /// so call sites can batch without changing any downstream stream.
+    void fill_uniform(double* out, std::size_t n) noexcept;
+
+    /// out[i] = poisson(means[i]), drawn in index order; sequence-
+    /// identical to n sequential poisson() calls.
+    void fill_poisson(const double* means, std::uint64_t* out,
+                      std::size_t n) noexcept;
 
     /// Log-normal: exp(N(mu_log, sigma_log)).
     double lognormal(double mu_log, double sigma_log) noexcept;

@@ -41,11 +41,16 @@ StoreAggregate aggregate_evidence(const std::vector<ShardRef>& shards,
             ShardScan scan;
             scan.type_events.assign(types.size(), 0);
             ShardReader reader(shards[s].path);
-            const ShardInfo info = reader.for_each([&](const Incident& incident) {
-                for (std::size_t k = 0; k < types.size(); ++k) {
-                    if (types.at(k).matches(incident)) ++scan.type_events[k];
-                }
-            });
+            // Columnar block scan: every per-type count of the block in
+            // one pass, summed into the shard partial.
+            const ShardInfo info =
+                reader.for_each_block([&](const qrn::IncidentColumns& block) {
+                    const std::vector<std::uint64_t> counts =
+                        count_matching_all(block, types);
+                    for (std::size_t k = 0; k < types.size(); ++k) {
+                        scan.type_events[k] += counts[k];
+                    }
+                });
             scan.records = info.records;
             scan.exposure_hours = info.totals.exposure_hours;
             return scan;

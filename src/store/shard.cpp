@@ -135,6 +135,35 @@ void ShardWriter::append(const Incident& incident) {
     if (block_records_ == kBlockRecords) flush_block();
 }
 
+void ShardWriter::append_columns(const qrn::IncidentColumns& columns) {
+    if (sealed_) {
+        throw std::logic_error("ShardWriter::append_columns: shard already sealed");
+    }
+    // Straight columns -> bytes: the column vectors mirror the record
+    // layout, so serialization is a strided gather with no Incident in
+    // between. Byte-identical to append()ing each row (same encoding, same
+    // block boundaries).
+    const auto& firsts = columns.firsts();
+    const auto& seconds = columns.seconds();
+    const auto& mechanisms = columns.mechanisms();
+    const auto& induced = columns.induced_flags();
+    const auto& speeds = columns.relative_speeds_kmh();
+    const auto& distances = columns.min_distances_m();
+    const auto& timestamps = columns.timestamps_hours();
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        block_.push_back(static_cast<char>(firsts[i]));
+        block_.push_back(static_cast<char>(seconds[i]));
+        block_.push_back(static_cast<char>(mechanisms[i]));
+        block_.push_back(static_cast<char>(induced[i]));
+        put_f64(block_, speeds[i]);
+        put_f64(block_, distances[i]);
+        put_f64(block_, timestamps[i]);
+        ++block_records_;
+        ++records_;
+        if (block_records_ == kBlockRecords) flush_block();
+    }
+}
+
 void ShardWriter::flush_block() {
     if (block_records_ == 0) return;
     std::string framed;
@@ -243,6 +272,33 @@ void ShardReader::read_exact(std::string& into, std::size_t want,
 }
 
 ShardInfo ShardReader::for_each(const std::function<void(const Incident&)>& fn) {
+    return stream_blocks([&](std::string_view payload, std::uint32_t count) {
+        for (std::uint32_t r = 0; r < count; ++r) {
+            fn(decode_record(payload, static_cast<std::size_t>(r) * kRecordBytes,
+                             path_));
+        }
+    });
+}
+
+ShardInfo ShardReader::for_each_block(
+    const std::function<void(const qrn::IncidentColumns&)>& fn) {
+    // One columns buffer reused for every block: capacity settles at
+    // kBlockRecords rows and the scan allocates nothing further.
+    qrn::IncidentColumns batch;
+    return stream_blocks([&](std::string_view payload, std::uint32_t count) {
+        batch.clear();
+        batch.reserve(count);
+        for (std::uint32_t r = 0; r < count; ++r) {
+            batch.push_back(decode_record(
+                payload, static_cast<std::size_t>(r) * kRecordBytes, path_));
+        }
+        fn(batch);
+    });
+}
+
+ShardInfo ShardReader::stream_blocks(
+    const std::function<void(std::string_view payload, std::uint32_t count)>&
+        on_block) {
     if (consumed_) {
         throw std::logic_error("ShardReader::for_each: reader already consumed");
     }
@@ -285,10 +341,7 @@ ShardInfo ShardReader::for_each(const std::function<void(const Incident&)>& fn) 
                                      path_ + ": block checksum mismatch "
                                              "(bit rot or torn write)");
                 }
-                for (std::uint32_t r = 0; r < count; ++r) {
-                    fn(decode_record(payload, static_cast<std::size_t>(r) * kRecordBytes,
-                                     path_));
-                }
+                on_block(payload, count);
                 records += count;
                 continue;
             }
@@ -375,15 +428,15 @@ void write_shard(const std::string& path, std::uint64_t cache_key,
                  std::uint64_t fleet_index, const sim::IncidentLog& log) {
     const obs::ScopedTimer timer("store.shard_write_ns");
     ShardWriter writer(path, cache_key, fleet_index);
-    for (const auto& incident : log.incidents) writer.append(incident);
+    writer.append_columns(log.incidents);
     writer.seal(totals_of(log));
 }
 
 ShardInfo read_shard(const std::string& path, sim::IncidentLog& out) {
     ShardReader reader(path);
     sim::IncidentLog log;
-    const ShardInfo info = reader.for_each(
-        [&log](const Incident& incident) { log.incidents.push_back(incident); });
+    const ShardInfo info = reader.for_each_block(
+        [&log](const qrn::IncidentColumns& block) { log.incidents.append(block); });
     log.exposure = ExposureHours(info.totals.exposure_hours);
     log.encounters = info.totals.encounters;
     log.emergency_brakings = info.totals.emergency_brakings;

@@ -16,8 +16,10 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "qrn/incident.h"
+#include "qrn/incident_columns.h"
 #include "sim/fleet.h"
 #include "store/format.h"
 
@@ -49,6 +51,12 @@ public:
     /// Appends one record. Throws StoreError(Io) on write failure and
     /// std::logic_error when called after seal().
     void append(const Incident& incident);
+
+    /// Appends every row of `columns` in order, encoding straight from the
+    /// column vectors (no per-record Incident materialization - the
+    /// columns mirror the record layout field for field). Byte-identical
+    /// to appending each row through append().
+    void append_columns(const IncidentColumns& columns);
 
     /// Flushes, writes the sealed footer and atomically renames the file
     /// onto its final path. Throws StoreError(Io) when any step fails.
@@ -97,7 +105,19 @@ public:
     /// Consumes the reader (single pass).
     ShardInfo for_each(const std::function<void(const Incident&)>& fn);
 
+    /// Streams CRC-checked blocks decoded as columns: `fn` sees one
+    /// IncidentColumns batch per block (up to kBlockRecords rows), backed
+    /// by a buffer reused across blocks. Bulk consumers (aggregation, log
+    /// reload) scan columns without a per-record callback.
+    ShardInfo for_each_block(const std::function<void(const IncidentColumns&)>& fn);
+
 private:
+    /// The shared streaming core: walks block frames (each CRC-checked
+    /// before `on_block` sees its payload) and validates the footer.
+    ShardInfo stream_blocks(
+        const std::function<void(std::string_view payload, std::uint32_t count)>&
+            on_block);
+
     [[nodiscard]] std::size_t read_some(char* into, std::size_t want);
     void read_exact(std::string& into, std::size_t want, std::string_view what);
 

@@ -133,4 +133,60 @@ PerfDiff perf_diff(const PerfBaseline& baseline, const PerfBaseline& current,
     return out;
 }
 
+namespace {
+
+/// items/s of `<family>/<arg>` in `doc`, preferring the UseRealTime name.
+double items_per_second_of(const PerfBaseline& doc, const std::string& family,
+                           const char* arg) {
+    const std::string with_real_time = family + "/" + arg + "/real_time";
+    const std::string plain = family + "/" + arg;
+    const PerfEntry* found = nullptr;
+    for (const PerfEntry& e : doc.benchmarks) {
+        if (e.name == with_real_time) {
+            found = &e;
+            break;
+        }
+        if (e.name == plain && found == nullptr) found = &e;
+    }
+    if (found == nullptr) {
+        throw std::runtime_error("scaling check: benchmark '" + plain +
+                                 "' (or its /real_time variant) not found");
+    }
+    if (!(found->items_per_second > 0.0)) {
+        throw std::runtime_error("scaling check: '" + found->name +
+                                 "' has no positive items_per_second");
+    }
+    return found->items_per_second;
+}
+
+}  // namespace
+
+ScalingRatio scaling_ratio(const PerfBaseline& doc, const std::string& family) {
+    ScalingRatio out;
+    out.jobs1_items_per_second = items_per_second_of(doc, family, "1");
+    out.jobs8_items_per_second = items_per_second_of(doc, family, "8");
+    out.ratio = out.jobs8_items_per_second / out.jobs1_items_per_second;
+    return out;
+}
+
+ScalingCheck scaling_check(const PerfBaseline& baseline,
+                           const PerfBaseline& current,
+                           const ScalingOptions& options) {
+    if (!(options.tolerance_pct > 0.0) || !std::isfinite(options.tolerance_pct)) {
+        throw std::invalid_argument(
+            "scaling_check: tolerance_pct must be finite and > 0");
+    }
+    if (options.min_ratio < 0.0 || !std::isfinite(options.min_ratio)) {
+        throw std::invalid_argument(
+            "scaling_check: min_ratio must be finite and >= 0");
+    }
+    ScalingCheck out;
+    out.base = scaling_ratio(baseline, options.family);
+    out.cur = scaling_ratio(current, options.family);
+    out.delta_pct = (out.cur.ratio - out.base.ratio) / out.base.ratio * 100.0;
+    out.ok = out.delta_pct >= -options.tolerance_pct &&
+             (options.min_ratio == 0.0 || out.cur.ratio >= options.min_ratio);
+    return out;
+}
+
 }  // namespace qrn::tools

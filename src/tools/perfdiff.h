@@ -80,4 +80,55 @@ struct PerfDiff {
                                  const PerfBaseline& current,
                                  const PerfDiffOptions& options);
 
+// ---- scaling-efficiency gate -------------------------------------------
+//
+// Per-op thresholds cannot see a benchmark that is fast at jobs=1 but
+// refuses to scale: BM_CampaignJobs was flat at every jobs value and every
+// row still read "ok". The scaling check compares the jobs-8 vs jobs-1
+// items/s *ratio* of the benchmark family between baseline and current
+// run, so a change that destroys parallel efficiency gates even when the
+// serial cost is unchanged. The ratio is compared against the baseline's
+// own ratio (not an absolute target) so the gate is meaningful on any
+// hardware, including single-core runners where 8 jobs cannot beat 1; an
+// optional minimum ratio enforces an absolute floor on capable hardware.
+
+/// The jobs-8 vs jobs-1 throughput ratio of one BENCH_perf.json document.
+struct ScalingRatio {
+    double jobs1_items_per_second = 0.0;
+    double jobs8_items_per_second = 0.0;
+    double ratio = 0.0;  ///< jobs8 / jobs1.
+};
+
+/// Options of the scaling check.
+struct ScalingOptions {
+    /// Benchmark family; entries `<family>/1[/real_time]` and
+    /// `<family>/8[/real_time]` must exist with items_per_second.
+    std::string family = "BM_CampaignJobs";
+    /// Allowed ratio loss vs the baseline ratio, in percent.
+    double tolerance_pct = 15.0;
+    /// Absolute floor for the current ratio (0 disables the floor).
+    double min_ratio = 0.0;
+};
+
+/// Verdict of the scaling check.
+struct ScalingCheck {
+    ScalingRatio base;
+    ScalingRatio cur;
+    double delta_pct = 0.0;  ///< (cur.ratio - base.ratio) / base.ratio * 100.
+    bool ok = false;
+};
+
+/// Extracts the family's jobs-8 / jobs-1 items/s ratio. Throws
+/// std::runtime_error when either entry is absent or lacks a positive
+/// items_per_second.
+[[nodiscard]] ScalingRatio scaling_ratio(const PerfBaseline& doc,
+                                         const std::string& family);
+
+/// Gates `current`'s scaling ratio against `baseline`'s: fails when the
+/// ratio regressed more than tolerance_pct, or (with min_ratio > 0) when
+/// the current ratio is below the absolute floor.
+[[nodiscard]] ScalingCheck scaling_check(const PerfBaseline& baseline,
+                                         const PerfBaseline& current,
+                                         const ScalingOptions& options);
+
 }  // namespace qrn::tools

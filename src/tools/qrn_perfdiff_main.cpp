@@ -1,7 +1,8 @@
 // qrn-perfdiff - gate a perf_microbench run against a tracked baseline.
 //
 //   qrn-perfdiff <baseline.json> <current.json> [--threshold PCT]
-//                [--min-ns NS]
+//                [--min-ns NS] [--scaling FAMILY]
+//                [--scaling-tolerance PCT] [--min-ratio R]
 //
 // Both files use the BENCH_perf.json format perf_microbench writes. The
 // comparison table is printed to stdout through the report layer; CI runs
@@ -13,6 +14,14 @@
 //                    finite, > 0
 //   --min-ns NS      ignore baseline entries faster than NS nanoseconds
 //                    (noise floor; default 0)
+//   --scaling FAMILY additionally gate the jobs-8 vs jobs-1 items/s ratio
+//                    of benchmark FAMILY (e.g. BM_CampaignJobs) against
+//                    the baseline's ratio: parallel-efficiency losses fail
+//                    even when every per-op time is within threshold
+//   --scaling-tolerance PCT  allowed ratio loss vs the baseline ratio
+//                    (default 15); finite, > 0
+//   --min-ratio R    absolute floor for the current ratio (default 0 =
+//                    off; set e.g. 3 on hardware with >= 8 cores)
 //
 // Exit-code contract (same shape as the qrn CLI; scripts rely on it):
 //   0  every benchmark within threshold (improvements and new entries ok)
@@ -62,6 +71,8 @@ qrn::tools::PerfBaseline load_baseline(const std::string& path) {
 int usage() {
     std::cerr << "usage: qrn-perfdiff <baseline.json> <current.json>\n"
               << "                    [--threshold PCT] [--min-ns NS]\n"
+              << "                    [--scaling FAMILY] [--scaling-tolerance PCT]\n"
+              << "                    [--min-ratio R]\n"
               << "exit codes: 0 ok, 1 usage/parse error, 2 perf regression,\n"
               << "            3 I/O error\n";
     return 1;
@@ -83,23 +94,40 @@ int main(int argc, char** argv) {
     try {
         std::vector<std::string> positional;
         qrn::tools::PerfDiffOptions options;
+        qrn::tools::ScalingOptions scaling;
+        std::optional<std::string> scaling_family;
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
-            if (arg == "--threshold" || arg == "--min-ns") {
+            if (arg == "--threshold" || arg == "--min-ns" || arg == "--scaling" ||
+                arg == "--scaling-tolerance" || arg == "--min-ratio") {
                 if (i + 1 >= argc) {
                     throw ParseError(arg, "", "a value after the flag");
                 }
                 const std::string value = argv[++i];
                 if (arg == "--threshold") {
                     options.threshold_pct = qrn::tools::parse_positive(arg, value);
-                } else {
+                } else if (arg == "--min-ns") {
                     options.min_ns = qrn::tools::parse_f64(arg, value);
                     if (options.min_ns < 0.0) {
                         throw ParseError(arg, value, "a non-negative duration in ns");
                     }
+                } else if (arg == "--scaling") {
+                    if (value.empty()) {
+                        throw ParseError(arg, value, "a benchmark family name");
+                    }
+                    scaling_family = value;
+                } else if (arg == "--scaling-tolerance") {
+                    scaling.tolerance_pct = qrn::tools::parse_positive(arg, value);
+                } else {
+                    scaling.min_ratio = qrn::tools::parse_f64(arg, value);
+                    if (scaling.min_ratio < 0.0) {
+                        throw ParseError(arg, value, "a non-negative ratio");
+                    }
                 }
             } else if (!arg.empty() && arg[0] == '-') {
-                throw ParseError(arg, "", "a known flag (--threshold, --min-ns)");
+                throw ParseError(arg, "",
+                                 "a known flag (--threshold, --min-ns, --scaling, "
+                                 "--scaling-tolerance, --min-ratio)");
             } else {
                 positional.push_back(arg);
             }
@@ -120,6 +148,33 @@ int main(int argc, char** argv) {
                            format_delta(row), qrn::tools::to_string(row.status)});
         }
         std::cout << table.render();
+
+        bool scaling_ok = true;
+        if (scaling_family) {
+            scaling.family = *scaling_family;
+            const auto check = qrn::tools::scaling_check(baseline, current, scaling);
+            scaling_ok = check.ok;
+            const std::string delta_pct =
+                qrn::report::fixed(check.delta_pct, 1) + "%";
+            std::cout << "qrn-perfdiff: scaling " << scaling.family << ": base "
+                      << qrn::report::fixed(check.base.ratio, 2) << "x -> cur "
+                      << qrn::report::fixed(check.cur.ratio, 2) << "x ("
+                      << (check.delta_pct > 0.0 ? "+" + delta_pct : delta_pct)
+                      << ") " << (check.ok ? "ok" : "REGRESSED") << '\n';
+            if (!check.ok) {
+                std::cerr << "qrn-perfdiff: " << scaling.family
+                          << " parallel efficiency regressed beyond "
+                          << qrn::report::fixed(scaling.tolerance_pct, 1)
+                          << "% of the baseline ratio";
+                if (scaling.min_ratio > 0.0 &&
+                    check.cur.ratio < scaling.min_ratio) {
+                    std::cerr << " (or fell below the --min-ratio floor of "
+                              << qrn::report::fixed(scaling.min_ratio, 2) << "x)";
+                }
+                std::cerr << '\n';
+            }
+        }
+
         if (!diff.ok()) {
             std::cerr << "qrn-perfdiff: " << diff.regressions
                       << " benchmark(s) regressed beyond "
@@ -127,6 +182,7 @@ int main(int argc, char** argv) {
                       << "% (or went missing) vs " << positional[0] << '\n';
             return 2;
         }
+        if (!scaling_ok) return 2;
         std::cout << "qrn-perfdiff: " << diff.rows.size()
                   << " benchmark(s) within "
                   << qrn::report::fixed(options.threshold_pct, 1)

@@ -337,12 +337,17 @@ TEST(Cli, MalformedNormAndTypesNameTheFile) {
 
 TEST(Cli, CampaignOutputIndependentOfJobs) {
     // The determinism contract at the CLI boundary: the evidence document
-    // is byte-identical whether the campaign runs serially or on threads.
+    // is byte-identical whether the campaign runs serially or on threads,
+    // at every jobs value (2 and 8 straddle the chunk-oversubscription
+    // policies of exec::chunk_ranges).
     const auto serial = run_cli("campaign --fleets 4 --hours 15 --seed 9 --jobs 1");
     ASSERT_EQ(serial.exit_code, 0);
-    const auto parallel = run_cli("campaign --fleets 4 --hours 15 --seed 9 --jobs 3");
-    ASSERT_EQ(parallel.exit_code, 0);
-    EXPECT_EQ(serial.output, parallel.output);
+    for (const char* jobs : {"2", "3", "8"}) {
+        const auto parallel = run_cli(
+            std::string("campaign --fleets 4 --hours 15 --seed 9 --jobs ") + jobs);
+        ASSERT_EQ(parallel.exit_code, 0);
+        EXPECT_EQ(serial.output, parallel.output) << "jobs=" << jobs;
+    }
 }
 
 TEST(Cli, SimulateOutputIndependentOfJobs) {

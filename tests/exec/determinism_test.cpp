@@ -21,7 +21,7 @@ namespace {
 
 using namespace qrn;
 
-constexpr unsigned kJobs[] = {1, 2, 7};
+constexpr unsigned kJobs[] = {1, 2, 7, 8};
 
 /// Exact equality of two incident logs, field by field.
 void expect_logs_identical(const sim::IncidentLog& a, const sim::IncidentLog& b,

@@ -29,9 +29,21 @@ TEST(ChunkRanges, CoversRangeInOrderWithoutGaps) {
                 expected_begin = chunks[c].end;
             }
             EXPECT_EQ(expected_begin, count) << "jobs=" << jobs << " count=" << count;
-            EXPECT_LE(chunks.size(), std::max<std::size_t>(jobs, 1));
+            // Serial runs take one chunk; parallel runs oversubscribe up
+            // to 4 chunks per job (capped by the element count).
+            const std::size_t cap = jobs <= 1 ? 1 : std::size_t{jobs} * 4;
+            EXPECT_LE(chunks.size(), cap);
+            EXPECT_LE(chunks.size(), count);
         }
     }
+}
+
+TEST(ChunkRanges, SerialIsOneChunkAndParallelOversubscribes) {
+    ASSERT_EQ(chunk_ranges(1, 100).size(), 1u);
+    // 2 jobs x 4 chunks/job = 8 chunks over 100 indices.
+    EXPECT_EQ(chunk_ranges(2, 100).size(), 8u);
+    // Capped by count when the range is short.
+    EXPECT_EQ(chunk_ranges(8, 5).size(), 5u);
 }
 
 TEST(ChunkRanges, ChunkSizesDifferByAtMostOne) {

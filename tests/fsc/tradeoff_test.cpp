@@ -33,7 +33,10 @@ struct Fixture {
 TEST(Explore, EvaluatesEveryOption) {
     const auto fx = Fixture::make();
     const auto options = standard_options();
-    const auto evals = explore(fx.problem, fx.allocation, options, 400.0, 77);
+    // Enough exposure that every option observes at least one goal-matching
+    // incident at this seed (a short horizon makes the weakest option's
+    // count a coin flip).
+    const auto evals = explore(fx.problem, fx.allocation, options, 900.0, 77);
     ASSERT_EQ(evals.size(), options.size());
     for (std::size_t i = 0; i < evals.size(); ++i) {
         EXPECT_EQ(evals[i].name, options[i].name);

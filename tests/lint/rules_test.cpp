@@ -253,6 +253,73 @@ TEST(RuleThrowMessage, AcceptsMessagesRethrowsAndOtherTypes) {
                           "throw-message"));
 }
 
+// ---- hotloop-alloc -----------------------------------------------------
+
+TEST(RuleHotloopAlloc, FlagsContainerDeclarationsInsideTheRegion) {
+    const char* src =
+        "void f() {\n"
+        "  // qrn:hotloop(begin)\n"
+        "  for (std::size_t i = 0; i < n; ++i) {\n"
+        "    std::vector<double> samples;\n"
+        "    use(samples);\n"
+        "  }\n"
+        "  // qrn:hotloop(end)\n"
+        "}\n";
+    const auto fs = lint_source("src/sim/x.cpp", src);
+    ASSERT_TRUE(has_rule(fs, "hotloop-alloc"));
+    EXPECT_EQ(line_of(fs, "hotloop-alloc"), 4);
+}
+
+TEST(RuleHotloopAlloc, FlagsStringAndSmartPointerMakers) {
+    EXPECT_TRUE(has_rule(
+        lint_source("src/sim/x.cpp", "// qrn:hotloop(begin)\n"
+                                     "std::string label = name(i);\n"
+                                     "// qrn:hotloop(end)\n"),
+        "hotloop-alloc"));
+    EXPECT_TRUE(has_rule(
+        lint_source("src/sim/x.cpp", "// qrn:hotloop(begin)\n"
+                                     "auto p = std::make_unique<Probe>(i);\n"
+                                     "// qrn:hotloop(end)\n"),
+        "hotloop-alloc"));
+}
+
+TEST(RuleHotloopAlloc, ViewsReferencesAndPlainStructsAreFine) {
+    const char* src =
+        "// qrn:hotloop(begin)\n"
+        "const std::vector<double>& cols = log.columns();\n"
+        "std::string_view name = labels[i];\n"
+        "Incident hit;\n"
+        "log.incidents.push_back(hit);\n"
+        "// qrn:hotloop(end)\n";
+    EXPECT_FALSE(has_rule(lint_source("src/sim/x.cpp", src), "hotloop-alloc"));
+}
+
+TEST(RuleHotloopAlloc, CodeOutsideRegionsIsNotTheRulesBusiness) {
+    EXPECT_FALSE(has_rule(
+        lint_source("src/sim/x.cpp", "std::vector<double> samples;\n"),
+        "hotloop-alloc"));
+    EXPECT_FALSE(has_rule(
+        lint_source("src/sim/x.cpp", "// qrn:hotloop(begin)\n"
+                                     "work(i);\n"
+                                     "// qrn:hotloop(end)\n"
+                                     "std::vector<double> after;\n"),
+        "hotloop-alloc"));
+}
+
+TEST(RuleHotloopAlloc, UnbalancedMarkersAreFindings) {
+    EXPECT_TRUE(has_rule(
+        lint_source("src/sim/x.cpp", "// qrn:hotloop(begin)\nwork();\n"),
+        "hotloop-alloc"));
+    EXPECT_TRUE(has_rule(
+        lint_source("src/sim/x.cpp", "work();\n// qrn:hotloop(end)\n"),
+        "hotloop-alloc"));
+    EXPECT_TRUE(has_rule(
+        lint_source("src/sim/x.cpp", "// qrn:hotloop(begin)\n"
+                                     "// qrn:hotloop(begin)\n"
+                                     "// qrn:hotloop(end)\n"),
+        "hotloop-alloc"));
+}
+
 // ---- suppressions ------------------------------------------------------
 
 TEST(Suppressions, SameLineAllowWaivesTheFinding) {

@@ -1,6 +1,8 @@
 // Scenario sampler: rates, parameter ranges, environment containment.
 #include "sim/scenario.h"
 
+#include <array>
+#include <cstdint>
 #include <stdexcept>
 
 #include "sim/dynamics.h"
@@ -41,6 +43,31 @@ TEST(ScenarioSampler, CountsFollowPoissonMean) {
     }
     EXPECT_NEAR(total / trials, 6.0, 0.2);
     EXPECT_THROW(sampler.sample_count(EncounterKind::VruCrossing, env, -1.0, rng),
+                 std::invalid_argument);
+}
+
+TEST(ScenarioSampler, SampleCountsMatchesPerKindDraws) {
+    // The batched per-stretch primitive the fleet hot path uses: one
+    // fill_poisson over all seven kinds, drawn in kind-index order. Pin it
+    // against the scalar sample_count sequence so the batching can never
+    // silently change what a stretch samples.
+    const ScenarioSampler sampler{EncounterRates{}};
+    const auto env = busy_urban();
+    const double hours = 0.25;
+    stats::Rng batched(41);
+    std::array<std::uint64_t, kEncounterKindCount> counts{};
+    sampler.sample_counts(env, hours, batched, counts);
+    stats::Rng sequential(41);
+    for (std::size_t k = 0; k < kEncounterKindCount; ++k) {
+        EXPECT_EQ(counts[k],
+                  sampler.sample_count(encounter_kind_from_index(k), env, hours,
+                                       sequential))
+            << "kind " << k;
+    }
+    // Same generator state afterwards: downstream draws stay aligned.
+    EXPECT_EQ(batched.uniform(), sequential.uniform());
+
+    EXPECT_THROW(sampler.sample_counts(env, -1.0, batched, counts),
                  std::invalid_argument);
 }
 

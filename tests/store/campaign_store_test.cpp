@@ -107,14 +107,17 @@ TEST(CampaignStore, ShardsAreByteIdenticalForEveryJobsValue) {
     const std::string serial_dir = fresh_dir("jobs1");
     Store serial_store(serial_dir);
     (void)run_campaign_with_store(small_campaign(4, 1), serial_store, kDigest);
+    const auto serial_bytes = shard_bytes(serial_store);
 
-    const std::string parallel_dir = fresh_dir("jobs3");
-    Store parallel_store(parallel_dir);
-    (void)run_campaign_with_store(small_campaign(4, 3), parallel_store, kDigest);
-
-    EXPECT_EQ(shard_bytes(serial_store), shard_bytes(parallel_store));
+    for (const unsigned jobs : {2u, 3u, 8u}) {
+        const std::string parallel_dir = fresh_dir("jobs" + std::to_string(jobs));
+        Store parallel_store(parallel_dir);
+        (void)run_campaign_with_store(small_campaign(4, jobs), parallel_store,
+                                      kDigest);
+        EXPECT_EQ(serial_bytes, shard_bytes(parallel_store)) << "jobs=" << jobs;
+        std::filesystem::remove_all(parallel_dir);
+    }
     std::filesystem::remove_all(serial_dir);
-    std::filesystem::remove_all(parallel_dir);
 }
 
 TEST(CampaignStore, ResumingAPrefixYieldsByteIdenticalShards) {

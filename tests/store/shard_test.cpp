@@ -9,6 +9,7 @@
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -145,6 +146,62 @@ TEST(Shard, BlockBoundariesRoundTrip) {
         expect_bit_identical(log, back);
         std::filesystem::remove(path);
     }
+}
+
+TEST(Shard, AppendColumnsMatchesPerRecordAppend) {
+    // The columnar fast path and the row-at-a-time path must produce the
+    // same bytes on disk, spanning a block boundary so the mid-block flush
+    // is exercised too.
+    const auto log = sample_log(kBlockRecords + 57);
+    const std::string row_path = temp_shard("rows");
+    {
+        ShardWriter writer(row_path, 9, 2);
+        for (const Incident incident : log.incidents) writer.append(incident);
+        writer.seal(totals_of(log));
+    }
+    const std::string column_path = temp_shard("columns");
+    {
+        ShardWriter writer(column_path, 9, 2);
+        writer.append_columns(log.incidents);
+        writer.seal(totals_of(log));
+    }
+    std::ifstream rows(row_path, std::ios::binary);
+    std::ifstream columns(column_path, std::ios::binary);
+    const std::string row_bytes{std::istreambuf_iterator<char>(rows),
+                                std::istreambuf_iterator<char>()};
+    const std::string column_bytes{std::istreambuf_iterator<char>(columns),
+                                   std::istreambuf_iterator<char>()};
+    EXPECT_EQ(row_bytes, column_bytes);
+    std::filesystem::remove(row_path);
+    std::filesystem::remove(column_path);
+}
+
+TEST(Shard, ForEachBlockStreamsTheSameRows) {
+    // The columnar block scan (the aggregator's path) sees exactly the
+    // rows the per-record scan sees, in order, in batches capped at
+    // kBlockRecords.
+    const std::string path = temp_shard("block_scan");
+    const auto log = sample_log(2 * kBlockRecords + 39);
+    write_shard(path, 4, 1, log);
+
+    ShardReader per_record(path);
+    std::vector<Incident> rows;
+    (void)per_record.for_each([&rows](const Incident& incident) {
+        rows.push_back(incident);
+    });
+
+    ShardReader by_block(path);
+    IncidentColumns scanned;
+    const ShardInfo info =
+        by_block.for_each_block([&scanned](const IncidentColumns& block) {
+            EXPECT_LE(block.size(), kBlockRecords);
+            EXPECT_FALSE(block.empty());
+            scanned.append(block);
+        });
+    EXPECT_EQ(info.records, log.incidents.size());
+    EXPECT_EQ(scanned, IncidentColumns::from_vector(rows));
+    EXPECT_EQ(scanned, log.incidents);
+    std::filesystem::remove(path);
 }
 
 TEST(Shard, UnsealedWriterLeavesNoFinalFile) {

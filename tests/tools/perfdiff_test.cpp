@@ -149,6 +149,91 @@ TEST(PerfDiff, RejectsInvalidOptions) {
     EXPECT_THROW(perf_diff(empty, empty, options), std::invalid_argument);
 }
 
+// ---- scaling-efficiency gate -------------------------------------------
+
+/// A baseline with a BM_CampaignJobs family whose jobs-8 throughput is
+/// `ratio` times the jobs-1 throughput (google-benchmark UseRealTime
+/// naming: `<family>/<arg>/real_time`).
+PerfBaseline scaling_baseline(double ratio) {
+    PerfEntry jobs1 = entry("BM_CampaignJobs/1/real_time", 100.0);
+    jobs1.items_per_second = 1e6;
+    PerfEntry jobs8 = entry("BM_CampaignJobs/8/real_time", 100.0);
+    jobs8.items_per_second = 1e6 * ratio;
+    PerfBaseline out;
+    out.benchmarks = {jobs1, jobs8};
+    return out;
+}
+
+TEST(ScalingRatio, ComputesJobs8OverJobs1) {
+    const auto ratio = scaling_ratio(scaling_baseline(3.5), "BM_CampaignJobs");
+    EXPECT_DOUBLE_EQ(ratio.jobs1_items_per_second, 1e6);
+    EXPECT_DOUBLE_EQ(ratio.jobs8_items_per_second, 3.5e6);
+    EXPECT_DOUBLE_EQ(ratio.ratio, 3.5);
+}
+
+TEST(ScalingRatio, PrefersRealTimeNameOverPlain) {
+    // A plain-named entry with garbage throughput must lose to /real_time.
+    auto doc = scaling_baseline(2.0);
+    PerfEntry decoy = entry("BM_CampaignJobs/1", 100.0);
+    decoy.items_per_second = 1.0;
+    doc.benchmarks.push_back(decoy);
+    const auto ratio = scaling_ratio(doc, "BM_CampaignJobs");
+    EXPECT_DOUBLE_EQ(ratio.jobs1_items_per_second, 1e6);
+}
+
+TEST(ScalingRatio, ThrowsOnMissingOrUnmeasuredEntries) {
+    PerfBaseline empty;
+    EXPECT_THROW(scaling_ratio(empty, "BM_CampaignJobs"), std::runtime_error);
+    // Present but without items_per_second: the ratio would be undefined.
+    PerfBaseline no_items;
+    no_items.benchmarks = {entry("BM_CampaignJobs/1/real_time", 100.0),
+                           entry("BM_CampaignJobs/8/real_time", 100.0)};
+    EXPECT_THROW(scaling_ratio(no_items, "BM_CampaignJobs"), std::runtime_error);
+}
+
+TEST(ScalingCheck, PassesWhenRatioHoldsOrImproves) {
+    const ScalingOptions options;
+    EXPECT_TRUE(
+        scaling_check(scaling_baseline(3.0), scaling_baseline(3.0), options).ok);
+    const auto improved =
+        scaling_check(scaling_baseline(3.0), scaling_baseline(4.0), options);
+    EXPECT_TRUE(improved.ok);
+    EXPECT_GT(improved.delta_pct, 0.0);
+}
+
+TEST(ScalingCheck, FailsWhenRatioRegressesBeyondTolerance) {
+    ScalingOptions options;
+    options.tolerance_pct = 15.0;
+    // 3.0 -> 2.0 is a -33% efficiency loss: gates.
+    const auto check =
+        scaling_check(scaling_baseline(3.0), scaling_baseline(2.0), options);
+    EXPECT_FALSE(check.ok);
+    EXPECT_NEAR(check.delta_pct, -33.3, 0.1);
+    // 3.0 -> 2.7 is -10%: within tolerance.
+    EXPECT_TRUE(
+        scaling_check(scaling_baseline(3.0), scaling_baseline(2.7), options).ok);
+}
+
+TEST(ScalingCheck, MinRatioIsAnAbsoluteFloor) {
+    ScalingOptions options;
+    options.min_ratio = 3.0;
+    // Ratio held vs baseline but sits below the floor: gates anyway.
+    EXPECT_FALSE(
+        scaling_check(scaling_baseline(1.0), scaling_baseline(1.0), options).ok);
+    EXPECT_TRUE(
+        scaling_check(scaling_baseline(3.0), scaling_baseline(3.1), options).ok);
+}
+
+TEST(ScalingCheck, RejectsInvalidOptions) {
+    const auto doc = scaling_baseline(1.0);
+    ScalingOptions options;
+    options.tolerance_pct = 0.0;
+    EXPECT_THROW(scaling_check(doc, doc, options), std::invalid_argument);
+    options.tolerance_pct = 15.0;
+    options.min_ratio = -1.0;
+    EXPECT_THROW(scaling_check(doc, doc, options), std::invalid_argument);
+}
+
 // ---- qrn-perfdiff binary: exit-code contract ---------------------------
 
 #ifndef QRN_PERFDIFF_PATH
@@ -189,6 +274,31 @@ TEST(PerfDiffCli, ExitCodesMatchTheContract) {
     EXPECT_EQ(run_perfdiff(base + " " + base + " --threshold bogus"), 1);
     EXPECT_EQ(run_perfdiff(base), 1);                                 // usage
     EXPECT_EQ(run_perfdiff(base + " /nonexistent-qrn/cur.json"), 3);  // I/O
+}
+
+TEST(PerfDiffCli, ScalingFlagGatesEfficiencyRegressions) {
+    const auto doc = [](double ratio) {
+        return R"({"benchmarks":[
+          {"name":"BM_CampaignJobs/1/real_time","ns_per_op":100.0,
+           "items_per_second":1e6},
+          {"name":"BM_CampaignJobs/8/real_time","ns_per_op":100.0,
+           "items_per_second":)" +
+               std::to_string(1e6 * ratio) + "}]}";
+    };
+    const std::string base = write_temp_json("scale_base.json", doc(3.0));
+    const std::string held = write_temp_json("scale_held.json", doc(2.9));
+    const std::string lost = write_temp_json("scale_lost.json", doc(1.5));
+
+    const std::string flag = " --scaling BM_CampaignJobs";
+    EXPECT_EQ(run_perfdiff(base + " " + held + flag), 0);
+    EXPECT_EQ(run_perfdiff(base + " " + lost + flag), 2);
+    EXPECT_EQ(run_perfdiff(base + " " + lost + flag + " --scaling-tolerance 60"),
+              0);
+    // The absolute floor gates even a ratio that held vs baseline.
+    EXPECT_EQ(run_perfdiff(base + " " + held + flag + " --min-ratio 3.5"), 2);
+    // Family absent from the documents: a parse-level error, not a crash.
+    EXPECT_EQ(run_perfdiff(base + " " + held + " --scaling BM_Nope"), 1);
+    EXPECT_EQ(run_perfdiff(base + " " + held + flag + " --min-ratio -1"), 1);
 }
 
 }  // namespace
