@@ -22,6 +22,10 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "serve/stream.h"
 #include "store/shard.h"
 #include "qrn/qrn.h"
 #include "qrn/banding.h"
@@ -308,6 +312,49 @@ void BM_ShardRead(benchmark::State& state) {
     std::filesystem::remove(path);
 }
 BENCHMARK(BM_ShardRead)->Arg(1000)->Arg(10000);
+
+/// The serve daemon's hot path, end to end over loopback: one client
+/// streaming classify batches of range(0) records each through a real
+/// Server on a Unix-domain socket - frame encode/decode, bounded queue,
+/// dispatcher, batch classification and the live shard append - per
+/// record. The acceptance floor is 1M records/s at the batched sizes.
+void BM_ServeClassify(benchmark::State& state) {
+    const auto dir =
+        std::filesystem::temp_directory_path() / "qrn_bench_serve";
+    std::filesystem::remove_all(dir);
+    serve::ServiceConfig service_config;
+    service_config.store_dir = (dir / "store").string();
+    service_config.shard_roll = 1u << 16;
+    auto service = std::make_unique<serve::Service>(
+        RiskNorm::paper_example(), IncidentTypeSet::paper_vru_example(),
+        service_config);
+    serve::ServerConfig server_config;
+    server_config.socket_path = (dir / "qrn.sock").string();
+    serve::Server server(std::move(service), server_config);
+    server.start();
+    {
+        auto client = serve::Client::connect_unix(server_config.socket_path);
+        const auto count = static_cast<std::size_t>(state.range(0));
+        std::vector<Incident> batch;
+        batch.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            batch.push_back(serve::stream_incident(i));
+        }
+        for (auto _ : state) {
+            auto reply = client.classify_with_retry(1.0, batch);
+            if (reply.status != serve::Status::Ok) {
+                state.SkipWithError("classify batch rejected");
+                break;
+            }
+            benchmark::DoNotOptimize(reply.rows.data());
+        }
+        client.close();
+    }
+    server.drain();
+    std::filesystem::remove_all(dir);
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ServeClassify)->Arg(512)->Arg(4096)->UseRealTime();
 
 /// Collects finished runs so a JSON baseline can be written after the
 /// console report. GetAdjustedRealTime() already folds in the per-

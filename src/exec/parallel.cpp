@@ -2,13 +2,27 @@
 
 #include <condition_variable>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
 
 namespace qrn::exec {
+
+namespace detail {
+
+namespace {
+std::function<void(std::size_t)> g_submit_fault;
+}  // namespace
+
+void set_submit_fault_for_test(std::function<void(std::size_t)> hook) {
+    g_submit_fault = std::move(hook);
+}
+
+}  // namespace detail
 
 namespace {
 
@@ -85,42 +99,67 @@ void parallel_for(unsigned jobs, std::size_t count,
         obs::add_counter("exec.tasks_submitted", chunks.size());
     }
 
-    std::vector<std::exception_ptr> errors(chunks.size());
-    std::mutex mutex;
-    std::condition_variable done;
-    std::size_t remaining = chunks.size();
+    // Completion state lives in a shared block co-owned by every submitted
+    // task, NOT on this stack frame: if submit() throws mid-loop (pool
+    // stopping), already-queued tasks still run and must find their
+    // errors/mutex/counter alive even while this frame unwinds.
+    struct Completion {
+        std::vector<std::exception_ptr> errors;
+        std::mutex mutex;
+        std::condition_variable done;
+        std::size_t remaining = 0;
+    };
+    auto state = std::make_shared<Completion>();
+    state->errors.resize(chunks.size());
+    state->remaining = chunks.size();
 
     auto& pool = ThreadPool::shared();
-    for (const auto& chunk : chunks) {
-        const std::uint64_t enqueue_ns = metrics ? obs::now_ns() : 0;
-        pool.submit([&, chunk, enqueue_ns] {
-            if (metrics) {
-                obs::record_timer("exec.task_wait_ns", obs::now_ns() - enqueue_ns);
-            }
-            try {
-                const obs::ScopedTimer timer("exec.chunk_ns");
-                body(chunk);
-            } catch (...) {
-                errors[chunk.index] = std::current_exception();
-            }
-            {
-                // Notify while holding the lock: the waiter owns `done` on
-                // its stack and may destroy it as soon as it observes
-                // remaining == 0, which it can only do after we release
-                // the mutex - i.e. strictly after notify_one returns.
-                const std::lock_guard<std::mutex> lock(mutex);
-                --remaining;
-                done.notify_one();
-            }
-        });
+    std::size_t submitted = 0;
+    try {
+        for (const auto& chunk : chunks) {
+            if (detail::g_submit_fault) detail::g_submit_fault(chunk.index);
+            const std::uint64_t enqueue_ns = metrics ? obs::now_ns() : 0;
+            pool.submit([state, &body, chunk, enqueue_ns, metrics] {
+                if (metrics) {
+                    obs::record_timer("exec.task_wait_ns",
+                                      obs::now_ns() - enqueue_ns);
+                }
+                try {
+                    const obs::ScopedTimer timer("exec.chunk_ns");
+                    body(chunk);
+                } catch (...) {
+                    state->errors[chunk.index] = std::current_exception();
+                }
+                {
+                    // Notify while holding the lock: the waiter may return
+                    // from wait() as soon as it observes remaining == 0,
+                    // which it can only do after we release the mutex -
+                    // i.e. strictly after notify_one returns.
+                    const std::lock_guard<std::mutex> lock(state->mutex);
+                    --state->remaining;
+                    state->done.notify_one();
+                }
+            });
+            ++submitted;
+        }
+    } catch (...) {
+        // Submission failed mid-loop. The chunks never submitted will not
+        // run; drain the ones that were, so the caller-owned `body` is not
+        // referenced after this frame unwinds, then surface the failure.
+        {
+            std::unique_lock<std::mutex> lock(state->mutex);
+            state->remaining -= chunks.size() - submitted;
+            state->done.wait(lock, [&] { return state->remaining == 0; });
+        }
+        throw;
     }
     {
-        std::unique_lock<std::mutex> lock(mutex);
-        done.wait(lock, [&] { return remaining == 0; });
+        std::unique_lock<std::mutex> lock(state->mutex);
+        state->done.wait(lock, [&] { return state->remaining == 0; });
     }
     // Rethrow the lowest-index failure: the same exception a serial
     // left-to-right loop would have raised first.
-    for (auto& error : errors) {
+    for (auto& error : state->errors) {
         if (error) std::rethrow_exception(error);
     }
 }

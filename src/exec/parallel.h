@@ -25,6 +25,16 @@
 
 namespace qrn::exec {
 
+namespace detail {
+/// Test seam: invoked with the chunk index right before each task
+/// submission inside parallel_for. A hook that throws simulates
+/// ThreadPool::submit failing mid-loop (e.g. the pool stopping), which is
+/// how the unwind-safety regression tests drive that path
+/// deterministically. Pass nullptr to restore production behaviour.
+/// Not thread-safe against concurrent parallel_for calls; tests only.
+void set_submit_fault_for_test(std::function<void(std::size_t)> hook);
+}  // namespace detail
+
 /// Number of jobs to use when the caller expressed no preference:
 /// hardware_concurrency, with a floor of 1.
 [[nodiscard]] unsigned default_jobs() noexcept;

@@ -23,13 +23,17 @@ ThreadPool::ThreadPool(unsigned threads) {
     }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { stop(); }
+
+void ThreadPool::stop() {
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
     }
     wake_.notify_all();
-    for (auto& worker : workers_) worker.join();
+    for (auto& worker : workers_) {
+        if (worker.joinable()) worker.join();
+    }
 }
 
 void ThreadPool::submit(std::function<void()> task) {

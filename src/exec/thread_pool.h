@@ -32,9 +32,15 @@ public:
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;
 
+    /// Drains the queue, then stops and joins every worker. The pool
+    /// object stays valid; any later submit() throws std::logic_error.
+    /// Idempotent. Must not be called from a worker thread (a task cannot
+    /// join its own pool).
+    void stop();
+
     /// Enqueues one task. Tasks must not throw out of the thunk itself;
     /// exec::parallel_* wrap user work in exception capture before
-    /// submitting. Thread-safe.
+    /// submitting. Thread-safe. Throws std::logic_error after stop().
     void submit(std::function<void()> task);
 
     /// Number of worker threads.

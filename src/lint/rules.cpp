@@ -106,7 +106,14 @@ void check_naked_new(const FileContext& c, std::vector<Finding>& out) {
 // ---- thread-discipline -------------------------------------------------
 
 void check_thread_discipline(const FileContext& c, std::vector<Finding>& out) {
-    if (path_starts_with(c.path, "src/exec/")) return;
+    // Two sanctioned concurrency modules: src/exec owns the pool, and
+    // src/serve owns the daemon's long-lived accept/reader/dispatcher
+    // threads (I/O-bound waiting a fixed pool cannot host without
+    // starving compute work).
+    if (path_starts_with(c.path, "src/exec/") ||
+        path_starts_with(c.path, "src/serve/")) {
+        return;
+    }
     for (std::size_t ci = 2; ci < c.code.size(); ++ci) {
         const Token& t = tok(c, ci);
         if (t.kind != TokKind::Identifier ||
@@ -116,9 +123,9 @@ void check_thread_discipline(const FileContext& c, std::vector<Finding>& out) {
         if (text_is(c, ci - 1, "::") && is_ident(c, ci - 2, "std")) {
             out.push_back({c.path, t.line, "thread-discipline",
                            "std::" + t.text +
-                               " outside src/exec; run work on the shared pool "
-                               "via exec::parallel_for/parallel_map "
-                               "(src/exec/parallel.h)"});
+                               " outside src/exec or src/serve; run work on "
+                               "the shared pool via exec::parallel_for/"
+                               "parallel_map (src/exec/parallel.h)"});
         }
     }
 }
@@ -425,8 +432,8 @@ const std::vector<Rule>& rules() {
                      "naked new/delete expressions (ownership must be RAII)",
                      check_naked_new});
         r.push_back(Rule{"thread-discipline",
-                     "std::thread/std::jthread outside src/exec (use the "
-                     "shared pool)",
+                     "std::thread/std::jthread outside src/exec or src/serve "
+                     "(use the shared pool)",
                      check_thread_discipline});
         r.push_back(Rule{"rng-stream",
                      "direct Rng seeding inside parallel_for/map/chunks "

@@ -205,4 +205,70 @@ json::Value to_json(const VerificationReport& report) {
     });
 }
 
+json::Value evidence_to_json(const std::vector<TypeEvidence>& evidence) {
+    json::Array events;
+    double hours = 0.0;
+    for (const auto& e : evidence) {
+        hours = e.exposure.hours();
+        events.push_back(json::Value(json::Object{
+            {"incident_type", e.incident_type_id},
+            {"events", static_cast<double>(e.events)},
+        }));
+    }
+    return json::Value(json::Object{
+        {"kind", "qrn.evidence"},
+        {"exposure_hours", hours},
+        {"events", std::move(events)},
+    });
+}
+
+std::vector<TypeEvidence> evidence_from_json(const json::Value& value) {
+    if (!value.is_object() || !value.contains("kind") ||
+        !value.at("kind").is_string() ||
+        value.at("kind").as_string() != "qrn.evidence") {
+        throw std::runtime_error("not a qrn.evidence document (kind must be "
+                                 "\"qrn.evidence\")");
+    }
+    if (!value.contains("exposure_hours") ||
+        !value.at("exposure_hours").is_number()) {
+        throw std::runtime_error("exposure_hours: expected a number");
+    }
+    const double hours = value.at("exposure_hours").as_number();
+    if (!std::isfinite(hours) || hours <= 0.0) {
+        throw std::runtime_error("exposure_hours: must be finite and > 0 (got " +
+                                 std::to_string(hours) + ")");
+    }
+    if (!value.contains("events") || !value.at("events").is_array()) {
+        throw std::runtime_error("events: expected an array");
+    }
+    std::vector<TypeEvidence> out;
+    const auto& entries = value.at("events").as_array();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const std::string where = "events[" + std::to_string(i) + "]";
+        const auto& entry = entries[i];
+        if (!entry.is_object() || !entry.contains("incident_type") ||
+            !entry.at("incident_type").is_string()) {
+            throw std::runtime_error(where +
+                                     ".incident_type: expected a string");
+        }
+        if (!entry.contains("events") || !entry.at("events").is_number()) {
+            throw std::runtime_error(where + ".events: expected a number");
+        }
+        const double count = entry.at("events").as_number();
+        if (!std::isfinite(count) || count < 0.0 ||
+            count != std::floor(count) || count > 1e18) {
+            throw std::runtime_error(where +
+                                     ".events: must be a non-negative integer "
+                                     "(got " +
+                                     std::to_string(count) + ")");
+        }
+        TypeEvidence e;
+        e.incident_type_id = entry.at("incident_type").as_string();
+        e.events = static_cast<std::uint64_t>(count);
+        e.exposure = ExposureHours(hours);
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
 }  // namespace qrn

@@ -31,4 +31,11 @@ namespace qrn {
 /// VerificationReport -> JSON snapshot.
 [[nodiscard]] json::Value to_json(const VerificationReport& report);
 
+/// TypeEvidence list <-> the `qrn.evidence` JSON document produced by the
+/// CLI campaign commands and consumed by `qrn verify --evidence` and the
+/// serve daemon. All entries share one exposure; an empty list serializes
+/// with exposure_hours 0 and round-trips as empty.
+[[nodiscard]] json::Value evidence_to_json(const std::vector<TypeEvidence>& evidence);
+[[nodiscard]] std::vector<TypeEvidence> evidence_from_json(const json::Value& value);
+
 }  // namespace qrn

@@ -1,0 +1,72 @@
+// Bounded MPSC request queue: the daemon's explicit backpressure point.
+//
+// Reader threads try_push; a full queue is an immediate, visible rejection
+// (the connection replies Busy with a retry hint) instead of an invisible
+// latency cliff. The single dispatcher pops, which serializes every store
+// append and keeps shard contents deterministic in arrival order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace qrn::serve {
+
+template <typename T>
+class BoundedQueue {
+public:
+    /// capacity == 0 is treated as 1 (a queue that can hold nothing would
+    /// reject every request).
+    explicit BoundedQueue(std::size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity) {}
+
+    /// Enqueues unless the queue is full or closed; never blocks.
+    [[nodiscard]] bool try_push(T item) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_ || items_.size() >= capacity_) return false;
+            items_.push_back(std::move(item));
+        }
+        ready_.notify_one();
+        return true;
+    }
+
+    /// Blocks until an item arrives or the queue is closed AND drained;
+    /// nullopt only in the latter case, so closing never loses items.
+    [[nodiscard]] std::optional<T> pop() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+        if (items_.empty()) return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    /// Rejects future pushes; pop() keeps serving what is already queued.
+    void close() {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        ready_.notify_all();
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+}  // namespace qrn::serve

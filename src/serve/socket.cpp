@@ -1,0 +1,178 @@
+#include "serve/socket.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace qrn::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& action) {
+    throw SocketError(action + ": " + std::strerror(errno));
+}
+
+[[nodiscard]] int new_socket(int domain) {
+    const int fd = ::socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno("socket");
+    return fd;
+}
+
+[[nodiscard]] sockaddr_un unix_address(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        throw SocketError("unix socket path must be 1.." +
+                          std::to_string(sizeof(addr.sun_path) - 1) +
+                          " bytes: '" + path + "'");
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+[[nodiscard]] sockaddr_in loopback_address(std::uint16_t port) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+void Socket::close() noexcept {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Socket Socket::listen_unix(const std::string& path) {
+    const sockaddr_un addr = unix_address(path);
+    Socket sock(new_socket(AF_UNIX));
+    ::unlink(path.c_str());  // stale socket file from a previous run
+    if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+        throw_errno("bind " + path);
+    }
+    if (::listen(sock.fd(), SOMAXCONN) != 0) throw_errno("listen " + path);
+    return sock;
+}
+
+Socket Socket::listen_tcp(std::uint16_t port) {
+    const sockaddr_in addr = loopback_address(port);
+    Socket sock(new_socket(AF_INET));
+    const int one = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+        throw_errno("bind 127.0.0.1:" + std::to_string(port));
+    }
+    if (::listen(sock.fd(), SOMAXCONN) != 0) throw_errno("listen tcp");
+    return sock;
+}
+
+Socket Socket::connect_unix(const std::string& path) {
+    const sockaddr_un addr = unix_address(path);
+    Socket sock(new_socket(AF_UNIX));
+    if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        throw_errno("connect " + path);
+    }
+    return sock;
+}
+
+Socket Socket::connect_tcp(std::uint16_t port) {
+    const sockaddr_in addr = loopback_address(port);
+    Socket sock(new_socket(AF_INET));
+    if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        throw_errno("connect 127.0.0.1:" + std::to_string(port));
+    }
+    return sock;
+}
+
+std::uint16_t Socket::bound_port() const {
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+        throw_errno("getsockname");
+    }
+    return ntohs(addr.sin_port);
+}
+
+bool Socket::wait_readable(int timeout_ms) {
+    pollfd pfd{fd_, POLLIN, 0};
+    for (;;) {
+        const int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc > 0) return true;
+        if (rc == 0) return false;
+        if (errno != EINTR) throw_errno("poll");
+    }
+}
+
+std::optional<Socket> Socket::accept(int timeout_ms) {
+    if (!wait_readable(timeout_ms)) return std::nullopt;
+    const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+        // The peer may have gone away between poll and accept.
+        if (errno == ECONNABORTED || errno == EAGAIN || errno == EINTR) {
+            return std::nullopt;
+        }
+        throw_errno("accept");
+    }
+    return Socket(fd);
+}
+
+bool Socket::read_exact(void* buffer, std::size_t size) {
+    auto* out = static_cast<char*>(buffer);
+    std::size_t got = 0;
+    while (got < size) {
+        const ssize_t n = ::recv(fd_, out + got, size - got, 0);
+        if (n > 0) {
+            got += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0) {
+            if (got == 0) return false;  // clean EOF between messages
+            throw SocketError("peer closed mid-message (" + std::to_string(got) +
+                              " of " + std::to_string(size) + " bytes)");
+        }
+        if (errno != EINTR) throw_errno("recv");
+    }
+    return true;
+}
+
+void Socket::write_all(std::string_view bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n =
+            ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno != EINTR) throw_errno("send");
+    }
+}
+
+}  // namespace qrn::serve

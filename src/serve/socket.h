@@ -1,0 +1,75 @@
+// Minimal RAII sockets for the serve daemon: Unix-domain or loopback TCP,
+// blocking reads/writes with poll-based timeouts on accept.
+//
+// Deliberately tiny - listen/accept/connect plus exact-length reads and
+// full writes are everything the length-prefixed frame protocol needs.
+// TCP listeners bind 127.0.0.1 only: the daemon is a local verification
+// service, never an internet-facing one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace qrn::serve {
+
+/// A socket operation failed at the OS level (distinct from
+/// ProtocolError: the bytes never arrived, rather than arrived wrong).
+class SocketError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// An open socket file descriptor with unique ownership.
+class Socket {
+public:
+    Socket() = default;
+    explicit Socket(int fd) noexcept : fd_(fd) {}
+    ~Socket();
+    Socket(Socket&& other) noexcept;
+    Socket& operator=(Socket&& other) noexcept;
+    Socket(const Socket&) = delete;
+    Socket& operator=(const Socket&) = delete;
+
+    /// Listening Unix-domain socket at `path` (unlinks a stale file
+    /// first). Throws SocketError on failure.
+    [[nodiscard]] static Socket listen_unix(const std::string& path);
+
+    /// Listening TCP socket on 127.0.0.1:`port` (0 = ephemeral; the bound
+    /// port is readable via bound_port()).
+    [[nodiscard]] static Socket listen_tcp(std::uint16_t port);
+
+    [[nodiscard]] static Socket connect_unix(const std::string& path);
+    [[nodiscard]] static Socket connect_tcp(std::uint16_t port);
+
+    [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+    [[nodiscard]] int fd() const noexcept { return fd_; }
+
+    /// The port a listening TCP socket actually bound (resolves 0).
+    [[nodiscard]] std::uint16_t bound_port() const;
+
+    /// Waits up to timeout_ms for a connection; nullopt on timeout.
+    /// Throws SocketError when the listener itself fails.
+    [[nodiscard]] std::optional<Socket> accept(int timeout_ms);
+
+    /// Waits up to timeout_ms for the socket to become readable without
+    /// consuming anything; false on timeout.
+    [[nodiscard]] bool wait_readable(int timeout_ms);
+
+    /// Reads exactly `size` bytes. Returns false on clean EOF before the
+    /// first byte; throws SocketError on mid-message EOF or I/O error.
+    [[nodiscard]] bool read_exact(void* buffer, std::size_t size);
+
+    /// Writes all bytes or throws SocketError.
+    void write_all(std::string_view bytes);
+
+    void close() noexcept;
+
+private:
+    int fd_ = -1;
+};
+
+}  // namespace qrn::serve

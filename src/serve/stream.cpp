@@ -1,0 +1,30 @@
+#include "serve/stream.h"
+
+namespace qrn::serve {
+
+Incident stream_incident(std::uint64_t index) {
+    Incident incident;
+    if (index % 7 == 5) {
+        // Induced incident: ego a causing factor, not a party.
+        incident.first = ActorType::Car;
+        incident.second =
+            (index % 2 == 0) ? ActorType::Truck : ActorType::Vru;
+        incident.ego_causing_factor = true;
+    } else {
+        incident.first = ActorType::EgoVehicle;
+        // Counterparties cycle over the six non-ego types.
+        incident.second = actor_type_from_index(1 + index % 6);
+    }
+    incident.mechanism = (index % 3 == 0) ? IncidentMechanism::NearMiss
+                                          : IncidentMechanism::Collision;
+    incident.relative_speed_kmh =
+        5.0 + 1.25 * static_cast<double>(index % 64);
+    incident.min_distance_m =
+        incident.mechanism == IncidentMechanism::NearMiss
+            ? 0.4 + 0.05 * static_cast<double>(index % 40)
+            : 0.0;
+    incident.timestamp_hours = 0.01 * static_cast<double>(index);
+    return incident;
+}
+
+}  // namespace qrn::serve

@@ -1,0 +1,20 @@
+// Deterministic synthetic incident stream shared by the loopback load
+// generator, the serve benchmark and the crash-recovery tests.
+//
+// stream_incident(i) is a pure function of the global record index, so a
+// replayed stream is byte-identical no matter how it is batched - which
+// is exactly the property the kill/restart recovery test leans on.
+#pragma once
+
+#include <cstdint>
+
+#include "qrn/incident.h"
+
+namespace qrn::serve {
+
+/// The i-th record of the canonical synthetic stream. Always satisfies
+/// qrn::validate(); cycles through ego-involved collisions/near misses
+/// and induced incidents across every counterparty type.
+[[nodiscard]] Incident stream_incident(std::uint64_t index);
+
+}  // namespace qrn::serve

@@ -1,6 +1,7 @@
 #include "store/format.h"
 
 #include <bit>
+#include <exception>
 
 namespace qrn::store {
 
@@ -58,6 +59,46 @@ std::uint64_t get_u64(std::string_view bytes, std::size_t offset) noexcept {
 
 double get_f64(std::string_view bytes, std::size_t offset) noexcept {
     return std::bit_cast<double>(get_u64(bytes, offset));
+}
+
+void encode_record(std::string& out, const Incident& incident) {
+    out.push_back(static_cast<char>(incident.first));
+    out.push_back(static_cast<char>(incident.second));
+    out.push_back(static_cast<char>(incident.mechanism));
+    out.push_back(static_cast<char>(incident.ego_causing_factor ? 1 : 0));
+    put_f64(out, incident.relative_speed_kmh);
+    put_f64(out, incident.min_distance_m);
+    put_f64(out, incident.timestamp_hours);
+}
+
+Incident decode_record(std::string_view bytes, std::size_t offset,
+                       const std::string& context) {
+    const auto first = static_cast<unsigned char>(bytes[offset]);
+    const auto second = static_cast<unsigned char>(bytes[offset + 1]);
+    const auto mechanism = static_cast<unsigned char>(bytes[offset + 2]);
+    const auto flags = static_cast<unsigned char>(bytes[offset + 3]);
+    if (first >= kActorTypeCount || second >= kActorTypeCount || mechanism > 1 ||
+        flags > 1) {
+        throw StoreError(StoreErrorKind::Inconsistent,
+                         context + ": record field out of range (actor/mechanism/"
+                                   "flag byte does not name a known value)");
+    }
+    Incident incident;
+    incident.first = static_cast<ActorType>(first);
+    incident.second = static_cast<ActorType>(second);
+    incident.mechanism = static_cast<IncidentMechanism>(mechanism);
+    incident.ego_causing_factor = flags != 0;
+    incident.relative_speed_kmh = get_f64(bytes, offset + 4);
+    incident.min_distance_m = get_f64(bytes, offset + 12);
+    incident.timestamp_hours = get_f64(bytes, offset + 20);
+    try {
+        validate(incident);
+    } catch (const std::exception& error) {
+        throw StoreError(StoreErrorKind::Inconsistent,
+                         context + ": record violates incident invariants: " +
+                             error.what());
+    }
+    return incident;
 }
 
 }  // namespace qrn::store

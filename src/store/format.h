@@ -25,6 +25,8 @@
 #include <string>
 #include <string_view>
 
+#include "qrn/incident.h"
+
 namespace qrn::store {
 
 inline constexpr std::string_view kShardMagic = "QRNSHRD1";  ///< 8 bytes.
@@ -101,5 +103,22 @@ void put_f64(std::string& out, double value);
 [[nodiscard]] std::uint32_t get_u32(std::string_view bytes, std::size_t offset) noexcept;
 [[nodiscard]] std::uint64_t get_u64(std::string_view bytes, std::size_t offset) noexcept;
 [[nodiscard]] double get_f64(std::string_view bytes, std::size_t offset) noexcept;
+
+// ---- record codec ------------------------------------------------------
+//
+// The 28-byte incident record is the wire format of the whole toolkit:
+// shard blocks on disk and qrn-serve classify payloads on the socket are
+// both sequences of exactly these bytes, so a client can stream records
+// that land in a shard bit-identically.
+
+/// Appends the kRecordBytes encoding of one incident.
+void encode_record(std::string& out, const Incident& incident);
+
+/// Decodes the record at `offset`; the caller guarantees kRecordBytes are
+/// available. `context` prefixes error messages (a path or peer name).
+/// Throws StoreError(Inconsistent) on out-of-range enum bytes or records
+/// violating qrn::validate().
+[[nodiscard]] Incident decode_record(std::string_view bytes, std::size_t offset,
+                                     const std::string& context);
 
 }  // namespace qrn::store

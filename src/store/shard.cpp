@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "store/crc32.h"
+#include "store/sync.h"
 
 namespace qrn::store {
 
@@ -17,46 +18,6 @@ constexpr std::size_t kHeaderPayloadBytes = 32;
 constexpr std::size_t kHeaderBytes = kHeaderPayloadBytes + 4;
 /// Footer payload: records(8) exposure(8) six counters(48) key(8) = 72.
 constexpr std::size_t kFooterPayloadBytes = 72;
-
-void encode_record(std::string& out, const Incident& incident) {
-    out.push_back(static_cast<char>(incident.first));
-    out.push_back(static_cast<char>(incident.second));
-    out.push_back(static_cast<char>(incident.mechanism));
-    out.push_back(static_cast<char>(incident.ego_causing_factor ? 1 : 0));
-    put_f64(out, incident.relative_speed_kmh);
-    put_f64(out, incident.min_distance_m);
-    put_f64(out, incident.timestamp_hours);
-}
-
-[[nodiscard]] Incident decode_record(std::string_view payload, std::size_t offset,
-                                     const std::string& path) {
-    const auto first = static_cast<unsigned char>(payload[offset]);
-    const auto second = static_cast<unsigned char>(payload[offset + 1]);
-    const auto mechanism = static_cast<unsigned char>(payload[offset + 2]);
-    const auto flags = static_cast<unsigned char>(payload[offset + 3]);
-    if (first >= kActorTypeCount || second >= kActorTypeCount || mechanism > 1 ||
-        flags > 1) {
-        throw StoreError(StoreErrorKind::Inconsistent,
-                         path + ": record field out of range (actor/mechanism/"
-                                "flag byte does not name a known value)");
-    }
-    Incident incident;
-    incident.first = static_cast<ActorType>(first);
-    incident.second = static_cast<ActorType>(second);
-    incident.mechanism = static_cast<IncidentMechanism>(mechanism);
-    incident.ego_causing_factor = flags != 0;
-    incident.relative_speed_kmh = get_f64(payload, offset + 4);
-    incident.min_distance_m = get_f64(payload, offset + 12);
-    incident.timestamp_hours = get_f64(payload, offset + 20);
-    try {
-        validate(incident);
-    } catch (const std::exception& error) {
-        throw StoreError(StoreErrorKind::Inconsistent,
-                         path + ": record violates incident invariants: " +
-                             error.what());
-    }
-    return incident;
-}
 
 [[nodiscard]] std::string encode_footer_payload(std::uint64_t records,
                                                 const ShardTotals& totals,
@@ -194,6 +155,12 @@ void ShardWriter::seal(const ShardTotals& totals) {
         throw StoreError(StoreErrorKind::Io, "flush failed for " + tmp_path_);
     }
     out_->stream.close();
+    // Durability order matters: the temp file's bytes must be on stable
+    // storage BEFORE the rename publishes the final name (else a crash can
+    // leave a fully-named shard with torn contents), and the directory
+    // entry the rename creates must be synced AFTER (else the shard can
+    // vanish from the directory even though its bytes survived).
+    sync_file(tmp_path_);
     std::error_code rename_error;
     std::filesystem::rename(tmp_path_, path_, rename_error);
     if (rename_error) {
@@ -201,6 +168,9 @@ void ShardWriter::seal(const ShardTotals& totals) {
                                                  " to " + path_ + ": " +
                                                  rename_error.message());
     }
+    const std::string parent =
+        std::filesystem::path(path_).parent_path().string();
+    sync_directory(parent.empty() ? "." : parent);
     sealed_ = true;
     if (obs::enabled()) {
         obs::add_counter("store.shards_written", 1);

@@ -186,6 +186,8 @@ ScalingCheck scaling_check(const PerfBaseline& baseline,
     out.delta_pct = (out.cur.ratio - out.base.ratio) / out.base.ratio * 100.0;
     out.ok = out.delta_pct >= -options.tolerance_pct &&
              (options.min_ratio == 0.0 || out.cur.ratio >= options.min_ratio);
+    out.base_below_floor =
+        options.min_ratio > 0.0 && out.base.ratio < options.min_ratio;
     return out;
 }
 

@@ -38,6 +38,15 @@
 //   store merge --store DIR --out FILE
 //                                    stream every shard (fleet order) into
 //                                    one sealed shard at FILE
+//   serve --norm F --types F --store DIR (--socket PATH | --port N)
+//         [--queue N] [--batch N] [--jobs N]
+//                                    run the verification daemon: accept
+//                                    classify/verify/allocate/status
+//                                    requests over the socket, append
+//                                    accepted incidents to live shards in
+//                                    DIR (sealing every --batch records),
+//                                    and drain gracefully on SIGTERM or
+//                                    SIGINT (docs/SERVE.md)
 //   --version                        print the configure-time git describe
 //
 // Shard corruption semantics (docs/STORE.md): a shard that fails its CRCs,
@@ -79,13 +88,16 @@
 // Evidence document format:
 //   {"kind":"qrn.evidence","exposure_hours":H,
 //    "events":[{"incident_type":"I1","events":N}, ...]}
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <fstream>
 // qrn-lint: allow(iostream-in-lib) CLI entry point: stdout/stderr is the product surface
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exec/parallel.h"
@@ -96,6 +108,8 @@
 #include "qrn/qrn.h"
 #include "qrn/serialize.h"
 #include "safety_case/builder.h"
+#include "serve/server.h"
+#include "serve/service.h"
 #include "sim/sim.h"
 #include "stats/rng.h"
 #include "store/aggregate.h"
@@ -246,70 +260,6 @@ sim::Odd odd_by_name(const std::string& name) {
     if (name == "urban") return sim::Odd::urban();
     if (name == "highway") return sim::Odd::highway();
     throw ParseError("--odd", name, "one of 'urban', 'highway'");
-}
-
-json::Value evidence_to_json(const std::vector<TypeEvidence>& evidence) {
-    json::Array events;
-    double hours = 0.0;
-    for (const auto& e : evidence) {
-        hours = e.exposure.hours();
-        events.push_back(json::Value(json::Object{
-            {"incident_type", e.incident_type_id},
-            {"events", static_cast<double>(e.events)},
-        }));
-    }
-    return json::Value(json::Object{
-        {"kind", "qrn.evidence"},
-        {"exposure_hours", hours},
-        {"events", std::move(events)},
-    });
-}
-
-std::vector<TypeEvidence> evidence_from_json(const json::Value& doc) {
-    if (!doc.is_object() || !doc.contains("kind") || !doc.at("kind").is_string() ||
-        doc.at("kind").as_string() != "qrn.evidence") {
-        throw std::runtime_error("not a qrn.evidence document (kind must be "
-                                 "\"qrn.evidence\")");
-    }
-    if (!doc.contains("exposure_hours") || !doc.at("exposure_hours").is_number()) {
-        throw std::runtime_error("exposure_hours: expected a number");
-    }
-    const double hours = doc.at("exposure_hours").as_number();
-    if (!std::isfinite(hours) || hours <= 0.0) {
-        throw std::runtime_error("exposure_hours: must be finite and > 0 (got " +
-                                 std::to_string(hours) + ")");
-    }
-    if (!doc.contains("events") || !doc.at("events").is_array()) {
-        throw std::runtime_error("events: expected an array");
-    }
-    std::vector<TypeEvidence> out;
-    const auto& entries = doc.at("events").as_array();
-    for (std::size_t i = 0; i < entries.size(); ++i) {
-        const std::string where = "events[" + std::to_string(i) + "]";
-        const auto& entry = entries[i];
-        if (!entry.is_object() || !entry.contains("incident_type") ||
-            !entry.at("incident_type").is_string()) {
-            throw std::runtime_error(where +
-                                     ".incident_type: expected a string");
-        }
-        if (!entry.contains("events") || !entry.at("events").is_number()) {
-            throw std::runtime_error(where + ".events: expected a number");
-        }
-        const double count = entry.at("events").as_number();
-        if (!std::isfinite(count) || count < 0.0 ||
-            count != std::floor(count) || count > 1e18) {
-            throw std::runtime_error(where +
-                                     ".events: must be a non-negative integer "
-                                     "(got " +
-                                     std::to_string(count) + ")");
-        }
-        TypeEvidence e;
-        e.incident_type_id = entry.at("incident_type").as_string();
-        e.events = static_cast<std::uint64_t>(count);
-        e.exposure = ExposureHours(hours);
-        out.push_back(std::move(e));
-    }
-    return out;
 }
 
 std::vector<TypeEvidence> load_evidence(const Args& args) {
@@ -617,7 +567,7 @@ int usage() {
     std::cerr << "usage: qrn <command> [options]\n"
               << "commands: norm-example | types-example | types-generate |\n"
               << "          allocate | verify | simulate | campaign | pipeline |\n"
-              << "          store <inspect|verify|merge> | --version\n"
+              << "          store <inspect|verify|merge> | serve | --version\n"
               << "global options: --jobs N, --metrics PATH (run manifest)\n"
               << "campaign caching: --store DIR (shard cache), --resume\n"
               << "exit codes: 0 ok, 1 usage/parse error, 2 norm not fulfilled\n"
@@ -798,6 +748,100 @@ void write_metrics(const Args& args, const std::string& command,
     std::cerr << '\n' << table.render() << "metrics manifest: " << path << '\n';
 }
 
+// ---- serve -------------------------------------------------------------
+
+/// Drain flag set by SIGTERM/SIGINT; a volatile sig_atomic_t store is the
+/// only async-signal-safe communication the handler is allowed.
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+extern "C" void handle_serve_signal(int) { g_serve_stop = 1; }
+
+/// Rewrites the --metrics manifest in place while the daemon runs, so an
+/// operator (or the CI smoke job) can watch live serve.* counters without
+/// stopping it. No stderr table - the final write in main() prints that.
+void write_serve_manifest_snapshot(const Args& args, const std::string& path,
+                                   std::uint64_t wall_ns) {
+    obs::Manifest manifest = obs::capture_manifest();
+    manifest.command = "serve";
+    manifest.git_describe = QRN_GIT_DESCRIBE;
+    manifest.jobs = parse_jobs(args);
+    manifest.wall_ns = wall_ns;
+    if (!obs::write_manifest(manifest, path)) {
+        throw IoError("cannot write metrics manifest " + path);
+    }
+}
+
+int cmd_serve(const Args& args) {
+    serve::ServerConfig server_config;
+    const auto socket_path = args.option("--socket");
+    const auto port = args.option("--port");
+    if (static_cast<bool>(socket_path) == static_cast<bool>(port)) {
+        throw ParseError("--socket", socket_path.value_or(""),
+                         "exactly one of --socket PATH or --port N");
+    }
+    if (socket_path) {
+        if (socket_path->empty()) {
+            throw ParseError("--socket", *socket_path, "a socket path");
+        }
+        server_config.socket_path = *socket_path;
+    } else {
+        // Port 0 asks the kernel for an ephemeral port; the resolved one
+        // is printed on the "listening" line below.
+        server_config.port =
+            static_cast<std::uint16_t>(tools::parse_u64("--port", *port, 0, 65535));
+    }
+    server_config.queue_capacity = static_cast<std::size_t>(tools::parse_u64(
+        "--queue", args.option("--queue").value_or("64"), 1, 1u << 20));
+
+    serve::ServiceConfig service_config;
+    service_config.store_dir = require_store_dir(args);
+    service_config.shard_roll = tools::parse_u64(
+        "--batch", args.option("--batch").value_or("4096"), 1, 10'000'000);
+    service_config.jobs = parse_jobs(args);
+    auto norm = load_norm(args);
+    auto types = load_types(args);
+
+    auto service = std::make_unique<serve::Service>(
+        std::move(norm), std::move(types), service_config);
+    serve::Server server(std::move(service), server_config);
+
+    g_serve_stop = 0;
+    std::signal(SIGTERM, handle_serve_signal);
+    std::signal(SIGINT, handle_serve_signal);
+    try {
+        server.start();
+    } catch (const serve::SocketError& error) {
+        throw IoError(error.what());
+    }
+    if (!server_config.socket_path.empty()) {
+        std::cerr << "qrn serve: listening on unix socket "
+                  << server_config.socket_path << '\n';
+    } else {
+        std::cerr << "qrn serve: listening on 127.0.0.1:" << server.port()
+                  << '\n';
+    }
+
+    const auto metrics_path = args.option("--metrics");
+    const std::uint64_t start_ns = obs::now_ns();
+    std::uint64_t ticks = 0;
+    while (g_serve_stop == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        if (metrics_path && ++ticks % 50 == 0) {
+            write_serve_manifest_snapshot(args, *metrics_path,
+                                          obs::now_ns() - start_ns);
+        }
+    }
+    std::cerr << "qrn serve: draining\n";
+    server.drain();
+    const auto status = server.service().status();
+    std::cerr << "qrn serve: drained; sealed " << status.shards_sealed
+              << " shard(s), " << status.records_sealed << " record(s), "
+              << status.exposure_sealed_hours << " h exposure\n";
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    return 0;
+}
+
 int dispatch(const Args& args, const std::string& command) {
     if (command == "norm-example") return cmd_norm_example();
     if (command == "types-example") return cmd_types_example();
@@ -808,6 +852,7 @@ int dispatch(const Args& args, const std::string& command) {
     if (command == "campaign") return cmd_campaign(args);
     if (command == "pipeline") return cmd_pipeline(args);
     if (command == "store") return cmd_store(args);
+    if (command == "serve") return cmd_serve(args);
     if (command == "--version" || command == "version") return cmd_version();
     return usage();
 }

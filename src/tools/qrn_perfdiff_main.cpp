@@ -161,6 +161,16 @@ int main(int argc, char** argv) {
                       << qrn::report::fixed(check.cur.ratio, 2) << "x ("
                       << (check.delta_pct > 0.0 ? "+" + delta_pct : delta_pct)
                       << ") " << (check.ok ? "ok" : "REGRESSED") << '\n';
+            if (check.base_below_floor) {
+                std::cerr << "qrn-perfdiff: warning: baseline "
+                          << scaling.family << " ratio "
+                          << qrn::report::fixed(check.base.ratio, 2)
+                          << "x is below the --min-ratio floor of "
+                          << qrn::report::fixed(scaling.min_ratio, 2)
+                          << "x; the relative gate is anchored to a "
+                             "near-flat baseline - re-record the baseline "
+                             "on capable hardware\n";
+            }
             if (!check.ok) {
                 std::cerr << "qrn-perfdiff: " << scaling.family
                           << " parallel efficiency regressed beyond "

@@ -114,6 +114,65 @@ TEST(ParallelFor, RethrowsLowestChunkException) {
     }
 }
 
+/// Installs a submit-fault hook for one test and always restores
+/// production behaviour, even when the test body throws.
+class SubmitFaultGuard {
+public:
+    explicit SubmitFaultGuard(std::function<void(std::size_t)> hook) {
+        detail::set_submit_fault_for_test(std::move(hook));
+    }
+    ~SubmitFaultGuard() { detail::set_submit_fault_for_test(nullptr); }
+    SubmitFaultGuard(const SubmitFaultGuard&) = delete;
+    SubmitFaultGuard& operator=(const SubmitFaultGuard&) = delete;
+};
+
+TEST(ParallelFor, SubmitFailureMidLoopDrainsSubmittedChunksThenRethrows) {
+    // Regression test for the unwind-safety bug: when submit() throws
+    // mid-loop (a pool shutting down), the chunks already queued keep
+    // running while parallel_for's frame unwinds. The completion state
+    // they touch must therefore outlive the frame, and parallel_for must
+    // wait for them before rethrowing so the caller-owned body stays
+    // valid. ASan/TSan runs of this test pin the use-after-scope.
+    constexpr std::size_t kFaultChunk = 3;
+    std::atomic<std::size_t> indices_run{0};
+    const auto chunks = chunk_ranges(2, 80);
+    ASSERT_GT(chunks.size(), kFaultChunk + 1);
+
+    const SubmitFaultGuard guard([](std::size_t chunk_index) {
+        if (chunk_index == kFaultChunk) {
+            throw std::runtime_error("submit fault");
+        }
+    });
+    try {
+        parallel_for(2, 80, [&](const ChunkRange& chunk) {
+            indices_run.fetch_add(chunk.end - chunk.begin);
+        });
+        FAIL() << "expected the submit fault to propagate";
+    } catch (const std::runtime_error& error) {
+        EXPECT_STREQ(error.what(), "submit fault");
+    }
+    // Exactly the chunks submitted before the fault ran - no more (the
+    // faulted chunk and its successors were never queued), no fewer (the
+    // drain completed before rethrow).
+    std::size_t expected = 0;
+    for (std::size_t c = 0; c < kFaultChunk; ++c) {
+        expected += chunks[c].end - chunks[c].begin;
+    }
+    EXPECT_EQ(indices_run.load(), expected);
+}
+
+TEST(ParallelFor, SubmitFailureOnFirstChunkRunsNothing) {
+    std::atomic<std::size_t> indices_run{0};
+    const SubmitFaultGuard guard(
+        [](std::size_t) { throw std::runtime_error("first submit fault"); });
+    EXPECT_THROW(parallel_for(4, 64,
+                              [&](const ChunkRange& chunk) {
+                                  indices_run.fetch_add(chunk.end - chunk.begin);
+                              }),
+                 std::runtime_error);
+    EXPECT_EQ(indices_run.load(), 0u);
+}
+
 TEST(ParallelFor, NestedCallsFallBackToSerialWithoutDeadlock) {
     std::atomic<int> inner_total{0};
     parallel_for(4, 8, [&](const ChunkRange& outer) {

@@ -59,6 +59,24 @@ TEST(ThreadPool, DetectsWorkerThreads) {
     EXPECT_FALSE(ThreadPool::on_worker_thread());
 }
 
+TEST(ThreadPool, StopDrainsQueueThenRejectsSubmit) {
+    std::atomic<int> counter{0};
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.stop();
+    EXPECT_EQ(counter.load(), 16);
+    EXPECT_THROW(pool.submit([] {}), std::logic_error);
+}
+
+TEST(ThreadPool, StopIsIdempotent) {
+    ThreadPool pool(2);
+    pool.stop();
+    pool.stop();  // second stop: no workers left to join, must not hang
+    EXPECT_THROW(pool.submit([] {}), std::logic_error);
+}
+
 TEST(ThreadPool, SharedPoolIsReusedAndNonEmpty) {
     ThreadPool& a = ThreadPool::shared();
     ThreadPool& b = ThreadPool::shared();

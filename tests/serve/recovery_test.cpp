@@ -1,0 +1,275 @@
+// Crash-recovery matrix for the serve daemon, run against the real `qrn
+// serve` binary: kill the process mid-stream (SIGKILL, no drain), restart
+// it on the same store, replay the stream from the sealed prefix the
+// Status reply reports, and require the healed shard set - and the Eq. 1
+// verification verdict - to be byte-identical to an uninterrupted run.
+//
+// This works because every piece of shard state is a pure function of
+// (catalog, sequence, record stream): stream_incident(i) depends only on
+// i, shard names/keys depend only on the catalog digest and sequence, and
+// a crash discards at most the unsealed .tmp suffix, so the sealed prefix
+// is always a batch-aligned cut of the same stream.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/client.h"
+#include "serve/stream.h"
+
+namespace {
+
+using namespace qrn;
+using namespace qrn::serve;
+
+#ifndef QRN_CLI_PATH
+#error "QRN_CLI_PATH must be defined by the build"
+#endif
+
+constexpr std::uint64_t kBatchSize = 128;
+constexpr std::uint64_t kShardRoll = 256;  // = 2 batches per shard
+constexpr std::uint64_t kTotalBatches = 6;  // 3 full shards
+constexpr double kExposurePerBatch = 16.0;
+
+std::string read_file_bytes(const std::string& path) {
+    std::ifstream f(path, std::ios::binary);
+    EXPECT_TRUE(f.is_open()) << path;
+    std::stringstream buffer;
+    buffer << f.rdbuf();
+    return buffer.str();
+}
+
+/// Every sealed shard in the store, name -> bytes.
+std::map<std::string, std::string> shard_bytes(const std::string& store_dir) {
+    std::map<std::string, std::string> out;
+    for (const auto& item : std::filesystem::directory_iterator(store_dir)) {
+        const auto name = item.path().filename().string();
+        if (name.size() > 4 && name.substr(name.size() - 4) == ".qrs") {
+            out[name] = read_file_bytes(item.path().string());
+        }
+    }
+    return out;
+}
+
+/// One daemon process on `store_dir`, listening on `socket_path`.
+class ServeProcess {
+public:
+    ServeProcess(const std::string& norm, const std::string& types,
+                 const std::string& store_dir, const std::string& socket_path)
+        : socket_path_(socket_path) {
+        pid_ = fork();
+        if (pid_ == 0) {
+            // Quiet child: the "listening"/"draining" lines are daemon
+            // chatter, not test output.
+            const int null_fd = ::open("/dev/null", O_WRONLY);
+            if (null_fd >= 0) {
+                ::dup2(null_fd, 2);
+                ::close(null_fd);
+            }
+            ::execl(QRN_CLI_PATH, "qrn", "serve", "--norm", norm.c_str(),
+                    "--types", types.c_str(), "--store", store_dir.c_str(),
+                    "--socket", socket_path.c_str(), "--batch", "256",
+                    "--jobs", "1", static_cast<char*>(nullptr));
+            _exit(127);
+        }
+    }
+
+    ~ServeProcess() {
+        if (pid_ > 0) {
+            ::kill(pid_, SIGKILL);
+            int status = 0;
+            ::waitpid(pid_, &status, 0);
+        }
+    }
+
+    /// Blocks until the daemon accepts connections (it unlinks and
+    /// re-binds the socket on startup, so connecting is the only reliable
+    /// readiness signal).
+    [[nodiscard]] Client wait_and_connect() {
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(30);
+        for (;;) {
+            try {
+                return Client::connect_unix(socket_path_);
+            } catch (const SocketError&) {
+                if (std::chrono::steady_clock::now() > deadline) {
+                    throw;
+                }
+                std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            }
+        }
+    }
+
+    /// SIGKILL: the crash under test. No drain, no .tmp cleanup.
+    void kill_hard() {
+        ::kill(pid_, SIGKILL);
+        int status = 0;
+        ::waitpid(pid_, &status, 0);
+        pid_ = -1;
+    }
+
+    /// SIGTERM: the graceful path; waits for the drain to finish.
+    void terminate_gracefully() {
+        ::kill(pid_, SIGTERM);
+        int status = 0;
+        ::waitpid(pid_, &status, 0);
+        EXPECT_TRUE(WIFEXITED(status));
+        EXPECT_EQ(WEXITSTATUS(status), 0);
+        pid_ = -1;
+    }
+
+private:
+    std::string socket_path_;
+    pid_t pid_ = -1;
+};
+
+class ServeRecovery : public ::testing::Test {
+protected:
+    void SetUp() override {
+        const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = ::testing::TempDir() + "qrn_recovery_" + info->name();
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+        norm_path_ = dir_ + "/norm.json";
+        types_path_ = dir_ + "/types.json";
+        ASSERT_EQ(std::system((std::string(QRN_CLI_PATH) + " norm-example > " +
+                               norm_path_ + " 2>/dev/null")
+                                  .c_str()),
+                  0);
+        ASSERT_EQ(std::system((std::string(QRN_CLI_PATH) + " types-example > " +
+                               types_path_ + " 2>/dev/null")
+                                  .c_str()),
+                  0);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    /// Streams batches [first, last) of the canonical stream.
+    static void stream_batches(Client& client, std::uint64_t first,
+                               std::uint64_t last) {
+        for (std::uint64_t b = first; b < last; ++b) {
+            std::vector<Incident> batch;
+            batch.reserve(kBatchSize);
+            for (std::uint64_t i = 0; i < kBatchSize; ++i) {
+                batch.push_back(stream_incident(b * kBatchSize + i));
+            }
+            ASSERT_EQ(client.classify_with_retry(kExposurePerBatch, batch).status,
+                      Status::Ok)
+                << "batch " << b;
+        }
+    }
+
+    /// The uninterrupted reference: all batches in one daemon lifetime.
+    /// Returns the final shard bytes and the verification reply.
+    void run_reference(const std::string& store_dir,
+                       std::map<std::string, std::string>& shards,
+                       std::string& verify_json) {
+        ServeProcess daemon(norm_path_, types_path_, store_dir,
+                            dir_ + "/ref.sock");
+        auto client = daemon.wait_and_connect();
+        stream_batches(client, 0, kTotalBatches);
+        const auto verify = client.verify();
+        ASSERT_EQ(verify.status, Status::Ok);
+        verify_json = verify.payload;
+        client.close();
+        daemon.terminate_gracefully();
+        shards = shard_bytes(store_dir);
+        ASSERT_EQ(shards.size(), kTotalBatches * kBatchSize / kShardRoll);
+    }
+
+    /// The recovery run: crash after `batches_before_kill`, restart,
+    /// resume from the sealed prefix, finish the stream. Returns the
+    /// healed shard bytes and the verification reply.
+    void run_interrupted(const std::string& store_dir,
+                         std::uint64_t batches_before_kill,
+                         std::map<std::string, std::string>& shards,
+                         std::string& verify_json) {
+        const std::string socket_path = dir_ + "/crash.sock";
+        {
+            ServeProcess daemon(norm_path_, types_path_, store_dir, socket_path);
+            auto client = daemon.wait_and_connect();
+            stream_batches(client, 0, batches_before_kill);
+            client.close();
+            daemon.kill_hard();
+        }
+        ServeProcess daemon(norm_path_, types_path_, store_dir, socket_path);
+        auto client = daemon.wait_and_connect();
+        const auto status = client.status();
+        ASSERT_EQ(status.status, Status::Ok);
+        // The crash can only have lost the unsealed suffix: the sealed
+        // prefix is a whole number of shards and never exceeds what was
+        // streamed.
+        ASSERT_EQ(status.state.records_sealed % kShardRoll, 0u);
+        ASSERT_LE(status.state.records_sealed,
+                  batches_before_kill * kBatchSize);
+        ASSERT_EQ(status.state.records_pending, 0u);
+        // Replay from the sealed prefix (batch-aligned by construction).
+        ASSERT_EQ(status.state.records_sealed % kBatchSize, 0u);
+        stream_batches(client, status.state.records_sealed / kBatchSize,
+                       kTotalBatches);
+        const auto verify = client.verify();
+        ASSERT_EQ(verify.status, Status::Ok);
+        verify_json = verify.payload;
+        client.close();
+        daemon.terminate_gracefully();
+        shards = shard_bytes(store_dir);
+    }
+
+    std::string dir_;
+    std::string norm_path_;
+    std::string types_path_;
+};
+
+TEST_F(ServeRecovery, KillAfterPartialShardHealsToIdenticalShards) {
+    std::map<std::string, std::string> reference;
+    std::string reference_verify;
+    run_reference(dir_ + "/ref-store", reference, reference_verify);
+
+    // 3 batches = 1 sealed shard + 128 records mid-shard at the kill.
+    std::map<std::string, std::string> healed;
+    std::string healed_verify;
+    run_interrupted(dir_ + "/crash-store", 3, healed, healed_verify);
+
+    ASSERT_EQ(healed.size(), reference.size());
+    for (const auto& [name, bytes] : reference) {
+        ASSERT_TRUE(healed.count(name)) << name;
+        EXPECT_EQ(healed.at(name), bytes) << name << " diverged";
+    }
+    EXPECT_EQ(healed_verify, reference_verify);
+    // No stray .tmp survives the healed run's drain.
+    for (const auto& item :
+         std::filesystem::directory_iterator(dir_ + "/crash-store")) {
+        EXPECT_NE(item.path().extension(), ".tmp") << item.path();
+    }
+}
+
+TEST_F(ServeRecovery, KillBeforeFirstSealReplaysFromScratch) {
+    std::map<std::string, std::string> reference;
+    std::string reference_verify;
+    run_reference(dir_ + "/ref-store", reference, reference_verify);
+
+    // 1 batch: nothing sealed yet, the whole stream replays from zero.
+    std::map<std::string, std::string> healed;
+    std::string healed_verify;
+    run_interrupted(dir_ + "/crash-store", 1, healed, healed_verify);
+
+    ASSERT_EQ(healed.size(), reference.size());
+    for (const auto& [name, bytes] : reference) {
+        ASSERT_TRUE(healed.count(name)) << name;
+        EXPECT_EQ(healed.at(name), bytes) << name << " diverged";
+    }
+    EXPECT_EQ(healed_verify, reference_verify);
+}
+
+}  // namespace

@@ -1,0 +1,289 @@
+// In-process end-to-end tests of the serve daemon: a real Server on a
+// Unix-domain (and loopback TCP) socket, driven through the blocking
+// Client. The two acceptance anchors live here: classify rows match the
+// direct classifier, and verify/allocate replies are byte-identical to
+// what the batch CLI prints for the same inputs.
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qrn/classification.h"
+#include "qrn/serialize.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "serve/stream.h"
+#include "store/aggregate.h"
+#include "store/store.h"
+
+namespace {
+
+using namespace qrn;
+using namespace qrn::serve;
+
+#ifndef QRN_CLI_PATH
+#error "QRN_CLI_PATH must be defined by the build"
+#endif
+
+struct CommandResult {
+    int exit_code = -1;
+    std::string output;  // stdout only
+};
+
+CommandResult run_cli(const std::string& arguments) {
+    const std::string command =
+        std::string(QRN_CLI_PATH) + " " + arguments + " 2>/dev/null";
+    FILE* pipe = popen(command.c_str(), "r");
+    if (pipe == nullptr) throw std::runtime_error("popen failed");
+    CommandResult result;
+    std::array<char, 4096> buffer{};
+    std::size_t n = 0;
+    // qrn-lint: allow(raw-file-io) draining a popen pipe of the spawned CLI, not a shard
+    while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+        result.output.append(buffer.data(), n);
+    }
+    const int status = pclose(pipe);
+    result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return result;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+    std::ofstream f(path);
+    ASSERT_TRUE(f.is_open());
+    f << content;
+}
+
+std::vector<Incident> sample_batch(std::size_t count, std::uint64_t start = 0) {
+    std::vector<Incident> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        out.push_back(stream_incident(start + i));
+    }
+    return out;
+}
+
+/// One live daemon on a fresh store in a per-test temp directory.
+class ServeE2E : public ::testing::Test {
+protected:
+    void SetUp() override {
+        const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = ::testing::TempDir() + "qrn_serve_" + info->name();
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+        socket_path_ = dir_ + "/qrn.sock";
+    }
+
+    void TearDown() override {
+        server_.reset();
+        std::filesystem::remove_all(dir_);
+    }
+
+    /// Starts (or restarts, against the same store) the daemon.
+    void start(std::uint64_t shard_roll) {
+        server_.reset();
+        ServiceConfig service_config;
+        service_config.store_dir = dir_ + "/store";
+        service_config.shard_roll = shard_roll;
+        auto service = std::make_unique<Service>(RiskNorm::paper_example(),
+                                                 IncidentTypeSet::paper_vru_example(),
+                                                 service_config);
+        ServerConfig server_config;
+        server_config.socket_path = socket_path_;
+        server_config.poll_ms = 10;
+        server_ = std::make_unique<Server>(std::move(service), server_config);
+        server_->start();
+    }
+
+    [[nodiscard]] Client client() { return Client::connect_unix(socket_path_); }
+
+    std::string dir_;
+    std::string socket_path_;
+    std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServeE2E, ClassifyRowsMatchTheDirectClassifier) {
+    start(/*shard_roll=*/4096);
+    auto c = client();
+    const auto batch = sample_batch(100);
+    const auto reply = c.classify_with_retry(10.0, batch);
+    ASSERT_EQ(reply.status, Status::Ok);
+    ASSERT_EQ(reply.rows.size(), batch.size());
+
+    const auto tree = ClassificationTree::paper_example();
+    const auto leaves = tree.leaves();
+    const auto types = IncidentTypeSet::paper_vru_example();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(leaves.at(reply.rows[i].leaf).joined(),
+                  tree.classify(batch[i]).joined())
+            << i;
+        const auto type = types.classify(batch[i]);
+        if (type) {
+            EXPECT_EQ(reply.rows[i].type, *type) << i;
+        } else {
+            EXPECT_EQ(reply.rows[i].type, kNoType) << i;
+        }
+    }
+}
+
+TEST_F(ServeE2E, StatusTracksSealedAndPendingAcrossTheRoll) {
+    start(/*shard_roll=*/64);
+    auto c = client();
+    ASSERT_EQ(c.classify_with_retry(5.0, sample_batch(100)).status, Status::Ok);
+    const auto status = c.status();
+    ASSERT_EQ(status.status, Status::Ok);
+    // 100 records over a 64-record roll: one sealed shard, 36 pending.
+    EXPECT_EQ(status.state.records_sealed, 64u);
+    EXPECT_EQ(status.state.records_pending, 36u);
+    EXPECT_EQ(status.state.shards_sealed, 1u);
+    // The batch exposure spreads uniformly: 64/100 of 5 h is sealed (the
+    // sealed figure is a 64-term accumulation, so compare to tolerance).
+    EXPECT_NEAR(status.state.exposure_sealed_hours, 5.0 * 64 / 100, 1e-9);
+    EXPECT_FALSE(status.state.draining);
+}
+
+TEST_F(ServeE2E, VerifyAndAllocateMatchTheBatchCliByteForByte) {
+    start(/*shard_roll=*/128);
+    auto c = client();
+    // Two exact rolls so everything is sealed and verifiable.
+    ASSERT_EQ(c.classify_with_retry(40.0, sample_batch(128, 0)).status, Status::Ok);
+    ASSERT_EQ(c.classify_with_retry(40.0, sample_batch(128, 128)).status,
+              Status::Ok);
+    const auto verify_reply = c.verify();
+    ASSERT_EQ(verify_reply.status, Status::Ok);
+    const auto allocate_reply = c.allocate();
+    ASSERT_EQ(allocate_reply.status, Status::Ok);
+
+    // Rebuild the same evidence the daemon folded, through the same
+    // aggregator, and push it through the batch CLI.
+    const auto types = IncidentTypeSet::paper_vru_example();
+    const store::Store st(dir_ + "/store");
+    std::vector<store::ShardRef> refs;
+    for (const auto& entry : st.entries()) {
+        refs.push_back({entry.fleet_index, st.shard_path(entry)});
+    }
+    const auto aggregate = store::aggregate_evidence(refs, types, /*jobs=*/1);
+
+    write_file(dir_ + "/norm.json", run_cli("norm-example").output);
+    write_file(dir_ + "/types.json", run_cli("types-example").output);
+    write_file(dir_ + "/evidence.json",
+               evidence_to_json(aggregate.evidence).dump(2) + "\n");
+
+    const auto cli_verify =
+        run_cli("verify --norm " + dir_ + "/norm.json --types " + dir_ +
+                "/types.json --evidence " + dir_ + "/evidence.json");
+    // 0 (fulfilled) and 2 (not fulfilled) both print the report.
+    ASSERT_TRUE(cli_verify.exit_code == 0 || cli_verify.exit_code == 2)
+        << cli_verify.exit_code;
+    EXPECT_EQ(verify_reply.payload, cli_verify.output);
+
+    const auto cli_allocate =
+        run_cli("allocate --norm " + dir_ + "/norm.json --types " + dir_ +
+                "/types.json");
+    ASSERT_EQ(cli_allocate.exit_code, 0);
+    EXPECT_EQ(allocate_reply.payload, cli_allocate.output);
+}
+
+TEST_F(ServeE2E, VerifyBeforeAnySealIsAnErrorReplyNotACrash) {
+    start(/*shard_roll=*/4096);
+    auto c = client();
+    const auto reply = c.verify();
+    EXPECT_EQ(reply.status, Status::Error);
+    EXPECT_NE(reply.payload.find("no sealed evidence"), std::string::npos);
+    // The connection and the daemon both survive the domain error.
+    EXPECT_EQ(c.status().status, Status::Ok);
+}
+
+TEST_F(ServeE2E, MalformedPayloadGetsErrorReplyAndConnectionSurvives) {
+    start(/*shard_roll=*/4096);
+    auto socket = Socket::connect_unix(socket_path_);
+    // A classify frame whose payload is shorter than its fixed header.
+    socket.write_all(encode_frame(static_cast<std::uint8_t>(Opcode::Classify),
+                                  "junk"));
+    unsigned char head[4];
+    ASSERT_TRUE(socket.read_exact(head, sizeof(head)));
+    const std::uint32_t length = static_cast<std::uint32_t>(head[0]) |
+                                 (static_cast<std::uint32_t>(head[1]) << 8) |
+                                 (static_cast<std::uint32_t>(head[2]) << 16) |
+                                 (static_cast<std::uint32_t>(head[3]) << 24);
+    std::string reply(length, '\0');
+    ASSERT_TRUE(socket.read_exact(reply.data(), reply.size()));
+    EXPECT_EQ(static_cast<std::uint8_t>(reply[0]),
+              static_cast<std::uint8_t>(Status::Error));
+
+    // Same connection, unknown opcode: another Error reply, still alive.
+    socket.write_all(encode_frame(99, ""));
+    ASSERT_TRUE(socket.read_exact(head, sizeof(head)));
+    const std::uint32_t length2 = static_cast<std::uint32_t>(head[0]) |
+                                  (static_cast<std::uint32_t>(head[1]) << 8) |
+                                  (static_cast<std::uint32_t>(head[2]) << 16) |
+                                  (static_cast<std::uint32_t>(head[3]) << 24);
+    std::string reply2(length2, '\0');
+    ASSERT_TRUE(socket.read_exact(reply2.data(), reply2.size()));
+    EXPECT_EQ(static_cast<std::uint8_t>(reply2[0]),
+              static_cast<std::uint8_t>(Status::Error));
+    socket.close();
+
+    // A fresh client still gets service.
+    auto c = client();
+    EXPECT_EQ(c.status().status, Status::Ok);
+}
+
+TEST_F(ServeE2E, DrainSealsThePartialShardAndRestartResumesThere) {
+    start(/*shard_roll=*/64);
+    {
+        auto c = client();
+        ASSERT_EQ(c.classify_with_retry(10.0, sample_batch(100)).status,
+                  Status::Ok);
+        c.close();
+    }
+    server_->drain();
+    // Drain sealed the 36 pending records as a second (partial) shard.
+    const auto drained = server_->service().status();
+    EXPECT_EQ(drained.records_sealed, 100u);
+    EXPECT_EQ(drained.records_pending, 0u);
+    EXPECT_EQ(drained.shards_sealed, 2u);
+
+    // A restarted daemon on the same store resumes at the sealed prefix.
+    start(/*shard_roll=*/64);
+    auto c = client();
+    const auto status = c.status();
+    ASSERT_EQ(status.status, Status::Ok);
+    EXPECT_EQ(status.state.records_sealed, 100u);
+    EXPECT_EQ(status.state.shards_sealed, 2u);
+    EXPECT_DOUBLE_EQ(status.state.exposure_sealed_hours, 10.0);
+    // And verification over the sealed prefix works immediately.
+    EXPECT_EQ(c.verify().status, Status::Ok);
+}
+
+TEST_F(ServeE2E, TcpLoopbackServesTheSameProtocol) {
+    ServiceConfig service_config;
+    service_config.store_dir = dir_ + "/store";
+    service_config.shard_roll = 32;
+    auto service = std::make_unique<Service>(RiskNorm::paper_example(),
+                                             IncidentTypeSet::paper_vru_example(),
+                                             service_config);
+    ServerConfig server_config;  // empty socket_path: loopback TCP, port 0
+    server_config.poll_ms = 10;
+    Server server(std::move(service), server_config);
+    server.start();
+    ASSERT_GT(server.port(), 0);
+
+    auto c = Client::connect_tcp(server.port());
+    const auto reply = c.classify_with_retry(1.0, sample_batch(32));
+    ASSERT_EQ(reply.status, Status::Ok);
+    EXPECT_EQ(reply.rows.size(), 32u);
+    const auto status = c.status();
+    ASSERT_EQ(status.status, Status::Ok);
+    EXPECT_EQ(status.state.records_sealed, 32u);
+    c.close();
+    server.drain();
+}
+
+}  // namespace

@@ -7,14 +7,17 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "store/crc32.h"
 #include "store/format.h"
+#include "store/sync.h"
 
 namespace qrn::store {
 namespace {
@@ -212,6 +215,66 @@ TEST(Shard, UnsealedWriterLeavesNoFinalFile) {
         // Destroyed without seal(): the crash case.
     }
     EXPECT_FALSE(std::filesystem::exists(path));
+    EXPECT_FALSE(std::filesystem::exists(path + std::string(kTempSuffix)));
+}
+
+/// Installs a sync hook for one test and always restores production
+/// behaviour, even when the test body throws.
+class SyncHookGuard {
+public:
+    explicit SyncHookGuard(std::function<void(SyncKind, const std::string&)> hook) {
+        detail::set_sync_hook_for_test(std::move(hook));
+    }
+    ~SyncHookGuard() { detail::set_sync_hook_for_test(nullptr); }
+    SyncHookGuard(const SyncHookGuard&) = delete;
+    SyncHookGuard& operator=(const SyncHookGuard&) = delete;
+};
+
+TEST(ShardDurability, SealSyncsTempFileBeforeRenameAndDirectoryAfter) {
+    // The durability contract: temp-file fsync BEFORE the rename publishes
+    // the final name, directory fsync AFTER. The hook fires before each
+    // real fsync, so the recorded order plus the filesystem state at each
+    // event pins the sequence.
+    const std::string path = temp_shard("durability_order");
+    std::vector<std::pair<SyncKind, std::string>> events;
+    std::vector<bool> final_existed_at_event;
+    const SyncHookGuard guard([&](SyncKind kind, const std::string& target) {
+        events.emplace_back(kind, target);
+        final_existed_at_event.push_back(std::filesystem::exists(path));
+    });
+    write_shard(path, 42, 7, sample_log(5));
+
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].first, SyncKind::File);
+    EXPECT_EQ(events[0].second, path + std::string(kTempSuffix));
+    EXPECT_FALSE(final_existed_at_event[0]) << "file sync must precede rename";
+    EXPECT_EQ(events[1].first, SyncKind::Directory);
+    EXPECT_EQ(events[1].second,
+              std::filesystem::path(path).parent_path().string());
+    EXPECT_TRUE(final_existed_at_event[1]) << "directory sync must follow rename";
+    std::filesystem::remove(path);
+}
+
+TEST(ShardDurability, TempFileSyncFailureIsIoAndNeverPublishes) {
+    const std::string path = temp_shard("durability_fail");
+    const SyncHookGuard guard([](SyncKind kind, const std::string&) {
+        if (kind == SyncKind::File) {
+            throw StoreError(StoreErrorKind::Io, "injected fsync failure");
+        }
+    });
+    {
+        ShardWriter writer(path, 1, 0);
+        writer.append(sample_incident(0));
+        try {
+            writer.seal(ShardTotals{});
+            FAIL() << "expected the injected fsync failure to propagate";
+        } catch (const StoreError& error) {
+            EXPECT_EQ(error.kind(), StoreErrorKind::Io);
+        }
+        // seal() failed before the rename: the final name must not exist.
+        EXPECT_FALSE(std::filesystem::exists(path));
+    }
+    // The unsealed writer's destructor cleans up the temp file as usual.
     EXPECT_FALSE(std::filesystem::exists(path + std::string(kTempSuffix)));
 }
 

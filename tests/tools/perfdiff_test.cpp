@@ -224,6 +224,27 @@ TEST(ScalingCheck, MinRatioIsAnAbsoluteFloor) {
         scaling_check(scaling_baseline(3.0), scaling_baseline(3.1), options).ok);
 }
 
+TEST(ScalingCheck, FlagsBaselineBelowTheFloor) {
+    // A baseline recorded on hardware where jobs-8 barely beats jobs-1
+    // (e.g. a single-core box) anchors the relative gate to a near-flat
+    // ratio. The check must diagnose that the BASELINE itself sits under
+    // the floor so the CLI can tell the operator to re-record it.
+    ScalingOptions options;
+    options.min_ratio = 2.0;
+    const auto stale =
+        scaling_check(scaling_baseline(1.08), scaling_baseline(2.5), options);
+    EXPECT_TRUE(stale.ok);  // current run clears the floor...
+    EXPECT_TRUE(stale.base_below_floor);  // ...but the baseline is stale.
+    const auto healthy =
+        scaling_check(scaling_baseline(3.0), scaling_baseline(3.0), options);
+    EXPECT_FALSE(healthy.base_below_floor);
+    // Without a floor there is nothing to compare the baseline against.
+    ScalingOptions no_floor;
+    EXPECT_FALSE(scaling_check(scaling_baseline(1.08), scaling_baseline(1.08),
+                               no_floor)
+                     .base_below_floor);
+}
+
 TEST(ScalingCheck, RejectsInvalidOptions) {
     const auto doc = scaling_baseline(1.0);
     ScalingOptions options;
@@ -251,6 +272,22 @@ int run_perfdiff(const std::string& arguments) {
     }
     const int status = pclose(pipe);
     return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string run_perfdiff_output(const std::string& arguments) {
+    const std::string command =
+        std::string(QRN_PERFDIFF_PATH) + " " + arguments + " 2>&1";
+    FILE* pipe = popen(command.c_str(), "r");
+    if (pipe == nullptr) throw std::runtime_error("popen failed");
+    std::string out;
+    std::array<char, 256> buffer{};
+    std::size_t n = 0;
+    // qrn-lint: allow(raw-file-io) draining a popen pipe of the spawned differ, not a shard
+    while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+        out.append(buffer.data(), n);
+    }
+    pclose(pipe);
+    return out;
 }
 
 std::string write_temp_json(const std::string& name, const std::string& text) {
@@ -299,6 +336,30 @@ TEST(PerfDiffCli, ScalingFlagGatesEfficiencyRegressions) {
     // Family absent from the documents: a parse-level error, not a crash.
     EXPECT_EQ(run_perfdiff(base + " " + held + " --scaling BM_Nope"), 1);
     EXPECT_EQ(run_perfdiff(base + " " + held + flag + " --min-ratio -1"), 1);
+}
+
+TEST(PerfDiffCli, WarnsWhenBaselineRatioIsBelowTheFloor) {
+    const auto doc = [](double ratio) {
+        return R"({"benchmarks":[
+          {"name":"BM_CampaignJobs/1/real_time","ns_per_op":100.0,
+           "items_per_second":1e6},
+          {"name":"BM_CampaignJobs/8/real_time","ns_per_op":100.0,
+           "items_per_second":)" +
+               std::to_string(1e6 * ratio) + "}]}";
+    };
+    const std::string stale = write_temp_json("floor_stale.json", doc(1.08));
+    const std::string good = write_temp_json("floor_good.json", doc(2.5));
+    const std::string flag = " --scaling BM_CampaignJobs --min-ratio 2.0";
+
+    // Current run clears the floor, so the gate passes - but the warning
+    // must still call out the near-flat baseline the gate is anchored to.
+    EXPECT_EQ(run_perfdiff(stale + " " + good + flag), 0);
+    const std::string warned = run_perfdiff_output(stale + " " + good + flag);
+    EXPECT_NE(warned.find("warning"), std::string::npos) << warned;
+    EXPECT_NE(warned.find("re-record the baseline"), std::string::npos) << warned;
+    // A healthy baseline stays quiet.
+    const std::string quiet = run_perfdiff_output(good + " " + good + flag);
+    EXPECT_EQ(quiet.find("warning"), std::string::npos) << quiet;
 }
 
 }  // namespace
