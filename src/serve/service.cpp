@@ -123,7 +123,17 @@ void Service::seal_current_shard() {
     const obs::ScopedTimer timer("serve.seal_ns");
     store::ShardTotals totals;
     totals.exposure_hours = pending_exposure_;
-    writer_->seal(totals);
+    const store::SealReceipt receipt = writer_->seal(totals);
+    if (receipt.records != pending_records_) {
+        // The store entry recorded below would claim pending_records_;
+        // a footer that disagrees means a verify pass would later brand
+        // the shard inconsistent, so fail the seal loudly instead.
+        throw store::StoreError(
+            store::StoreErrorKind::Inconsistent,
+            "seal receipt claims " + std::to_string(receipt.records) +
+                " records but the service accepted " +
+                std::to_string(pending_records_));
+    }
     const std::uint64_t key = cache_key_for(next_sequence_);
     store::ShardEntry entry;
     entry.fleet_index = next_sequence_;

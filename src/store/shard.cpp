@@ -138,7 +138,7 @@ void ShardWriter::flush_block() {
     block_records_ = 0;
 }
 
-void ShardWriter::seal(const ShardTotals& totals) {
+SealReceipt ShardWriter::seal(const ShardTotals& totals) {
     if (sealed_) {
         throw std::logic_error("ShardWriter::seal: shard already sealed");
     }
@@ -177,6 +177,7 @@ void ShardWriter::seal(const ShardTotals& totals) {
         obs::add_counter("store.records_written", records_);
         obs::add_counter("store.bytes_written", bytes_);
     }
+    return SealReceipt{records_, bytes_};
 }
 
 // ---- reader ------------------------------------------------------------
@@ -399,7 +400,13 @@ void write_shard(const std::string& path, std::uint64_t cache_key,
     const obs::ScopedTimer timer("store.shard_write_ns");
     ShardWriter writer(path, cache_key, fleet_index);
     writer.append_columns(log.incidents);
-    writer.seal(totals_of(log));
+    const SealReceipt receipt = writer.seal(totals_of(log));
+    if (receipt.records != log.incidents.size()) {
+        throw StoreError(StoreErrorKind::Inconsistent,
+                         path + ": sealed " + std::to_string(receipt.records) +
+                             " records but the log holds " +
+                             std::to_string(log.incidents.size()));
+    }
 }
 
 ShardInfo read_shard(const std::string& path, sim::IncidentLog& out) {

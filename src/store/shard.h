@@ -34,6 +34,17 @@ struct ShardInfo {
     std::uint64_t file_bytes = 0;   ///< Total bytes consumed by the reader.
 };
 
+/// What seal() just made durable. Returning this (and marking it
+/// [[nodiscard]]) forces every call site to face the evidence that the
+/// shard reached its final name: the record count the footer claims and
+/// the bytes that were synced. Callers that track their own counts
+/// cross-check against `records`; qrn-lint's unchecked-seal rule flags
+/// any site that drops the receipt.
+struct SealReceipt {
+    std::uint64_t records = 0;     ///< records the sealed footer claims
+    std::uint64_t file_bytes = 0;  ///< bytes written, header to footer
+};
+
 /// Append-only shard writer. Records buffer into fixed-size blocks; each
 /// block is checksummed as it is flushed. The shard does not exist under
 /// its final path until seal() succeeds; a writer destroyed unsealed
@@ -60,7 +71,9 @@ public:
 
     /// Flushes, writes the sealed footer and atomically renames the file
     /// onto its final path. Throws StoreError(Io) when any step fails.
-    void seal(const ShardTotals& totals);
+    /// Returns the durability receipt; discarding it is a lint finding
+    /// (unchecked-seal) as well as a compiler warning.
+    [[nodiscard]] SealReceipt seal(const ShardTotals& totals);
 
     [[nodiscard]] std::uint64_t records_written() const noexcept { return records_; }
     [[nodiscard]] std::uint64_t bytes_written() const noexcept { return bytes_; }

@@ -697,8 +697,14 @@ int cmd_store_merge(const Args& args) {
         totals.unmonitored_exits += info.totals.unmonitored_exits;
         records += info.records;
     }
-    writer.seal(totals);
-    std::cout << "merged " << entries.size() << " shard(s), " << records
+    const store::SealReceipt receipt = writer.seal(totals);
+    if (receipt.records != records) {
+        std::cerr << "store merge: sealed " << receipt.records
+                  << " record(s) but the source shards held " << records
+                  << "\n";
+        return 2;
+    }
+    std::cout << "merged " << entries.size() << " shard(s), " << receipt.records
               << " record(s), " << totals.exposure_hours << " h into " << out_path
               << '\n';
     return 0;

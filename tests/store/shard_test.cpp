@@ -160,13 +160,15 @@ TEST(Shard, AppendColumnsMatchesPerRecordAppend) {
     {
         ShardWriter writer(row_path, 9, 2);
         for (const Incident incident : log.incidents) writer.append(incident);
-        writer.seal(totals_of(log));
+        const SealReceipt receipt = writer.seal(totals_of(log));
+        EXPECT_EQ(receipt.records, log.incidents.size());
     }
     const std::string column_path = temp_shard("columns");
     {
         ShardWriter writer(column_path, 9, 2);
         writer.append_columns(log.incidents);
-        writer.seal(totals_of(log));
+        const SealReceipt receipt = writer.seal(totals_of(log));
+        EXPECT_EQ(receipt.records, log.incidents.size());
     }
     std::ifstream rows(row_path, std::ios::binary);
     std::ifstream columns(column_path, std::ios::binary);
@@ -266,7 +268,9 @@ TEST(ShardDurability, TempFileSyncFailureIsIoAndNeverPublishes) {
         ShardWriter writer(path, 1, 0);
         writer.append(sample_incident(0));
         try {
-            writer.seal(ShardTotals{});
+            // The receipt never materializes: seal() throws before the
+            // rename, so there is nothing to check here.
+            static_cast<void>(writer.seal(ShardTotals{}));
             FAIL() << "expected the injected fsync failure to propagate";
         } catch (const StoreError& error) {
             EXPECT_EQ(error.kind(), StoreErrorKind::Io);
@@ -278,10 +282,29 @@ TEST(ShardDurability, TempFileSyncFailureIsIoAndNeverPublishes) {
     EXPECT_FALSE(std::filesystem::exists(path + std::string(kTempSuffix)));
 }
 
+TEST(Shard, SealReceiptPinsRecordsAndFileBytes) {
+    // The receipt is durability evidence: its record count must match what
+    // was appended and its byte count must match the file that actually
+    // landed under the final name.
+    const auto log = sample_log(kBlockRecords + 3);
+    const std::string path = temp_shard("receipt");
+    ShardWriter writer(path, 5, 1);
+    for (const Incident incident : log.incidents) writer.append(incident);
+    const SealReceipt receipt = writer.seal(totals_of(log));
+    EXPECT_EQ(receipt.records, log.incidents.size());
+    EXPECT_EQ(receipt.file_bytes, std::filesystem::file_size(path));
+    // The reader's self-description agrees with the writer's receipt.
+    const ShardInfo info = verify_shard(path);
+    EXPECT_EQ(info.records, receipt.records);
+    EXPECT_EQ(info.file_bytes, receipt.file_bytes);
+    std::filesystem::remove(path);
+}
+
 TEST(Shard, AppendAfterSealIsALogicError) {
     const std::string path = temp_shard("sealed_append");
     ShardWriter writer(path, 1, 0);
-    writer.seal(ShardTotals{});
+    const SealReceipt receipt = writer.seal(ShardTotals{});
+    EXPECT_EQ(receipt.records, 0u);
     EXPECT_THROW(writer.append(sample_incident(0)), std::logic_error);
     std::filesystem::remove(path);
 }
