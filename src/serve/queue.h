@@ -65,8 +65,8 @@ private:
     const std::size_t capacity_;
     mutable std::mutex mutex_;
     std::condition_variable ready_;
-    std::deque<T> items_;
-    bool closed_ = false;
+    std::deque<T> items_;    // qrn:guarded_by(mutex_)
+    bool closed_ = false;    // qrn:guarded_by(mutex_)
 };
 
 }  // namespace qrn::serve

@@ -86,7 +86,7 @@ private:
     std::thread accept_thread_;
     std::thread dispatch_thread_;
     std::mutex readers_mutex_;
-    std::vector<std::thread> readers_;
+    std::vector<std::thread> readers_;  // qrn:guarded_by(readers_mutex_)
     std::atomic<bool> draining_{false};
     bool started_ = false;
     bool drained_ = false;
