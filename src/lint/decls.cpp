@@ -1,0 +1,459 @@
+#include "lint/decls.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace qrn::lint {
+
+namespace {
+
+template <std::size_t N>
+[[nodiscard]] bool any_of_names(const std::array<std::string_view, N>& names,
+                                std::string_view text) {
+    return std::find(names.begin(), names.end(), text) != names.end();
+}
+
+// Leading decl-specifiers that carry no type information.
+constexpr std::array<std::string_view, 9> kLeadingQualifiers{
+    "static", "constexpr", "const",    "inline",  "mutable",
+    "volatile", "thread_local", "extern", "register"};
+
+// Statements starting with one of these are never variable declarations.
+constexpr std::array<std::string_view, 31> kNeverDeclStarters{
+    "using",    "typedef",  "friend",   "return",   "throw",   "if",
+    "else",     "for",      "while",    "do",       "switch",  "case",
+    "default",  "break",    "continue", "goto",     "delete",  "new",
+    "public",   "private",  "protected", "template", "namespace", "class",
+    "struct",   "enum",     "union",    "operator", "static_assert",
+    "sizeof",   "this"};
+
+constexpr std::array<std::string_view, 15> kBuiltinTypeWords{
+    "unsigned", "signed",  "long",     "short",    "int",
+    "char",     "bool",    "float",    "double",   "void",
+    "auto",     "wchar_t", "char8_t",  "char16_t", "char32_t"};
+
+[[nodiscard]] bool valid_identifier(std::string_view s) {
+    if (s.empty()) return false;
+    if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_') {
+        return false;
+    }
+    return std::all_of(s.begin(), s.end(), [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    });
+}
+
+[[nodiscard]] std::string_view trim(std::string_view s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+        s.remove_prefix(1);
+    }
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+        s.remove_suffix(1);
+    }
+    return s;
+}
+
+}  // namespace
+
+std::string_view Declaration::type_terminal() const {
+    const std::size_t at = type.rfind("::");
+    return at == std::string::npos ? std::string_view(type)
+                                   : std::string_view(type).substr(at + 2);
+}
+
+// ---- DeclIndex ---------------------------------------------------------
+
+DeclIndex::DeclIndex(const CodeView& view, const ScopeTree& scopes) {
+    const std::vector<Scope>& all = scopes.scopes();
+    for (int s = 0; s < static_cast<int>(all.size()); ++s) {
+        const Scope& scope = all[static_cast<std::size_t>(s)];
+        if (scope.kind == ScopeKind::Init || scope.kind == ScopeKind::Enum) {
+            continue;  // initializer contents / enumerators are not decls
+        }
+        if (scope.params_open_ci != 0 || scope.params_close_ci != 0) {
+            parse_params(view, scope, s);
+        }
+        index_scope(view, scopes, s);
+    }
+}
+
+void DeclIndex::parse_params(const CodeView& view, const Scope& s, int scope) {
+    const DeclKind kind =
+        (s.kind == ScopeKind::Function || s.kind == ScopeKind::Lambda)
+            ? DeclKind::Param
+            : DeclKind::Local;  // for-init / condition / catch decls
+    // Split the head's (...) on top-level ';' (for-loop header); each
+    // segment is parsed as one candidate declaration statement.
+    std::size_t seg = s.params_open_ci + 1;
+    int depth = 0;
+    for (std::size_t i = s.params_open_ci; i <= s.params_close_ci; ++i) {
+        if (view.is_pp(i)) continue;
+        const std::string& t = view.tok(i).text;
+        if (t == "(" || t == "[" || t == "{") ++depth;
+        if (t == ")" || t == "]" || t == "}") --depth;
+        const bool at_end = i == s.params_close_ci;
+        const bool split =
+            at_end || (depth == 1 && (t == ";" || (kind == DeclKind::Param && t == ",")));
+        if (!split) continue;
+        parse_statement(view, seg, i, scope, kind);
+        seg = i + 1;
+    }
+}
+
+void DeclIndex::index_scope(const CodeView& view, const ScopeTree& scopes,
+                            int scope) {
+    const Scope& s = scopes.scopes()[static_cast<std::size_t>(scope)];
+    const DeclKind kind =
+        s.kind == ScopeKind::Class ? DeclKind::Member : DeclKind::Local;
+    std::size_t i = s.kind == ScopeKind::File ? 0 : s.open_ci + 1;
+    std::size_t stmt_start = i;
+    while (i < s.close_ci && i < view.size()) {
+        if (view.is_pp(i)) {
+            ++i;
+            continue;
+        }
+        const std::string& t = view.tok(i).text;
+        if (t == "{") {
+            const int child = scopes.scope_at(i);
+            const Scope& cs = scopes.scopes()[static_cast<std::size_t>(child)];
+            if (cs.kind == ScopeKind::Init) {
+                // Brace initializer: stays part of this statement
+                // (`std::string s{...};`); skip over its contents.
+                i = cs.close_ci + 1;
+                continue;
+            }
+            parse_statement(view, stmt_start, i, scope, kind);
+            i = cs.close_ci + 1;
+            stmt_start = i;
+            continue;
+        }
+        if (t == ";") {
+            parse_statement(view, stmt_start, i, scope, kind);
+            stmt_start = i + 1;
+        }
+        ++i;
+    }
+}
+
+void DeclIndex::parse_statement(const CodeView& view, std::size_t begin,
+                                std::size_t end, int scope, DeclKind kind) {
+    end = std::min(end, view.size());
+    std::size_t i = begin;
+    while (i < end && view.is_pp(i)) ++i;
+    // Access labels prefix the first declaration after them in the
+    // statement stream (`private: std::mutex mu_;`).
+    while (i < end && view.tok(i).kind == TokKind::Identifier &&
+           (view.tok(i).text == "public" || view.tok(i).text == "protected" ||
+            view.tok(i).text == "private") &&
+           view.is(view.next(i), ":")) {
+        i = view.next(view.next(i));
+    }
+    // Leading decl-specifiers.
+    while (i < end && view.tok(i).kind == TokKind::Identifier &&
+           any_of_names(kLeadingQualifiers, view.tok(i).text)) {
+        i = view.next(i);
+    }
+    if (i >= end) return;
+    if (view.tok(i).kind != TokKind::Identifier && !view.is(i, "::")) return;
+    if (view.tok(i).kind == TokKind::Identifier &&
+        any_of_names(kNeverDeclStarters, view.tok(i).text)) {
+        return;
+    }
+
+    // ---- type: builtin word run, or qualified id with template args ----
+    std::string type;
+    if (view.tok(i).kind == TokKind::Identifier &&
+        any_of_names(kBuiltinTypeWords, view.tok(i).text)) {
+        while (i < end && view.tok(i).kind == TokKind::Identifier &&
+               any_of_names(kBuiltinTypeWords, view.tok(i).text)) {
+            if (!type.empty()) type += ' ';
+            type += view.tok(i).text;
+            i = view.next(i);
+        }
+    } else {
+        if (view.is(i, "::")) i = view.next(i);  // global-qualified
+        if (i >= end || view.tok(i).kind != TokKind::Identifier) return;
+        type = view.tok(i).text;
+        i = view.next(i);
+        for (;;) {
+            if (i < end && view.is(i, "<")) {
+                const std::size_t past = view.skip_template_args(i, view.size());
+                if (past > end) return;  // comparison, not a template
+                i = past;
+            }
+            if (i < end && view.is(i, "::")) {
+                const std::size_t id = view.next(i);
+                if (id >= end || view.tok(id).kind != TokKind::Identifier) return;
+                type += "::";
+                type += view.tok(id).text;
+                i = view.next(id);
+                continue;
+            }
+            break;
+        }
+    }
+
+    // ---- declarator list -----------------------------------------------
+    for (;;) {
+        bool is_pointer = false;
+        bool is_reference = false;
+        while (i < end) {
+            const std::string& d = view.tok(i).text;
+            if (d == "*") {
+                is_pointer = true;
+            } else if (d == "&") {
+                is_reference = true;
+            } else if (view.is_ident(i, "const")) {
+                // east const / const-qualified pointee
+            } else {
+                break;
+            }
+            i = view.next(i);
+        }
+        if (i >= end || view.tok(i).kind != TokKind::Identifier) return;
+        if (any_of_names(kNeverDeclStarters, view.tok(i).text) ||
+            any_of_names(kBuiltinTypeWords, view.tok(i).text)) {
+            return;
+        }
+        Declaration d;
+        d.kind = kind;
+        d.name = view.tok(i).text;
+        d.type = type;
+        d.is_pointer = is_pointer;
+        d.is_reference = is_reference;
+        d.scope = scope;
+        d.name_ci = i;
+        d.line = view.tok(i).line;
+
+        std::size_t j = view.next(i);
+        if (j < end && view.is(j, "[")) {
+            const std::size_t close = view.match_forward(j);
+            if (close >= end) return;
+            j = view.next(close);
+        }
+        if (j >= end) {  // segment ends right after the name: plain decl
+            decls_.push_back(std::move(d));
+            return;
+        }
+        const std::string& t = view.tok(j).text;
+        if (t == "=" || t == ";" || t == ":") {
+            // "= init" (skip to a top-level comma, if any), bit-field, or
+            // range-for "decl : range".
+            decls_.push_back(std::move(d));
+            if (t != "=") return;
+            std::size_t after_comma = view.size();
+            int depth = 0;
+            for (std::size_t k = view.next(j); k < end; k = view.next(k)) {
+                const std::string& e = view.tok(k).text;
+                if (e == "(" || e == "[" || e == "{" || e == "<") ++depth;
+                if (e == ")" || e == "]" || e == "}" || e == ">") --depth;
+                if (e == "," && depth == 0) {
+                    after_comma = view.next(k);
+                    break;
+                }
+            }
+            if (after_comma >= end) return;
+            i = after_comma;
+            continue;
+        }
+        if (t == "," && kind != DeclKind::Param) {
+            decls_.push_back(std::move(d));
+            i = view.next(j);
+            continue;
+        }
+        if (t == "(" || t == "{") {
+            if (kind == DeclKind::Member && t == "(") {
+                return;  // a method declaration, not a paren-initialized field
+            }
+            const std::size_t close = view.match_forward(j);
+            if (close >= view.size()) return;
+            // Terminal identifier of each top-level constructor argument.
+            std::string last_ident;
+            int depth = 0;
+            for (std::size_t k = j; k <= close; k = view.next(k)) {
+                const std::string& e = view.tok(k).text;
+                if (e == "(" || e == "[" || e == "{") ++depth;
+                if (e == ")" || e == "]" || e == "}") --depth;
+                const bool arg_end = k == close || (depth == 1 && e == ",");
+                if (view.tok(k).kind == TokKind::Identifier) {
+                    last_ident = view.tok(k).text;
+                }
+                if (arg_end && !last_ident.empty()) {
+                    d.init_arg_terminals.push_back(last_ident);
+                    last_ident.clear();
+                }
+            }
+            decls_.push_back(std::move(d));
+            const std::size_t after = view.next(close);
+            if (after < end && view.is(after, ",")) {
+                i = view.next(after);
+                continue;
+            }
+            return;
+        }
+        return;  // anything else: an expression, not a declaration
+    }
+}
+
+const Declaration* DeclIndex::member(int class_scope,
+                                     std::string_view name) const {
+    for (const Declaration& d : decls_) {
+        if (d.kind == DeclKind::Member && d.scope == class_scope &&
+            d.name == name) {
+            return &d;
+        }
+    }
+    return nullptr;
+}
+
+const Declaration* DeclIndex::visible_local(std::string_view name,
+                                            std::size_t ci, int at_scope,
+                                            const ScopeTree& scopes) const {
+    const Declaration* best = nullptr;
+    for (const Declaration& d : decls_) {
+        if (d.kind == DeclKind::Member || d.name != name) continue;
+        if (d.name_ci >= ci) continue;
+        if (!scopes.is_ancestor(d.scope, at_scope)) continue;
+        if (best == nullptr || d.name_ci > best->name_ci) best = &d;
+    }
+    return best;
+}
+
+// ---- annotations -------------------------------------------------------
+
+namespace {
+
+/// Strips comment delimiters and doxygen decoration: "// x", "/* x */",
+/// "/// x", "///< x" all yield "x". An annotation must START the comment
+/// body (mirroring the suppression grammar), so prose that merely
+/// mentions an annotation marker mid-sentence is never parsed as one.
+[[nodiscard]] std::string_view annotation_body(std::string_view text) {
+    while (!text.empty() && (text.front() == '/' || text.front() == '*' ||
+                             text.front() == '<')) {
+        text.remove_prefix(1);
+    }
+    if (text.size() >= 2 && text.substr(text.size() - 2) == "*/") {
+        text.remove_suffix(2);
+    }
+    return trim(text);
+}
+
+void parse_annotations(const FileContext& ctx, SemanticModel& model) {
+    constexpr std::string_view kGuard = "qrn:guarded_by";
+    constexpr std::string_view kOrder = "qrn:lock_order";
+    for (std::size_t i = 0; i < ctx.tokens.size(); ++i) {
+        const Token& t = ctx.tokens[i];
+        if (t.kind != TokKind::Comment) continue;
+        const std::string_view text = annotation_body(t.text);
+
+        const auto paren_payload =
+            [&](std::string_view marker) -> std::pair<bool, std::string_view> {
+            if (text.substr(0, marker.size()) != marker) return {false, {}};
+            std::string_view rest = text.substr(marker.size());
+            if (rest.empty() || rest[0] != '(') {
+                model.annotation_errors.push_back(
+                    {t.line, "malformed " + std::string(marker) +
+                                 " annotation: expected '(...)' after the marker"});
+                return {false, {}};
+            }
+            const std::size_t close = rest.find(')');
+            if (close == std::string_view::npos) {
+                model.annotation_errors.push_back(
+                    {t.line, "unterminated " + std::string(marker) + "(...)"});
+                return {false, {}};
+            }
+            return {true, rest.substr(1, close - 1)};
+        };
+
+        if (text.substr(0, kGuard.size()) == kGuard) {
+            const auto [ok, payload] = paren_payload(kGuard);
+            if (!ok) continue;
+            std::vector<std::string> args;
+            std::string_view rest = payload;
+            for (;;) {
+                const std::size_t comma = rest.find(',');
+                args.emplace_back(trim(
+                    comma == std::string_view::npos ? rest : rest.substr(0, comma)));
+                if (comma == std::string_view::npos) break;
+                rest = rest.substr(comma + 1);
+            }
+            const bool idents_ok = std::all_of(
+                args.begin(), args.end(),
+                [](const std::string& a) { return valid_identifier(a); });
+            if (!idents_ok || args.empty() || args.size() > 2) {
+                model.annotation_errors.push_back(
+                    {t.line,
+                     "qrn:guarded_by takes (mutex) on a member declaration or "
+                     "(member, mutex) file-wide; got '(" +
+                         std::string(payload) + ")'"});
+                continue;
+            }
+            GuardedByAnnotation g;
+            g.line = t.line;
+            const bool alone = std::none_of(
+                ctx.tokens.begin(),
+                ctx.tokens.begin() + static_cast<std::ptrdiff_t>(i),
+                [&](const Token& other) {
+                    return other.kind != TokKind::Comment && other.line == t.line;
+                });
+            g.effective_line = alone ? t.line + 1 : t.line;
+            if (args.size() == 2) {
+                g.member = args[0];
+                g.mutex = args[1];
+            } else {
+                g.mutex = args[0];
+                for (std::size_t d = 0; d < model.decls.decls().size(); ++d) {
+                    const Declaration& decl = model.decls.decls()[d];
+                    if (decl.line == g.effective_line) {
+                        g.decl = static_cast<int>(d);
+                        break;
+                    }
+                }
+            }
+            model.guarded.push_back(std::move(g));
+            continue;
+        }
+        if (text.substr(0, kOrder.size()) == kOrder) {
+            const auto [ok, payload] = paren_payload(kOrder);
+            if (!ok) continue;
+            LockOrderDecl order;
+            order.line = t.line;
+            std::string_view rest = payload;
+            bool idents_ok = true;
+            for (;;) {
+                const std::size_t lt = rest.find('<');
+                const std::string name(trim(
+                    lt == std::string_view::npos ? rest : rest.substr(0, lt)));
+                idents_ok = idents_ok && valid_identifier(name);
+                order.chain.push_back(name);
+                if (lt == std::string_view::npos) break;
+                rest = rest.substr(lt + 1);
+            }
+            if (!idents_ok || order.chain.size() < 2) {
+                model.annotation_errors.push_back(
+                    {t.line,
+                     "qrn:lock_order declares a hierarchy as (outer < inner "
+                     "[< ...]); got '(" +
+                         std::string(payload) + ")'"});
+                continue;
+            }
+            model.lock_order.push_back(std::move(order));
+        }
+    }
+}
+
+}  // namespace
+
+SemanticModel::SemanticModel(const FileContext& ctx)
+    : view(ctx.tokens, ctx.code, ctx.pp_lines),
+      scopes(view),
+      decls(view, scopes) {
+    parse_annotations(ctx, *this);
+}
+
+const SemanticModel& semantics(const FileContext& ctx) {
+    if (!ctx.sem) ctx.sem = std::make_shared<const SemanticModel>(ctx);
+    return *ctx.sem;
+}
+
+}  // namespace qrn::lint

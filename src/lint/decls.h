@@ -1,0 +1,129 @@
+// The declaration layer of qrn-lint's lightweight semantic model.
+//
+// DeclIndex walks each scope's statements and records member, local and
+// parameter declarations with a coarse qualified type ("std::lock_guard",
+// template arguments dropped), reference/pointer-ness, and - for
+// declarations with constructor arguments - the terminal identifier of
+// each top-level argument (the "mutex_" in
+// `std::lock_guard<std::mutex> lock(mutex_)`). That is exactly enough for
+// the scope-aware rules: lock-guard RAII recognition, shadow-aware
+// guarded-member lookups, and per-scope allocation checks. SemanticModel
+// bundles the scope tree, the declaration index and the parsed
+// qrn: annotations, built once per file and cached on the FileContext.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rules.h"
+#include "lint/scope.h"
+
+namespace qrn::lint {
+
+enum class DeclKind {
+    Member,  ///< declared at class scope
+    Local,   ///< declared in a function/block (or at namespace scope)
+    Param,   ///< function/lambda parameter
+};
+
+struct Declaration {
+    DeclKind kind = DeclKind::Local;
+    std::string name;
+    /// Qualified type with template arguments dropped: "std::lock_guard",
+    /// "unsigned long", "Status". Multi-word builtins join with ' '.
+    std::string type;
+    bool is_reference = false;
+    bool is_pointer = false;
+    int scope = -1;            ///< owning scope id (Class scope for members)
+    std::size_t name_ci = 0;   ///< ci of the declared name
+    int line = 0;              ///< line of the declared name
+    /// Terminal identifier of each top-level constructor argument:
+    /// `lock(job->pending->mutex)` records {"mutex"}. Empty when the
+    /// declaration has no parenthesized/braced initializer.
+    std::vector<std::string> init_arg_terminals;
+
+    /// The segment after the last "::" ("lock_guard" for
+    /// "std::lock_guard"), for coarse type matching.
+    [[nodiscard]] std::string_view type_terminal() const;
+};
+
+class DeclIndex {
+public:
+    DeclIndex(const CodeView& view, const ScopeTree& scopes);
+
+    [[nodiscard]] const std::vector<Declaration>& decls() const {
+        return decls_;
+    }
+    /// The member named `name` declared directly in `class_scope`, or
+    /// nullptr.
+    [[nodiscard]] const Declaration* member(int class_scope,
+                                            std::string_view name) const;
+    /// The innermost local/param named `name` visible at code index `ci`
+    /// inside scope `at_scope` (declared earlier, in an ancestor-or-self
+    /// scope), or nullptr. This is what makes member-shadowing by locals
+    /// explicit to the guarded-by rule.
+    [[nodiscard]] const Declaration* visible_local(std::string_view name,
+                                                   std::size_t ci,
+                                                   int at_scope,
+                                                   const ScopeTree& scopes) const;
+
+private:
+    void index_scope(const CodeView& view, const ScopeTree& scopes, int scope);
+    void parse_params(const CodeView& view, const Scope& s, int scope);
+    /// Parses one candidate declaration statement in [begin, end); may
+    /// record several declarations (`int a, b;`).
+    void parse_statement(const CodeView& view, std::size_t begin,
+                         std::size_t end, int scope, DeclKind kind);
+
+    std::vector<Declaration> decls_;
+};
+
+/// One parsed `qrn:guarded_by(...)` annotation comment. Two forms:
+///   attached  - `// qrn:guarded_by(mu_)` trailing a member declaration
+///               (or on the line above it): `member` is empty, `decl`
+///               indexes the declaration it bound to (-1 = none found).
+///   file-wide - `// qrn:guarded_by(name, mu_)`: applies to every use of
+///               identifier `name` in this file; used when the member is
+///               declared in another file (header) than the methods that
+///               touch it.
+struct GuardedByAnnotation {
+    int line = 0;            ///< line of the annotation comment
+    int effective_line = 0;  ///< line the attached form binds to
+    std::string member;      ///< file-wide form only; "" for attached
+    std::string mutex;
+    int decl = -1;           ///< index into DeclIndex::decls(), -1 none
+};
+
+/// One `// qrn:lock_order(a < b < c)` hierarchy declaration: while `a`
+/// is held, `b` and `c` may be acquired, never the reverse.
+struct LockOrderDecl {
+    int line = 0;
+    std::vector<std::string> chain;
+};
+
+/// A malformed qrn: annotation (reported by guard-annotation).
+struct AnnotationError {
+    int line = 0;
+    std::string message;
+};
+
+struct SemanticModel {
+    CodeView view;
+    ScopeTree scopes;
+    DeclIndex decls;
+    std::vector<GuardedByAnnotation> guarded;
+    std::vector<LockOrderDecl> lock_order;
+    std::vector<AnnotationError> annotation_errors;
+
+    explicit SemanticModel(const FileContext& ctx);
+};
+
+/// The (lazily built, cached) semantic model for `ctx`. The model borrows
+/// ctx's token/code/pp_lines storage: build it only once the context has
+/// reached its final address, and never move the context afterwards -
+/// lint_source's per-file const context satisfies both.
+[[nodiscard]] const SemanticModel& semantics(const FileContext& ctx);
+
+}  // namespace qrn::lint

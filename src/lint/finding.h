@@ -16,4 +16,29 @@ struct Finding {
     return f.file + ":" + std::to_string(f.line) + ": " + f.rule + ": " + f.message;
 }
 
+/// GitHub Actions workflow-command rendering: one `::error` annotation per
+/// finding, which the Actions runner pins to the file and line in the PR
+/// diff view. The message data is %-escaped per the workflow-command
+/// grammar ('%' first, so the escapes themselves survive).
+[[nodiscard]] inline std::string render_gh(const Finding& f) {
+    std::string text = f.rule + ": " + f.message;
+    auto escape = [&text](char from, const char* to) {
+        std::string escaped;
+        escaped.reserve(text.size());
+        for (const char ch : text) {
+            if (ch == from) {
+                escaped += to;
+            } else {
+                escaped += ch;
+            }
+        }
+        text = std::move(escaped);
+    };
+    escape('%', "%25");
+    escape('\r', "%0D");
+    escape('\n', "%0A");
+    return "::error file=" + f.file + ",line=" + std::to_string(f.line) +
+           "::" + text;
+}
+
 }  // namespace qrn::lint

@@ -23,10 +23,13 @@
 namespace {
 
 void print_usage(std::ostream& os) {
-    os << "usage: qrn-lint [--list-rules] <path>...\n"
+    os << "usage: qrn-lint [--list-rules] [--format=text|gh] <path>...\n"
           "  Lints *.cpp/*.h/*.hpp/*.cc/*.hh under each path for the\n"
           "  project invariants listed by --list-rules (docs/LINTING.md).\n"
           "  Suppress one finding with: // qrn-lint: allow(rule-id) reason\n"
+          "  --format=gh emits GitHub Actions ::error annotations instead\n"
+          "  of file:line lines (the stderr summary and exit codes do not\n"
+          "  change).\n"
           "  Exit codes: 0 clean, 1 usage error, 2 findings.\n";
 }
 
@@ -35,10 +38,20 @@ void print_usage(std::ostream& os) {
 int main(int argc, char** argv) {
     std::vector<std::string> paths;
     bool list_rules = false;
+    bool gh_format = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--list-rules") {
             list_rules = true;
+        } else if (arg.rfind("--format=", 0) == 0) {
+            const std::string format = arg.substr(std::string("--format=").size());
+            if (format == "gh") {
+                gh_format = true;
+            } else if (format != "text") {
+                std::cerr << "qrn-lint: unknown format '" << format << "'\n";
+                print_usage(std::cerr);
+                return 1;
+            }
         } else if (arg == "--help" || arg == "-h") {
             print_usage(std::cout);
             return 0;
@@ -70,7 +83,9 @@ int main(int argc, char** argv) {
         return 1;
     }
     for (const auto& finding : result.findings) {
-        std::cout << qrn::lint::render(finding) << "\n";
+        std::cout << (gh_format ? qrn::lint::render_gh(finding)
+                                : qrn::lint::render(finding))
+                  << "\n";
     }
     if (!result.findings.empty()) {
         std::cerr << "qrn-lint: " << result.findings.size() << " finding"

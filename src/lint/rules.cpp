@@ -3,6 +3,8 @@
 #include <array>
 #include <algorithm>
 
+#include "lint/rules_scope.h"
+#include "lint/scope.h"
 #include "lint/suppression.h"
 
 namespace qrn::lint {
@@ -310,96 +312,6 @@ void check_throw_message(const FileContext& c, std::vector<Finding>& out) {
     }
 }
 
-// ---- hotloop-alloc -----------------------------------------------------
-
-constexpr std::array<std::string_view, 10> kAllocatingContainers{
-    "vector",        "string",        "deque",        "list",
-    "map",           "set",           "unordered_map", "unordered_set",
-    "ostringstream", "stringstream"};
-
-constexpr std::array<std::string_view, 2> kHeapMakers{"make_unique",
-                                                      "make_shared"};
-
-/// Hot loops bracketed by "qrn:hotloop" begin/end marker comments (the
-/// campaign inner loop in sim/fleet.cpp) must not allocate per
-/// iteration: a declaration of an owning std container, or a
-/// make_unique/make_shared call, inside the region is a hidden heap hit
-/// on every encounter. Hoist such state into a scratch buffer that lives
-/// across iterations (see FleetSimulator::StretchScratch). References and
-/// views (std::string_view, `const std::vector<T>&`) do not allocate and
-/// are not flagged. The rule also validates the marker pairing itself, so
-/// a region cannot silently stop being checked.
-void check_hotloop_alloc(const FileContext& c, std::vector<Finding>& out) {
-    struct Region {
-        int begin_line;
-        int end_line;
-    };
-    std::vector<Region> regions;
-    int open_line = -1;
-    for (const Token& t : c.tokens) {
-        if (t.kind != TokKind::Comment) continue;
-        if (t.text.find("qrn:hotloop(begin)") != std::string::npos) {
-            if (open_line >= 0) {
-                out.push_back({c.path, t.line, "hotloop-alloc",
-                               "nested qrn:hotloop(begin); close the region "
-                               "opened on line " +
-                                   std::to_string(open_line) + " first"});
-            } else {
-                open_line = t.line;
-            }
-        } else if (t.text.find("qrn:hotloop(end)") != std::string::npos) {
-            if (open_line < 0) {
-                out.push_back({c.path, t.line, "hotloop-alloc",
-                               "qrn:hotloop(end) without a matching "
-                               "qrn:hotloop(begin)"});
-            } else {
-                regions.push_back({open_line, t.line});
-                open_line = -1;
-            }
-        }
-    }
-    if (open_line >= 0) {
-        out.push_back({c.path, open_line, "hotloop-alloc",
-                       "qrn:hotloop(begin) never closed with "
-                       "qrn:hotloop(end)"});
-    }
-    if (regions.empty()) return;
-
-    const auto in_region = [&regions](int line) {
-        for (const Region& r : regions) {
-            if (line > r.begin_line && line < r.end_line) return true;
-        }
-        return false;
-    };
-    for (std::size_t ci = 0; ci < c.code.size(); ++ci) {
-        const Token& t = tok(c, ci);
-        if (t.kind != TokKind::Identifier || !in_region(t.line)) continue;
-        if (any_of_names(kHeapMakers, t.text)) {
-            out.push_back({c.path, t.line, "hotloop-alloc",
-                           "'" + t.text +
-                               "' allocates on every iteration of a "
-                               "qrn:hotloop region; hoist the object into a "
-                               "scratch buffer reused across iterations"});
-            continue;
-        }
-        if (!any_of_names(kAllocatingContainers, t.text)) continue;
-        if (!(ci >= 2 && text_is(c, ci - 1, "::") && is_ident(c, ci - 2, "std"))) {
-            continue;
-        }
-        // A declaration of an owning container: std::NAME [<...>] ident.
-        // References bind through '&' before the name, so they fall out.
-        std::size_t j = ci + 1;
-        if (text_is(c, j, "<")) j = skip_template_args(c, j, c.code.size());
-        if (j < c.code.size() && tok(c, j).kind == TokKind::Identifier) {
-            out.push_back({c.path, t.line, "hotloop-alloc",
-                           "local std::" + t.text +
-                               " declared inside a qrn:hotloop region "
-                               "allocates per iteration; hoist it into a "
-                               "scratch buffer reused across iterations"});
-        }
-    }
-}
-
 }  // namespace
 
 FileContext make_context(std::string path, std::string_view src) {
@@ -414,6 +326,7 @@ FileContext make_context(std::string path, std::string_view src) {
     for (std::size_t i = 0; i < ctx.tokens.size(); ++i) {
         if (ctx.tokens[i].kind != TokKind::Comment) ctx.code.push_back(i);
     }
+    ctx.pp_lines = preprocessor_lines(src);
     return ctx;
 }
 
@@ -456,8 +369,33 @@ const std::vector<Rule>& rules() {
         r.push_back(Rule{"hotloop-alloc",
                      "per-iteration heap allocation (owning std container "
                      "declaration, make_unique/make_shared) inside a "
-                     "qrn:hotloop(begin)/(end) region; unbalanced markers",
-                     check_hotloop_alloc});
+                     "qrn:hotloop(begin)/(end) region - scope-aware: "
+                     "buffers hoisted before the loop are clean; "
+                     "unbalanced markers",
+                     check_hotloop_alloc_scoped});
+        r.push_back(Rule{"guarded-by",
+                     "a member annotated '// qrn:guarded_by(mu_)' touched "
+                     "with no lock_guard/unique_lock on that mutex in scope",
+                     check_guarded_by});
+        r.push_back(Rule{"guard-annotation",
+                     "malformed qrn:guarded_by/qrn:lock_order annotation, "
+                     "or one naming a nonexistent member or non-mutex",
+                     check_guard_annotation});
+        r.push_back(Rule{"lock-order",
+                     "acquiring a mutex against the declared "
+                     "'// qrn:lock_order(outer < inner)' hierarchy, or "
+                     "re-acquiring one already held",
+                     check_lock_order});
+        r.push_back(Rule{"dispatcher-no-block",
+                     "blocking call (socket/file I/O, sleep, join) inside "
+                     "a qrn:dispatcher(begin)/(end) region; unbalanced "
+                     "markers",
+                     check_dispatcher_no_block});
+        r.push_back(Rule{"unchecked-seal",
+                     "discarded result of ShardWriter::seal, "
+                     "BoundedQueue::try_push or tools::parse_*; raw fsync "
+                     "outside the store's sync wrappers",
+                     check_unchecked_seal});
         r.push_back(Rule{kSuppressionHygieneRule,
                      "malformed 'qrn-lint: allow(...)' comment: no reason, "
                      "unknown rule id (never suppressible)",

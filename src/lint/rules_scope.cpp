@@ -1,0 +1,608 @@
+#include "lint/rules_scope.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+
+#include "lint/decls.h"
+#include "lint/scope.h"
+
+namespace qrn::lint {
+
+namespace {
+
+template <std::size_t N>
+[[nodiscard]] bool any_of_names(const std::array<std::string_view, N>& names,
+                                std::string_view text) {
+    return std::find(names.begin(), names.end(), text) != names.end();
+}
+
+// ---- marker-comment regions (qrn:hotloop, qrn:dispatcher) --------------
+
+struct MarkerRegion {
+    int begin_line;
+    int end_line;
+};
+
+/// Parses `qrn:<name>(begin)` / `qrn:<name>(end)` comment pairs; an
+/// unbalanced marker is itself a finding under `rule` (a region must not
+/// silently stop being checked).
+[[nodiscard]] std::vector<MarkerRegion> marker_regions(
+    const FileContext& c, std::string_view name, const char* rule,
+    std::vector<Finding>& out) {
+    const std::string begin_marker = "qrn:" + std::string(name) + "(begin)";
+    const std::string end_marker = "qrn:" + std::string(name) + "(end)";
+    std::vector<MarkerRegion> regions;
+    int open_line = -1;
+    for (const Token& t : c.tokens) {
+        if (t.kind != TokKind::Comment) continue;
+        if (t.text.find(begin_marker) != std::string::npos) {
+            if (open_line >= 0) {
+                out.push_back({c.path, t.line, rule,
+                               "nested " + begin_marker +
+                                   "; close the region opened on line " +
+                                   std::to_string(open_line) + " first"});
+            } else {
+                open_line = t.line;
+            }
+        } else if (t.text.find(end_marker) != std::string::npos) {
+            if (open_line < 0) {
+                out.push_back({c.path, t.line, rule,
+                               end_marker + " without a matching " +
+                                   begin_marker});
+            } else {
+                regions.push_back({open_line, t.line});
+                open_line = -1;
+            }
+        }
+    }
+    if (open_line >= 0) {
+        out.push_back({c.path, open_line, rule,
+                       begin_marker + " never closed with " + end_marker});
+    }
+    return regions;
+}
+
+// ---- lock-guard RAII regions -------------------------------------------
+
+constexpr std::array<std::string_view, 4> kLockGuardTypes{
+    "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+
+struct GuardRegion {
+    std::string mutex;    ///< terminal identifier of the guarded mutex expr
+    std::size_t from_ci;  ///< guard live from here to the end of `scope`
+    int scope;
+    int line;
+};
+
+/// Every lock_guard/unique_lock/scoped_lock/shared_lock local: the guard
+/// holds its mutex from its declaration to the end of its scope. Mutexes
+/// are identified by the terminal identifier of each constructor argument
+/// ("mutex" for `lock(job->pending->mutex)`), which is exactly as precise
+/// as the annotations that consume it.
+[[nodiscard]] std::vector<GuardRegion> guard_regions(const SemanticModel& m) {
+    std::vector<GuardRegion> regions;
+    for (const Declaration& d : m.decls.decls()) {
+        if (d.kind != DeclKind::Local) continue;
+        if (!any_of_names(kLockGuardTypes, d.type_terminal())) continue;
+        // A "guard" at namespace scope is a function declaration the
+        // coarse parser misread; real guards live inside functions.
+        if (m.scopes.enclosing_function(d.scope) == -1) continue;
+        for (const std::string& terminal : d.init_arg_terminals) {
+            if (terminal == "defer_lock" || terminal == "try_to_lock" ||
+                terminal == "adopt_lock") {
+                continue;
+            }
+            regions.push_back({terminal, d.name_ci, d.scope, d.line});
+        }
+    }
+    return regions;
+}
+
+/// Last component of a possibly ::-qualified name ("drain" for
+/// "Server::drain").
+[[nodiscard]] std::string_view last_component(std::string_view name) {
+    const std::size_t at = name.rfind("::");
+    return at == std::string_view::npos ? name : name.substr(at + 2);
+}
+
+}  // namespace
+
+// ---- guarded-by --------------------------------------------------------
+
+void check_guarded_by(const FileContext& c, std::vector<Finding>& out) {
+    const SemanticModel& m = semantics(c);
+    if (m.guarded.empty()) return;
+
+    struct GuardedMember {
+        std::string name;
+        std::string mutex;
+        int class_scope;  ///< -1 for the file-wide form
+    };
+    std::vector<GuardedMember> members;
+    for (const GuardedByAnnotation& g : m.guarded) {
+        if (!g.member.empty()) {
+            members.push_back({g.member, g.mutex, -1});
+        } else if (g.decl >= 0 &&
+                   m.decls.decls()[static_cast<std::size_t>(g.decl)].kind ==
+                       DeclKind::Member) {
+            const Declaration& d =
+                m.decls.decls()[static_cast<std::size_t>(g.decl)];
+            members.push_back({d.name, g.mutex, d.scope});
+        }
+        // Attached annotations that bound to nothing (or to a non-member)
+        // are guard-annotation findings, not enforcement input.
+    }
+    if (members.empty()) return;
+
+    const std::vector<GuardRegion> regions = guard_regions(m);
+    const CodeView& v = m.view;
+    std::set<std::pair<int, std::string>> reported;
+
+    for (std::size_t ci = 0; ci < v.size(); ++ci) {
+        if (v.is_pp(ci)) continue;
+        const Token& t = v.tok(ci);
+        if (t.kind != TokKind::Identifier) continue;
+        for (const GuardedMember& g : members) {
+            if (t.text != g.name) continue;
+            const std::size_t prev = v.prev(ci);
+            if (prev < v.size() && v.is(prev, "::")) break;  // Class::name
+            const bool member_access =
+                prev < v.size() &&
+                (v.is(prev, ".") ||
+                 (v.is(prev, ">") && v.prev(prev) < v.size() &&
+                  v.is(v.prev(prev), "-")));
+            // `obj->status()` is a method call, not a touch of a guarded
+            // data member of the same name (annotations only ever bind to
+            // data members - parse_statement rejects method declarators).
+            if (member_access) {
+                const std::size_t after = v.next(ci);
+                if (after < v.size() && v.is(after, "(")) break;
+            }
+
+            const int use_scope = m.scopes.scope_at(ci);
+            const int fn = m.scopes.enclosing_function(use_scope);
+            // Outside any function body: the declaration itself, default
+            // member initializers, annotation targets.
+            if (fn == -1) break;
+            // The declared name of any declaration is not a use.
+            const bool is_decl_site = std::any_of(
+                m.decls.decls().begin(), m.decls.decls().end(),
+                [&](const Declaration& d) { return d.name_ci == ci; });
+            if (is_decl_site) break;
+
+            const std::string& fn_name =
+                m.scopes.scopes()[static_cast<std::size_t>(fn)].name;
+            if (!member_access) {
+                // A local or parameter of the same name shadows the member.
+                if (m.decls.visible_local(g.name, ci, use_scope, m.scopes) !=
+                    nullptr) {
+                    break;
+                }
+                if (g.class_scope >= 0) {
+                    const std::string& class_name =
+                        m.scopes.scopes()[static_cast<std::size_t>(g.class_scope)]
+                            .name;
+                    const bool in_class_body =
+                        m.scopes.is_ancestor(g.class_scope, use_scope);
+                    const bool out_of_line =
+                        !class_name.empty() &&
+                        fn_name.rfind(class_name + "::", 0) == 0;
+                    if (!in_class_body && !out_of_line) break;
+                }
+            }
+            if (g.class_scope >= 0) {
+                // Constructors and destructors run before/after the object
+                // is shared; they touch members unlocked by design.
+                const std::string& class_name =
+                    m.scopes.scopes()[static_cast<std::size_t>(g.class_scope)]
+                        .name;
+                const std::string_view fn_last = last_component(fn_name);
+                if (!class_name.empty() &&
+                    (fn_last == class_name ||
+                     fn_last == "~" + class_name)) {
+                    break;
+                }
+            }
+
+            const bool locked = std::any_of(
+                regions.begin(), regions.end(), [&](const GuardRegion& r) {
+                    return r.mutex == g.mutex && r.from_ci < ci &&
+                           m.scopes.is_ancestor(r.scope, use_scope);
+                });
+            if (!locked &&
+                reported.emplace(t.line, g.name).second) {
+                out.push_back(
+                    {c.path, t.line, "guarded-by",
+                     "'" + g.name + "' is declared qrn:guarded_by(" + g.mutex +
+                         ") but no lock_guard/unique_lock on '" + g.mutex +
+                         "' is in scope here"});
+            }
+            break;
+        }
+    }
+}
+
+// ---- guard-annotation --------------------------------------------------
+
+namespace {
+
+[[nodiscard]] bool identifier_appears(const CodeView& v,
+                                      std::string_view name) {
+    for (std::size_t ci = 0; ci < v.size(); ++ci) {
+        const Token& t = v.tok(ci);
+        if (t.kind == TokKind::Identifier && t.text == name) return true;
+    }
+    return false;
+}
+
+[[nodiscard]] bool mutex_typed(const Declaration& d) {
+    std::string terminal(d.type_terminal());
+    std::transform(terminal.begin(), terminal.end(), terminal.begin(),
+                   [](unsigned char ch) { return std::tolower(ch); });
+    return terminal.find("mutex") != std::string::npos;
+}
+
+}  // namespace
+
+void check_guard_annotation(const FileContext& c, std::vector<Finding>& out) {
+    const SemanticModel& m = semantics(c);
+    for (const AnnotationError& err : m.annotation_errors) {
+        out.push_back({c.path, err.line, "guard-annotation", err.message});
+    }
+    for (const GuardedByAnnotation& g : m.guarded) {
+        if (!g.member.empty()) {
+            // File-wide form: both names must at least occur in this file,
+            // so a typo cannot silently disable enforcement.
+            for (const std::string& name : {g.member, g.mutex}) {
+                if (!identifier_appears(m.view, name)) {
+                    out.push_back({c.path, g.line, "guard-annotation",
+                                   "file-wide qrn:guarded_by names '" + name +
+                                       "', which never appears in this file"});
+                }
+            }
+            continue;
+        }
+        if (g.decl == -1) {
+            out.push_back(
+                {c.path, g.line, "guard-annotation",
+                 "qrn:guarded_by(mutex) must sit on a member declaration "
+                 "(same line or the line above); nothing is declared on "
+                 "line " +
+                     std::to_string(g.effective_line)});
+            continue;
+        }
+        const Declaration& d =
+            m.decls.decls()[static_cast<std::size_t>(g.decl)];
+        if (d.kind != DeclKind::Member) {
+            out.push_back({c.path, g.line, "guard-annotation",
+                           "qrn:guarded_by annotates '" + d.name +
+                               "', which is not a class member; use the "
+                               "(member, mutex) file-wide form for state "
+                               "declared elsewhere"});
+            continue;
+        }
+        const std::string& class_name =
+            m.scopes.scopes()[static_cast<std::size_t>(d.scope)].name;
+        const Declaration* mu = m.decls.member(d.scope, g.mutex);
+        if (mu == nullptr) {
+            out.push_back({c.path, g.line, "guard-annotation",
+                           "qrn:guarded_by names mutex '" + g.mutex +
+                               "', which is not a member of '" +
+                               (class_name.empty() ? "<anonymous>"
+                                                   : class_name) +
+                               "'"});
+        } else if (!mutex_typed(*mu)) {
+            out.push_back({c.path, g.line, "guard-annotation",
+                           "qrn:guarded_by names '" + g.mutex +
+                               "' whose type '" + mu->type +
+                               "' is not a mutex"});
+        }
+    }
+    for (const LockOrderDecl& order : m.lock_order) {
+        for (const std::string& name : order.chain) {
+            if (!identifier_appears(m.view, name)) {
+                out.push_back({c.path, order.line, "guard-annotation",
+                               "qrn:lock_order names '" + name +
+                                   "', which never appears in this file"});
+            }
+        }
+    }
+}
+
+// ---- lock-order --------------------------------------------------------
+
+void check_lock_order(const FileContext& c, std::vector<Finding>& out) {
+    const SemanticModel& m = semantics(c);
+    const std::vector<GuardRegion> regions = guard_regions(m);
+    if (regions.size() < 2) return;
+
+    // outer -> the set of mutexes that may be acquired while outer is held.
+    std::map<std::string, std::set<std::string>> allowed_inner;
+    for (const LockOrderDecl& order : m.lock_order) {
+        for (std::size_t i = 0; i + 1 < order.chain.size(); ++i) {
+            allowed_inner[order.chain[i]].insert(order.chain[i + 1]);
+        }
+    }
+    const auto ordered_before = [&](const std::string& outer,
+                                    const std::string& inner) {
+        // DFS over the declared edges: is `inner` reachable from `outer`?
+        std::vector<std::string> stack{outer};
+        std::set<std::string> seen;
+        while (!stack.empty()) {
+            const std::string at = stack.back();
+            stack.pop_back();
+            if (!seen.insert(at).second) continue;
+            const auto it = allowed_inner.find(at);
+            if (it == allowed_inner.end()) continue;
+            if (it->second.count(inner) != 0) return true;
+            stack.insert(stack.end(), it->second.begin(), it->second.end());
+        }
+        return false;
+    };
+
+    for (const GuardRegion& inner : regions) {
+        for (const GuardRegion& held : regions) {
+            if (held.from_ci >= inner.from_ci) continue;
+            if (!m.scopes.is_ancestor(held.scope, inner.scope)) continue;
+            if (held.mutex == inner.mutex) {
+                out.push_back({c.path, inner.line, "lock-order",
+                               "re-acquiring '" + inner.mutex +
+                                   "' while it is already held (line " +
+                                   std::to_string(held.line) +
+                                   ") self-deadlocks a non-recursive mutex"});
+            } else if (ordered_before(inner.mutex, held.mutex)) {
+                out.push_back({c.path, inner.line, "lock-order",
+                               "acquiring '" + inner.mutex +
+                                   "' while holding '" + held.mutex +
+                                   "' inverts the declared qrn:lock_order "
+                                   "hierarchy"});
+            }
+        }
+    }
+}
+
+// ---- dispatcher-no-block -----------------------------------------------
+
+namespace {
+
+constexpr std::array<std::string_view, 21> kBlockingCalls{
+    "join",       "detach",     "sleep_for",  "sleep_until", "wait",
+    "wait_for",   "wait_until", "accept",     "connect",     "recv",
+    "send",       "poll",       "select",     "read_exact",  "write_all",
+    "wait_readable", "fopen",   "fread",      "fwrite",      "popen",
+    "system"};
+
+constexpr std::array<std::string_view, 3> kBlockingStreamTypes{
+    "ifstream", "ofstream", "fstream"};
+
+}  // namespace
+
+void check_dispatcher_no_block(const FileContext& c,
+                               std::vector<Finding>& out) {
+    const std::vector<MarkerRegion> regions =
+        marker_regions(c, "dispatcher", "dispatcher-no-block", out);
+    if (regions.empty()) return;
+    const auto in_region = [&regions](int line) {
+        for (const MarkerRegion& r : regions) {
+            if (line > r.begin_line && line < r.end_line) return true;
+        }
+        return false;
+    };
+    const SemanticModel& m = semantics(c);
+    const CodeView& v = m.view;
+    for (std::size_t ci = 0; ci < v.size(); ++ci) {
+        const Token& t = v.tok(ci);
+        if (t.kind != TokKind::Identifier || !in_region(t.line)) continue;
+        const bool call =
+            any_of_names(kBlockingCalls, t.text) && v.is(v.next(ci), "(");
+        const bool stream = any_of_names(kBlockingStreamTypes, t.text);
+        if (!call && !stream) continue;
+        out.push_back({c.path, t.line, "dispatcher-no-block",
+                       "'" + t.text +
+                           "' inside a qrn:dispatcher region blocks the "
+                           "store-append serializer; socket/file I/O, "
+                           "sleeps and joins belong to the readers or "
+                           "drain, never the dispatcher"});
+    }
+}
+
+// ---- unchecked-seal ----------------------------------------------------
+
+namespace {
+
+constexpr std::array<std::string_view, 8> kMustUseCallees{
+    "seal",          "try_push",       "parse_f64",      "parse_u64",
+    "parse_probability", "parse_positive", "parse_csv_list", "verify_shard"};
+
+}  // namespace
+
+void check_unchecked_seal(const FileContext& c, std::vector<Finding>& out) {
+    const SemanticModel& m = semantics(c);
+    const CodeView& v = m.view;
+
+    // Raw fsync/fdatasync anywhere but the store's sync wrapper is a
+    // durability bypass: bytes the wrappers never see are bytes the
+    // crash-recovery argument cannot account for.
+    if (c.path != "src/store/sync.cpp") {
+        for (std::size_t ci = 0; ci < v.size(); ++ci) {
+            const Token& t = v.tok(ci);
+            if (t.kind == TokKind::Identifier &&
+                (t.text == "fsync" || t.text == "fdatasync")) {
+                out.push_back({c.path, t.line, "unchecked-seal",
+                               "raw '" + t.text +
+                                   "' outside src/store/sync.cpp bypasses "
+                                   "the checked sync wrappers "
+                                   "(store::sync_file/sync_directory)"});
+            }
+        }
+    }
+
+    // Expression statements of the shape `chain.callee(args);` whose
+    // callee is one of the must-use functions: the returned evidence
+    // (seal receipt, parse result, queue admission) is being dropped.
+    for (std::size_t s = 0; s < v.size();) {
+        if (v.is_pp(s)) {
+            ++s;
+            continue;
+        }
+        // `s` is a statement start; find the statement end for the next
+        // iteration no matter how the match below goes.
+        std::size_t stmt_end = s;
+        while (stmt_end < v.size() && !v.is(stmt_end, ";") &&
+               !v.is(stmt_end, "{") && !v.is(stmt_end, "}")) {
+            if (v.is(stmt_end, "(") || v.is(stmt_end, "[")) {
+                stmt_end = v.match_forward(stmt_end);
+                if (stmt_end >= v.size()) break;
+            }
+            ++stmt_end;
+        }
+
+        // Chain grammar: id ((:: | . | ->) id)* "(" ... ")" ";"
+        std::size_t i = s;
+        if (v.is(i, "::")) i = v.next(i);
+        std::string callee;
+        bool chained = i < v.size() && v.tok(i).kind == TokKind::Identifier;
+        if (chained) {
+            callee = v.tok(i).text;
+            i = v.next(i);
+            for (;;) {
+                if (v.is(i, "::") || v.is(i, ".")) {
+                    const std::size_t id = v.next(i);
+                    if (id >= v.size() ||
+                        v.tok(id).kind != TokKind::Identifier) {
+                        chained = false;
+                        break;
+                    }
+                    callee = v.tok(id).text;
+                    i = v.next(id);
+                    continue;
+                }
+                if (v.is(i, "-") && v.is(v.next(i), ">")) {
+                    const std::size_t id = v.next(v.next(i));
+                    if (id >= v.size() ||
+                        v.tok(id).kind != TokKind::Identifier) {
+                        chained = false;
+                        break;
+                    }
+                    callee = v.tok(id).text;
+                    i = v.next(id);
+                    continue;
+                }
+                break;
+            }
+        }
+        if (chained && v.is(i, "(") &&
+            any_of_names(kMustUseCallees, callee)) {
+            const std::size_t close = v.match_forward(i);
+            if (close < v.size() && v.is(v.next(close), ";")) {
+                out.push_back(
+                    {c.path, v.tok(s).line, "unchecked-seal",
+                     "discarded result of '" + callee +
+                         "': seal receipts, queue admission and checked "
+                         "parses are load-bearing evidence; use the value "
+                         "or suppress with a reason"});
+            }
+        }
+
+        s = stmt_end < v.size() ? stmt_end + 1 : v.size();
+    }
+}
+
+// ---- hotloop-alloc (scope-aware) ---------------------------------------
+
+namespace {
+
+constexpr std::array<std::string_view, 10> kAllocatingContainers{
+    "vector",        "string",        "deque",        "list",
+    "map",           "set",           "unordered_map", "unordered_set",
+    "ostringstream", "stringstream"};
+
+constexpr std::array<std::string_view, 2> kHeapMakers{"make_unique",
+                                                      "make_shared"};
+
+}  // namespace
+
+/// Hot regions bracketed by "qrn:hotloop" begin/end marker comments must
+/// not allocate per iteration. Scope-aware semantics: when a loop opens
+/// inside the region, only allocations under such a loop are flagged -
+/// declarations hoisted between the begin marker and the loop header are
+/// the sanctioned scratch-buffer pattern. A region containing no loop
+/// header (markers placed inside the loop body) flags everything, which
+/// also keeps the pre-scope-layer behavior for existing markers.
+void check_hotloop_alloc_scoped(const FileContext& c,
+                                std::vector<Finding>& out) {
+    const std::vector<MarkerRegion> regions =
+        marker_regions(c, "hotloop", "hotloop-alloc", out);
+    if (regions.empty()) return;
+    const SemanticModel& m = semantics(c);
+
+    const auto region_of = [&regions](int line) -> const MarkerRegion* {
+        for (const MarkerRegion& r : regions) {
+            if (line > r.begin_line && line < r.end_line) return &r;
+        }
+        return nullptr;
+    };
+    const auto loop_opens_in = [&m](const MarkerRegion& r) {
+        for (const Scope& s : m.scopes.scopes()) {
+            if (s.kind == ScopeKind::Loop && s.open_line > r.begin_line &&
+                s.open_line < r.end_line) {
+                return true;
+            }
+        }
+        return false;
+    };
+    const auto under_region_loop = [&m](int scope, const MarkerRegion& r) {
+        for (int s = scope; s >= 0;
+             s = m.scopes.scopes()[static_cast<std::size_t>(s)].parent) {
+            const Scope& sc = m.scopes.scopes()[static_cast<std::size_t>(s)];
+            if (sc.kind == ScopeKind::Loop && sc.open_line > r.begin_line &&
+                sc.open_line < r.end_line) {
+                return true;
+            }
+        }
+        return false;
+    };
+    const auto per_iteration = [&](int scope, const MarkerRegion& r) {
+        return loop_opens_in(r) ? under_region_loop(scope, r) : true;
+    };
+
+    for (const Declaration& d : m.decls.decls()) {
+        if (d.kind != DeclKind::Local || d.is_reference || d.is_pointer) {
+            continue;
+        }
+        const MarkerRegion* r = region_of(d.line);
+        if (r == nullptr) continue;
+        if (d.type.rfind("std::", 0) != 0 ||
+            !any_of_names(kAllocatingContainers, d.type_terminal())) {
+            continue;
+        }
+        if (!per_iteration(d.scope, *r)) continue;
+        out.push_back({c.path, d.line, "hotloop-alloc",
+                       "local std::" + std::string(d.type_terminal()) +
+                           " declared inside a qrn:hotloop region "
+                           "allocates per iteration; hoist it into a "
+                           "scratch buffer reused across iterations"});
+    }
+    const CodeView& v = m.view;
+    for (std::size_t ci = 0; ci < v.size(); ++ci) {
+        const Token& t = v.tok(ci);
+        if (t.kind != TokKind::Identifier ||
+            !any_of_names(kHeapMakers, t.text)) {
+            continue;
+        }
+        const MarkerRegion* r = region_of(t.line);
+        if (r == nullptr) continue;
+        if (!per_iteration(m.scopes.scope_at(ci), *r)) continue;
+        out.push_back({c.path, t.line, "hotloop-alloc",
+                       "'" + t.text +
+                           "' allocates on every iteration of a "
+                           "qrn:hotloop region; hoist the object into a "
+                           "scratch buffer reused across iterations"});
+    }
+}
+
+}  // namespace qrn::lint

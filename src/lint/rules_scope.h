@@ -1,0 +1,22 @@
+// The scope-aware rule family (built on scope.h/decls.h): concurrency
+// discipline (guarded-by, lock-order, dispatcher-no-block), durability
+// discipline (unchecked-seal), and the scope-aware hotloop allocation
+// check. Declared here so rules.cpp can register them; the registry in
+// rules.cpp remains the single stable-order rule list.
+#pragma once
+
+#include <vector>
+
+#include "lint/finding.h"
+#include "lint/rules.h"
+
+namespace qrn::lint {
+
+void check_guarded_by(const FileContext& c, std::vector<Finding>& out);
+void check_guard_annotation(const FileContext& c, std::vector<Finding>& out);
+void check_lock_order(const FileContext& c, std::vector<Finding>& out);
+void check_dispatcher_no_block(const FileContext& c, std::vector<Finding>& out);
+void check_unchecked_seal(const FileContext& c, std::vector<Finding>& out);
+void check_hotloop_alloc_scoped(const FileContext& c, std::vector<Finding>& out);
+
+}  // namespace qrn::lint

@@ -1,0 +1,27 @@
+// qrn-lint corpus: dispatcher-no-block. Blocking calls inside a
+// qrn:dispatcher region are findings; the same calls outside are not the
+// rule's business; the waiver grammar applies per line.
+void dispatcher_blocks() {
+  // qrn:dispatcher(begin)
+  worker.join();  // finding: a join stalls every queued request
+  // qrn:dispatcher(end)
+}
+
+void dispatcher_clean() {
+  // qrn:dispatcher(begin)
+  while (auto job = queue.pop()) {
+    handle(*job);  // clean: pop is the one sanctioned wait
+  }
+  // qrn:dispatcher(end)
+}
+
+void reader_may_block() {
+  socket.write_all(frame);  // clean: outside any dispatcher region
+  worker.join();
+}
+
+void dispatcher_waived() {
+  // qrn:dispatcher(begin)
+  worker.join();  // qrn-lint: allow(dispatcher-no-block) corpus waiver case
+  // qrn:dispatcher(end)
+}

@@ -1,0 +1,11 @@
+// qrn-lint corpus: guard-annotation. Malformed and misdirected
+// annotations are findings in their own right; a well-formed one is
+// silent; the waiver grammar applies like any other rule.
+class S {
+  std::mutex mu_;
+  int ok_ = 0;      // qrn:guarded_by(mu_)
+  int orphan_ = 0;  // qrn:guarded_by(ghost_)
+  int wrong_ = 0;   // qrn:guarded_by(flag_)
+  bool flag_ = false;
+  /* qrn:guarded_by(flag_) */ int waived_ = 0;  // qrn-lint: allow(guard-annotation) corpus waiver case
+};

@@ -1,0 +1,21 @@
+// qrn-lint corpus: guarded-by. One positive (unguarded touch), one
+// negative (lock held), one suppressed. Pinned byte-for-byte in
+// golden.txt; any drift in the rule's message or anchoring fails
+// lint_corpus.
+class Service {
+ public:
+  void unguarded(int r) {
+    pending_records_ += r;  // finding: no lock in scope
+  }
+  void guarded(int r) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    pending_records_ += r;  // clean: guard covers the rest of the scope
+  }
+  void waived(int r) {
+    pending_records_ += r;  // qrn-lint: allow(guarded-by) corpus: init runs before any thread exists
+  }
+
+ private:
+  std::mutex mutex_;
+  long pending_records_ = 0;  // qrn:guarded_by(mutex_)
+};

@@ -1,0 +1,25 @@
+// qrn-lint corpus: lock-order. The declared hierarchy is a_ before b_;
+// acquiring against it (or re-acquiring the same mutex) is a finding.
+// qrn:lock_order(a_ < b_)
+std::mutex a_;
+std::mutex b_;
+
+void ordered() {
+  const std::lock_guard<std::mutex> la(a_);
+  const std::lock_guard<std::mutex> lb(b_);  // clean: declared order
+}
+
+void inverted() {
+  const std::lock_guard<std::mutex> lb(b_);
+  const std::lock_guard<std::mutex> la(a_);  // finding: inversion
+}
+
+void reentrant() {
+  const std::lock_guard<std::mutex> l1(a_);
+  const std::lock_guard<std::mutex> l2(a_);  // finding: self-deadlock
+}
+
+void waived() {
+  const std::lock_guard<std::mutex> lb(b_);
+  const std::lock_guard<std::mutex> la(a_);  // qrn-lint: allow(lock-order) corpus waiver case
+}

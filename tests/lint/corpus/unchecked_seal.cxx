@@ -1,0 +1,22 @@
+// qrn-lint corpus: unchecked-seal. Discarding a durability receipt (or a
+// checked-parse result) is a finding anchored to the statement's first
+// line; binding the receipt is clean; the waiver sits on the line above.
+void discarded(ShardWriter& writer, const Totals& totals) {
+  writer.seal(totals);  // finding: receipt dropped
+}
+
+SealReceipt used(ShardWriter& writer, const Totals& totals) {
+  const SealReceipt receipt = writer.seal(totals);
+  return receipt;  // clean: the evidence is handed on
+}
+
+void multi_line(ShardWriter& writer) {
+  writer.seal(  // finding anchors here, the statement's first line
+      totals_of(
+          log));
+}
+
+void waived(ShardWriter& writer, const Totals& totals) {
+  // qrn-lint: allow(unchecked-seal) corpus: receipt intentionally dropped
+  writer.seal(totals);
+}

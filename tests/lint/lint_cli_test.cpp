@@ -90,6 +90,40 @@ TEST(LintCli, UsageErrorsExitOne) {
     EXPECT_EQ(run_lint("").exit_code, 1);
     EXPECT_EQ(run_lint("--bogus-flag .").exit_code, 1);
     EXPECT_EQ(run_lint("/no/such/path").exit_code, 1);
+    EXPECT_EQ(run_lint("--format=sarif .").exit_code, 1);
+}
+
+TEST(LintCli, GhFormatEmitsErrorAnnotations) {
+    const auto path = temp_file("gh_format.cpp",
+                                "#include <string>\n"
+                                "double f(const std::string& s) {\n"
+                                "  return std::stod(s);\n"
+                                "}\n");
+    const auto result = run_lint("--format=gh " + path);
+    EXPECT_EQ(result.exit_code, 2);
+    // ::error file=<path>,line=<line>::<rule>: <message>
+    EXPECT_NE(result.output.find("::error file="), std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("gh_format.cpp,line=3::raw-parse:"),
+              std::string::npos)
+        << result.output;
+    // The stderr summary is format-independent.
+    EXPECT_NE(result.output.find("1 finding"), std::string::npos)
+        << result.output;
+}
+
+TEST(LintCli, TextFormatIsTheExplicitDefault) {
+    const auto path = temp_file("text_format.cpp",
+                                "#include <string>\n"
+                                "double f(const std::string& s) {\n"
+                                "  return std::stod(s);\n"
+                                "}\n");
+    const auto result = run_lint("--format=text " + path);
+    EXPECT_EQ(result.exit_code, 2);
+    EXPECT_NE(result.output.find("text_format.cpp:3: raw-parse:"),
+              std::string::npos)
+        << result.output;
+    EXPECT_EQ(result.output.find("::error"), std::string::npos) << result.output;
 }
 
 TEST(LintCli, ListRulesDocumentsEveryShippedRule) {
@@ -98,7 +132,9 @@ TEST(LintCli, ListRulesDocumentsEveryShippedRule) {
     for (const char* id :
          {"raw-parse", "ambient-rng", "naked-new", "thread-discipline",
           "rng-stream", "using-namespace-header", "iostream-in-lib",
-          "throw-message", "suppression-hygiene"}) {
+          "throw-message", "hotloop-alloc", "guarded-by", "guard-annotation",
+          "lock-order", "dispatcher-no-block", "unchecked-seal",
+          "suppression-hygiene"}) {
         EXPECT_NE(result.output.find(id), std::string::npos) << id;
     }
 }

@@ -326,6 +326,486 @@ TEST(RuleHotloopAlloc, UnbalancedMarkersAreFindings) {
         "hotloop-alloc"));
 }
 
+// ---- hotloop-alloc (scope-aware) ---------------------------------------
+
+TEST(RuleHotloopAlloc, HoistedScratchBufferBeforeTheLoopIsClean) {
+    const auto fs = lint_source(
+        "src/sim/x.cpp",
+        "void f() {\n"
+        "  // qrn:hotloop(begin)\n"
+        "  std::vector<double> scratch;\n"  // hoisted: outside the loop
+        "  for (int i = 0; i < n; ++i) {\n"
+        "    scratch.clear();\n"
+        "    use(scratch);\n"
+        "  }\n"
+        "  // qrn:hotloop(end)\n"
+        "}\n");
+    EXPECT_FALSE(has_rule(fs, "hotloop-alloc"));
+}
+
+TEST(RuleHotloopAlloc, DeclarationInsideTheLoopBodyIsStillFlagged) {
+    const auto fs = lint_source(
+        "src/sim/x.cpp",
+        "void f() {\n"
+        "  // qrn:hotloop(begin)\n"
+        "  for (int i = 0; i < n; ++i) {\n"
+        "    std::vector<double> row;\n"
+        "    use(row);\n"
+        "  }\n"
+        "  // qrn:hotloop(end)\n"
+        "}\n");
+    ASSERT_TRUE(has_rule(fs, "hotloop-alloc"));
+    EXPECT_EQ(line_of(fs, "hotloop-alloc"), 4);
+}
+
+TEST(RuleHotloopAlloc, NestedLoopDeclarationsAreFlagged) {
+    const auto fs = lint_source(
+        "src/sim/x.cpp",
+        "void f() {\n"
+        "  // qrn:hotloop(begin)\n"
+        "  for (int i = 0; i < n; ++i) {\n"
+        "    for (int j = 0; j < m; ++j) {\n"
+        "      std::string cell = render(i, j);\n"
+        "      use(cell);\n"
+        "    }\n"
+        "  }\n"
+        "  // qrn:hotloop(end)\n"
+        "}\n");
+    ASSERT_TRUE(has_rule(fs, "hotloop-alloc"));
+    EXPECT_EQ(line_of(fs, "hotloop-alloc"), 5);
+}
+
+TEST(RuleHotloopAlloc, RegionWithoutALoopKeepsTheOldBehavior) {
+    // A region whose loop lives elsewhere (a callee, a macro) still flags
+    // every allocation: without a visible loop the rule cannot prove the
+    // declaration is hoisted.
+    const auto fs = lint_source("src/sim/x.cpp",
+                                "void f() {\n"
+                                "  // qrn:hotloop(begin)\n"
+                                "  std::vector<double> buffer;\n"
+                                "  // qrn:hotloop(end)\n"
+                                "}\n");
+    EXPECT_TRUE(has_rule(fs, "hotloop-alloc"));
+}
+
+// ---- guarded-by --------------------------------------------------------
+
+// The acceptance fixture: a Service-shaped class whose state carries a
+// guarded_by annotation and is then deliberately touched without the lock.
+TEST(RuleGuardedBy, CatchesUnguardedAccessToServiceState) {
+    const auto fs = lint_source(
+        "src/serve/x.cpp",
+        "class Service {\n"
+        " public:\n"
+        "  void accept(int r) {\n"
+        "    pending_records_ += r;\n"  // unguarded: the injected bug
+        "  }\n"
+        " private:\n"
+        "  std::mutex mutex_;\n"
+        "  long pending_records_ = 0;  // qrn:guarded_by(mutex_)\n"
+        "};\n");
+    ASSERT_TRUE(has_rule(fs, "guarded-by"));
+    EXPECT_EQ(line_of(fs, "guarded-by"), 4);
+}
+
+TEST(RuleGuardedBy, LockGuardInScopeIsClean) {
+    const auto fs = lint_source(
+        "src/serve/x.cpp",
+        "class Service {\n"
+        " public:\n"
+        "  void accept(int r) {\n"
+        "    const std::lock_guard<std::mutex> lock(mutex_);\n"
+        "    pending_records_ += r;\n"
+        "  }\n"
+        " private:\n"
+        "  std::mutex mutex_;\n"
+        "  long pending_records_ = 0;  // qrn:guarded_by(mutex_)\n"
+        "};\n");
+    EXPECT_FALSE(has_rule(fs, "guarded-by"));
+}
+
+TEST(RuleGuardedBy, UniqueLockCoversLambdaBodies) {
+    // The BoundedQueue::pop shape: the wait predicate runs under the lock.
+    const auto fs = lint_source(
+        "src/serve/x.cpp",
+        "class Q {\n"
+        " public:\n"
+        "  int pop() {\n"
+        "    std::unique_lock<std::mutex> lock(mutex_);\n"
+        "    ready_.wait(lock, [this] { return !items_.empty(); });\n"
+        "    return items_.front();\n"
+        "  }\n"
+        " private:\n"
+        "  std::mutex mutex_;\n"
+        "  std::deque<int> items_;  // qrn:guarded_by(mutex_)\n"
+        "};\n");
+    EXPECT_FALSE(has_rule(fs, "guarded-by"));
+}
+
+TEST(RuleGuardedBy, WrongMutexIsNotGoodEnough) {
+    const auto fs = lint_source(
+        "src/serve/x.cpp",
+        "class S {\n"
+        "  void f() {\n"
+        "    const std::lock_guard<std::mutex> lock(other_);\n"
+        "    state_ = 1;\n"
+        "  }\n"
+        "  std::mutex mu_;\n"
+        "  std::mutex other_;\n"
+        "  int state_ = 0;  // qrn:guarded_by(mu_)\n"
+        "};\n");
+    ASSERT_TRUE(has_rule(fs, "guarded-by"));
+    EXPECT_EQ(line_of(fs, "guarded-by"), 4);
+}
+
+TEST(RuleGuardedBy, GuardReleasedWithItsScope) {
+    const auto fs = lint_source(
+        "src/serve/x.cpp",
+        "class S {\n"
+        "  void f() {\n"
+        "    {\n"
+        "      const std::lock_guard<std::mutex> lock(mu_);\n"
+        "      state_ = 1;\n"  // fine: under the lock
+        "    }\n"
+        "    state_ = 2;\n"  // the guard died with its block
+        "  }\n"
+        "  std::mutex mu_;\n"
+        "  int state_ = 0;  // qrn:guarded_by(mu_)\n"
+        "};\n");
+    ASSERT_TRUE(has_rule(fs, "guarded-by"));
+    EXPECT_EQ(line_of(fs, "guarded-by"), 7);
+}
+
+TEST(RuleGuardedBy, LocalsShadowTheMember) {
+    const auto fs = lint_source(
+        "src/serve/x.cpp",
+        "class S {\n"
+        "  void f() {\n"
+        "    int state_ = 0;\n"
+        "    state_ = 1;\n"  // the local, not the member
+        "  }\n"
+        "  std::mutex mu_;\n"
+        "  int state_ = 0;  // qrn:guarded_by(mu_)\n"
+        "};\n");
+    EXPECT_FALSE(has_rule(fs, "guarded-by"));
+}
+
+TEST(RuleGuardedBy, ConstructorsAndDestructorsAreExempt) {
+    const auto fs = lint_source(
+        "src/serve/x.cpp",
+        "class S {\n"
+        " public:\n"
+        "  S() { state_ = 1; }\n"
+        "  ~S() { state_ = 0; }\n"
+        " private:\n"
+        "  std::mutex mu_;\n"
+        "  int state_ = 0;  // qrn:guarded_by(mu_)\n"
+        "};\n");
+    EXPECT_FALSE(has_rule(fs, "guarded-by"));
+}
+
+TEST(RuleGuardedBy, OutOfLineMethodsAreCovered) {
+    const auto fs = lint_source(
+        "src/serve/x.cpp",
+        "class S {\n"
+        "  void f();\n"
+        "  std::mutex mu_;\n"
+        "  int state_ = 0;  // qrn:guarded_by(mu_)\n"
+        "};\n"
+        "void S::f() { state_ = 1; }\n");
+    ASSERT_TRUE(has_rule(fs, "guarded-by"));
+    EXPECT_EQ(line_of(fs, "guarded-by"), 6);
+}
+
+TEST(RuleGuardedBy, FileWideFormCoversCrossFileMembers) {
+    // The server.cpp shape: the member is declared in the header, so this
+    // translation unit re-states the contract file-wide.
+    const auto fs = lint_source(
+        "src/serve/x.cpp",
+        "// qrn:guarded_by(readers_, readers_mutex_)\n"
+        "void Server::drain() {\n"
+        "  readers_.clear();\n"  // unguarded
+        "}\n"
+        "void Server::stop() {\n"
+        "  const std::lock_guard<std::mutex> lock(readers_mutex_);\n"
+        "  readers_.clear();\n"  // guarded
+        "}\n");
+    ASSERT_TRUE(has_rule(fs, "guarded-by"));
+    EXPECT_EQ(line_of(fs, "guarded-by"), 3);
+}
+
+TEST(RuleGuardedBy, MethodCallOfTheSameNameIsNotATouch) {
+    const auto fs = lint_source(
+        "src/serve/x.cpp",
+        "class P {\n"
+        "  std::mutex mu_;\n"
+        "  int status = 0;  // qrn:guarded_by(mu_)\n"
+        "};\n"
+        "void f(Service* service) {\n"
+        "  auto reply = service->status();\n"  // Service::status(), not P::status
+        "}\n");
+    EXPECT_FALSE(has_rule(fs, "guarded-by"));
+}
+
+TEST(RuleGuardedBy, SuppressibleWithAReason) {
+    const auto fs = lint_source(
+        "src/serve/x.cpp",
+        "class S {\n"
+        "  void f() {\n"
+        "    state_ = 1;  // qrn-lint: allow(guarded-by) single-threaded init phase\n"
+        "  }\n"
+        "  std::mutex mu_;\n"
+        "  int state_ = 0;  // qrn:guarded_by(mu_)\n"
+        "};\n");
+    EXPECT_FALSE(has_rule(fs, "guarded-by"));
+}
+
+// ---- guard-annotation --------------------------------------------------
+
+TEST(RuleGuardAnnotation, AnnotationMustSitOnADeclaration) {
+    const auto fs = lint_source("src/serve/x.cpp",
+                                "// qrn:guarded_by(mu_)\n"
+                                "\n"
+                                "int x;\n");
+    EXPECT_TRUE(has_rule(fs, "guard-annotation"));
+}
+
+TEST(RuleGuardAnnotation, NamedMutexMustExistInTheClass) {
+    const auto fs = lint_source("src/serve/x.cpp",
+                                "class S {\n"
+                                "  std::mutex mu_;\n"
+                                "  int state_ = 0;  // qrn:guarded_by(nonexistent_)\n"
+                                "};\n");
+    ASSERT_TRUE(has_rule(fs, "guard-annotation"));
+    EXPECT_EQ(line_of(fs, "guard-annotation"), 3);
+}
+
+TEST(RuleGuardAnnotation, NamedMutexMustBeAMutex) {
+    const auto fs = lint_source("src/serve/x.cpp",
+                                "class S {\n"
+                                "  int mu_;\n"
+                                "  int state_ = 0;  // qrn:guarded_by(mu_)\n"
+                                "};\n");
+    EXPECT_TRUE(has_rule(fs, "guard-annotation"));
+}
+
+TEST(RuleGuardAnnotation, FileWideNamesMustAppearInTheFile) {
+    const auto fs = lint_source("src/serve/x.cpp",
+                                "// qrn:guarded_by(ghost_, ghost_mutex_)\n"
+                                "int x;\n");
+    EXPECT_TRUE(has_rule(fs, "guard-annotation"));
+}
+
+TEST(RuleGuardAnnotation, WellFormedAnnotationsAreSilent) {
+    const auto fs = lint_source("src/serve/x.cpp",
+                                "class S {\n"
+                                "  std::mutex mu_;\n"
+                                "  int state_ = 0;  // qrn:guarded_by(mu_)\n"
+                                "};\n");
+    EXPECT_FALSE(has_rule(fs, "guard-annotation"));
+}
+
+TEST(RuleGuardAnnotation, ProseMentionIsNotAnAnnotation) {
+    const auto fs = lint_source(
+        "src/serve/x.cpp",
+        "// members use qrn:guarded_by(mu) annotations; see docs/LINTING.md\n"
+        "int x;\n");
+    EXPECT_FALSE(has_rule(fs, "guard-annotation"));
+}
+
+// ---- lock-order --------------------------------------------------------
+
+TEST(RuleLockOrder, InversionOfTheDeclaredHierarchyIsFlagged) {
+    const auto fs = lint_source(
+        "src/serve/x.cpp",
+        "// qrn:lock_order(a_ < b_)\n"
+        "std::mutex a_;\n"
+        "std::mutex b_;\n"
+        "void f() {\n"
+        "  const std::lock_guard<std::mutex> lb(b_);\n"
+        "  const std::lock_guard<std::mutex> la(a_);\n"  // inversion
+        "}\n");
+    ASSERT_TRUE(has_rule(fs, "lock-order"));
+    EXPECT_EQ(line_of(fs, "lock-order"), 6);
+}
+
+TEST(RuleLockOrder, DeclaredOrderIsClean) {
+    const auto fs = lint_source(
+        "src/serve/x.cpp",
+        "// qrn:lock_order(a_ < b_)\n"
+        "std::mutex a_;\n"
+        "std::mutex b_;\n"
+        "void f() {\n"
+        "  const std::lock_guard<std::mutex> la(a_);\n"
+        "  const std::lock_guard<std::mutex> lb(b_);\n"
+        "}\n");
+    EXPECT_FALSE(has_rule(fs, "lock-order"));
+}
+
+TEST(RuleLockOrder, TransitivityIsEnforced) {
+    const auto fs = lint_source(
+        "src/serve/x.cpp",
+        "// qrn:lock_order(a_ < b_ < c_)\n"
+        "std::mutex a_;\n"
+        "std::mutex b_;\n"
+        "std::mutex c_;\n"
+        "void f() {\n"
+        "  const std::lock_guard<std::mutex> lc(c_);\n"
+        "  const std::lock_guard<std::mutex> la(a_);\n"  // c_ then a_: inverted
+        "}\n");
+    EXPECT_TRUE(has_rule(fs, "lock-order"));
+}
+
+TEST(RuleLockOrder, ReacquiringTheSameMutexIsASelfDeadlock) {
+    const auto fs = lint_source(
+        "src/serve/x.cpp",
+        "// qrn:lock_order(a_ < b_)\n"
+        "std::mutex a_;\n"
+        "std::mutex b_;\n"
+        "void f() {\n"
+        "  const std::lock_guard<std::mutex> l1(a_);\n"
+        "  const std::lock_guard<std::mutex> l2(a_);\n"
+        "}\n");
+    ASSERT_TRUE(has_rule(fs, "lock-order"));
+    EXPECT_EQ(line_of(fs, "lock-order"), 6);
+}
+
+TEST(RuleLockOrder, SequentialNonNestedAcquisitionIsClean) {
+    const auto fs = lint_source(
+        "src/serve/x.cpp",
+        "// qrn:lock_order(a_ < b_)\n"
+        "std::mutex a_;\n"
+        "std::mutex b_;\n"
+        "void f() {\n"
+        "  {\n"
+        "    const std::lock_guard<std::mutex> lb(b_);\n"
+        "  }\n"
+        "  const std::lock_guard<std::mutex> la(a_);\n"  // b_ released first
+        "}\n");
+    EXPECT_FALSE(has_rule(fs, "lock-order"));
+}
+
+// ---- dispatcher-no-block -----------------------------------------------
+
+TEST(RuleDispatcherNoBlock, SleepsAndJoinsInsideTheRegionAreFlagged) {
+    const auto fs = lint_source(
+        "src/serve/x.cpp",
+        "void dispatch() {\n"
+        "  // qrn:dispatcher(begin)\n"
+        "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+        "  worker.join();\n"
+        "  // qrn:dispatcher(end)\n"
+        "}\n");
+    ASSERT_TRUE(has_rule(fs, "dispatcher-no-block"));
+    EXPECT_EQ(line_of(fs, "dispatcher-no-block"), 3);
+}
+
+TEST(RuleDispatcherNoBlock, SocketAndFileIoAreFlagged) {
+    const auto fs = lint_source("src/serve/x.cpp",
+                                "void dispatch() {\n"
+                                "  // qrn:dispatcher(begin)\n"
+                                "  socket.write_all(frame);\n"
+                                "  // qrn:dispatcher(end)\n"
+                                "}\n");
+    EXPECT_TRUE(has_rule(fs, "dispatcher-no-block"));
+    const auto fstream_fs =
+        lint_source("src/serve/x.cpp",
+                    "void dispatch() {\n"
+                    "  // qrn:dispatcher(begin)\n"
+                    "  std::ifstream manifest(path);\n"
+                    "  // qrn:dispatcher(end)\n"
+                    "}\n");
+    EXPECT_TRUE(has_rule(fstream_fs, "dispatcher-no-block"));
+}
+
+TEST(RuleDispatcherNoBlock, TheSameCallsOutsideTheRegionAreFine) {
+    const auto fs = lint_source(
+        "src/serve/x.cpp",
+        "void reader() {\n"
+        "  socket.write_all(frame);\n"
+        "  worker.join();\n"
+        "}\n"
+        "void dispatch() {\n"
+        "  // qrn:dispatcher(begin)\n"
+        "  while (auto job = queue_->pop()) { handle(*job); }\n"
+        "  // qrn:dispatcher(end)\n"
+        "}\n");
+    EXPECT_FALSE(has_rule(fs, "dispatcher-no-block"));
+}
+
+TEST(RuleDispatcherNoBlock, UnbalancedMarkersAreFindings) {
+    EXPECT_TRUE(has_rule(
+        lint_source("src/serve/x.cpp", "// qrn:dispatcher(begin)\nint x;\n"),
+        "dispatcher-no-block"));
+    EXPECT_TRUE(has_rule(
+        lint_source("src/serve/x.cpp", "int x;\n// qrn:dispatcher(end)\n"),
+        "dispatcher-no-block"));
+}
+
+// ---- unchecked-seal ----------------------------------------------------
+
+TEST(RuleUncheckedSeal, DiscardedSealReceiptIsFlagged) {
+    const auto fs = lint_source("src/store/x.cpp",
+                                "void f(ShardWriter& writer) {\n"
+                                "  writer.seal(totals);\n"
+                                "}\n");
+    ASSERT_TRUE(has_rule(fs, "unchecked-seal"));
+    EXPECT_EQ(line_of(fs, "unchecked-seal"), 2);
+}
+
+TEST(RuleUncheckedSeal, UsingTheReceiptIsClean) {
+    const auto fs = lint_source(
+        "src/store/x.cpp",
+        "void f(ShardWriter& writer) {\n"
+        "  const SealReceipt receipt = writer.seal(totals);\n"
+        "  check(receipt.records);\n"
+        "}\n");
+    EXPECT_FALSE(has_rule(fs, "unchecked-seal"));
+}
+
+TEST(RuleUncheckedSeal, DiscardedQueueAdmissionIsFlagged) {
+    const auto fs = lint_source("src/serve/x.cpp",
+                                "void f(Queue& q, Job job) {\n"
+                                "  q.try_push(std::move(job));\n"
+                                "}\n");
+    EXPECT_TRUE(has_rule(fs, "unchecked-seal"));
+    const auto used = lint_source(
+        "src/serve/x.cpp",
+        "void f(Queue& q, Job job) {\n"
+        "  if (!q.try_push(std::move(job))) { reply_busy(); }\n"
+        "}\n");
+    EXPECT_FALSE(has_rule(used, "unchecked-seal"));
+}
+
+TEST(RuleUncheckedSeal, DiscardedCheckedParseIsFlagged) {
+    const auto fs = lint_source("src/tools/x.cpp",
+                                "void f(const std::string& s) {\n"
+                                "  tools::parse_f64(s, \"rate\");\n"
+                                "}\n");
+    EXPECT_TRUE(has_rule(fs, "unchecked-seal"));
+}
+
+TEST(RuleUncheckedSeal, RawFsyncOutsideTheSyncWrapperIsFlagged) {
+    EXPECT_TRUE(has_rule(
+        lint_source("src/store/x.cpp", "void f(int fd) { fsync(fd); }\n"),
+        "unchecked-seal"));
+    EXPECT_FALSE(has_rule(
+        lint_source("src/store/sync.cpp", "void f(int fd) { fsync(fd); }\n"),
+        "unchecked-seal"));
+}
+
+TEST(RuleUncheckedSeal, MultiLineStatementIsReportedAtItsFirstLine) {
+    // The finding anchors to the statement start so a line-above
+    // suppression covers the whole statement.
+    const auto fs = lint_source("src/store/x.cpp",
+                                "void f(ShardWriter& writer) {\n"
+                                "  writer.seal(\n"
+                                "      totals_of(log));\n"
+                                "}\n");
+    ASSERT_TRUE(has_rule(fs, "unchecked-seal"));
+    EXPECT_EQ(line_of(fs, "unchecked-seal"), 2);
+}
+
 // ---- suppressions ------------------------------------------------------
 
 TEST(Suppressions, SameLineAllowWaivesTheFinding) {
@@ -395,6 +875,49 @@ TEST(Suppressions, AllowTypoIsReportedNotIgnored) {
     const auto fs = lint_source(
         "src/a.cpp", "// qrn-lint: allow (raw-parse) space before paren\nint x;\n");
     EXPECT_TRUE(has_rule(fs, kSuppressionHygieneRule));
+}
+
+TEST(Suppressions, LineAboveCoversAMultiLineStatement) {
+    // unchecked-seal anchors to the statement's first line, so the
+    // standalone comment above it waives the whole statement even though
+    // the call spans three lines.
+    const auto fs = lint_source(
+        "src/store/x.cpp",
+        "void f(ShardWriter& writer) {\n"
+        "  // qrn-lint: allow(unchecked-seal) receipt checked by the caller\n"
+        "  writer.seal(\n"
+        "      totals_of(\n"
+        "          log));\n"
+        "}\n");
+    EXPECT_FALSE(has_rule(fs, "unchecked-seal"));
+    EXPECT_FALSE(has_rule(fs, kSuppressionHygieneRule));
+}
+
+TEST(Suppressions, WaiverIsPerLineNotPerRegion) {
+    // Inside a dispatcher region, waiving one blocking call does not
+    // blanket the region: the second call is still a finding.
+    const auto fs = lint_source(
+        "src/serve/x.cpp",
+        "void dispatch() {\n"
+        "  // qrn:dispatcher(begin)\n"
+        "  sleep_for(tick);  // qrn-lint: allow(dispatcher-no-block) startup settle only\n"
+        "  worker.join();\n"
+        "  // qrn:dispatcher(end)\n"
+        "}\n");
+    ASSERT_TRUE(has_rule(fs, "dispatcher-no-block"));
+    EXPECT_EQ(line_of(fs, "dispatcher-no-block"), 4);
+}
+
+TEST(Suppressions, ThreeRuleAllowListIsHonored) {
+    const auto fs = lint_source(
+        "src/store/x.cpp",
+        "void f(ShardWriter& w, const char* s) {\n"
+        "  auto* p = new int(atoi(s));  "
+        "// qrn-lint: allow(raw-parse, naked-new, unchecked-seal) fixture hits all three\n"
+        "  w.seal(totals);  // qrn-lint: allow(unchecked-seal) fixture\n"
+        "}\n");
+    EXPECT_FALSE(has_rule(fs, "raw-parse"));
+    EXPECT_FALSE(has_rule(fs, "naked-new"));
 }
 
 TEST(Suppressions, ProseMentioningQrnLintIsNotASuppression) {

@@ -1,0 +1,47 @@
+# Runs qrn-lint over the pinned corpus and diffs stdout byte-for-byte
+# against golden.txt. Drift in a rule's message, anchoring line, finding
+# order, or suppression handling fails the test; regenerate the golden
+# deliberately (and review the diff) with:
+#
+#   ./build/src/lint/qrn-lint tests/lint/corpus/*.cxx > tests/lint/corpus/golden.txt
+#
+# Invoked as:  cmake -DQRN_LINT=<binary> -DCORPUS_DIR=<dir> -DGOLDEN=<file>
+#                    -P tests/lint/run_corpus.cmake
+# (the lint CI job also runs it directly, without ctest).
+if(NOT QRN_LINT OR NOT CORPUS_DIR OR NOT GOLDEN)
+  message(FATAL_ERROR "run_corpus.cmake needs -DQRN_LINT, -DCORPUS_DIR and -DGOLDEN")
+endif()
+
+file(GLOB cases "${CORPUS_DIR}/*.cxx")
+list(SORT cases)
+list(LENGTH cases case_count)
+if(case_count EQUAL 0)
+  message(FATAL_ERROR "no corpus cases found under ${CORPUS_DIR}")
+endif()
+
+execute_process(
+  COMMAND ${QRN_LINT} ${cases}
+  OUTPUT_VARIABLE got
+  ERROR_VARIABLE stderr_text
+  RESULT_VARIABLE code)
+
+# The corpus deliberately contains violations: anything but "findings
+# reported" (exit 2) means the binary, not the corpus, misbehaved.
+if(NOT code EQUAL 2)
+  message(FATAL_ERROR
+    "qrn-lint exited ${code} on the corpus, expected 2\nstderr: ${stderr_text}")
+endif()
+
+file(READ "${GOLDEN}" want)
+if(NOT got STREQUAL want)
+  message(FATAL_ERROR
+    "corpus output drifted from ${GOLDEN}\n"
+    "--- got ----------------------------------------------------------\n"
+    "${got}"
+    "--- want ---------------------------------------------------------\n"
+    "${want}"
+    "------------------------------------------------------------------\n"
+    "If the change is intentional, regenerate and review the golden file.")
+endif()
+
+message(STATUS "lint corpus: ${case_count} files match ${GOLDEN}")

@@ -1,0 +1,290 @@
+// The semantic layer under the scope-aware rules: brace/scope
+// classification (ScopeTree), declaration indexing with coarse types
+// (DeclIndex), and the qrn:guarded_by / qrn:lock_order annotation parse.
+#include "lint/scope.h"
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "lint/decls.h"
+#include "lint/rules.h"
+
+namespace qrn::lint {
+namespace {
+
+SemanticModel model_of(const FileContext& ctx) { return SemanticModel(ctx); }
+
+FileContext context_of(const std::string& src, const char* path = "src/x.cpp") {
+    return make_context(path, src);
+}
+
+const Scope* find_scope(const SemanticModel& m, ScopeKind kind,
+                        std::string_view name) {
+    for (const Scope& s : m.scopes.scopes()) {
+        if (s.kind == kind && s.name == name) return &s;
+    }
+    return nullptr;
+}
+
+const Declaration* find_decl(const SemanticModel& m, std::string_view name) {
+    for (const Declaration& d : m.decls.decls()) {
+        if (d.name == name) return &d;
+    }
+    return nullptr;
+}
+
+TEST(ScopeTree, ClassifiesTheCommonShapes) {
+    const auto ctx = context_of(
+        "namespace qrn::store {\n"
+        "class ShardWriter {\n"
+        " public:\n"
+        "  void seal() {\n"
+        "    for (int i = 0; i < 3; ++i) {\n"
+        "      if (i > 0) { flush(); }\n"
+        "    }\n"
+        "  }\n"
+        "};\n"
+        "}  // namespace qrn::store\n");
+    const auto m = model_of(ctx);
+    EXPECT_NE(find_scope(m, ScopeKind::Namespace, "qrn::store"), nullptr);
+    EXPECT_NE(find_scope(m, ScopeKind::Class, "ShardWriter"), nullptr);
+    EXPECT_NE(find_scope(m, ScopeKind::Function, "seal"), nullptr);
+    const auto is_kind = [&](ScopeKind k) {
+        return std::any_of(m.scopes.scopes().begin(), m.scopes.scopes().end(),
+                           [&](const Scope& s) { return s.kind == k; });
+    };
+    EXPECT_TRUE(is_kind(ScopeKind::Loop));
+    EXPECT_TRUE(is_kind(ScopeKind::Conditional));
+}
+
+TEST(ScopeTree, QualifiedOutOfLineFunctionNames) {
+    const auto ctx = context_of("void Server::dispatch_loop() { run(); }\n");
+    const auto m = model_of(ctx);
+    EXPECT_NE(find_scope(m, ScopeKind::Function, "Server::dispatch_loop"),
+              nullptr);
+}
+
+TEST(ScopeTree, FunctionQualifiersDoNotConfuseClassification) {
+    const auto ctx = context_of(
+        "struct S {\n"
+        "  int size() const noexcept { return n_; }\n"
+        "  auto begin() -> int* { return p_; }\n"
+        "};\n");
+    const auto m = model_of(ctx);
+    EXPECT_NE(find_scope(m, ScopeKind::Function, "size"), nullptr);
+    EXPECT_NE(find_scope(m, ScopeKind::Function, "begin"), nullptr);
+}
+
+TEST(ScopeTree, ConstructorInitializerListsResolveToTheConstructor) {
+    const auto ctx = context_of(
+        "struct S {\n"
+        "  S(int a, int b) : a_(a), b_{b} { init(); }\n"
+        "  int a_;\n"
+        "  int b_;\n"
+        "};\n");
+    const auto m = model_of(ctx);
+    EXPECT_NE(find_scope(m, ScopeKind::Function, "S"), nullptr);
+}
+
+TEST(ScopeTree, LambdasAreTheirOwnScopeInsideTheFunction) {
+    const auto ctx = context_of(
+        "void f() {\n"
+        "  auto fn = [&](int x) { return x + 1; };\n"
+        "}\n");
+    const auto m = model_of(ctx);
+    const Scope* fn = find_scope(m, ScopeKind::Function, "f");
+    ASSERT_NE(fn, nullptr);
+    const auto& scopes = m.scopes.scopes();
+    const auto lambda =
+        std::find_if(scopes.begin(), scopes.end(),
+                     [](const Scope& s) { return s.kind == ScopeKind::Lambda; });
+    ASSERT_NE(lambda, scopes.end());
+    const int fn_index = static_cast<int>(fn - scopes.data());
+    const int lambda_index = static_cast<int>(&*lambda - scopes.data());
+    EXPECT_TRUE(m.scopes.is_ancestor(fn_index, lambda_index));
+    // A lambda body counts as function context of its own.
+    EXPECT_EQ(m.scopes.enclosing_function(lambda_index), lambda_index);
+}
+
+TEST(ScopeTree, PreprocessorLinesAreTracked) {
+    const auto lines = preprocessor_lines(
+        "#include <string>\n"
+        "int x;\n"
+        "#define LONG_MACRO(a) \\\n"
+        "  do_something(a)\n"
+        "int y;\n");
+    EXPECT_TRUE(lines.count(1));
+    EXPECT_FALSE(lines.count(2));
+    EXPECT_TRUE(lines.count(3));
+    EXPECT_TRUE(lines.count(4));  // continuation of the #define
+    EXPECT_FALSE(lines.count(5));
+}
+
+TEST(DeclIndex, MembersLocalsAndParamsWithCoarseTypes) {
+    const auto ctx = context_of(
+        "class Q {\n"
+        " public:\n"
+        "  bool push(int item, const std::string& tag) {\n"
+        "    std::lock_guard<std::mutex> lock(mutex_);\n"
+        "    return true;\n"
+        "  }\n"
+        " private:\n"
+        "  mutable std::mutex mutex_;\n"
+        "  std::deque<int> items_;\n"
+        "};\n");
+    const auto m = model_of(ctx);
+
+    const Declaration* items = find_decl(m, "items_");
+    ASSERT_NE(items, nullptr);
+    EXPECT_EQ(items->kind, DeclKind::Member);
+    EXPECT_EQ(items->type, "std::deque");
+    EXPECT_EQ(items->type_terminal(), "deque");
+
+    const Declaration* mutex = find_decl(m, "mutex_");
+    ASSERT_NE(mutex, nullptr);
+    EXPECT_EQ(mutex->kind, DeclKind::Member);
+    EXPECT_EQ(mutex->type, "std::mutex");
+
+    const Declaration* lock = find_decl(m, "lock");
+    ASSERT_NE(lock, nullptr);
+    EXPECT_EQ(lock->kind, DeclKind::Local);
+    EXPECT_EQ(lock->type_terminal(), "lock_guard");
+    // The constructor argument's terminal identifier names the mutex.
+    ASSERT_EQ(lock->init_arg_terminals.size(), 1u);
+    EXPECT_EQ(lock->init_arg_terminals[0], "mutex_");
+
+    const Declaration* tag = find_decl(m, "tag");
+    ASSERT_NE(tag, nullptr);
+    EXPECT_EQ(tag->kind, DeclKind::Param);
+    EXPECT_TRUE(tag->is_reference);
+}
+
+TEST(DeclIndex, MultiDeclaratorStatementsResetPointerness) {
+    const auto ctx = context_of("void f() { int* a, b; }\n");
+    const auto m = model_of(ctx);
+    const Declaration* a = find_decl(m, "a");
+    const Declaration* b = find_decl(m, "b");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_TRUE(a->is_pointer);
+    EXPECT_FALSE(b->is_pointer);
+}
+
+TEST(DeclIndex, VisibleLocalHonorsShadowingAndScopeExit) {
+    const auto ctx = context_of(
+        "class S {\n"
+        "  void f() {\n"
+        "    { int state_ = 1; touch(state_); }\n"
+        "    touch(state_);\n"
+        "  }\n"
+        "  int state_ = 0;\n"
+        "};\n");
+    const auto m = model_of(ctx);
+    const CodeView& v = m.view;
+    // Find both uses of state_ inside touch(...) calls.
+    std::vector<std::size_t> uses;
+    for (std::size_t ci = 0; ci < v.size(); ++ci) {
+        if (v.tok(ci).text == "state_" && v.is(v.prev(ci), "(")) {
+            uses.push_back(ci);
+        }
+    }
+    ASSERT_EQ(uses.size(), 2u);
+    EXPECT_NE(m.decls.visible_local("state_", uses[0],
+                                    m.scopes.scope_at(uses[0]), m.scopes),
+              nullptr);
+    EXPECT_EQ(m.decls.visible_local("state_", uses[1],
+                                    m.scopes.scope_at(uses[1]), m.scopes),
+              nullptr);
+}
+
+TEST(DeclIndex, ForInitDeclarationsBelongToTheLoop) {
+    const auto ctx = context_of(
+        "void f() {\n"
+        "  for (std::size_t i = 0; i < n; ++i) { use(i); }\n"
+        "}\n");
+    const auto m = model_of(ctx);
+    const Declaration* i = find_decl(m, "i");
+    ASSERT_NE(i, nullptr);
+    EXPECT_EQ(i->kind, DeclKind::Local);
+    EXPECT_EQ(m.scopes.scopes()[static_cast<std::size_t>(i->scope)].kind,
+              ScopeKind::Loop);
+}
+
+TEST(Annotations, AttachedGuardedByBindsToTheSameLineDeclaration) {
+    const auto ctx = context_of(
+        "class S {\n"
+        "  std::mutex mu_;\n"
+        "  int state_ = 0;  // qrn:guarded_by(mu_)\n"
+        "};\n");
+    const auto m = model_of(ctx);
+    ASSERT_EQ(m.guarded.size(), 1u);
+    const GuardedByAnnotation& g = m.guarded[0];
+    EXPECT_EQ(g.mutex, "mu_");
+    ASSERT_GE(g.decl, 0);
+    EXPECT_EQ(m.decls.decls()[static_cast<std::size_t>(g.decl)].name, "state_");
+    EXPECT_TRUE(m.annotation_errors.empty());
+}
+
+TEST(Annotations, StandaloneGuardedByBindsToTheLineBelow) {
+    const auto ctx = context_of(
+        "class S {\n"
+        "  std::mutex mu_;\n"
+        "  // qrn:guarded_by(mu_)\n"
+        "  int state_ = 0;\n"
+        "};\n");
+    const auto m = model_of(ctx);
+    ASSERT_EQ(m.guarded.size(), 1u);
+    ASSERT_GE(m.guarded[0].decl, 0);
+    EXPECT_EQ(m.decls.decls()[static_cast<std::size_t>(m.guarded[0].decl)].name,
+              "state_");
+}
+
+TEST(Annotations, FileWideFormCarriesBothNames) {
+    const auto ctx = context_of(
+        "// qrn:guarded_by(readers_, readers_mutex_)\n"
+        "void f() { readers_.clear(); lock(readers_mutex_); }\n");
+    const auto m = model_of(ctx);
+    ASSERT_EQ(m.guarded.size(), 1u);
+    EXPECT_EQ(m.guarded[0].member, "readers_");
+    EXPECT_EQ(m.guarded[0].mutex, "readers_mutex_");
+    EXPECT_EQ(m.guarded[0].decl, -1);
+}
+
+TEST(Annotations, LockOrderChainsParse) {
+    const auto ctx = context_of(
+        "// qrn:lock_order(a_ < b_ < c_)\n"
+        "std::mutex a_; std::mutex b_; std::mutex c_;\n");
+    const auto m = model_of(ctx);
+    ASSERT_EQ(m.lock_order.size(), 1u);
+    ASSERT_EQ(m.lock_order[0].chain.size(), 3u);
+    EXPECT_EQ(m.lock_order[0].chain[0], "a_");
+    EXPECT_EQ(m.lock_order[0].chain[2], "c_");
+}
+
+TEST(Annotations, MalformedPayloadsAreErrorsNotSilence) {
+    const auto ctx = context_of(
+        "class S {\n"
+        "  std::mutex mu_;\n"
+        "  int a_ = 0;  // qrn:guarded_by()\n"
+        "  int b_ = 0;  // qrn:guarded_by(x, y, z)\n"
+        "};\n"
+        "// qrn:lock_order(only_one)\n"
+        "std::mutex only_one;\n");
+    const auto m = model_of(ctx);
+    EXPECT_EQ(m.guarded.size(), 0u);
+    EXPECT_EQ(m.lock_order.size(), 0u);
+    EXPECT_EQ(m.annotation_errors.size(), 3u);
+}
+
+TEST(Semantics, ModelIsBuiltOncePerFileContext) {
+    const auto ctx = context_of("int x;\n");
+    const SemanticModel& first = semantics(ctx);
+    const SemanticModel& second = semantics(ctx);
+    EXPECT_EQ(&first, &second);
+}
+
+}  // namespace
+}  // namespace qrn::lint

@@ -164,6 +164,81 @@ TEST(Tokenizer, CharLiteralWithEscapes) {
     EXPECT_TRUE(has_identifier(toks, "next"));
 }
 
+// The pins below freeze tokenizer behavior around digit separators and
+// literal prefixes: both are places where a naive lexer confuses the '
+// in 1'000 with a character literal, or splits u8'x' into an identifier
+// followed by a char literal. The shipped tokenizer already handles all
+// of them; these tests keep it that way.
+
+TEST(Tokenizer, DigitSeparatorsInHexBinaryAndSuffixedLiterals) {
+    for (const char* src :
+         {"0xFF'FF", "0b1010'1010", "1'000u", "1'000'000ull", "3.141'592",
+          "0x1'2p-3"}) {
+        const auto toks = code_tokens(src);
+        ASSERT_EQ(toks.size(), 1u) << src;
+        EXPECT_EQ(toks[0].kind, TokKind::Number) << src;
+        EXPECT_EQ(toks[0].text, src) << src;
+    }
+}
+
+TEST(Tokenizer, DigitSeparatorDoesNotOpenACharLiteral) {
+    // If the ' in 1'0 opened a char literal, the following tokens would be
+    // swallowed as literal payload and f would never surface.
+    const auto toks = code_tokens("auto n = 1'0; f('x');");
+    EXPECT_TRUE(has_identifier(toks, "f"));
+    const auto lit = std::find_if(toks.begin(), toks.end(), [](const Token& t) {
+        return t.kind == TokKind::CharLit;
+    });
+    ASSERT_NE(lit, toks.end());
+    EXPECT_EQ(lit->text, "'x'");
+}
+
+TEST(Tokenizer, EncodingPrefixedCharLiteralsAreOneToken) {
+    for (const char* src : {"u8'a'", "u'a'", "U'a'", "L'a'"}) {
+        const auto toks = code_tokens(src);
+        ASSERT_EQ(toks.size(), 1u) << src;
+        EXPECT_EQ(toks[0].kind, TokKind::CharLit) << src;
+        EXPECT_EQ(toks[0].text, src) << src;
+    }
+}
+
+TEST(Tokenizer, EncodingPrefixedCharLiteralWithEscape) {
+    const auto toks = code_tokens(R"(auto c = L'\''; next();)");
+    EXPECT_TRUE(has_identifier(toks, "next"));
+    const auto lit = std::find_if(toks.begin(), toks.end(), [](const Token& t) {
+        return t.kind == TokKind::CharLit;
+    });
+    ASSERT_NE(lit, toks.end());
+    EXPECT_EQ(lit->text, R"(L'\'')");
+}
+
+TEST(Tokenizer, EncodingPrefixedLiteralsKeepLineNumbers) {
+    const auto toks = code_tokens("int a;\nauto c = u8'x';\nint b;");
+    const auto lit = std::find_if(toks.begin(), toks.end(), [](const Token& t) {
+        return t.kind == TokKind::CharLit;
+    });
+    ASSERT_NE(lit, toks.end());
+    EXPECT_EQ(lit->line, 2);
+    const auto b = std::find_if(toks.begin(), toks.end(), [](const Token& t) {
+        return t.text == "b";
+    });
+    ASSERT_NE(b, toks.end());
+    EXPECT_EQ(b->line, 3);
+}
+
+TEST(Tokenizer, PrefixLookalikeIdentifiersStayIdentifiers) {
+    // u8x is an ordinary identifier; only the exact prefixes fuse with a
+    // following quote.
+    const auto toks = code_tokens("int u8x = 1; auto s = u8\"s\"; tail();");
+    EXPECT_TRUE(has_identifier(toks, "u8x"));
+    EXPECT_TRUE(has_identifier(toks, "tail"));
+    const auto str = std::find_if(toks.begin(), toks.end(), [](const Token& t) {
+        return t.kind == TokKind::String;
+    });
+    ASSERT_NE(str, toks.end());
+    EXPECT_EQ(str->text, "u8\"s\"");
+}
+
 TEST(Tokenizer, ScopeResolutionIsOneToken) {
     const auto toks = code_tokens("std::thread t;");
     ASSERT_GE(toks.size(), 3u);
