@@ -32,6 +32,7 @@
 #include "qrn/serialize.h"
 #include "quant/architecture.h"
 #include "sim/sim.h"
+#include "sim/splitting.h"
 #include "stats/sequential.h"
 #include "stats/rate_estimation.h"
 #include "stats/rng.h"
@@ -251,6 +252,30 @@ void BM_CampaignJobsMetrics(benchmark::State& state) {
         static_cast<int64_t>(config.fleets * config.hours_per_fleet));
 }
 BENCHMARK(BM_CampaignJobsMetrics)->Arg(1)->Arg(4)->UseRealTime();
+
+/// The rare-event path: one clone-and-prune splitting campaign over the
+/// fleet severity model (3 levels x range(0) trials, jobs=2). Covers the
+/// lineage replay cost - clones re-execute their parents' episode prefixes
+/// - on top of the per-encounter resolution the fleet benches measure, so
+/// a regression in either the driver bookkeeping or resolve_encounter
+/// shows up here scaled by the replay factor.
+void BM_SplittingCampaign(benchmark::State& state) {
+    sim::FleetConfig fleet;
+    fleet.seed = 11;
+    const sim::FleetSeverityModel model(fleet);
+    sim::SplittingConfig config;
+    config.levels = {40.0, 120.0, 210.0};
+    config.trials_per_level = static_cast<std::uint64_t>(state.range(0));
+    config.seed = 11;
+    std::uint64_t trials = 0;
+    for (auto _ : state) {
+        const auto result = sim::run_splitting(model, config, /*jobs=*/2);
+        trials += result.total_trials;
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(trials));
+}
+BENCHMARK(BM_SplittingCampaign)->Arg(100)->Arg(500)->UseRealTime();
 
 /// A synthetic fleet log of `records` validate-passing incidents for the
 /// shard codec benchmarks below.

@@ -1,6 +1,8 @@
 #include "serve/client.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <thread>
 
 namespace qrn::serve {
@@ -68,8 +70,12 @@ Client::ClassifyReply Client::classify_with_retry(
     for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
         reply = classify(exposure_hours, incidents);
         if (reply.status != Status::Busy) return reply;
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(reply.retry_after_ms));
+        if (attempt + 1 == max_attempts) break;  // no pointless final sleep
+        // A server under pressure may hint retry_after_ms = 0 ("retry
+        // now"); taking that literally busy-spins the connection and keeps
+        // the server saturated. Always yield at least 1 ms.
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::max<std::uint32_t>(reply.retry_after_ms, 1)));
     }
     return reply;  // still Busy after max_attempts; caller decides
 }

@@ -34,7 +34,10 @@ public:
                                          const std::vector<Incident>& incidents);
 
     /// Like classify(), but retries Busy replies (sleeping the server's
-    /// hint each time) until accepted or `max_attempts` is exhausted.
+    /// hint each time, floored at 1 ms so a zero hint cannot busy-spin
+    /// the connection) until accepted or `max_attempts` is exhausted.
+    /// Returns the final Busy reply without sleeping when the budget runs
+    /// out - the caller decides what rejection means.
     [[nodiscard]] ClassifyReply classify_with_retry(
         double exposure_hours, const std::vector<Incident>& incidents,
         unsigned max_attempts = 100);

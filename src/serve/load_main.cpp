@@ -11,6 +11,7 @@
 // records_sealed from a Status reply). Exit codes: 0 ok, 1 usage,
 // 2 a batch was finally rejected or a reply was malformed, 3 connect or
 // socket failure.
+#include <algorithm>
 #include <cstdint>
 #include <chrono>
 // qrn-lint: allow(iostream-in-lib) CLI entry point: stdout/stderr is the product surface
@@ -98,8 +99,10 @@ WorkerResult run_worker(const Options& options, unsigned worker) {
                     return result;
                 }
                 ++result.busy_retries;
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(reply.retry_after_ms));
+                // Floor the server's hint at 1 ms: a zero hint would spin
+                // this worker against a saturated daemon at socket speed.
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    std::max<std::uint32_t>(reply.retry_after_ms, 1)));
             }
         }
     } catch (const std::exception& error) {

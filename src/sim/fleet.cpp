@@ -200,138 +200,20 @@ void FleetSimulator::run_stretch(std::size_t index, double stretch, Environment 
             const EncounterKind kind = encounter_kind_from_index(kind_index);
             const std::uint64_t count = scratch.encounter_counts[kind_index];
             for (std::uint64_t i = 0; i < count; ++i) {
-                const Encounter encounter = sampler.sample(kind, env, rng);
+                // Draw-order contract: resolve_encounter consumes exactly the
+                // draws the former inline switch did (pinned by the fleet
+                // determinism tests), so stretch streams replay bit-identically.
+                const ResolvedEncounter resolved =
+                    resolve_encounter(kind, env, cruise_kmh, decel_cap, gap_stretch,
+                                      config_.policy, config_.perception, sampler, rng);
                 ++log.encounters;
-
-                const ActorType actor = counterparty_of(kind);
-                const double detect_m =
-                    config_.perception.sample_detection_distance_m(actor, env, rng);
-
-                EncounterOutcome outcome;
-                bool emergency = false;
-                switch (kind) {
-                    case EncounterKind::VruCrossing:
-                    case EncounterKind::AnimalCrossing:
-                    case EncounterKind::CrossingVehicle: {
-                        // The conflict is actionable only once detected; the
-                        // proactive layer has already slowed toward the
-                        // sight-speed rule for the prevailing visibility and
-                        // the density-dependent occlusion risk.
-                        const double seen_at =
-                            std::min(encounter.conflict_distance_m, detect_m);
-                        const double assumed_sight =
-                            std::min(detect_m, assumed_occlusion_sight_m(env));
-                        const double speed =
-                            config_.policy.approach_speed_kmh(cruise_kmh, assumed_sight);
-                        BrakeResponse response =
-                            config_.policy.braking_for(speed, seen_at, env.friction);
-                        // Physics, not policy: degraded brakes cap what the
-                        // vehicle can actually do.
-                        response.deceleration_ms2 =
-                            std::min(response.deceleration_ms2, decel_cap);
-                        emergency = config_.policy.is_emergency(response);
-                        outcome = resolve_crossing(speed, seen_at,
-                                                   encounter.crossing_speed_kmh, response);
-                        // A collision course does not always end in contact:
-                        // the crossing actor can evade (stop, retreat, leap)
-                        // when the closing speed leaves it a chance, and ego
-                        // can often steer around a single crossing actor.
-                        if (outcome.collision) {
-                            const double agility =
-                                kind == EncounterKind::VruCrossing       ? 0.85
-                                : kind == EncounterKind::CrossingVehicle ? 0.6
-                                                                         : 0.5;
-                            const double p_evade =
-                                agility * std::exp(-outcome.impact_speed_kmh / 40.0);
-                            const double p_swerve =
-                                0.5 * std::exp(-outcome.impact_speed_kmh / 60.0);
-                            const double p_avoid =
-                                1.0 - (1.0 - p_evade) * (1.0 - p_swerve);
-                            if (rng.bernoulli(p_avoid)) {
-                                EncounterOutcome avoided;
-                                avoided.min_gap_m = rng.uniform(0.2, 1.0);
-                                avoided.closing_speed_kmh = outcome.impact_speed_kmh;
-                                outcome = avoided;
-                            }
-                        }
-                        break;
-                    }
-                    case EncounterKind::OncomingDrift: {
-                        // The conflict point approaches at roughly combined
-                        // speed: ego only covers about half the sighting
-                        // distance before the meeting point, and a contact
-                        // is (near) head-on, doubling the impact delta-v.
-                        const double seen_at =
-                            std::min(encounter.conflict_distance_m, detect_m) * 0.5;
-                        BrakeResponse response = config_.policy.braking_for(
-                            cruise_kmh, seen_at, env.friction);
-                        response.deceleration_ms2 =
-                            std::min(response.deceleration_ms2, decel_cap);
-                        emergency = config_.policy.is_emergency(response);
-                        outcome = resolve_crossing(cruise_kmh, seen_at,
-                                                   encounter.crossing_speed_kmh, response);
-                        if (outcome.collision) {
-                            // The drifting driver usually corrects in time.
-                            const double p_correct =
-                                0.9 * std::exp(-outcome.impact_speed_kmh / 80.0);
-                            if (rng.bernoulli(p_correct)) {
-                                EncounterOutcome corrected;
-                                corrected.min_gap_m = rng.uniform(0.2, 1.2);
-                                corrected.closing_speed_kmh =
-                                    2.0 * outcome.impact_speed_kmh;
-                                outcome = corrected;
-                            } else {
-                                outcome.impact_speed_kmh *= 2.0;  // head-on
-                            }
-                        }
-                        break;
-                    }
-                    case EncounterKind::StationaryObstacle: {
-                        const double seen_at =
-                            std::min(encounter.conflict_distance_m, detect_m);
-                        const double speed =
-                            config_.policy.approach_speed_kmh(cruise_kmh, detect_m);
-                        BrakeResponse response =
-                            config_.policy.braking_for(speed, seen_at, env.friction);
-                        response.deceleration_ms2 =
-                            std::min(response.deceleration_ms2, decel_cap);
-                        emergency = config_.policy.is_emergency(response);
-                        outcome = resolve_stationary(speed, seen_at, response);
-                        break;
-                    }
-                    case EncounterKind::LeadVehicleBraking: {
-                        const double gap =
-                            config_.policy.following_gap_m(cruise_kmh) * gap_stretch;
-                        BrakeResponse response = config_.policy.braking_for_lead(
-                            cruise_kmh, gap, encounter.lead_decel_ms2, env.friction);
-                        response.deceleration_ms2 =
-                            std::min(response.deceleration_ms2, decel_cap);
-                        emergency = config_.policy.is_emergency(response);
-                        outcome = resolve_lead_braking(cruise_kmh, gap,
-                                                       encounter.lead_decel_ms2, response);
-                        break;
-                    }
-                    case EncounterKind::CutIn: {
-                        // After the cut-in the intruder brakes mildly; ego
-                        // must manage from the reduced gap.
-                        BrakeResponse response = config_.policy.braking_for_lead(
-                            cruise_kmh, encounter.cut_in_gap_m, encounter.lead_decel_ms2,
-                            env.friction);
-                        response.deceleration_ms2 =
-                            std::min(response.deceleration_ms2, decel_cap);
-                        emergency = config_.policy.is_emergency(response);
-                        outcome = resolve_lead_braking(cruise_kmh, encounter.cut_in_gap_m,
-                                                       encounter.lead_decel_ms2, response);
-                        break;
-                    }
-                }
                 const double timestamp = clock_hours + rng.uniform() * stretch;
-                if (auto incident =
-                        detect_incident(encounter, outcome, timestamp, config_.detector)) {
+                if (auto incident = detect_incident(resolved.encounter, resolved.outcome,
+                                                    timestamp, config_.detector)) {
                     log.incidents.push_back(*incident);
                 }
 
-                if (!emergency) continue;
+                if (!resolved.emergency) continue;
                 ++log.emergency_brakings;
                 // Secondary conflicts: ego's hard braking endangers traffic
                 // behind it (Fig. 4 lower half: ego as a causing factor).

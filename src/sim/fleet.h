@@ -9,7 +9,9 @@
 // to fleet data.
 #pragma once
 
+#include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -139,6 +141,145 @@ struct IncidentLog {
     /// the log a serial simulation would have written.
     void merge(IncidentLog&& other);
 };
+
+/// One encounter resolved through perception -> tactical braking ->
+/// kinematics (plus the evasion / correction behaviour of the counterpart).
+struct ResolvedEncounter {
+    Encounter encounter;
+    EncounterOutcome outcome;
+    bool emergency = false;  ///< Ego needed more than comfort deceleration.
+};
+
+/// Samples and resolves a single encounter of `kind` in `env`, drawing from
+/// `rng` in the exact sequence the fleet stretch loop uses (sample ->
+/// detection distance -> kind-specific resolution draws). Shared by
+/// FleetSimulator::run_stretch and the splitting driver's severity model so
+/// the two can never drift apart. `decel_cap` is the physically available
+/// deceleration (infinity when brakes are healthy) and `gap_stretch` the
+/// following-gap multiplier an aware degraded policy applies (1 otherwise).
+/// Defined inline: both the stretch loop and the splitting driver call it
+/// per encounter, and an out-of-line call here costs ~30% of fleet-sim
+/// throughput (BM_RunStretch).
+[[nodiscard]] inline ResolvedEncounter resolve_encounter(
+    EncounterKind kind, const Environment& env, double cruise_kmh,
+    double decel_cap, double gap_stretch, const TacticalPolicy& policy,
+    const PerceptionModel& perception, const ScenarioSampler& sampler,
+    stats::Rng& rng) {
+    ResolvedEncounter out;
+    out.encounter = sampler.sample(kind, env, rng);
+    const Encounter& encounter = out.encounter;
+
+    const ActorType actor = counterparty_of(kind);
+    const double detect_m = perception.sample_detection_distance_m(actor, env, rng);
+
+    EncounterOutcome outcome;
+    bool emergency = false;
+    switch (kind) {
+        case EncounterKind::VruCrossing:
+        case EncounterKind::AnimalCrossing:
+        case EncounterKind::CrossingVehicle: {
+            // The conflict is actionable only once detected; the
+            // proactive layer has already slowed toward the
+            // sight-speed rule for the prevailing visibility and
+            // the density-dependent occlusion risk.
+            const double seen_at = std::min(encounter.conflict_distance_m, detect_m);
+            const double assumed_sight =
+                std::min(detect_m, assumed_occlusion_sight_m(env));
+            const double speed = policy.approach_speed_kmh(cruise_kmh, assumed_sight);
+            BrakeResponse response = policy.braking_for(speed, seen_at, env.friction);
+            // Physics, not policy: degraded brakes cap what the
+            // vehicle can actually do.
+            response.deceleration_ms2 = std::min(response.deceleration_ms2, decel_cap);
+            emergency = policy.is_emergency(response);
+            outcome = resolve_crossing(speed, seen_at, encounter.crossing_speed_kmh,
+                                       response);
+            // A collision course does not always end in contact:
+            // the crossing actor can evade (stop, retreat, leap)
+            // when the closing speed leaves it a chance, and ego
+            // can often steer around a single crossing actor.
+            if (outcome.collision) {
+                const double agility =
+                    kind == EncounterKind::VruCrossing       ? 0.85
+                    : kind == EncounterKind::CrossingVehicle ? 0.6
+                                                             : 0.5;
+                const double p_evade =
+                    agility * std::exp(-outcome.impact_speed_kmh / 40.0);
+                const double p_swerve =
+                    0.5 * std::exp(-outcome.impact_speed_kmh / 60.0);
+                const double p_avoid = 1.0 - (1.0 - p_evade) * (1.0 - p_swerve);
+                if (rng.bernoulli(p_avoid)) {
+                    EncounterOutcome avoided;
+                    avoided.min_gap_m = rng.uniform(0.2, 1.0);
+                    avoided.closing_speed_kmh = outcome.impact_speed_kmh;
+                    outcome = avoided;
+                }
+            }
+            break;
+        }
+        case EncounterKind::OncomingDrift: {
+            // The conflict point approaches at roughly combined
+            // speed: ego only covers about half the sighting
+            // distance before the meeting point, and a contact
+            // is (near) head-on, doubling the impact delta-v.
+            const double seen_at =
+                std::min(encounter.conflict_distance_m, detect_m) * 0.5;
+            BrakeResponse response =
+                policy.braking_for(cruise_kmh, seen_at, env.friction);
+            response.deceleration_ms2 = std::min(response.deceleration_ms2, decel_cap);
+            emergency = policy.is_emergency(response);
+            outcome = resolve_crossing(cruise_kmh, seen_at,
+                                       encounter.crossing_speed_kmh, response);
+            if (outcome.collision) {
+                // The drifting driver usually corrects in time.
+                const double p_correct =
+                    0.9 * std::exp(-outcome.impact_speed_kmh / 80.0);
+                if (rng.bernoulli(p_correct)) {
+                    EncounterOutcome corrected;
+                    corrected.min_gap_m = rng.uniform(0.2, 1.2);
+                    corrected.closing_speed_kmh = 2.0 * outcome.impact_speed_kmh;
+                    outcome = corrected;
+                } else {
+                    outcome.impact_speed_kmh *= 2.0;  // head-on
+                }
+            }
+            break;
+        }
+        case EncounterKind::StationaryObstacle: {
+            const double seen_at = std::min(encounter.conflict_distance_m, detect_m);
+            const double speed = policy.approach_speed_kmh(cruise_kmh, detect_m);
+            BrakeResponse response = policy.braking_for(speed, seen_at, env.friction);
+            response.deceleration_ms2 = std::min(response.deceleration_ms2, decel_cap);
+            emergency = policy.is_emergency(response);
+            outcome = resolve_stationary(speed, seen_at, response);
+            break;
+        }
+        case EncounterKind::LeadVehicleBraking: {
+            const double gap = policy.following_gap_m(cruise_kmh) * gap_stretch;
+            BrakeResponse response = policy.braking_for_lead(
+                cruise_kmh, gap, encounter.lead_decel_ms2, env.friction);
+            response.deceleration_ms2 = std::min(response.deceleration_ms2, decel_cap);
+            emergency = policy.is_emergency(response);
+            outcome =
+                resolve_lead_braking(cruise_kmh, gap, encounter.lead_decel_ms2, response);
+            break;
+        }
+        case EncounterKind::CutIn: {
+            // After the cut-in the intruder brakes mildly; ego
+            // must manage from the reduced gap.
+            BrakeResponse response = policy.braking_for_lead(
+                cruise_kmh, encounter.cut_in_gap_m, encounter.lead_decel_ms2,
+                env.friction);
+            response.deceleration_ms2 = std::min(response.deceleration_ms2, decel_cap);
+            emergency = policy.is_emergency(response);
+            outcome = resolve_lead_braking(cruise_kmh, encounter.cut_in_gap_m,
+                                           encounter.lead_decel_ms2, response);
+            break;
+        }
+    }
+    out.outcome = outcome;
+    out.emergency = emergency;
+    return out;
+}
 
 /// Monte-Carlo fleet simulator. Deterministic for a given config (seed):
 /// the environment regime chain is sampled serially from its own RNG

@@ -36,10 +36,13 @@ RateInterval garwood_interval(const RateObservation& obs, double confidence) {
     RateInterval out;
     out.point = rate_mle(obs);
     out.confidence = confidence;
+    // Upper limit through the tail-mass entry point: at confidence
+    // 1 - 1e-9 the upper-tail mass alpha/2 is the small quantity, and
+    // chi_squared_quantile(1 - alpha/2, .) would round it away.
     out.lower = obs.events == 0
                     ? 0.0
                     : 0.5 * chi_squared_quantile(alpha / 2.0, 2.0 * k) / obs.exposure_hours;
-    out.upper = 0.5 * chi_squared_quantile(1.0 - alpha / 2.0, 2.0 * (k + 1.0)) /
+    out.upper = 0.5 * chi_squared_quantile_upper(alpha / 2.0, 2.0 * (k + 1.0)) /
                 obs.exposure_hours;
     return out;
 }
@@ -47,7 +50,8 @@ RateInterval garwood_interval(const RateObservation& obs, double confidence) {
 double rate_upper_bound(const RateObservation& obs, double confidence) {
     require_valid(obs, confidence);
     const double k = static_cast<double>(obs.events);
-    return 0.5 * chi_squared_quantile(confidence, 2.0 * (k + 1.0)) / obs.exposure_hours;
+    return 0.5 * chi_squared_quantile_upper(1.0 - confidence, 2.0 * (k + 1.0)) /
+           obs.exposure_hours;
 }
 
 double rate_lower_bound(const RateObservation& obs, double confidence) {

@@ -77,7 +77,9 @@ public:
     /// Forks an independent stream; deterministic given this stream's state.
     /// NOTE: order-dependent (the fork consumes one draw of *this*), so the
     /// result depends on how many draws preceded the call. Parallel
-    /// workloads must use the schedule-independent stream() instead.
+    /// workloads must use the schedule-independent stream() instead - as of
+    /// the importance-splitting work no production code calls split(); it
+    /// stays only for sequential conveniences and its own tests.
     Rng split() noexcept;
 
     /// Seed of the `stream_index`-th independent substream of `seed`:

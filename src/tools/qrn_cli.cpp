@@ -25,6 +25,20 @@
 //                                    additionally requires DIR to hold a
 //                                    previous run's manifest (exit 3
 //                                    otherwise).
+//   campaign --splitting L1,L2,... [--splitting-trials N] [--confidence C]
+//            [--policy P] [--seed N] [--odd ...] [--jobs N]
+//                                    rare-event mode (docs/RARE_EVENTS.md):
+//                                    run the clone-and-prune importance-
+//                                    splitting ladder over the fleet
+//                                    severity model and print the tail
+//                                    frequency of the last level with its
+//                                    composed Clopper-Pearson interval.
+//                                    Levels are positive, strictly
+//                                    increasing severities; N trials run
+//                                    per level (default 1000). Mutually
+//                                    exclusive with --fleets/--hours/
+//                                    --store/--resume; stdout is
+//                                    bit-identical for every --jobs.
 //   pipeline [--hours H] [--markdown] [--jobs N]
 //                                    full demo: allocate, simulate, verify,
 //                                    print the safety case (text or
@@ -66,9 +80,10 @@
 // Every numeric option is validated before any file is read or any
 // simulation starts: --hours finite and > 0, --confidence in (0, 1),
 // --ethics in (0, 1], --seed a plain unsigned integer, --fleets in
-// [1, 100000], --jobs in [1, 4096], --thresholds finite, positive and
-// strictly increasing. Signed input to unsigned flags is rejected (no
-// stoull wraparound), as is trailing junk ("10h" never parses as 10).
+// [1, 100000], --jobs in [1, 4096], --thresholds and --splitting finite,
+// positive and strictly increasing, --splitting-trials in [1, 1e7].
+// Signed input to unsigned flags is rejected (no stoull wraparound), as is
+// trailing junk ("10h" never parses as 10).
 //
 // --jobs N selects the worker-thread count for the Monte-Carlo stages
 // (default: the hardware concurrency). Outputs are bit-identical for
@@ -111,6 +126,7 @@
 #include "serve/server.h"
 #include "serve/service.h"
 #include "sim/sim.h"
+#include "sim/splitting.h"
 #include "stats/rng.h"
 #include "store/aggregate.h"
 #include "store/cache_key.h"
@@ -442,7 +458,120 @@ int cmd_campaign_store(const sim::CampaignConfig& config, const std::string& dir
     return 0;
 }
 
+/// Campaign in importance-splitting mode: instead of pooling N independent
+/// fleets, run the clone-and-prune multilevel ladder (docs/RARE_EVENTS.md)
+/// over the fleet severity model and report the tail frequency of the
+/// final severity level. The stdout document is bit-identical for every
+/// --jobs value - the CI smoke job diffs two runs byte-for-byte.
+int cmd_campaign_splitting(const Args& args, const std::string& levels_text) {
+    sim::SplittingConfig config;
+    config.levels = tools::parse_csv_list("--splitting", levels_text);
+    for (std::size_t i = 0; i < config.levels.size(); ++i) {
+        if (config.levels[i] <= 0.0 ||
+            (i > 0 && config.levels[i] <= config.levels[i - 1])) {
+            throw ParseError("--splitting", levels_text,
+                             "positive, strictly increasing severity levels");
+        }
+    }
+    if (const auto trials = args.option("--splitting-trials")) {
+        config.trials_per_level =
+            tools::parse_u64("--splitting-trials", *trials, 1, 10'000'000);
+    }
+    config.confidence = tools::parse_probability(
+        "--confidence", args.option("--confidence").value_or("0.95"));
+    sim::FleetConfig fleet;
+    fleet.policy = policy_by_name(args.option("--policy").value_or("nominal"));
+    fleet.odd = odd_by_name(args.option("--odd").value_or("urban"));
+    if (const auto seed = args.option("--seed")) {
+        fleet.seed = tools::parse_u64("--seed", *seed);
+    }
+    config.seed = fleet.seed;
+    const unsigned jobs = parse_jobs(args);
+    // Splitting replaces the fleet/hours exposure plan and never touches
+    // the shard cache; naming the conflicts keeps a scripted campaign from
+    // silently running something other than what its flags promised.
+    for (const char* flag : {"--fleets", "--hours", "--store", "--resume"}) {
+        if (args.has(flag)) {
+            throw ParseError(flag, args.option(flag).value_or(""),
+                             "no " + std::string(flag) +
+                                 " in --splitting mode (levels and "
+                                 "--splitting-trials set the effort)");
+        }
+    }
+
+    sim::SplittingResult result;
+    {
+        const obs::ScopedSpan span("splitting_campaign");
+        result = sim::run_splitting(sim::FleetSeverityModel(fleet), config, jobs);
+    }
+
+    report::Table table({"level", "trials", "survived", "eff n", "eff k",
+                         "conditional", "lower", "upper"});
+    for (std::size_t c = 1; c < 8; ++c) table.set_align(c, report::Align::Right);
+    for (const auto& level : result.estimate.levels) {
+        table.add_row({report::fixed(level.threshold, 2),
+                       std::to_string(level.trials),
+                       std::to_string(level.successes),
+                       std::to_string(level.effective_trials),
+                       std::to_string(level.effective_successes),
+                       report::scientific(level.conditional, 3),
+                       report::scientific(level.lower, 3),
+                       report::scientific(level.upper, 3)});
+    }
+    const auto rate = result.rate_interval();
+    std::cerr << table.render() << "splitting: " << result.total_trials
+              << " trials over " << result.estimate.levels.size()
+              << " level(s), " << result.simulated_hours() << " h simulated, "
+              << result.fresh_episodes << " fresh / " << result.replayed_episodes
+              << " replayed episode(s)\n"
+              << "tail rate: " << report::scientific(rate.point, 6) << "/h  ["
+              << report::scientific(rate.lower, 6) << ", "
+              << report::scientific(rate.upper, 6) << "]/h at "
+              << report::percent(result.estimate.confidence, 0)
+              << " confidence\n";
+
+    json::Array levels;
+    for (const auto& level : result.estimate.levels) {
+        levels.push_back(json::Value(json::Object{
+            {"threshold", level.threshold},
+            {"trials", static_cast<double>(level.trials)},
+            {"successes", static_cast<double>(level.successes)},
+            {"effective_trials", static_cast<double>(level.effective_trials)},
+            {"effective_successes",
+             static_cast<double>(level.effective_successes)},
+            {"conditional", level.conditional},
+            {"lower", level.lower},
+            {"upper", level.upper},
+        }));
+    }
+    std::cout << json::Value(json::Object{
+                                 {"kind", "qrn.splitting"},
+                                 {"confidence", result.estimate.confidence},
+                                 {"hours_per_trial", result.hours_per_trial},
+                                 {"simulated_hours", result.simulated_hours()},
+                                 {"tail_probability",
+                                  json::Value(json::Object{
+                                      {"point", result.estimate.point},
+                                      {"lower", result.estimate.lower},
+                                      {"upper", result.estimate.upper},
+                                  })},
+                                 {"rate_per_hour",
+                                  json::Value(json::Object{
+                                      {"point", rate.point},
+                                      {"lower", rate.lower},
+                                      {"upper", rate.upper},
+                                  })},
+                                 {"levels", std::move(levels)},
+                             })
+                     .dump(2)
+              << '\n';
+    return 0;
+}
+
 int cmd_campaign(const Args& args) {
+    if (const auto levels = args.option("--splitting")) {
+        return cmd_campaign_splitting(args, *levels);
+    }
     sim::CampaignConfig config;
     config.base.policy = policy_by_name(args.option("--policy").value_or("nominal"));
     config.base.odd = odd_by_name(args.option("--odd").value_or("urban"));
@@ -570,6 +699,8 @@ int usage() {
               << "          store <inspect|verify|merge> | serve | --version\n"
               << "global options: --jobs N, --metrics PATH (run manifest)\n"
               << "campaign caching: --store DIR (shard cache), --resume\n"
+              << "campaign rare events: --splitting L1,L2,... "
+                 "[--splitting-trials N]\n"
               << "exit codes: 0 ok, 1 usage/parse error, 2 norm not fulfilled\n"
               << "            or store corruption, 3 I/O error\n"
               << "see the file header of src/tools/qrn_cli.cpp for options\n";

@@ -454,6 +454,82 @@ TEST(Cli, MetricsStructureIndependentOfJobs) {
     std::remove(parallel_path.c_str());
 }
 
+TEST(Cli, CampaignSplittingEmitsDocument) {
+    const auto result = run_cli(
+        "campaign --splitting 40,120,210 --splitting-trials 100 --seed 7");
+    ASSERT_EQ(result.exit_code, 0);
+    const auto doc = qrn::json::parse(result.output);
+    EXPECT_EQ(doc.at("kind").as_string(), "qrn.splitting");
+    EXPECT_DOUBLE_EQ(doc.at("confidence").as_number(), 0.95);
+    EXPECT_DOUBLE_EQ(doc.at("hours_per_trial").as_number(), 1.0);
+    const auto& levels = doc.at("levels").as_array();
+    ASSERT_EQ(levels.size(), 3u);
+    EXPECT_DOUBLE_EQ(levels[0].at("threshold").as_number(), 40.0);
+    EXPECT_DOUBLE_EQ(levels[0].at("trials").as_number(), 100.0);
+    const auto& tail = doc.at("tail_probability");
+    EXPECT_LE(tail.at("lower").as_number(), tail.at("point").as_number());
+    EXPECT_LE(tail.at("point").as_number(), tail.at("upper").as_number());
+    // hours_per_trial is 1, so the rate interval equals the tail interval.
+    EXPECT_DOUBLE_EQ(doc.at("rate_per_hour").at("upper").as_number(),
+                     tail.at("upper").as_number());
+}
+
+TEST(Cli, CampaignSplittingOutputIndependentOfJobs) {
+    // Same contract as the fleet campaign: the clone-and-prune ladder's
+    // stdout document is byte-identical at every worker count.
+    const auto serial = run_cli(
+        "campaign --splitting 40,120,210 --splitting-trials 150 --seed 9 --jobs 1");
+    ASSERT_EQ(serial.exit_code, 0);
+    for (const char* jobs : {"2", "3", "8"}) {
+        const auto parallel = run_cli(
+            std::string("campaign --splitting 40,120,210 --splitting-trials 150 "
+                        "--seed 9 --jobs ") +
+            jobs);
+        ASSERT_EQ(parallel.exit_code, 0);
+        EXPECT_EQ(serial.output, parallel.output) << "jobs=" << jobs;
+    }
+}
+
+TEST(Cli, CampaignSplittingArgvValidation) {
+    // Non-increasing, non-positive, or empty ladders fail the grammar.
+    EXPECT_EQ(run_cli("campaign --splitting 40,30").exit_code, 1);
+    EXPECT_EQ(run_cli("campaign --splitting 0,10").exit_code, 1);
+    EXPECT_EQ(run_cli("campaign --splitting \"\"").exit_code, 1);
+    EXPECT_EQ(run_cli("campaign --splitting 10,20,").exit_code, 1);
+    EXPECT_EQ(
+        run_cli("campaign --splitting 10,20 --splitting-trials 0").exit_code, 1);
+    EXPECT_EQ(
+        run_cli("campaign --splitting 10,20 --splitting-trials 1x").exit_code, 1);
+    // Splitting replaces the fleet exposure plan and bypasses the shard
+    // cache: combining the modes is a usage error, not a silent choice.
+    EXPECT_EQ(run_cli("campaign --splitting 10,20 --fleets 2").exit_code, 1);
+    EXPECT_EQ(run_cli("campaign --splitting 10,20 --hours 5").exit_code, 1);
+    EXPECT_EQ(run_cli("campaign --splitting 10,20 --store /tmp/x").exit_code, 1);
+    EXPECT_EQ(run_cli("campaign --splitting 10,20 --resume").exit_code, 1);
+}
+
+TEST(Cli, CampaignSplittingMetricsCarrySplittingCounters) {
+    const std::string metrics_path = temp_path("metrics_splitting.json");
+    const auto result = run_cli(
+        "campaign --splitting 40,120 --splitting-trials 200 --seed 3 --metrics " +
+        metrics_path);
+    ASSERT_EQ(result.exit_code, 0);
+    const auto doc = qrn::json::parse(read_file(metrics_path));
+    EXPECT_EQ(doc.at("command").as_string(), "campaign");
+    EXPECT_TRUE(contains(names_of(doc, "phases"), "splitting_campaign"));
+    EXPECT_TRUE(contains(names_of(doc, "counters"), "splitting.campaigns"));
+    EXPECT_TRUE(contains(names_of(doc, "counters"), "splitting.trials"));
+    EXPECT_TRUE(contains(names_of(doc, "counters"), "splitting.survivors"));
+    EXPECT_TRUE(contains(names_of(doc, "timers"), "splitting.stage_ns"));
+    for (const auto& counter : doc.at("counters").as_array()) {
+        if (counter.at("name").as_string() != "splitting.trials") continue;
+        // 2 levels x 200 trials (stage 0 survives at this seed, so no
+        // extinction break truncates the ladder).
+        EXPECT_DOUBLE_EQ(counter.at("value").as_number(), 400.0);
+    }
+    std::remove(metrics_path.c_str());
+}
+
 TEST(Cli, MetricsUnwritablePathIsIoError) {
     const auto result = run_cli_stderr(
         "simulate --hours 5 --seed 1 --metrics /nonexistent-qrn-dir/m.json");

@@ -1,8 +1,10 @@
 // Determinism, range and first/second-moment sanity of the RNG samplers.
 #include "stats/rng.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -89,6 +91,57 @@ TEST(Rng, StreamsFromConsecutiveIndicesAreUncorrelated) {
             // leaves wide slack while still catching lockstep sequences.
             EXPECT_LT(std::fabs(corr), 0.1) << "streams " << a << " and " << b;
         }
+    }
+}
+
+TEST(Rng, StreamSeedInjectiveAtTheWeylWraparoundEdge) {
+    // stream_seed advances the whitened base by (stream_index + 1) Weyl
+    // steps before the finalizer. The Weyl constant is odd, so index ->
+    // (index + 1) * kWeyl is a bijection of the 2^64 index space and no
+    // two indices can share a seed - but the edge worth pinning is
+    // index = 2^64 - 1, where (index + 1) wraps to 0 and the multiplier
+    // vanishes. The seed there must still be well-defined, deterministic,
+    // and distinct from the low indices a real campaign uses.
+    constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+    const std::uint64_t at_wrap = Rng::stream_seed(42, kMax);
+    EXPECT_EQ(at_wrap, Rng::stream_seed(42, kMax));  // deterministic
+    const std::vector<std::uint64_t> edges = {0,        1,        2,
+                                              kMax - 2, kMax - 1, kMax};
+    for (std::uint64_t i : edges) {
+        for (std::uint64_t j : edges) {
+            if (i == j) continue;
+            ASSERT_NE(Rng::stream_seed(42, i), Rng::stream_seed(42, j))
+                << "indices " << i << " and " << j;
+        }
+    }
+    // The wrapped stream still produces a usable, non-degenerate sequence.
+    Rng rng = Rng::stream(42, kMax);
+    EXPECT_NE(rng(), rng());
+}
+
+TEST(Rng, SplittingStreamSpaceIsDisjointFromFleetStreams) {
+    // The clone-and-prune driver draws from stream indices
+    // kSplittingStreamBase + stage * N + slot (sim/splitting.h; the
+    // constant is mirrored here so the stats tests need not link the
+    // simulator). Fleet stretch streams use indices 0..hours+1. A seed
+    // collision between the two spaces would correlate the splitting
+    // campaign with the fleet run it is meant to refine, so pin pairwise
+    // distinctness across representative indices of both spaces.
+    constexpr std::uint64_t kSplittingStreamBase = std::uint64_t{1} << 62;
+    std::vector<std::uint64_t> indices;
+    for (std::uint64_t h = 0; h < 256; ++h) indices.push_back(h);  // fleet
+    for (std::uint64_t j = 0; j < 256; ++j) {
+        indices.push_back(kSplittingStreamBase + j);  // splitting stage slots
+    }
+    for (const std::uint64_t seed : {std::uint64_t{0}, std::uint64_t{42}}) {
+        std::vector<std::uint64_t> seeds;
+        seeds.reserve(indices.size());
+        for (const std::uint64_t index : indices) {
+            seeds.push_back(Rng::stream_seed(seed, index));
+        }
+        std::sort(seeds.begin(), seeds.end());
+        EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end())
+            << "stream seed collision at base seed " << seed;
     }
 }
 

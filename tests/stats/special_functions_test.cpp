@@ -127,6 +127,99 @@ TEST(ChiSquaredQuantile, KnownValues) {
 TEST(ChiSquaredQuantile, Domain) {
     EXPECT_THROW(chi_squared_quantile(0.5, 0.0), std::invalid_argument);
     EXPECT_THROW(chi_squared_quantile(0.5, -2.0), std::invalid_argument);
+    EXPECT_THROW(chi_squared_quantile_upper(0.5, 0.0), std::invalid_argument);
+    EXPECT_THROW(chi_squared_quantile_upper(0.0, 2.0), std::invalid_argument);
+    EXPECT_THROW(inverse_regularized_gamma_q(2.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(inverse_regularized_gamma_q(2.0, 1.5), std::invalid_argument);
+    EXPECT_DOUBLE_EQ(inverse_regularized_gamma_q(2.0, 1.0), 0.0);
+}
+
+// Extreme-tail pins against mpmath (50 significant digits, rounded to
+// double). This is the regime splitting CIs and C3-scale Garwood bounds
+// live in: tail masses down to 1e-12 and degrees of freedom up to 1e6.
+// The old fixed-500-iteration expansions silently truncated here (e.g.
+// chi_squared_quantile(0.5, 1e6) came back ~1000002 instead of 999999.33).
+TEST(ChiSquaredQuantile, ExtremeTailReferenceValues) {
+    struct Case {
+        double p;       // lower-tail mass
+        double k;       // degrees of freedom
+        double expect;  // mpmath reference
+    };
+    const Case lower_cases[] = {
+        {1e-9, 2.0, 2.000000001e-9},
+        {1e-12, 2.0, 2.000000000001e-12},
+        {0.5, 2.0, 1.3862943611198906},
+        {0.025, 2.0, 0.050635615968579751},
+        {1e-9, 10.0, 0.083152274485530964},
+        {1e-12, 10.0, 0.020778689705003601},
+        {0.5, 10.0, 9.3418177655919674},
+        {0.025, 10.0, 3.2469727802368411},
+        {1e-9, 100.0, 36.909297937181982},
+        {1e-12, 100.0, 30.084167586161841},
+        {0.5, 100.0, 99.334129235988456},
+        {0.025, 100.0, 74.221927474923726},
+        {1e-9, 1000.0, 754.63306317829334},
+        {1e-12, 1000.0, 716.94947878949761},
+        {0.5, 1000.0, 999.33341240338097},
+        {0.025, 1000.0, 914.25715379925893},
+        {1e-9, 100000.0, 97340.971572796578},
+        {1e-12, 100000.0, 96886.331207044523},
+        {0.5, 100000.0, 99999.333334123463},
+        {0.025, 100000.0, 99125.373300647352},
+        {1e-9, 1000000.0, 991541.12209384899},
+        {1e-12, 1000000.0, 990084.03669372474},
+        {0.5, 1000000.0, 999999.33333341235},
+        {0.025, 1000000.0, 997230.0871432901},
+    };
+    for (const auto& c : lower_cases) {
+        EXPECT_NEAR(chi_squared_quantile(c.p, c.k), c.expect, 1e-12 * c.expect)
+            << "p=" << c.p << " k=" << c.k;
+    }
+    // Upper-tail entry point: q is the small mass, so the references are
+    // the 1 - q quantiles computed at full precision in mpmath.
+    const Case upper_cases[] = {
+        {1e-9, 2.0, 41.446531673892822},
+        {1e-9, 10.0, 62.945457420558571},
+        {1e-9, 100.0, 209.317598706542},
+        {1e-9, 1000.0, 1291.9578662356022},
+        {1e-9, 100000.0, 102705.65960579477},
+        {1e-9, 1000000.0, 1008505.5094507971},
+        {0.025, 2.0, 7.3777589082278726},
+        {0.025, 10.0, 20.483177350807397},
+        {0.025, 100.0, 129.56119718583659},
+        {0.025, 1000.0, 1089.5309127749135},
+        {0.025, 100000.0, 100878.41530566557},
+        {0.025, 1000000.0, 1002773.701467926},
+    };
+    for (const auto& c : upper_cases) {
+        EXPECT_NEAR(chi_squared_quantile_upper(c.p, c.k), c.expect, 1e-12 * c.expect)
+            << "q=" << c.p << " k=" << c.k;
+    }
+}
+
+// The inverse must localise the quantile to ~1e-11 RELATIVE accuracy in x
+// even where the tail mass is astronomically small - that is what makes
+// Garwood bounds at 1 - 1e-9 confidence trustworthy rather than silently
+// wrong. (A round-trip check in p would conflate this with the forward
+// functions' conditioning: near a = 5e5 the tail mass responds to a 1e-11
+// shift in x with a ~1e-7 relative change, so bracketing x is the sharper
+// and better-posed assertion.)
+TEST(InverseRegularizedGamma, ExtremeTailBracketsTrueQuantile) {
+    constexpr double kRelTol = 2e-11;
+    for (double a : {1.0, 5.0, 50.0, 500.0, 5e4, 5e5}) {
+        for (double p : {1e-12, 1e-9, 1e-4, 0.025, 0.5}) {
+            const double x = inverse_regularized_gamma_p(a, p);
+            EXPECT_LT(regularized_gamma_p(a, x * (1.0 - kRelTol)), p)
+                << "a=" << a << " p=" << p;
+            EXPECT_GT(regularized_gamma_p(a, x * (1.0 + kRelTol)), p)
+                << "a=" << a << " p=" << p;
+            const double xq = inverse_regularized_gamma_q(a, p);
+            EXPECT_GT(regularized_gamma_q(a, xq * (1.0 - kRelTol)), p)
+                << "a=" << a << " q=" << p;
+            EXPECT_LT(regularized_gamma_q(a, xq * (1.0 + kRelTol)), p)
+                << "a=" << a << " q=" << p;
+        }
+    }
 }
 
 TEST(NormalCdf, KnownValues) {
