@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "sched/plan.h"
+#include "sched/ready_queue.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "serve/service.h"
@@ -380,6 +382,38 @@ void BM_ServeClassify(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_ServeClassify)->Arg(512)->Arg(4096)->UseRealTime();
+
+/// The distributed coordinator's per-campaign scheduling overhead: compile
+/// a range(0)-fleet campaign into its work DAG (content keys, topo order,
+/// critical-path levels, budget metrics) and drain the ready queue in
+/// dispatch order, per fleet node. This is everything the coordinator does
+/// besides waiting on workers, so it bounds how small a shard can get
+/// before scheduling dominates simulation.
+void BM_SchedDispatch(benchmark::State& state) {
+    sched::CampaignPlan shape;
+    shape.policy = "nominal";
+    shape.odd = "urban";
+    shape.seed = 11;
+    shape.fleets = static_cast<std::uint64_t>(state.range(0));
+    shape.hours_per_fleet = 50.0;
+    const sim::CampaignConfig config = sched::config_from_plan(shape, 1);
+    const sched::CampaignPlan plan = sched::make_plan(
+        shape.policy, shape.odd, config, sched::campaign_inputs_digest());
+    for (auto _ : state) {
+        const sched::Dag dag = sched::build_campaign_dag(plan);
+        benchmark::DoNotOptimize(sched::compute_metrics(dag));
+        sched::ReadyQueue ready;
+        for (const sched::PlanNode& node : plan.nodes) {
+            const auto i = *dag.index_of(sched::plan_node_id(node.fleet_index));
+            ready.push(sched::ReadyItem{i, dag.level(i), dag.node(i).id});
+        }
+        while (!ready.empty()) {
+            benchmark::DoNotOptimize(ready.pop());
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedDispatch)->Arg(100)->Arg(1000);
 
 /// Collects finished runs so a JSON baseline can be written after the
 /// console report. GetAdjustedRealTime() already folds in the per-

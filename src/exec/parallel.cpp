@@ -99,67 +99,117 @@ void parallel_for(unsigned jobs, std::size_t count,
         obs::add_counter("exec.tasks_submitted", chunks.size());
     }
 
-    // Completion state lives in a shared block co-owned by every submitted
-    // task, NOT on this stack frame: if submit() throws mid-loop (pool
-    // stopping), already-queued tasks still run and must find their
-    // errors/mutex/counter alive even while this frame unwinds.
+    // Completion state lives on THIS stack frame, and workers reach it
+    // only through a raw pointer held by their task objects. That is safe
+    // because this frame never unwinds - not even when submit() throws
+    // mid-loop - until `remaining` says every constructed task has been
+    // DESTROYED, and it is the whole point: after the final decrement a
+    // worker touches no memory this thread will ever look at again, so
+    // there is no teardown tail racing the main thread's reads. (The
+    // previous design co-owned a heap block via shared_ptr and decremented
+    // from the task body; a worker's late release of its last reference
+    // could then free the stored exception while the main thread was still
+    // inspecting the rethrown copy - synchronized only by uninstrumented
+    // libstdc++ refcounts, which ThreadSanitizer flagged intermittently.)
     struct Completion {
         std::vector<std::exception_ptr> errors;
         std::mutex mutex;
         std::condition_variable done;
         std::size_t remaining = 0;
     };
-    auto state = std::make_shared<Completion>();
-    state->errors.resize(chunks.size());
-    state->remaining = chunks.size();
+    Completion state;
+    state.errors.resize(chunks.size());
+    state.remaining = chunks.size();
+
+    // One chunk's unit of work, tied to the completion state by its
+    // DESTRUCTOR, not by its body: the decrement fires only once the pool
+    // worker has fully torn the task down (body returned, the caught
+    // exception stored, the chunk's turn at the shared block over). So
+    // `remaining == 0` means "no submitted task will ever touch the
+    // completion state or `body` again" - the quiesce that lets this frame
+    // safely rethrow the stored exceptions and unwind.
+    struct ChunkTask {
+        Completion* state;
+        const std::function<void(const ChunkRange&)>* body;
+        ChunkRange chunk;
+        std::uint64_t enqueue_ns;
+        bool metrics;
+
+        ChunkTask(Completion* state_in,
+                  const std::function<void(const ChunkRange&)>* body_in,
+                  const ChunkRange& chunk_in, std::uint64_t enqueue_ns_in,
+                  bool metrics_in)
+            : state(state_in),
+              body(body_in),
+              chunk(chunk_in),
+              enqueue_ns(enqueue_ns_in),
+              metrics(metrics_in) {}
+
+        ChunkTask(const ChunkTask&) = delete;
+        ChunkTask& operator=(const ChunkTask&) = delete;
+
+        ~ChunkTask() {
+            // Notify while holding the lock: the waiter may return from
+            // wait() as soon as it observes remaining == 0, which it can
+            // only do after we release the mutex - i.e. strictly after
+            // notify_one returns. This is the task's last access to any
+            // shared state; what remains is freeing the task's own block.
+            const std::lock_guard<std::mutex> lock(state->mutex);
+            --state->remaining;
+            state->done.notify_one();
+        }
+
+        void run() {
+            if (metrics) {
+                obs::record_timer("exec.task_wait_ns",
+                                  obs::now_ns() - enqueue_ns);
+            }
+            try {
+                const obs::ScopedTimer timer("exec.chunk_ns");
+                (*body)(chunk);
+            } catch (...) {
+                state->errors[chunk.index] = std::current_exception();
+            }
+        }
+    };
 
     auto& pool = ThreadPool::shared();
-    std::size_t submitted = 0;
+    // Chunks whose decrement is owned by a constructed ChunkTask. A task
+    // destroyed without ever running (its submit() threw after the task
+    // existed) still decrements, so the accounting holds on every path.
+    std::size_t accounted = 0;
     try {
         for (const auto& chunk : chunks) {
             if (detail::g_submit_fault) detail::g_submit_fault(chunk.index);
             const std::uint64_t enqueue_ns = metrics ? obs::now_ns() : 0;
-            pool.submit([state, &body, chunk, enqueue_ns, metrics] {
-                if (metrics) {
-                    obs::record_timer("exec.task_wait_ns",
-                                      obs::now_ns() - enqueue_ns);
-                }
-                try {
-                    const obs::ScopedTimer timer("exec.chunk_ns");
-                    body(chunk);
-                } catch (...) {
-                    state->errors[chunk.index] = std::current_exception();
-                }
-                {
-                    // Notify while holding the lock: the waiter may return
-                    // from wait() as soon as it observes remaining == 0,
-                    // which it can only do after we release the mutex -
-                    // i.e. strictly after notify_one returns.
-                    const std::lock_guard<std::mutex> lock(state->mutex);
-                    --state->remaining;
-                    state->done.notify_one();
-                }
-            });
-            ++submitted;
+            // shared_ptr only to satisfy std::function's copyability; the
+            // dtor - and therefore the decrement - still runs exactly once.
+            auto task = std::make_shared<ChunkTask>(&state, &body, chunk,
+                                                    enqueue_ns, metrics);
+            ++accounted;
+            pool.submit([task] { task->run(); });
         }
     } catch (...) {
-        // Submission failed mid-loop. The chunks never submitted will not
-        // run; drain the ones that were, so the caller-owned `body` is not
-        // referenced after this frame unwinds, then surface the failure.
+        // Submission failed mid-loop. Chunks that never got a task will
+        // not decrement; take their share off ourselves, then wait for
+        // every constructed task to be destroyed - which drains the ones
+        // that were queued, so neither the caller-owned `body` nor this
+        // frame's state is referenced after it unwinds - then surface the
+        // failure.
         {
-            std::unique_lock<std::mutex> lock(state->mutex);
-            state->remaining -= chunks.size() - submitted;
-            state->done.wait(lock, [&] { return state->remaining == 0; });
+            std::unique_lock<std::mutex> lock(state.mutex);
+            state.remaining -= chunks.size() - accounted;
+            state.done.wait(lock, [&] { return state.remaining == 0; });
         }
         throw;
     }
     {
-        std::unique_lock<std::mutex> lock(state->mutex);
-        state->done.wait(lock, [&] { return state->remaining == 0; });
+        std::unique_lock<std::mutex> lock(state.mutex);
+        state.done.wait(lock, [&] { return state.remaining == 0; });
     }
     // Rethrow the lowest-index failure: the same exception a serial
     // left-to-right loop would have raised first.
-    for (auto& error : state->errors) {
+    for (auto& error : state.errors) {
         if (error) std::rethrow_exception(error);
     }
 }

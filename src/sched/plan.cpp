@@ -1,0 +1,264 @@
+#include "sched/plan.h"
+
+#include <bit>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "qrn/json.h"
+#include "qrn/serialize.h"
+#include "store/cache_key.h"
+#include "store/format.h"
+#include "store/sync.h"
+
+namespace qrn::sched {
+
+namespace {
+
+constexpr std::string_view kPlanKind = "qrn.sched.plan";
+constexpr int kPlanSchemaVersion = 1;
+
+sim::TacticalPolicy policy_from_name(const std::string& name) {
+    if (name == "cautious") return sim::TacticalPolicy::cautious();
+    if (name == "nominal") return sim::TacticalPolicy::nominal();
+    if (name == "performance") return sim::TacticalPolicy::performance();
+    throw SchedError("campaign plan names unknown policy '" + name +
+                     "' (a plan from a different build?)");
+}
+
+sim::Odd odd_from_name(const std::string& name) {
+    if (name == "urban") return sim::Odd::urban();
+    if (name == "highway") return sim::Odd::highway();
+    throw SchedError("campaign plan names unknown ODD '" + name +
+                     "' (a plan from a different build?)");
+}
+
+std::uint64_t plan_u64(const qrn::json::Value& value, const std::string& what) {
+    if (!value.is_number() || value.as_number() < 0) {
+        throw SchedError("campaign plan field '" + what +
+                         "' is not a non-negative number");
+    }
+    return static_cast<std::uint64_t>(value.as_number());
+}
+
+}  // namespace
+
+std::string plan_node_id(std::uint64_t fleet_index) {
+    std::string digits = std::to_string(fleet_index);
+    if (digits.size() < 5) digits.insert(0, 5 - digits.size(), '0');
+    return "fleet-" + digits;
+}
+
+std::optional<std::uint64_t> fleet_index_of(std::string_view id) {
+    constexpr std::string_view prefix = "fleet-";
+    if (id.size() <= prefix.size() || id.substr(0, prefix.size()) != prefix) {
+        return std::nullopt;
+    }
+    std::uint64_t value = 0;
+    for (const char ch : id.substr(prefix.size())) {
+        if (ch < '0' || ch > '9') return std::nullopt;
+        value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+    }
+    return value;
+}
+
+std::string campaign_inputs_digest() {
+    return to_json(IncidentTypeSet::paper_vru_example()).dump();
+}
+
+CampaignPlan make_plan(std::string policy, std::string odd,
+                       const sim::CampaignConfig& config,
+                       std::string_view inputs_digest) {
+    if (config.fleets == 0) {
+        throw SchedError("make_plan: campaign must have at least one fleet");
+    }
+    CampaignPlan plan;
+    plan.policy = std::move(policy);
+    plan.odd = std::move(odd);
+    plan.seed = config.base.seed;
+    plan.fleets = config.fleets;
+    plan.hours_per_fleet = config.hours_per_fleet;
+    plan.nodes.reserve(config.fleets);
+    for (std::size_t i = 0; i < config.fleets; ++i) {
+        plan.nodes.push_back(PlanNode{
+            i, store::fleet_cache_key(config.base, config.hours_per_fleet, i,
+                                      inputs_digest)});
+    }
+    return plan;
+}
+
+sim::CampaignConfig config_from_plan(const CampaignPlan& plan, unsigned jobs) {
+    sim::CampaignConfig config;
+    config.base.policy = policy_from_name(plan.policy);
+    config.base.odd = odd_from_name(plan.odd);
+    config.base.seed = plan.seed;
+    config.fleets = plan.fleets;
+    config.hours_per_fleet = plan.hours_per_fleet;
+    config.jobs = jobs;
+    return config;
+}
+
+void verify_plan_keys(const CampaignPlan& plan, std::string_view inputs_digest) {
+    const sim::CampaignConfig config = config_from_plan(plan, 1);
+    for (const PlanNode& node : plan.nodes) {
+        const std::uint64_t key =
+            store::fleet_cache_key(config.base, config.hours_per_fleet,
+                                   node.fleet_index, inputs_digest);
+        if (key != node.key) {
+            throw SchedError(
+                "plan key mismatch for " + plan_node_id(node.fleet_index) +
+                ": plan says " + store::key_hex(node.key) +
+                ", this build computes " + store::key_hex(key) +
+                " (config or catalog skew; refusing to produce divergent "
+                "shards)");
+        }
+    }
+}
+
+std::string plan_path(const std::string& store_dir) {
+    return store_dir + "/sched/plan.json";
+}
+
+std::string lease_dir(const std::string& store_dir) {
+    return store_dir + "/sched/leases";
+}
+
+void write_plan(const std::string& store_dir, const CampaignPlan& plan) {
+    namespace json = qrn::json;
+    std::error_code ec;
+    std::filesystem::create_directories(lease_dir(store_dir), ec);
+    if (ec) {
+        throw store::StoreError(store::StoreErrorKind::Io,
+                                "cannot create '" + lease_dir(store_dir) +
+                                    "': " + ec.message());
+    }
+
+    json::Array nodes;
+    nodes.reserve(plan.nodes.size());
+    for (const PlanNode& node : plan.nodes) {
+        json::Object row;
+        row.emplace_back("fleet_index",
+                         json::Value(static_cast<std::size_t>(node.fleet_index)));
+        row.emplace_back("key", json::Value(store::key_hex(node.key)));
+        nodes.emplace_back(std::move(row));
+    }
+    json::Object doc;
+    doc.emplace_back("kind", json::Value(std::string(kPlanKind)));
+    doc.emplace_back("schema_version", json::Value(kPlanSchemaVersion));
+    doc.emplace_back("policy", json::Value(plan.policy));
+    doc.emplace_back("odd", json::Value(plan.odd));
+    doc.emplace_back("seed", json::Value(store::key_hex(plan.seed)));
+    doc.emplace_back("hours_bits",
+                     json::Value(store::key_hex(
+                         std::bit_cast<std::uint64_t>(plan.hours_per_fleet))));
+    // Informational rendering only; the bits above are authoritative.
+    doc.emplace_back("hours_per_fleet", json::Value(plan.hours_per_fleet));
+    doc.emplace_back("fleets", json::Value(static_cast<std::size_t>(plan.fleets)));
+    doc.emplace_back("nodes", json::Value(std::move(nodes)));
+
+    const std::string path = plan_path(store_dir);
+    const std::string tmp = path + std::string(store::kTempSuffix);
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            throw store::StoreError(store::StoreErrorKind::Io,
+                                    "cannot open '" + tmp + "' for writing");
+        }
+        out << json::Value(std::move(doc)).dump(2) << '\n';
+        out.flush();
+        if (!out.good()) {
+            throw store::StoreError(store::StoreErrorKind::Io,
+                                    "I/O error while writing plan '" + tmp + "'");
+        }
+    }
+    store::sync_file(tmp);
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        throw store::StoreError(store::StoreErrorKind::Io,
+                                "cannot rename '" + tmp + "' to '" + path +
+                                    "': " + ec.message());
+    }
+    store::sync_directory(store_dir + "/sched");
+}
+
+std::optional<CampaignPlan> read_plan(const std::string& store_dir) {
+    const std::string path = plan_path(store_dir);
+    std::ifstream in(path);
+    if (!in) {
+        std::error_code ec;
+        if (std::filesystem::exists(path, ec)) {
+            throw store::StoreError(store::StoreErrorKind::Io,
+                                    "plan '" + path + "' exists but cannot be read");
+        }
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (in.bad()) {
+        throw store::StoreError(store::StoreErrorKind::Io,
+                                "I/O error while reading plan '" + path + "'");
+    }
+
+    namespace json = qrn::json;
+    CampaignPlan plan;
+    try {
+        const json::Value doc = json::parse(text.str());
+        if (doc.at("kind").as_string() != kPlanKind) {
+            throw SchedError("'" + path + "' is not a campaign plan (kind '" +
+                             doc.at("kind").as_string() + "')");
+        }
+        const auto version = plan_u64(doc.at("schema_version"), "schema_version");
+        if (version != static_cast<std::uint64_t>(kPlanSchemaVersion)) {
+            throw SchedError("plan '" + path + "' has schema version " +
+                             std::to_string(version) + "; this build reads " +
+                             std::to_string(kPlanSchemaVersion));
+        }
+        plan.policy = doc.at("policy").as_string();
+        plan.odd = doc.at("odd").as_string();
+        plan.seed = store::key_from_hex(doc.at("seed").as_string());
+        plan.hours_per_fleet = std::bit_cast<double>(
+            store::key_from_hex(doc.at("hours_bits").as_string()));
+        plan.fleets = plan_u64(doc.at("fleets"), "fleets");
+        for (const json::Value& row : doc.at("nodes").as_array()) {
+            PlanNode node;
+            node.fleet_index = plan_u64(row.at("fleet_index"), "fleet_index");
+            node.key = store::key_from_hex(row.at("key").as_string());
+            plan.nodes.push_back(node);
+        }
+    } catch (const SchedError&) {
+        throw;
+    } catch (const std::exception& e) {
+        throw SchedError("plan '" + path + "' is malformed: " + e.what());
+    }
+    if (plan.fleets == 0 || plan.nodes.size() != plan.fleets) {
+        throw SchedError("plan '" + path + "' declares " +
+                         std::to_string(plan.fleets) + " fleet(s) but lists " +
+                         std::to_string(plan.nodes.size()) + " node(s)");
+    }
+    for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
+        if (plan.nodes[i].fleet_index != i) {
+            throw SchedError("plan '" + path +
+                             "' nodes are not in fleet order at position " +
+                             std::to_string(i));
+        }
+    }
+    return plan;
+}
+
+Dag build_campaign_dag(const CampaignPlan& plan) {
+    Dag dag;
+    const std::size_t generate = dag.add_node(std::string(kGenerateNode), 1.0);
+    const std::size_t aggregate = dag.add_node(std::string(kAggregateNode), 1.0);
+    const std::size_t verify = dag.add_node(std::string(kVerifyNode), 1.0);
+    for (const PlanNode& node : plan.nodes) {
+        const std::size_t fleet =
+            dag.add_node(plan_node_id(node.fleet_index), plan.hours_per_fleet);
+        dag.add_edge(generate, fleet);
+        dag.add_edge(fleet, aggregate);
+    }
+    dag.add_edge(aggregate, verify);
+    dag.build();
+    return dag;
+}
+
+}  // namespace qrn::sched

@@ -55,6 +55,27 @@ bool reusable(const Store& store, const ShardEntry& entry, std::uint64_t key,
 
 }  // namespace
 
+ShardEntry simulate_fleet_shard(const sim::CampaignConfig& config,
+                                const std::string& dir,
+                                std::size_t fleet_index,
+                                std::string_view inputs_digest) {
+    const std::uint64_t key = fleet_cache_key(config.base, config.hours_per_fleet,
+                                              fleet_index, inputs_digest);
+    sim::FleetConfig fleet = config.base;
+    fleet.seed = stats::Rng::stream_seed(config.base.seed, fleet_index);
+    const sim::IncidentLog log =
+        sim::FleetSimulator(fleet).run(config.hours_per_fleet);
+
+    ShardEntry entry;
+    entry.fleet_index = fleet_index;
+    entry.file = Store::shard_filename(fleet_index, key);
+    entry.cache_key = key;
+    entry.records = log.incidents.size();
+    entry.exposure_hours = log.exposure.hours();
+    write_shard(dir + "/" + entry.file, key, fleet_index, log);
+    return entry;
+}
+
 StoreCampaignStats run_campaign_with_store(const sim::CampaignConfig& config,
                                            Store& store,
                                            std::string_view inputs_digest) {
@@ -98,18 +119,8 @@ StoreCampaignStats run_campaign_with_store(const sim::CampaignConfig& config,
 
             if (obs::enabled()) obs::add_counter("store.cache_misses", 1);
             simulated.fetch_add(1, std::memory_order_relaxed);
-            sim::FleetConfig fleet = config.base;
-            fleet.seed = stats::Rng::stream_seed(config.base.seed, i);
-            const sim::IncidentLog log =
-                sim::FleetSimulator(fleet).run(config.hours_per_fleet);
-
-            ShardEntry entry;
-            entry.fleet_index = i;
-            entry.file = Store::shard_filename(i, key);
-            entry.cache_key = key;
-            entry.records = log.incidents.size();
-            entry.exposure_hours = log.exposure.hours();
-            write_shard(store.shard_path(entry), key, i, log);
+            const ShardEntry entry =
+                simulate_fleet_shard(config, store.dir(), i, inputs_digest);
 
             // A previous run may have left this fleet under a different
             // key (different config); the new manifest row supersedes it,

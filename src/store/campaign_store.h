@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -42,5 +43,16 @@ struct StoreCampaignStats {
 /// plain run_campaign would also reject.
 [[nodiscard]] StoreCampaignStats run_campaign_with_store(
     const sim::CampaignConfig& config, Store& store, std::string_view inputs_digest);
+
+/// Simulates one fleet of the campaign and seals its shard into `dir`,
+/// without touching any manifest: the single code path behind both the
+/// local cache-miss branch above and the distributed scheduler's workers,
+/// so a shard's bytes depend only on the campaign inputs - never on which
+/// process produced it. Returns the manifest row describing the sealed
+/// shard (the caller decides whether and where to record it).
+[[nodiscard]] ShardEntry simulate_fleet_shard(const sim::CampaignConfig& config,
+                                              const std::string& dir,
+                                              std::size_t fleet_index,
+                                              std::string_view inputs_digest);
 
 }  // namespace qrn::store

@@ -1,0 +1,171 @@
+#include "store/lease.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "qrn/json.h"
+#include "store/format.h"
+#include "store/sync.h"
+
+namespace qrn::store {
+
+namespace {
+
+constexpr std::string_view kLeaseKind = "qrn.lease";
+constexpr std::string_view kLeaseExtension = ".lease";
+
+[[noreturn]] void throw_io(const std::string& action, const std::string& path) {
+    throw StoreError(StoreErrorKind::Io,
+                     action + " failed for " + path + ": " + std::strerror(errno));
+}
+
+std::string lease_json(const Lease& lease) {
+    json::Object doc;
+    doc.emplace_back("kind", json::Value(std::string(kLeaseKind)));
+    doc.emplace_back("node", json::Value(lease.node));
+    doc.emplace_back("owner", json::Value(lease.owner));
+    // Epoch milliseconds (~2^41) and generations sit far below 2^53, so
+    // the JSON-number round trip is exact, as for manifest fleet indices.
+    doc.emplace_back("acquired_ms",
+                     json::Value(static_cast<std::size_t>(lease.acquired_ms)));
+    doc.emplace_back("ttl_ms", json::Value(static_cast<std::size_t>(lease.ttl_ms)));
+    doc.emplace_back("generation",
+                     json::Value(static_cast<std::size_t>(lease.generation)));
+    return json::Value(std::move(doc)).dump(2) + "\n";
+}
+
+/// Writes `lease` to a temp file unique to this process AND call (the
+/// coordinator's dispatch and renewal threads both write leases), fsync'd
+/// and ready to be published by link(2) or rename(2).
+std::string write_lease_temp(const std::string& dir, const Lease& lease) {
+    static std::atomic<std::uint64_t> counter{0};
+    const std::string tmp = lease_path(dir, lease.node) + kTempSuffix.data() + "-" +
+                            std::to_string(::getpid()) + "-" +
+                            std::to_string(counter.fetch_add(1));
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            throw StoreError(StoreErrorKind::Io,
+                             "cannot open '" + tmp + "' for writing");
+        }
+        out << lease_json(lease);
+        out.flush();
+        if (!out.good()) {
+            throw StoreError(StoreErrorKind::Io,
+                             "I/O error while writing lease temp '" + tmp + "'");
+        }
+    }
+    sync_file(tmp);
+    return tmp;
+}
+
+}  // namespace
+
+std::uint64_t lease_now_ms() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+std::string lease_path(const std::string& dir, const std::string& node) {
+    return dir + "/" + node + std::string(kLeaseExtension);
+}
+
+bool lease_expired(const Lease& lease, std::uint64_t now_ms) noexcept {
+    return now_ms >= lease.acquired_ms + lease.ttl_ms;
+}
+
+bool try_acquire_lease(const std::string& dir, const Lease& lease) {
+    const std::string tmp = write_lease_temp(dir, lease);
+    const std::string path = lease_path(dir, lease.node);
+    // link(2) is the atomic test-and-set: it fails with EEXIST when any
+    // lease file is already published, and on success the new name points
+    // at bytes that were fully written and fsync'd before the publish -
+    // a reader can never observe a partial lease.
+    const int rc = ::link(tmp.c_str(), path.c_str());
+    const int saved = errno;
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);  // the temp's job is done either way
+    if (rc == 0) {
+        sync_directory(dir);
+        return true;
+    }
+    if (saved == EEXIST) return false;
+    errno = saved;
+    throw_io("link lease", path);
+}
+
+std::optional<Lease> read_lease(const std::string& dir, const std::string& node) {
+    const std::string path = lease_path(dir, node);
+    std::ifstream in(path);
+    if (!in) {
+        std::error_code ec;
+        if (std::filesystem::exists(path, ec)) {
+            throw StoreError(StoreErrorKind::Io,
+                             "lease '" + path + "' exists but cannot be read");
+        }
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (in.bad()) {
+        throw StoreError(StoreErrorKind::Io,
+                         "I/O error while reading lease '" + path + "'");
+    }
+
+    Lease lease;
+    lease.node = node;
+    try {
+        const json::Value doc = json::parse(text.str());
+        if (doc.at("kind").as_string() != kLeaseKind ||
+            doc.at("node").as_string() != node) {
+            throw std::runtime_error("wrong kind or node");
+        }
+        lease.owner = doc.at("owner").as_string();
+        lease.acquired_ms = static_cast<std::uint64_t>(doc.at("acquired_ms").as_number());
+        lease.ttl_ms = static_cast<std::uint64_t>(doc.at("ttl_ms").as_number());
+        lease.generation = static_cast<std::uint64_t>(doc.at("generation").as_number());
+    } catch (const std::exception&) {
+        // A lease that cannot be parsed was written outside the atomic
+        // protocol (or hand-damaged). Correctness never depends on lease
+        // content, so surface it as an expired claim: stealable.
+        lease.owner = "<malformed>";
+        lease.acquired_ms = 0;
+        lease.ttl_ms = 0;
+        lease.generation = 0;
+    }
+    return lease;
+}
+
+void overwrite_lease(const std::string& dir, const Lease& lease) {
+    const std::string tmp = write_lease_temp(dir, lease);
+    const std::string path = lease_path(dir, lease.node);
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        throw StoreError(StoreErrorKind::Io, "cannot rename '" + tmp + "' to '" +
+                                                 path + "': " + ec.message());
+    }
+    sync_directory(dir);
+}
+
+void release_lease(const std::string& dir, const std::string& node) {
+    const std::string path = lease_path(dir, node);
+    std::error_code ec;
+    const bool removed = std::filesystem::remove(path, ec);
+    if (ec) {
+        throw StoreError(StoreErrorKind::Io, "cannot remove lease '" + path +
+                                                 "': " + ec.message());
+    }
+    if (removed) sync_directory(dir);
+}
+
+}  // namespace qrn::store

@@ -25,6 +25,31 @@
 //                                    additionally requires DIR to hold a
 //                                    previous run's manifest (exit 3
 //                                    otherwise).
+//   campaign ... --store DIR --distributed [--workers N] [--sched-ttl-ms N]
+//            [--sched-max-nodes N]
+//                                    distributed mode (docs/DISTRIBUTED.md):
+//                                    compile the campaign into a work DAG
+//                                    (generate -> fleet-i -> aggregate ->
+//                                    verify) whose node identities are the
+//                                    shards' content keys, write the plan
+//                                    to DIR/sched/plan.json, and dispatch
+//                                    fleet nodes to N worker processes
+//                                    (default 2) coordinating purely
+//                                    through lease files in the store.
+//                                    Expired leases are stolen after
+//                                    --sched-ttl-ms (default 10000); a DAG
+//                                    larger than --sched-max-nodes is
+//                                    rejected with diagnostics (exit 1).
+//                                    stdout is byte-identical to the same
+//                                    campaign with --jobs 1, at any worker
+//                                    count and across kill/resume cycles.
+//   sched worker --store DIR [--ttl-ms N] [--owner NAME] [--attached]
+//                                    one distributed-campaign worker.
+//                                    Standalone (default): claim fleet
+//                                    nodes of DIR's plan via lease files,
+//                                    steal expired leases, exit 0 once
+//                                    every shard verifies. --attached is
+//                                    the coordinator's internal pipe mode.
 //   campaign --splitting L1,L2,... [--splitting-trials N] [--confidence C]
 //            [--policy P] [--seed N] [--odd ...] [--jobs N]
 //                                    rare-event mode (docs/RARE_EVENTS.md):
@@ -106,6 +131,7 @@
 #include <chrono>
 #include <cmath>
 #include <csignal>
+#include <cstdlib>
 #include <fstream>
 // qrn-lint: allow(iostream-in-lib) CLI entry point: stdout/stderr is the product surface
 #include <iostream>
@@ -123,6 +149,10 @@
 #include "qrn/qrn.h"
 #include "qrn/serialize.h"
 #include "safety_case/builder.h"
+#include "sched/coordinator.h"
+#include "sched/dag.h"
+#include "sched/plan.h"
+#include "sched/worker.h"
 #include "serve/server.h"
 #include "serve/service.h"
 #include "sim/sim.h"
@@ -458,6 +488,119 @@ int cmd_campaign_store(const sim::CampaignConfig& config, const std::string& dir
     return 0;
 }
 
+/// Campaign in distributed mode (docs/DISTRIBUTED.md): compile the
+/// campaign into a work DAG, write the plan into the store, drive the
+/// fleet nodes through the coordinator + worker processes, then flow
+/// through the *same* store aggregation as a local --store run - which is
+/// why stdout is byte-identical to `--jobs 1` at any worker count, after
+/// any worker death, and across kill/resume cycles.
+int cmd_campaign_distributed(const Args& args, const sim::CampaignConfig& config,
+                             const std::string& policy_name,
+                             const std::string& odd_name,
+                             const std::string& dir, bool resume) {
+    if (resume && !store::Store(dir).manifest_found()) {
+        throw IoError("cannot --resume: no store manifest in '" + dir +
+                      "' (run once with --store first)");
+    }
+    const std::string inputs_digest = sched::campaign_inputs_digest();
+    const sched::CampaignPlan plan =
+        sched::make_plan(policy_name, odd_name, config, inputs_digest);
+
+    // The "generate" node: the plan is written exactly once per store; a
+    // rerun must describe the same campaign, or the shards would lie.
+    if (const auto existing = sched::read_plan(dir)) {
+        if (!(*existing == plan)) {
+            throw sched::SchedError(
+                "store '" + dir +
+                "' already holds the plan of a different campaign; use a "
+                "fresh --store directory (or matching flags) to resume");
+        }
+    } else {
+        sched::write_plan(dir, plan);
+    }
+
+    const sched::Dag dag = sched::build_campaign_dag(plan);
+    sched::DagBudget budget = sched::DagBudget::campaign_default();
+    if (const auto cap = args.option("--sched-max-nodes")) {
+        budget.node_count_hard =
+            tools::parse_u64("--sched-max-nodes", *cap, 1, kMaxFleets + 3);
+    }
+    const sched::BudgetCheck check =
+        sched::check_budget(sched::compute_metrics(dag), budget);
+    if (!check.diagnostics.empty()) std::cerr << check.diagnostics;
+    if (!check.passed) return 1;
+
+    sched::CoordinatorConfig coord;
+    coord.store_dir = dir;
+    coord.workers = static_cast<unsigned>(tools::parse_u64(
+        "--workers", args.option("--workers").value_or("2"), 1, 256));
+    coord.lease_ttl_ms = tools::parse_u64(
+        "--sched-ttl-ms", args.option("--sched-ttl-ms").value_or("10000"), 1,
+        86'400'000);
+    sched::CoordinatorStats stats;
+    {
+        const obs::ScopedSpan span("sched_dispatch");
+        stats = sched::run_coordinator(plan, dag, coord);
+    }
+    std::cerr << "sched: " << stats.nodes_total << " node(s): "
+              << stats.nodes_completed << " completed, " << stats.nodes_reused
+              << " reused; " << stats.nodes_dispatched << " dispatch(es), "
+              << stats.leases_stolen << " steal(s), " << stats.worker_failures
+              << " worker failure(s)\n";
+
+    // Crash injection for the resume tests: die after the fleet nodes are
+    // sealed but before the aggregate node runs.
+    if (const char* fault = std::getenv("QRN_SCHED_FAULT_COORD_BEFORE_AGGREGATE");
+        fault != nullptr && fault[0] == '1') {
+        std::_Exit(137);
+    }
+
+    // The "aggregate" node: the exact code path of a local --store run.
+    const int rc = cmd_campaign_store(config, dir, resume);
+    if (rc != 0) return rc;
+
+    // The "verify" node: every plan node must be in the manifest under its
+    // plan key - the scheduler's end-to-end completeness check.
+    const store::Store st(dir);
+    std::size_t defects = 0;
+    for (const auto& node : plan.nodes) {
+        const store::ShardEntry* entry = st.find(node.fleet_index);
+        if (entry == nullptr || entry->cache_key != node.key) {
+            std::cerr << "sched: verify: "
+                      << sched::plan_node_id(node.fleet_index)
+                      << (entry != nullptr
+                              ? " is recorded under the wrong key\n"
+                              : " is missing from the manifest\n");
+            ++defects;
+        }
+    }
+    if (defects != 0) return 2;
+    std::cerr << "sched: verify ok (" << plan.nodes.size() << " node(s))\n";
+    return 0;
+}
+
+/// `qrn sched worker`: one worker process of a distributed campaign,
+/// attached (coordinator pipe protocol) or standalone (lease claim loop).
+int cmd_sched(const Args& args) {
+    if (args.subcommand() != "worker") {
+        std::cerr << "usage: qrn sched worker --store DIR [--ttl-ms N] "
+                     "[--owner NAME] [--attached]\n";
+        return 1;
+    }
+    sched::WorkerOptions options;
+    options.store_dir = args.require("--store");
+    if (options.store_dir.empty()) {
+        throw ParseError("--store", options.store_dir, "a directory path");
+    }
+    options.lease_ttl_ms = tools::parse_u64(
+        "--ttl-ms", args.option("--ttl-ms").value_or("10000"), 1, 86'400'000);
+    if (const auto owner = args.option("--owner")) options.owner = *owner;
+    if (args.has("--attached")) {
+        return sched::run_attached_worker(std::cin, std::cout, options);
+    }
+    return sched::run_standalone_worker(options);
+}
+
 /// Campaign in importance-splitting mode: instead of pooling N independent
 /// fleets, run the clone-and-prune multilevel ladder (docs/RARE_EVENTS.md)
 /// over the fleet severity model and report the tail frequency of the
@@ -573,8 +716,10 @@ int cmd_campaign(const Args& args) {
         return cmd_campaign_splitting(args, *levels);
     }
     sim::CampaignConfig config;
-    config.base.policy = policy_by_name(args.option("--policy").value_or("nominal"));
-    config.base.odd = odd_by_name(args.option("--odd").value_or("urban"));
+    const std::string policy_name = args.option("--policy").value_or("nominal");
+    const std::string odd_name = args.option("--odd").value_or("urban");
+    config.base.policy = policy_by_name(policy_name);
+    config.base.odd = odd_by_name(odd_name);
     if (const auto seed = args.option("--seed")) {
         config.base.seed = tools::parse_u64("--seed", *seed);
     }
@@ -589,6 +734,15 @@ int cmd_campaign(const Args& args) {
     }
     if (args.has("--resume") && !store_dir) {
         throw ParseError("--resume", "", "--store DIR alongside --resume");
+    }
+    if (args.has("--distributed")) {
+        if (!store_dir) {
+            throw ParseError("--distributed", "",
+                             "--store DIR alongside --distributed (the store "
+                             "is the coordination substrate)");
+        }
+        return cmd_campaign_distributed(args, config, policy_name, odd_name,
+                                        *store_dir, args.has("--resume"));
     }
     if (store_dir) {
         return cmd_campaign_store(config, *store_dir, args.has("--resume"));
@@ -696,9 +850,12 @@ int usage() {
     std::cerr << "usage: qrn <command> [options]\n"
               << "commands: norm-example | types-example | types-generate |\n"
               << "          allocate | verify | simulate | campaign | pipeline |\n"
-              << "          store <inspect|verify|merge> | serve | --version\n"
+              << "          store <inspect|verify|merge> | sched worker | serve |\n"
+              << "          --version\n"
               << "global options: --jobs N, --metrics PATH (run manifest)\n"
               << "campaign caching: --store DIR (shard cache), --resume\n"
+              << "campaign scale-out: --distributed --workers N "
+                 "[--sched-ttl-ms N] [--sched-max-nodes N]\n"
               << "campaign rare events: --splitting L1,L2,... "
                  "[--splitting-trials N]\n"
               << "exit codes: 0 ok, 1 usage/parse error, 2 norm not fulfilled\n"
@@ -989,6 +1146,7 @@ int dispatch(const Args& args, const std::string& command) {
     if (command == "campaign") return cmd_campaign(args);
     if (command == "pipeline") return cmd_pipeline(args);
     if (command == "store") return cmd_store(args);
+    if (command == "sched") return cmd_sched(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "--version" || command == "version") return cmd_version();
     return usage();

@@ -102,13 +102,13 @@ TEST(RuleThreadDiscipline, FlagsStdThreadOutsideExec) {
 
 TEST(RuleThreadDiscipline, CoversTheObservabilityLayer) {
     // src/obs promises "no std::thread" (obs/metrics.h design rules); only
-    // src/exec/ and src/serve/ are exempt, so the linter must keep obs
-    // honest.
+    // src/exec/, src/serve/ and src/sched/ are exempt, so the linter must
+    // keep obs honest.
     EXPECT_TRUE(has_rule(lint_source("src/obs/metrics.cpp", "std::thread t(work);"),
                          "thread-discipline"));
 }
 
-TEST(RuleThreadDiscipline, AllowedInExecServeAndForThisThread) {
+TEST(RuleThreadDiscipline, AllowedInExecServeSchedAndForThisThread) {
     EXPECT_FALSE(has_rule(
         lint_source("src/exec/thread_pool.cpp", "workers_.emplace_back(std::thread(w));"),
         "thread-discipline"));
@@ -116,6 +116,11 @@ TEST(RuleThreadDiscipline, AllowedInExecServeAndForThisThread) {
     // threads - I/O-bound waiting the fixed exec pool cannot host.
     EXPECT_FALSE(has_rule(
         lint_source("src/serve/server.cpp", "accept_thread_ = std::thread(fn);"),
+        "thread-discipline"));
+    // src/sched owns the distributed coordinator's lease-renewal thread,
+    // which must tick while the pool is saturated with fleet work.
+    EXPECT_FALSE(has_rule(
+        lint_source("src/sched/coordinator.cpp", "renewer_ = std::thread(fn);"),
         "thread-discipline"));
     EXPECT_FALSE(has_rule(
         lint_source("src/sim/x.cpp", "std::this_thread::sleep_for(d);"),

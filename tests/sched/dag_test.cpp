@@ -1,0 +1,172 @@
+// Work-DAG invariants: deterministic topology, critical-path levels,
+// dispatch order, cycle rejection, and the hard/soft budget gate. The
+// coordinator's dispatch decisions are a pure function of these, so they
+// are pinned as unit properties instead of observed through process soup.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sched/dag.h"
+#include "sched/ready_queue.h"
+
+namespace {
+
+using namespace qrn::sched;
+
+/// The campaign spine with two fleet nodes of unequal weight:
+/// generate -> {heavy, light} -> aggregate -> verify.
+Dag diamond(double heavy_weight, double light_weight) {
+    Dag dag;
+    const auto generate = dag.add_node("generate", 1.0);
+    const auto heavy = dag.add_node("fleet-00000", heavy_weight);
+    const auto light = dag.add_node("fleet-00001", light_weight);
+    const auto aggregate = dag.add_node("aggregate", 1.0);
+    const auto verify = dag.add_node("verify", 1.0);
+    dag.add_edge(generate, heavy);
+    dag.add_edge(generate, light);
+    dag.add_edge(heavy, aggregate);
+    dag.add_edge(light, aggregate);
+    dag.add_edge(aggregate, verify);
+    dag.build();
+    return dag;
+}
+
+TEST(Dag, TopoOrderIsDeterministicAndRespectsEdges) {
+    const Dag dag = diamond(10.0, 2.0);
+    const auto& topo = dag.topo_order();
+    ASSERT_EQ(topo.size(), 5u);
+    std::vector<std::size_t> position(topo.size());
+    for (std::size_t at = 0; at < topo.size(); ++at) position[topo[at]] = at;
+    for (std::size_t i = 0; i < dag.size(); ++i) {
+        for (const std::size_t succ : dag.succs(i)) {
+            EXPECT_LT(position[i], position[succ])
+                << dag.node(i).id << " must precede " << dag.node(succ).id;
+        }
+    }
+    // Kahn with smallest-index-first: the order is a pure function of the
+    // graph, so two identical builds agree exactly.
+    const Dag again = diamond(10.0, 2.0);
+    EXPECT_EQ(topo, again.topo_order());
+}
+
+TEST(Dag, CriticalPathLevelsAreWeightPlusHeaviestChain) {
+    const Dag dag = diamond(10.0, 2.0);
+    const auto at = [&](const char* id) { return *dag.index_of(id); };
+    EXPECT_DOUBLE_EQ(dag.level(at("verify")), 1.0);
+    EXPECT_DOUBLE_EQ(dag.level(at("aggregate")), 2.0);
+    EXPECT_DOUBLE_EQ(dag.level(at("fleet-00001")), 4.0);
+    EXPECT_DOUBLE_EQ(dag.level(at("fleet-00000")), 12.0);
+    EXPECT_DOUBLE_EQ(dag.level(at("generate")), 13.0);
+}
+
+TEST(Dag, ReadyQueuePopsCriticalPathFirstThenById) {
+    const Dag dag = diamond(10.0, 2.0);
+    ReadyQueue ready;
+    for (const char* id : {"fleet-00001", "fleet-00000"}) {
+        const auto i = *dag.index_of(id);
+        ready.push(ReadyItem{i, dag.level(i), dag.node(i).id});
+    }
+    EXPECT_EQ(ready.pop().id, "fleet-00000");  // heavier chain first
+    EXPECT_EQ(ready.pop().id, "fleet-00001");
+    EXPECT_TRUE(ready.empty());
+    EXPECT_THROW(ready.pop(), SchedError);
+
+    // Equal priorities break by id, so dispatch order never depends on
+    // push order or heap internals.
+    ReadyQueue ties;
+    ties.push(ReadyItem{0, 5.0, "fleet-00002"});
+    ties.push(ReadyItem{1, 5.0, "fleet-00001"});
+    ties.push(ReadyItem{2, 5.0, "fleet-00003"});
+    EXPECT_EQ(ties.pop().id, "fleet-00001");
+    EXPECT_EQ(ties.pop().id, "fleet-00002");
+    EXPECT_EQ(ties.pop().id, "fleet-00003");
+}
+
+TEST(Dag, RejectsCyclesNamingAStableNode) {
+    Dag dag;
+    const auto a = dag.add_node("a");
+    const auto b = dag.add_node("b");
+    const auto c = dag.add_node("c");
+    dag.add_edge(a, b);
+    dag.add_edge(b, c);
+    dag.add_edge(c, a);
+    try {
+        dag.build();
+        FAIL() << "cycle must be rejected";
+    } catch (const SchedError& error) {
+        EXPECT_NE(std::string(error.what()).find("'a'"), std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(Dag, RejectsMalformedConstruction) {
+    Dag dag;
+    EXPECT_THROW(dag.add_node(""), SchedError);
+    const auto a = dag.add_node("a");
+    EXPECT_THROW(dag.add_node("a"), SchedError);       // duplicate id
+    EXPECT_THROW(dag.add_node("b", -1.0), SchedError); // negative weight
+    EXPECT_THROW(dag.add_edge(a, a), SchedError);      // self-edge
+    EXPECT_THROW(dag.add_edge(a, 99), SchedError);     // out of range
+    EXPECT_THROW(dag.level(a), SchedError);            // query before build
+}
+
+TEST(Dag, DuplicateEdgesStoreOnce) {
+    Dag dag;
+    const auto a = dag.add_node("a");
+    const auto b = dag.add_node("b");
+    dag.add_edge(a, b);
+    dag.add_edge(a, b);
+    EXPECT_EQ(dag.edge_count(), 1u);
+}
+
+TEST(DagBudget, HardLimitFailsSoftLimitWarns) {
+    const Dag dag = diamond(10.0, 2.0);
+    const DagMetrics metrics = compute_metrics(dag);
+    EXPECT_EQ(metrics.node_count, 5u);
+    EXPECT_EQ(metrics.edge_count, 5u);
+    EXPECT_EQ(metrics.max_depth, 4u);  // generate -> fleet -> agg -> verify
+    EXPECT_EQ(metrics.fanout_peak, 2u);
+    EXPECT_EQ(metrics.fanin_peak, 2u);
+    EXPECT_DOUBLE_EQ(metrics.critical_path_weight, 13.0);
+    const std::vector<std::string> want{"generate", "fleet-00000", "aggregate",
+                                        "verify"};
+    EXPECT_EQ(metrics.critical_path, want);
+
+    DagBudget hard;
+    hard.node_count_hard = 3;
+    const BudgetCheck failed = check_budget(metrics, hard);
+    EXPECT_FALSE(failed.passed);
+    EXPECT_NE(failed.diagnostics.find("over budget"), std::string::npos);
+    EXPECT_NE(failed.diagnostics.find("node count 5 > hard limit 3"),
+              std::string::npos)
+        << failed.diagnostics;
+
+    DagBudget soft;
+    soft.node_count_soft = 3;
+    const BudgetCheck warned = check_budget(metrics, soft);
+    EXPECT_TRUE(warned.passed);
+    EXPECT_TRUE(warned.has_warnings);
+    EXPECT_NE(warned.diagnostics.find("warning"), std::string::npos);
+
+    // Zero limits mean "no limit": the default-constructed budget passes
+    // everything silently.
+    const BudgetCheck open = check_budget(metrics, DagBudget{});
+    EXPECT_TRUE(open.passed);
+    EXPECT_TRUE(open.diagnostics.empty());
+}
+
+TEST(DagBudget, CampaignDefaultAdmitsTheLargestCliCampaign) {
+    // --fleets caps at 100000; the campaign DAG adds a 3-node spine and
+    // two edges per fleet. The default budget must admit exactly that.
+    DagMetrics metrics;
+    metrics.node_count = 100003;
+    metrics.edge_count = 200001;
+    metrics.max_depth = 4;
+    metrics.fanout_peak = 100000;
+    EXPECT_TRUE(check_budget(metrics, DagBudget::campaign_default()).passed);
+    metrics.node_count = 100004;
+    EXPECT_FALSE(check_budget(metrics, DagBudget::campaign_default()).passed);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Lease-file protocol: atomic exclusive acquire, expiry, steal/renew with
+// generation bumps, release, and the torn-file fallback. The lease layer
+// is the distributed scheduler's only mutual-exclusion primitive, so its
+// edge cases (double acquire, release-after-steal, malformed bytes) are
+// pinned here rather than discovered in a flaky campaign.
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "store/format.h"
+#include "store/lease.h"
+
+namespace {
+
+using namespace qrn;
+
+std::string lease_dir_for(const std::string& name) {
+    const std::string dir = ::testing::TempDir() + "qrn_lease_" + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+store::Lease make_lease(const std::string& node, const std::string& owner,
+                        std::uint64_t ttl_ms, std::uint64_t generation) {
+    return store::Lease{node, owner, store::lease_now_ms(), ttl_ms, generation};
+}
+
+TEST(Lease, AcquireIsExclusiveUntilReleased) {
+    const auto dir = lease_dir_for("exclusive");
+    EXPECT_TRUE(store::try_acquire_lease(
+        dir, make_lease("fleet-00001", "a", 60000, 1)));
+    // A second acquire loses, even from the same owner: acquire never
+    // replaces an existing lease (that is overwrite_lease's job).
+    EXPECT_FALSE(store::try_acquire_lease(
+        dir, make_lease("fleet-00001", "a", 60000, 1)));
+    EXPECT_FALSE(store::try_acquire_lease(
+        dir, make_lease("fleet-00001", "b", 60000, 1)));
+
+    store::release_lease(dir, "fleet-00001");
+    EXPECT_FALSE(store::read_lease(dir, "fleet-00001").has_value());
+    EXPECT_TRUE(store::try_acquire_lease(
+        dir, make_lease("fleet-00001", "b", 60000, 1)));
+}
+
+TEST(Lease, RoundTripsEveryField) {
+    const auto dir = lease_dir_for("roundtrip");
+    const store::Lease written = make_lease("fleet-00007", "coord:42", 1234, 9);
+    ASSERT_TRUE(store::try_acquire_lease(dir, written));
+    const auto read = store::read_lease(dir, "fleet-00007");
+    ASSERT_TRUE(read.has_value());
+    EXPECT_EQ(read->node, written.node);
+    EXPECT_EQ(read->owner, written.owner);
+    EXPECT_EQ(read->acquired_ms, written.acquired_ms);
+    EXPECT_EQ(read->ttl_ms, written.ttl_ms);
+    EXPECT_EQ(read->generation, written.generation);
+}
+
+TEST(Lease, ExpiryIsAcquiredPlusTtl) {
+    store::Lease lease = make_lease("n", "o", 1000, 1);
+    EXPECT_FALSE(store::lease_expired(lease, lease.acquired_ms));
+    EXPECT_FALSE(store::lease_expired(lease, lease.acquired_ms + 999));
+    EXPECT_TRUE(store::lease_expired(lease, lease.acquired_ms + 1000));
+    EXPECT_TRUE(store::lease_expired(lease, lease.acquired_ms + 100000));
+}
+
+TEST(Lease, StealReplacesAndBumpsGeneration) {
+    const auto dir = lease_dir_for("steal");
+    ASSERT_TRUE(store::try_acquire_lease(dir, make_lease("n", "dead", 1, 1)));
+    const auto before = store::read_lease(dir, "n");
+    ASSERT_TRUE(before.has_value());
+    // The stealer reads the old generation and writes generation + 1, so
+    // a lease's history is a strictly increasing chain.
+    store::overwrite_lease(
+        dir, make_lease("n", "thief", 60000, before->generation + 1));
+    const auto after = store::read_lease(dir, "n");
+    ASSERT_TRUE(after.has_value());
+    EXPECT_EQ(after->owner, "thief");
+    EXPECT_EQ(after->generation, 2u);
+}
+
+TEST(Lease, ReleaseOfMissingLeaseIsBenign) {
+    const auto dir = lease_dir_for("release_missing");
+    store::release_lease(dir, "never-acquired");  // must not throw
+    EXPECT_FALSE(store::read_lease(dir, "never-acquired").has_value());
+}
+
+TEST(Lease, MalformedFileReadsAsAlwaysStealable) {
+    const auto dir = lease_dir_for("malformed");
+    {
+        std::ofstream torn(store::lease_path(dir, "n"));
+        torn << "{\"kind\": \"qrn.lease\", \"node";  // torn mid-write
+    }
+    const auto lease = store::read_lease(dir, "n");
+    ASSERT_TRUE(lease.has_value());
+    EXPECT_EQ(lease->owner, "<malformed>");
+    EXPECT_EQ(lease->ttl_ms, 0u);
+    EXPECT_TRUE(store::lease_expired(*lease, store::lease_now_ms()));
+    // And the steal path recovers it into a well-formed lease.
+    store::overwrite_lease(dir, make_lease("n", "healer", 60000,
+                                           lease->generation + 1));
+    const auto healed = store::read_lease(dir, "n");
+    ASSERT_TRUE(healed.has_value());
+    EXPECT_EQ(healed->owner, "healer");
+}
+
+TEST(Lease, AcquireLeavesNoTempFilesBehind) {
+    const auto dir = lease_dir_for("no_temps");
+    ASSERT_TRUE(store::try_acquire_lease(dir, make_lease("a", "o", 60000, 1)));
+    EXPECT_FALSE(store::try_acquire_lease(dir, make_lease("a", "o", 60000, 1)));
+    std::size_t files = 0;
+    for (const auto& item : std::filesystem::directory_iterator(dir)) {
+        ++files;
+        EXPECT_EQ(item.path().extension(), ".lease") << item.path();
+    }
+    EXPECT_EQ(files, 1u);
+}
+
+}  // namespace
